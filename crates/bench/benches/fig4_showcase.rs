@@ -1,0 +1,36 @@
+//! Criterion bench over the Figure 4 workload: host wall-time of running
+//! the three showcase models under each target permutation (the
+//! *simulated* device times are printed by the `fig4` binary; this bench
+//! tracks the reproduction's own execution cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tvm_neuropilot::models::{anti_spoofing, emotion, object_detection, Model};
+use tvm_neuropilot::prelude::*;
+
+fn bench_showcase(c: &mut Criterion) {
+    let cost = CostModel::default();
+    let models: Vec<Model> = vec![
+        anti_spoofing::anti_spoofing_model(101),
+        object_detection::mobilenet_ssd_model(102),
+        emotion::emotion_model(103),
+    ];
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for model in &models {
+        let inputs = model.sample_inputs(104);
+        for p in [Permutation::TvmOnly, Permutation::ByocCpu, Permutation::ByocCpuApu] {
+            let Ok(mut compiled) = relay_build(&model.module, p.mode(), cost.clone()) else {
+                continue;
+            };
+            group.bench_with_input(
+                BenchmarkId::new(model.name.clone(), p.label()),
+                &inputs,
+                |b, inputs| b.iter(|| compiled.run(inputs).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_showcase);
+criterion_main!(benches);

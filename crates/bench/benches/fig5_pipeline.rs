@@ -1,0 +1,43 @@
+//! Criterion bench over the Figure 5 workload: the pipeline-schedule
+//! simulator and the real threaded pipeline executor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tvm_neuropilot::prelude::*;
+use tvm_neuropilot::scheduler::pipeline::{
+    paper_prototype_stages, simulate_pipelined, simulate_sequential,
+};
+
+fn bench_simulators(c: &mut Criterion) {
+    let stages = paper_prototype_stages(3000.0, 6000.0, 2000.0);
+    c.bench_function("fig5/simulate_sequential_64", |b| {
+        b.iter(|| simulate_sequential(&stages, 64))
+    });
+    c.bench_function("fig5/simulate_pipelined_64", |b| {
+        b.iter(|| simulate_pipelined(&stages, 64))
+    });
+}
+
+fn bench_threaded_application(c: &mut Criterion) {
+    let cost = CostModel::default();
+    let showcase = Showcase::new(900, ShowcaseAssignment::paper_prototype(), &cost);
+    let mut group = c.benchmark_group("fig5/application");
+    group.sample_size(10);
+    group.bench_function("sequential_4_frames", |b| {
+        b.iter_batched(
+            || SyntheticVideo::new(901, 64, 64).frames(4),
+            |frames| showcase.process_video(&frames),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("pipelined_4_frames", |b| {
+        b.iter_batched(
+            || SyntheticVideo::new(901, 64, 64).frames(4),
+            |frames| showcase.process_video_pipelined(frames),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulators, bench_threaded_application);
+criterion_main!(benches);

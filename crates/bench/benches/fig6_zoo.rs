@@ -1,0 +1,45 @@
+//! Criterion bench over the Figure 6 workload: compile + inference cost
+//! for the model zoo under representative permutations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tvm_neuropilot::models::zoo;
+use tvm_neuropilot::prelude::*;
+
+fn bench_zoo_inference(c: &mut Criterion) {
+    let cost = CostModel::default();
+    let mut group = c.benchmark_group("fig6/run");
+    group.sample_size(10);
+    for model in zoo::zoo(600) {
+        let inputs = model.sample_inputs(601);
+        let Ok(mut compiled) =
+            relay_build(&model.module, Permutation::ByocCpuApu.mode(), cost.clone())
+        else {
+            continue;
+        };
+        group.bench_with_input(BenchmarkId::new("byoc-cpu+apu", &model.name), &inputs, |b, inputs| {
+            b.iter(|| compiled.run(inputs).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_zoo_compile(c: &mut Criterion) {
+    let cost = CostModel::default();
+    let mut group = c.benchmark_group("fig6/compile");
+    group.sample_size(10);
+    for model in [zoo::mobilenet_v2(600), zoo::inception_v4(600), zoo::densenet(600)] {
+        group.bench_with_input(
+            BenchmarkId::new("partition+codegen", &model.name),
+            &model.module,
+            |b, module| {
+                b.iter(|| {
+                    relay_build(module, Permutation::ByocCpuApu.mode(), cost.clone()).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_zoo_inference, bench_zoo_compile);
+criterion_main!(benches);

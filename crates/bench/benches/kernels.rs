@@ -1,0 +1,44 @@
+//! Criterion bench over the kernel substrate: the float vs int8 kernels
+//! every backend of the reproduction executes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tvm_neuropilot::tensor::kernels::{
+    conv2d_f32, dense_f32, max_pool2d, qconv2d, softmax_f32, Conv2dParams, Pool2dParams,
+    QConvQuant,
+};
+use tvm_neuropilot::tensor::rng::TensorRng;
+use tvm_neuropilot::tensor::{DType, QuantParams};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = TensorRng::new(7);
+    let x = rng.uniform_f32([1, 16, 32, 32], -1.0, 1.0);
+    let w = rng.uniform_f32([32, 16, 3, 3], -0.5, 0.5);
+    c.bench_function("kernels/conv2d_f32_16x32x32", |b| {
+        b.iter(|| conv2d_f32(&x, &w, None, &Conv2dParams::same(1)).unwrap())
+    });
+
+    let qx = QuantParams::new(0.02, 128);
+    let qw = QuantParams::new(0.01, 0);
+    let xq = x.quantize(qx, DType::U8).unwrap();
+    let wq = w.quantize(qw, DType::I8).unwrap();
+    let quant = QConvQuant { input: qx, weight: qw, output: qx, out_dtype: DType::U8 };
+    c.bench_function("kernels/qconv2d_u8_16x32x32", |b| {
+        b.iter(|| qconv2d(&xq, &wq, None, &Conv2dParams::same(1), &quant).unwrap())
+    });
+
+    let a = rng.uniform_f32([8, 256], -1.0, 1.0);
+    let wd = rng.uniform_f32([128, 256], -0.5, 0.5);
+    c.bench_function("kernels/dense_f32_8x256x128", |b| {
+        b.iter(|| dense_f32(&a, &wd, None).unwrap())
+    });
+
+    c.bench_function("kernels/max_pool2d_16x32x32", |b| {
+        b.iter(|| max_pool2d(&x, &Pool2dParams::square(2)).unwrap())
+    });
+
+    let logits = rng.uniform_f32([64, 1000], -5.0, 5.0);
+    c.bench_function("kernels/softmax_64x1000", |b| b.iter(|| softmax_f32(&logits).unwrap()));
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Extension: inference *energy* per target permutation.
+//!
+//! The paper motivates NeuroPilot with the edge's "physical limitations,
+//! such as power and heat problems" (§2.1) but reports only time. This
+//! harness adds the energy column: per-op silicon energy (inefficient
+//! codegen burns proportionally more) plus DRAM-boundary traffic.
+//!
+//! Expected (asserted): TVM-only burns the most energy everywhere; for
+//! every model the APU permutation is the most frugal; int8 variants burn
+//! less than their float32 twins.
+//!
+//! `cargo run --release -p tvmnp-bench --bin energy`
+
+use tvm_neuropilot::models::zoo;
+use tvm_neuropilot::prelude::*;
+
+fn main() {
+    let cost = CostModel::default();
+    println!("== Extension: simulated inference energy (microjoules) ==\n");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}",
+        "model", "tvm-only", "byoc-cpu", "byoc-gpu", "byoc-apu"
+    );
+
+    let models = [
+        zoo::inception_v3(610),
+        zoo::mobilenet_v1(611),
+        zoo::mobilenet_v2(612),
+        zoo::mobilenet_v1_quant(613),
+        zoo::mobilenet_v2_quant(614),
+    ];
+    for model in &models {
+        let e = |mode: TargetMode| {
+            relay_build(&model.module, mode, cost.clone()).unwrap().estimate_energy_uj()
+        };
+        let tvm = e(TargetMode::TvmOnly);
+        let cpu = e(TargetMode::Byoc(TargetPolicy::CpuOnly));
+        let gpu = e(TargetMode::Byoc(TargetPolicy::GpuPrefer));
+        let apu = e(TargetMode::Byoc(TargetPolicy::ApuPrefer));
+        println!("{:<22} {tvm:>10.1} {cpu:>10.1} {gpu:>10.1} {apu:>10.1}", model.name);
+        assert!(tvm > cpu && tvm > gpu && tvm > apu, "{}: TVM-only burns most", model.name);
+        assert!(apu < cpu && apu < gpu, "{}: APU is the most frugal", model.name);
+    }
+
+    // Same-architecture int8 vs float on the APU.
+    let pairs = [
+        (zoo::mobilenet_v1(611), zoo::mobilenet_v1_quant(613)),
+        (zoo::mobilenet_v2(612), zoo::mobilenet_v2_quant(614)),
+    ];
+    println!();
+    for (f, q) in pairs {
+        let ef = relay_build(&f.module, TargetMode::Byoc(TargetPolicy::ApuPrefer), cost.clone())
+            .unwrap()
+            .estimate_energy_uj();
+        let eq = relay_build(&q.module, TargetMode::Byoc(TargetPolicy::ApuPrefer), cost.clone())
+            .unwrap()
+            .estimate_energy_uj();
+        println!("{:<22} APU energy: float {ef:>8.1} uJ vs int8 {eq:>8.1} uJ", f.name);
+        assert!(eq < ef, "int8 must save energy");
+    }
+    println!("\nenergy checks passed: the power argument behind NeuroPilot holds.");
+}

@@ -1,0 +1,85 @@
+//! Figure 4: inference time for the three application-showcase models
+//! under the seven target permutations.
+//!
+//! Expected shape (checked): TVM-only is the slowest bar of every group;
+//! NeuroPilot-only bars are missing for anti-spoofing (unfused batch
+//! norm) and the SSD (exp box decode) but present for the emotion model;
+//! the emotion model is fastest on the APU alone; anti-spoofing carries
+//! the most subgraphs and the largest absolute time.
+//!
+//! `cargo run --release -p tvmnp-bench --bin fig4`
+
+use tvm_neuropilot::models::{anti_spoofing, emotion, object_detection};
+use tvm_neuropilot::prelude::*;
+use tvmnp_bench::{check_figure_shape, figure_group};
+
+fn main() {
+    let cost = CostModel::default();
+    println!("== Figure 4: showcase-model inference time (simulated ms) ==\n");
+
+    let models = [
+        anti_spoofing::anti_spoofing_model(101),
+        object_detection::mobilenet_ssd_model(102),
+        emotion::emotion_model(103),
+    ];
+
+    let mut groups = Vec::new();
+    for model in &models {
+        let (ms, text) = figure_group(model, &cost);
+        check_figure_shape(&model.name, &ms);
+        println!("{text}");
+        groups.push((model.name.clone(), ms));
+    }
+
+    // Paper-shape assertions beyond the per-group checks.
+    let time = |model: &str, p: Permutation| -> Option<f64> {
+        groups
+            .iter()
+            .find(|(n, _)| n == model)
+            .and_then(|(_, ms)| ms.iter().find(|m| m.permutation == p))
+            .and_then(|m| m.time_ms)
+    };
+
+    // NP-only bars exist only for the emotion model.
+    assert!(time("anti-spoofing", Permutation::NpCpu).is_none());
+    assert!(time("mobilenet-ssd-quant", Permutation::NpApu).is_none());
+    assert!(time("emotion-detection", Permutation::NpApu).is_some());
+
+    // Emotion is fastest on APU alone (paper 5.1); the float anti-spoofing
+    // model favors CPU+APU (its fragmented subgraphs are too small to
+    // amortize the APU driver). For the int8 SSD the APU permutations tie
+    // or win — consistent with 4.2's "performance similar to the original
+    // flow" (EXPERIMENTS.md discusses the deviation from the figure).
+    let emo_apu = time("emotion-detection", Permutation::NpApu).unwrap();
+    let emo_cpu_apu = time("emotion-detection", Permutation::NpCpuApu).unwrap();
+    assert!(emo_apu < emo_cpu_apu, "emotion: APU {emo_apu} vs CPU+APU {emo_cpu_apu}");
+    {
+        let apu = time("anti-spoofing", Permutation::ByocApu).unwrap();
+        let both = time("anti-spoofing", Permutation::ByocCpuApu).unwrap();
+        assert!(both < apu, "anti-spoofing: CPU+APU {both} must beat APU-prefer {apu}");
+    }
+    {
+        let cpu = time("mobilenet-ssd-quant", Permutation::ByocCpu).unwrap();
+        let both = time("mobilenet-ssd-quant", Permutation::ByocCpuApu).unwrap();
+        assert!(both <= cpu * 1.01, "ssd: CPU+APU {both} must not lose to CPU {cpu}");
+    }
+
+    // Anti-spoofing is the slowest model (most subgraphs).
+    let best = |model: &str| {
+        groups
+            .iter()
+            .find(|(n, _)| n == model)
+            .unwrap()
+            .1
+            .iter()
+            .filter_map(|m| m.time_ms)
+            .fold(f64::INFINITY, f64::min)
+    };
+    assert!(best("anti-spoofing") > best("mobilenet-ssd-quant"));
+    assert!(best("anti-spoofing") > best("emotion-detection"));
+
+    println!("shape checks passed: TVM-only slowest; NP-only bars missing for");
+    println!("anti-spoofing and SSD; emotion fastest on APU alone; anti-spoofing");
+    println!("slowest overall (subgraph fragmentation); CPU+APU best for the");
+    println!("fragmented float model.");
+}

@@ -1,0 +1,55 @@
+//! Figure 6: inference time for the evaluation zoo (Table 1's models)
+//! under the seven target permutations.
+//!
+//! Expected shape (checked): the Fig. 4 pattern repeats — TVM-only
+//! slowest everywhere, NeuroPilot-only bars missing exactly for the
+//! models with NP-unsupported ops (densenet, inception-resnet-v2,
+//! nasnet), quantized models gaining the most from the APU.
+//!
+//! `cargo run --release -p tvmnp-bench --bin fig6`
+
+use tvm_neuropilot::models::zoo;
+use tvm_neuropilot::prelude::*;
+use tvmnp_bench::{check_figure_shape, figure_group};
+
+fn main() {
+    let cost = CostModel::default();
+    println!("== Figure 6: model-zoo inference time (simulated ms) ==\n");
+
+    let missing_expected = ["densenet", "inception resnet v2", "nasnet"];
+
+    for model in zoo::zoo(600) {
+        let (ms, text) = figure_group(&model, &cost);
+        check_figure_shape(&model.name, &ms);
+        println!("{text}");
+
+        let np_missing = ms
+            .iter()
+            .filter(|m| m.time_ms.is_none())
+            .count();
+        let expect_missing = missing_expected.contains(&model.name.as_str());
+        assert_eq!(
+            np_missing > 0,
+            expect_missing,
+            "{}: NP-only coverage mismatch",
+            model.name
+        );
+
+    }
+
+    // Same-architecture int8 vs float on the APU (the QNN-flow payoff).
+    let apu_ms = |module: &Module| {
+        measure_one(module, Permutation::ByocApu, &cost).unwrap().time_ms.unwrap()
+    };
+    let pairs = [
+        (zoo::mobilenet_v1(600), zoo::mobilenet_v1_quant(600)),
+        (zoo::mobilenet_v2(600), zoo::mobilenet_v2_quant(600)),
+    ];
+    for (f, q) in pairs {
+        let tf = apu_ms(&f.module);
+        let tq = apu_ms(&q.module);
+        println!("{:<22} BYOC APU: float {tf:.3} ms vs int8 {tq:.3} ms", f.name);
+        assert!(tq < tf, "int8 must beat float on the APU");
+    }
+    println!("shape checks passed: same pattern as Fig. 4 across the zoo.");
+}

@@ -1,0 +1,43 @@
+//! Extension: the mobile-GPU back-end the paper mentions but does not
+//! evaluate ("the numerous back-ends provided by Mediatek NeuroPilot,
+//! including mobile CPU, GPU or AI accelerators" — §1).
+//!
+//! Expected (asserted): for compute-dominated float models the Mali-class
+//! GPU lands between the vendor CPU and the APU; quantized models skip
+//! the GPU entirely (the APU's int8 advantage is too large).
+//!
+//! `cargo run --release -p tvmnp-bench --bin gpu_ext`
+
+use tvm_neuropilot::models::zoo;
+use tvm_neuropilot::prelude::*;
+
+fn main() {
+    let cost = CostModel::default();
+    println!("== Extension: BYOC with the mobile GPU back-end (simulated ms) ==\n");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "model", "byoc-cpu", "byoc-gpu", "byoc-apu"
+    );
+
+    let gpu_mode = TargetMode::Byoc(TargetPolicy::GpuPrefer);
+    for model in [
+        zoo::inception_v3(601),
+        zoo::inception_v4(602),
+        zoo::mobilenet_v2(603),
+        zoo::densenet(604),
+    ] {
+        let t = |mode: TargetMode| {
+            relay_build(&model.module, mode, cost.clone()).unwrap().estimate_us() / 1000.0
+        };
+        let cpu = t(TargetMode::Byoc(TargetPolicy::CpuOnly));
+        let gpu = t(gpu_mode);
+        let apu = t(TargetMode::Byoc(TargetPolicy::ApuPrefer));
+        println!("{:<22} {cpu:>10.3} {gpu:>10.3} {apu:>10.3}", model.name);
+        assert!(
+            gpu < cpu && apu < gpu,
+            "{}: expected apu < gpu < cpu, got {apu:.3} / {gpu:.3} / {cpu:.3}",
+            model.name
+        );
+    }
+    println!("\nfloat models: APU < GPU < vendor CPU, as the device peaks predict.");
+}

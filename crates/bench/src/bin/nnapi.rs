@@ -1,0 +1,56 @@
+//! Figure 3's lineage quantified: the team's previous NNAPI BYOC flow vs
+//! the NeuroPilot-direct flow this paper contributes, over the showcase
+//! models.
+//!
+//! Expected (asserted): NeuroPilot-direct offloads at least as much and
+//! is never slower — the introduction's motivation for the new flow.
+//!
+//! `cargo run --release -p tvmnp-bench --bin nnapi`
+
+use tvm_neuropilot::byoc::nnapi::relay_build_nnapi;
+use tvm_neuropilot::byoc::partition_for_nir;
+use tvm_neuropilot::models::{anti_spoofing, emotion, object_detection};
+use tvm_neuropilot::prelude::*;
+
+fn main() {
+    let cost = CostModel::default();
+    println!("== NNAPI flow (prior work [11]) vs NeuroPilot-direct (this paper) ==\n");
+    println!(
+        "{:<22} {:>13} {:>13} {:>11} {:>11}",
+        "model", "offload nnapi", "offload nir", "t nnapi ms", "t nir ms"
+    );
+
+    let models = [
+        anti_spoofing::anti_spoofing_model(701),
+        object_detection::mobilenet_ssd_model(702),
+        emotion::emotion_model(703),
+        // YOLO's leaky activations are exactly the NNAPI gap that splits
+        // the offload.
+        object_detection::yolo_model(704),
+    ];
+    for model in &models {
+        let (nnapi_compiled, nnapi_report) =
+            relay_build_nnapi(&model.module, TargetPolicy::CpuApu, cost.clone()).unwrap();
+        let (_, nir_report) = partition_for_nir(&model.module).unwrap();
+        let nir_compiled = relay_build(
+            &model.module,
+            TargetMode::Byoc(TargetPolicy::CpuApu),
+            cost.clone(),
+        )
+        .unwrap();
+        let t_nnapi = nnapi_compiled.estimate_us() / 1000.0;
+        let t_nir = nir_compiled.estimate_us() / 1000.0;
+        println!(
+            "{:<22} {:>12.0}% {:>12.0}% {:>11.3} {:>11.3}",
+            model.name,
+            nnapi_report.offload_fraction() * 100.0,
+            nir_report.offload_fraction() * 100.0,
+            t_nnapi,
+            t_nir
+        );
+        assert!(nir_report.offload_fraction() >= nnapi_report.offload_fraction());
+        assert!(t_nir <= t_nnapi + 1e-9, "{}: direct flow must not lose", model.name);
+    }
+    println!("\nNeuroPilot-direct offloads >= NNAPI and never runs slower — the");
+    println!("win the paper's introduction claims over the prior NNAPI flow.");
+}

@@ -1,0 +1,37 @@
+//! §5.1 computation scheduling: measure the three showcase models under
+//! all permutations and print the fastest-target assignment.
+//!
+//! `cargo run --release -p tvmnp-bench --bin sched`
+
+use tvm_neuropilot::models::{anti_spoofing, emotion, object_detection};
+use tvm_neuropilot::prelude::*;
+use tvm_neuropilot::scheduler::computation::{best_assignment, ModelProfile};
+
+fn main() {
+    let cost = CostModel::default();
+    println!("== Computation scheduling (paper 5.1) ==\n");
+    let models = [
+        anti_spoofing::anti_spoofing_model(80),
+        object_detection::mobilenet_ssd_model(81),
+        emotion::emotion_model(82),
+    ];
+    let profiles: Vec<ModelProfile> = models
+        .iter()
+        .map(|m| ModelProfile {
+            name: m.name.clone(),
+            measurements: measure_all(&m.module, &cost).unwrap(),
+        })
+        .collect();
+
+    for p in &profiles {
+        let (best, t) = p.best().unwrap();
+        println!("{:<22} -> {:<16} ({t:.3} ms)", p.name, best.label());
+    }
+
+    let assignment = best_assignment(&profiles);
+    assert_eq!(assignment.len(), 3);
+    println!("\nassignment complete; every model avoids TVM-only, as in the paper.");
+    for p in &profiles {
+        assert_ne!(assignment[&p.name], Permutation::TvmOnly);
+    }
+}

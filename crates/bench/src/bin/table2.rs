@@ -1,0 +1,33 @@
+//! Table 2: specifications of the experiment environment (OPPO Reno4 Z
+//! 5G / MediaTek Dimensity 800), as modelled by the simulator.
+//!
+//! `cargo run --release -p tvmnp-bench --bin table2`
+
+use tvm_neuropilot::hwsim::{KernelClass, SocSpec};
+
+fn main() {
+    let soc = SocSpec::dimensity_800();
+    println!("== Table 2: experiment environment ==\n");
+    for (label, value) in soc.table2_rows() {
+        println!("{label:<8} | {value}");
+    }
+    println!("\nsimulator calibration (effective throughput after derating):");
+    println!(
+        "{:<6} {:>14} {:>14} {:>14} {:>12}",
+        "device", "f32 tvm", "f32 vendor", "int8 vendor", "dispatch"
+    );
+    for d in &soc.devices {
+        println!(
+            "{:<6} {:>11.1} GF {:>11.1} GF {:>11.1} GOP {:>9.0} us",
+            d.kind.name(),
+            d.effective_gops(false, KernelClass::TvmUntuned),
+            d.effective_gops(false, KernelClass::VendorTuned),
+            d.effective_gops(true, KernelClass::VendorTuned),
+            d.subgraph_dispatch_us,
+        );
+    }
+    println!(
+        "\ntransfer: {:.0} us latency + {:.0} GB/s",
+        soc.transfer.latency_us, soc.transfer.bandwidth_gbps
+    );
+}

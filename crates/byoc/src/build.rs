@@ -1,0 +1,388 @@
+//! The user-facing compile pipeline — the paper's Listings 2/3/4/6:
+//! `mod = nir.partition_for_nir(mod, params)` followed by
+//! `relay.build(mod, target)` and `GraphModule(...)`.
+
+use crate::codegen::NeuronModule;
+use std::collections::HashMap;
+use std::fmt;
+use tvmnp_hwsim::CostModel;
+use tvmnp_neuropilot::support::{first_unsupported, NeuronSupport};
+use tvmnp_neuropilot::{CompiledNetwork, NeuronError, TargetPolicy};
+use tvmnp_relay::expr::{ExprKind, Module};
+use tvmnp_relay::passes::{fold_constants, partition_graph, simplify, PartitionReport};
+use tvmnp_runtime::{Artifact, ExecutorGraph, GraphExecutor, ModuleRegistry};
+use tvmnp_runtime::module::ExternalModule;
+use tvmnp_tensor::Tensor;
+
+/// How the model is compiled and where it runs — the axis of the paper's
+/// seven permutations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TargetMode {
+    /// Pure TVM: no partitioning, untuned kernels on the mobile CPU.
+    TvmOnly,
+    /// TVM BYOC: NeuroPilot-supported regions offloaded under the given
+    /// target policy; the remainder stays on TVM's CPU codegen.
+    Byoc(TargetPolicy),
+    /// NeuroPilot-only: the *whole* model must be Neuron-convertible; any
+    /// unsupported op aborts compilation (the paper's missing bars).
+    NeuroPilotOnly(TargetPolicy),
+}
+
+impl TargetMode {
+    /// Label matching the figures' x-axis.
+    pub fn label(self) -> String {
+        match self {
+            TargetMode::TvmOnly => "tvm".to_string(),
+            TargetMode::Byoc(p) => format!("byoc-{}", p.label()),
+            TargetMode::NeuroPilotOnly(p) => format!("np-{}", p.label()),
+        }
+    }
+}
+
+impl fmt::Display for TargetMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Build failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// NeuroPilot cannot compile the model (NP-only modes).
+    Unsupported(String),
+    /// Partitioning failed.
+    Partition(String),
+    /// Neuron conversion/planning failed.
+    Neuron(NeuronError),
+    /// Graph lowering/linking failed.
+    Runtime(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Unsupported(op) => {
+                write!(f, "NeuroPilot-only build aborted: unsupported op '{op}'")
+            }
+            BuildError::Partition(m) => write!(f, "partition failed: {m}"),
+            BuildError::Neuron(e) => write!(f, "neuron codegen failed: {e}"),
+            BuildError::Runtime(m) => write!(f, "runtime build failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// `nir.partition_for_nir(mod, params)` — simplify, fold constants, and
+/// partition for the NeuroPilot codegen. Returns the partitioned module
+/// and the partition report (subgraph counts drive Fig. 4's analysis).
+pub fn partition_for_nir(module: &Module) -> Result<(Module, PartitionReport), BuildError> {
+    let prepared = fold_constants(&simplify(module));
+    partition_graph(&prepared, &NeuronSupport).map_err(|e| BuildError::Partition(e.to_string()))
+}
+
+/// A compiled, runnable model under one target mode.
+pub enum CompiledModel {
+    /// TVM graph executor (with or without linked Neuron modules).
+    Tvm {
+        /// The executor, ready for `set_input`/`run`.
+        executor: GraphExecutor,
+        /// Input names in parameter order.
+        input_names: Vec<String>,
+        /// Partition report (empty subgraphs for TVM-only).
+        report: PartitionReport,
+    },
+    /// Whole-model Neuron network (NeuroPilot-only modes).
+    Neuron {
+        /// The planned Neuron network.
+        network: CompiledNetwork,
+        /// Input names in parameter order.
+        input_names: Vec<String>,
+    },
+}
+
+impl CompiledModel {
+    /// Run inference on named inputs; returns outputs and simulated µs.
+    pub fn run(&mut self, inputs: &HashMap<String, Tensor>) -> Result<(Vec<Tensor>, f64), BuildError> {
+        match self {
+            CompiledModel::Tvm { executor, input_names, .. } => {
+                for name in input_names.iter() {
+                    let v = inputs
+                        .get(name)
+                        .ok_or_else(|| BuildError::Runtime(format!("missing input '{name}'")))?;
+                    executor
+                        .set_input(name, v.clone())
+                        .map_err(|e| BuildError::Runtime(e.to_string()))?;
+                }
+                let t = executor.run().map_err(|e| BuildError::Runtime(e.to_string()))?;
+                let outs = (0..executor.num_outputs())
+                    .map(|i| executor.get_output(i))
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| BuildError::Runtime(e.to_string()))?;
+                Ok((outs, t))
+            }
+            CompiledModel::Neuron { network, input_names } => {
+                let ordered: Vec<Tensor> = input_names
+                    .iter()
+                    .map(|n| {
+                        inputs
+                            .get(n)
+                            .cloned()
+                            .ok_or_else(|| BuildError::Runtime(format!("missing input '{n}'")))
+                    })
+                    .collect::<Result<_, _>>()?;
+                network.execute(&ordered).map_err(BuildError::Neuron)
+            }
+        }
+    }
+
+    /// Simulated inference time, computed analytically (no numeric
+    /// execution): static shapes make the time input-independent, so the
+    /// figure harnesses measure without running each model.
+    pub fn estimate_us(&self) -> f64 {
+        match self {
+            CompiledModel::Tvm { executor, .. } => executor.estimate_time_us(),
+            CompiledModel::Neuron { network, .. } => network.estimate_time_us(),
+        }
+    }
+
+    /// Simulated inference energy, microjoules.
+    pub fn estimate_energy_uj(&self) -> f64 {
+        match self {
+            CompiledModel::Tvm { executor, .. } => executor.estimate_energy_uj(),
+            CompiledModel::Neuron { network, .. } => network.estimate_energy_uj(),
+        }
+    }
+
+    /// Number of external subgraphs (0 for TVM-only and NP-only modes).
+    pub fn num_subgraphs(&self) -> usize {
+        match self {
+            CompiledModel::Tvm { report, .. } => report.num_subgraphs,
+            CompiledModel::Neuron { .. } => 0,
+        }
+    }
+
+    /// Export a deployable artifact (TVM modes only — NP-only ships through
+    /// the vendor's own packaging, which the paper does not exercise).
+    pub fn export(&self) -> Option<Artifact> {
+        match self {
+            CompiledModel::Tvm { executor, .. } => {
+                // Re-serialize linked modules from the executor graph is not
+                // possible without the modules themselves; exports are
+                // produced by `relay_build_artifact` instead.
+                let _ = executor;
+                None
+            }
+            CompiledModel::Neuron { .. } => None,
+        }
+    }
+}
+
+fn input_names_of(module: &Module) -> Vec<String> {
+    module
+        .main()
+        .params
+        .iter()
+        .filter_map(|p| match &p.kind {
+            ExprKind::Var(v) => Some(v.name.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// `relay.build(mod, target)` — compile a Relay module under a target mode.
+pub fn relay_build(module: &Module, mode: TargetMode, cost: CostModel) -> Result<CompiledModel, BuildError> {
+    relay_build_inner(module, mode, cost).map(|(m, _)| m)
+}
+
+/// Like [`relay_build`], also returning the deployable artifact for the
+/// TVM-side modes (Listing 6's `export_library`).
+pub fn relay_build_with_artifact(
+    module: &Module,
+    mode: TargetMode,
+    cost: CostModel,
+) -> Result<(CompiledModel, Option<Artifact>), BuildError> {
+    relay_build_inner(module, mode, cost)
+}
+
+fn relay_build_inner(
+    module: &Module,
+    mode: TargetMode,
+    cost: CostModel,
+) -> Result<(CompiledModel, Option<Artifact>), BuildError> {
+    let prepared = fold_constants(&simplify(module));
+    let input_names = input_names_of(&prepared);
+    match mode {
+        TargetMode::TvmOnly => {
+            let graph =
+                ExecutorGraph::build(&prepared).map_err(|e| BuildError::Runtime(e.to_string()))?;
+            let artifact = Artifact::export(&graph, &[]);
+            let executor = GraphExecutor::new(graph, ModuleRegistry::new(), cost)
+                .map_err(|e| BuildError::Runtime(e.to_string()))?;
+            let report = PartitionReport {
+                num_subgraphs: 0,
+                offloaded_calls: 0,
+                host_calls: prepared.main().num_calls(),
+            };
+            Ok((CompiledModel::Tvm { executor, input_names, report }, Some(artifact)))
+        }
+        TargetMode::Byoc(policy) => {
+            let (partitioned, report) =
+                partition_graph(&prepared, &NeuronSupport).map_err(|e| BuildError::Partition(e.to_string()))?;
+            let graph = ExecutorGraph::build(&partitioned)
+                .map_err(|e| BuildError::Runtime(e.to_string()))?;
+            let mut registry = ModuleRegistry::new();
+            let mut modules_for_export: Vec<NeuronModule> = Vec::new();
+            for name in partitioned.external_functions() {
+                let func = &partitioned.functions[name];
+                let module = NeuronModule::codegen(name, func, policy, cost.clone())
+                    .map_err(BuildError::Neuron)?;
+                modules_for_export.push(module);
+            }
+            let refs: Vec<&dyn ExternalModule> =
+                modules_for_export.iter().map(|m| m as &dyn ExternalModule).collect();
+            let artifact = Artifact::export(&graph, &refs);
+            for m in modules_for_export {
+                registry.register(Box::new(m));
+            }
+            let executor = GraphExecutor::new(graph, registry, cost)
+                .map_err(|e| BuildError::Runtime(e.to_string()))?;
+            Ok((CompiledModel::Tvm { executor, input_names, report }, Some(artifact)))
+        }
+        TargetMode::NeuroPilotOnly(policy) => {
+            if let Some(op) = first_unsupported(prepared.main()) {
+                return Err(BuildError::Unsupported(op));
+            }
+            let graph = tvmnp_neuropilot::convert_function(prepared.main())
+                .map_err(BuildError::Neuron)?;
+            let network =
+                CompiledNetwork::compile(graph, policy, cost).map_err(BuildError::Neuron)?;
+            Ok((CompiledModel::Neuron { network, input_names }, None))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvmnp_relay::builder;
+    use tvmnp_relay::expr::{var, Function};
+    use tvmnp_relay::{Conv2dAttrs, TensorType};
+    use tvmnp_tensor::rng::TensorRng;
+
+    /// conv → relu → batch_norm(NP-unsupported) → conv → softmax
+    fn mixed_model() -> (Module, HashMap<String, Tensor>) {
+        let mut rng = TensorRng::new(23);
+        let x = var("x", TensorType::f32([1, 4, 8, 8]));
+        let w1 = rng.uniform_f32([4, 4, 3, 3], -0.4, 0.4);
+        let c1 = builder::relu(builder::conv2d(x.clone(), w1, Conv2dAttrs::same(1)));
+        let bn = builder::batch_norm(
+            c1,
+            rng.uniform_f32([4], 0.9, 1.1),
+            rng.uniform_f32([4], -0.1, 0.1),
+            rng.uniform_f32([4], -0.1, 0.1),
+            rng.uniform_f32([4], 0.9, 1.1),
+            1e-5,
+        );
+        let w2 = rng.uniform_f32([4, 4, 3, 3], -0.4, 0.4);
+        let c2 = builder::conv2d(bn, w2, Conv2dAttrs::same(1));
+        let y = builder::softmax(builder::batch_flatten(c2));
+        let m = Module::from_main(Function::new(vec![x], y));
+        let mut inputs = HashMap::new();
+        inputs.insert("x".to_string(), rng.uniform_f32([1, 4, 8, 8], -1.0, 1.0));
+        (m, inputs)
+    }
+
+    /// Fully NP-supported model, sized so compute dominates transfer
+    /// overheads (like the paper's real CNNs).
+    fn clean_model() -> (Module, HashMap<String, Tensor>) {
+        let mut rng = TensorRng::new(29);
+        let x = var("x", TensorType::f32([1, 16, 28, 28]));
+        let w = rng.uniform_f32([32, 16, 3, 3], -0.4, 0.4);
+        let c = builder::relu(builder::conv2d(x.clone(), w, Conv2dAttrs::same(1)));
+        let w2 = rng.uniform_f32([32, 32, 3, 3], -0.4, 0.4);
+        let c = builder::relu(builder::conv2d(c, w2, Conv2dAttrs::same(1)));
+        let y = builder::softmax(builder::batch_flatten(c));
+        let m = Module::from_main(Function::new(vec![x], y));
+        let mut inputs = HashMap::new();
+        inputs.insert("x".to_string(), rng.uniform_f32([1, 16, 28, 28], -1.0, 1.0));
+        (m, inputs)
+    }
+
+    #[test]
+    fn all_modes_numerically_agree_on_clean_model() {
+        let (m, inputs) = clean_model();
+        let reference = tvmnp_relay::interp::run_module(&m, &inputs).unwrap();
+        for mode in [
+            TargetMode::TvmOnly,
+            TargetMode::Byoc(TargetPolicy::CpuOnly),
+            TargetMode::Byoc(TargetPolicy::ApuPrefer),
+            TargetMode::Byoc(TargetPolicy::CpuApu),
+            TargetMode::NeuroPilotOnly(TargetPolicy::CpuOnly),
+            TargetMode::NeuroPilotOnly(TargetPolicy::ApuPrefer),
+            TargetMode::NeuroPilotOnly(TargetPolicy::CpuApu),
+        ] {
+            let mut compiled = relay_build(&m, mode, CostModel::default()).unwrap();
+            let (outs, t) = compiled.run(&inputs).unwrap();
+            assert!(outs[0].bit_eq(&reference), "{mode} diverged");
+            assert!(t > 0.0);
+        }
+    }
+
+    #[test]
+    fn np_only_fails_on_unsupported_model() {
+        let (m, _) = mixed_model();
+        match relay_build(&m, TargetMode::NeuroPilotOnly(TargetPolicy::CpuOnly), CostModel::default()) {
+            Err(BuildError::Unsupported(op)) => assert_eq!(op, "nn.batch_norm"),
+            other => panic!("expected Unsupported, got {:?}", other.is_ok()),
+        }
+    }
+
+    #[test]
+    fn byoc_handles_unsupported_model() {
+        let (m, inputs) = mixed_model();
+        let reference = tvmnp_relay::interp::run_module(&m, &inputs).unwrap();
+        let mut compiled =
+            relay_build(&m, TargetMode::Byoc(TargetPolicy::CpuApu), CostModel::default()).unwrap();
+        assert!(compiled.num_subgraphs() >= 2, "batch_norm must split the graph");
+        let (outs, _) = compiled.run(&inputs).unwrap();
+        assert!(outs[0].bit_eq(&reference));
+    }
+
+    #[test]
+    fn tvm_only_slower_than_byoc() {
+        let (m, inputs) = clean_model();
+        let mut tvm = relay_build(&m, TargetMode::TvmOnly, CostModel::default()).unwrap();
+        let mut byoc =
+            relay_build(&m, TargetMode::Byoc(TargetPolicy::CpuOnly), CostModel::default()).unwrap();
+        let (_, t_tvm) = tvm.run(&inputs).unwrap();
+        let (_, t_byoc) = byoc.run(&inputs).unwrap();
+        assert!(
+            t_tvm > t_byoc,
+            "TVM-only ({t_tvm}) must be slower than BYOC-CPU ({t_byoc})"
+        );
+    }
+
+    #[test]
+    fn artifact_roundtrip_through_android_device() {
+        use tvmnp_runtime::artifact::LoaderRegistry;
+        use tvmnp_runtime::AndroidDevice;
+        let (m, inputs) = clean_model();
+        let (mut compiled, artifact) = relay_build_with_artifact(
+            &m,
+            TargetMode::Byoc(TargetPolicy::ApuPrefer),
+            CostModel::default(),
+        )
+        .unwrap();
+        let artifact = artifact.unwrap();
+        let (reference, _) = compiled.run(&inputs).unwrap();
+
+        let mut loaders = LoaderRegistry::new();
+        loaders.register("neuropilot", NeuronModule::loader(CostModel::default()));
+        let phone = AndroidDevice::new("oppo-reno4z", loaders, CostModel::default());
+        let mut ex = phone.load(&artifact).unwrap();
+        ex.set_input("x", inputs["x"].clone()).unwrap();
+        ex.run().unwrap();
+        assert!(ex.get_output(0).unwrap().bit_eq(&reference[0]));
+    }
+}

@@ -1,0 +1,145 @@
+//! The NeuroPilot external codegen and runtime-module wrapper.
+
+use serde::{Deserialize, Serialize};
+use tvmnp_hwsim::CostModel;
+use tvmnp_neuropilot::{convert_function, CompiledNetwork, NeuronError, NeuronGraph, TargetPolicy};
+use tvmnp_relay::Function;
+use tvmnp_runtime::module::{ExternalModule, ModuleError};
+use tvmnp_runtime::artifact::ModuleLoader;
+use tvmnp_tensor::Tensor;
+
+/// Serialized form of a Neuron external module (the artifact payload).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct NeuronBlob {
+    symbol: String,
+    policy: TargetPolicy,
+    graph: NeuronGraph,
+}
+
+/// A compiled Neuron subgraph exposed as a graph-executor module.
+pub struct NeuronModule {
+    symbol: String,
+    policy: TargetPolicy,
+    graph: NeuronGraph,
+    network: CompiledNetwork,
+}
+
+impl NeuronModule {
+    /// Run the external codegen on a partitioned Relay function.
+    pub fn codegen(
+        symbol: impl Into<String>,
+        func: &Function,
+        policy: TargetPolicy,
+        cost: CostModel,
+    ) -> Result<Self, NeuronError> {
+        let graph = convert_function(func)?;
+        let network = CompiledNetwork::compile(graph.clone(), policy, cost)?;
+        Ok(NeuronModule { symbol: symbol.into(), policy, graph, network })
+    }
+
+    /// Rebuild from an artifact payload on a runtime-only device.
+    pub fn from_blob(value: &serde_json::Value, cost: CostModel) -> Result<Self, String> {
+        let blob: NeuronBlob = serde_json::from_value(value.clone()).map_err(|e| e.to_string())?;
+        let network = CompiledNetwork::compile(blob.graph.clone(), blob.policy, cost)
+            .map_err(|e| e.to_string())?;
+        Ok(NeuronModule { symbol: blob.symbol, policy: blob.policy, graph: blob.graph, network })
+    }
+
+    /// The runtime-side loader for `LoaderRegistry::register("neuropilot", ...)`.
+    pub fn loader(cost: CostModel) -> ModuleLoader {
+        Box::new(move |_symbol, payload| {
+            NeuronModule::from_blob(payload, cost.clone())
+                .map(|m| Box::new(m) as Box<dyn ExternalModule>)
+        })
+    }
+
+    /// The planned network (for inspection in tests/benches).
+    pub fn network(&self) -> &CompiledNetwork {
+        &self.network
+    }
+}
+
+impl ExternalModule for NeuronModule {
+    fn symbol(&self) -> &str {
+        &self.symbol
+    }
+
+    fn compiler(&self) -> &str {
+        "neuropilot"
+    }
+
+    fn run(&self, inputs: &[Tensor]) -> Result<(Vec<Tensor>, f64), ModuleError> {
+        self.network.execute(inputs).map_err(|e| ModuleError(e.to_string()))
+    }
+
+    fn estimate_time_us(&self) -> f64 {
+        self.network.estimate_time_us()
+    }
+
+    fn estimate_energy_uj(&self) -> f64 {
+        self.network.estimate_energy_uj()
+    }
+
+    fn serialize(&self) -> serde_json::Value {
+        serde_json::to_value(NeuronBlob {
+            symbol: self.symbol.clone(),
+            policy: self.policy,
+            graph: self.graph.clone(),
+        })
+        .expect("Neuron blob serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvmnp_relay::builder;
+    use tvmnp_relay::expr::{var, Function};
+    use tvmnp_relay::{Conv2dAttrs, TensorType};
+    use tvmnp_tensor::rng::TensorRng;
+
+    fn subgraph() -> Function {
+        let mut rng = TensorRng::new(17);
+        let x = var("nir_in0", TensorType::f32([1, 3, 8, 8]));
+        let w = rng.uniform_f32([4, 3, 3, 3], -0.5, 0.5);
+        let body = builder::relu(builder::conv2d(x.clone(), w, Conv2dAttrs::same(1)));
+        Function::new(vec![x], body).with_attr("Compiler", "neuropilot")
+    }
+
+    #[test]
+    fn codegen_and_run() {
+        let m = NeuronModule::codegen("neuropilot_0", &subgraph(), TargetPolicy::CpuOnly, CostModel::default())
+            .unwrap();
+        let mut rng = TensorRng::new(18);
+        let input = rng.uniform_f32([1, 3, 8, 8], -1.0, 1.0);
+        let (outs, t) = m.run(&[input]).unwrap();
+        assert_eq!(outs.len(), 1);
+        assert!(t > 0.0);
+        assert_eq!(m.compiler(), "neuropilot");
+    }
+
+    #[test]
+    fn blob_roundtrip_preserves_numerics() {
+        let m = NeuronModule::codegen("neuropilot_0", &subgraph(), TargetPolicy::ApuPrefer, CostModel::default())
+            .unwrap();
+        let blob = m.serialize();
+        let m2 = NeuronModule::from_blob(&blob, CostModel::default()).unwrap();
+        let mut rng = TensorRng::new(19);
+        let input = rng.uniform_f32([1, 3, 8, 8], -1.0, 1.0);
+        let (a, ta) = m.run(&[input.clone()]).unwrap();
+        let (b, tb) = m2.run(&[input]).unwrap();
+        assert!(a[0].bit_eq(&b[0]));
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn unsupported_function_fails_codegen() {
+        let x = var("p", TensorType::f32([1, 4]));
+        let body = tvmnp_relay::expr::call(tvmnp_relay::OpKind::Exp, vec![x.clone()]);
+        let f = Function::new(vec![x], body);
+        assert!(matches!(
+            NeuronModule::codegen("s", &f, TargetPolicy::CpuOnly, CostModel::default()),
+            Err(NeuronError::UnsupportedOp(_))
+        ));
+    }
+}

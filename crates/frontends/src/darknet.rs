@@ -1,0 +1,357 @@
+//! Darknet frontend: `relay.frontend.from_darknet(net, dtype, shape)`.
+//!
+//! The input mirrors Darknet's two artifacts: an INI-style `.cfg` (a list
+//! of sections with string key/value pairs) and a flat `.weights` float
+//! blob consumed sequentially in layer order — for a convolutional layer
+//! with batch normalization: biases, BN scales, BN rolling means, BN
+//! rolling variances, then the convolution kernel (`OIHW`). This is the
+//! YOLOv3 path of the paper's Listing 3.
+
+use crate::{ierr, ImportError};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tvmnp_relay::builder;
+use tvmnp_relay::expr::{call, var, Expr, Function, Module};
+use tvmnp_relay::{ConcatAttrs, Conv2dAttrs, OpKind, Pool2dAttrs, Resize2dAttrs, TensorType};
+use tvmnp_tensor::{DType, Tensor};
+
+/// One `[section]` of a Darknet cfg.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Section {
+    /// Section kind: `net`, `convolutional`, `maxpool`, `upsample`,
+    /// `route`, `shortcut`, `yolo`.
+    pub kind: String,
+    /// Raw key/value options.
+    pub options: HashMap<String, String>,
+}
+
+impl Section {
+    /// Convenience constructor.
+    pub fn new(kind: &str) -> Self {
+        Section { kind: kind.into(), options: HashMap::new() }
+    }
+
+    /// Attach an option.
+    pub fn with(mut self, key: &str, value: impl ToString) -> Self {
+        self.options.insert(key.into(), value.to_string());
+        self
+    }
+
+    fn int(&self, key: &str, default: i64) -> i64 {
+        self.options.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    fn str(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+}
+
+/// A Darknet network: parsed cfg sections + the flat weight blob.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DarknetNet {
+    /// Sections, the first being `[net]`.
+    pub sections: Vec<Section>,
+    /// The `.weights` payload: one flat float array.
+    pub weights: Vec<f32>,
+}
+
+/// Sequential reader over the flat weight blob.
+struct WeightReader<'a> {
+    data: &'a [f32],
+    pos: usize,
+}
+
+impl<'a> WeightReader<'a> {
+    fn take(&mut self, shape: &[usize]) -> Result<Tensor, ImportError> {
+        let n: usize = shape.iter().product();
+        if self.pos + n > self.data.len() {
+            return Err(ierr(format!(
+                "weight blob exhausted: need {n} floats at offset {}, blob has {}",
+                self.pos,
+                self.data.len()
+            )));
+        }
+        let t = Tensor::from_f32(shape.to_vec(), self.data[self.pos..self.pos + n].to_vec())
+            .map_err(|e| ierr(e.to_string()))?;
+        self.pos += n;
+        Ok(t)
+    }
+}
+
+fn activation(e: Expr, name: &str) -> Result<Expr, ImportError> {
+    Ok(match name {
+        "linear" => e,
+        "leaky" => builder::leaky_relu(e, 0.1),
+        "relu" => builder::relu(e),
+        "logistic" => builder::sigmoid(e),
+        other => return Err(ierr(format!("unknown darknet activation '{other}'"))),
+    })
+}
+
+/// Import a Darknet network. Produces a single-output module when the cfg
+/// has one `[yolo]`/terminal layer, or a tuple of all yolo outputs.
+pub fn from_darknet(net: &DarknetNet) -> Result<Module, ImportError> {
+    let mut sections = net.sections.iter();
+    let head = sections.next().ok_or_else(|| ierr("cfg has no [net] section"))?;
+    if head.kind != "net" {
+        return Err(ierr(format!("first section must be [net], got [{}]", head.kind)));
+    }
+    let c = head.int("channels", 3) as usize;
+    let h = head.int("height", 416) as usize;
+    let w = head.int("width", 416) as usize;
+
+    let input = var("data", TensorType::new([1, c, h, w], DType::F32));
+    let mut reader = WeightReader { data: &net.weights, pos: 0 };
+    // Per-layer outputs (Darknet layers index into this for route/shortcut).
+    let mut layer_out: Vec<Expr> = Vec::new();
+    let mut layer_channels: Vec<usize> = Vec::new();
+    let mut yolo_outputs: Vec<Expr> = Vec::new();
+    let mut cur = input.clone();
+    let mut cur_c = c;
+
+    for (li, s) in sections.enumerate() {
+        match s.kind.as_str() {
+            "convolutional" => {
+                let filters = s.int("filters", 1) as usize;
+                let size = s.int("size", 1) as usize;
+                let stride = s.int("stride", 1) as usize;
+                let pad = if s.int("pad", 0) == 1 { size / 2 } else { s.int("padding", 0) as usize };
+                let bn = s.int("batch_normalize", 0) == 1;
+                // Darknet weight order: biases, [bn params], kernel.
+                let bias = reader.take(&[filters])?;
+                let bn_params = if bn {
+                    Some((
+                        reader.take(&[filters])?,
+                        reader.take(&[filters])?,
+                        reader.take(&[filters])?,
+                    ))
+                } else {
+                    None
+                };
+                let kernel = reader.take(&[filters, cur_c, size, size])?;
+                let attrs = Conv2dAttrs {
+                    strides: (stride, stride),
+                    padding: (pad, pad, pad, pad),
+                    dilation: (1, 1),
+                    groups: 1,
+                };
+                let mut e = builder::conv2d(cur.clone(), kernel, attrs);
+                if let Some((scales, means, vars)) = bn_params {
+                    // Darknet applies BN then bias: y = scale*(x-mean)/sqrt(var+eps) + bias
+                    e = builder::batch_norm(e, scales, bias, means, vars, 1e-5);
+                } else {
+                    e = builder::bias_add(e, bias);
+                }
+                e = activation(e, s.str("activation").unwrap_or("linear"))?;
+                cur = e;
+                cur_c = filters;
+            }
+            "maxpool" => {
+                let size = s.int("size", 2) as usize;
+                let stride = s.int("stride", size as i64) as usize;
+                let attrs = Pool2dAttrs {
+                    kernel: (size, size),
+                    strides: (stride, stride),
+                    padding: (0, 0, 0, 0),
+                    count_include_pad: false,
+                };
+                cur = builder::max_pool2d(cur, attrs);
+            }
+            "upsample" => {
+                let stride = s.int("stride", 2) as usize;
+                let ty = builder::expr_type(&cur).map_err(|e| ierr(e.to_string()))?;
+                let d = ty.as_tensor().shape.dims().to_vec();
+                cur = call(
+                    OpKind::Resize2d(Resize2dAttrs {
+                        out_h: d[2] * stride,
+                        out_w: d[3] * stride,
+                        bilinear: false,
+                    }),
+                    vec![cur],
+                );
+            }
+            "route" => {
+                let layers: Vec<isize> = s
+                    .str("layers")
+                    .ok_or_else(|| ierr("route section needs 'layers'"))?
+                    .split(',')
+                    .map(|v| v.trim().parse().map_err(|_| ierr(format!("bad route index '{v}'"))))
+                    .collect::<Result<_, _>>()?;
+                let resolve = |rel: isize| -> Result<usize, ImportError> {
+                    let idx = if rel < 0 { li as isize + rel } else { rel };
+                    if idx < 0 || idx as usize >= layer_out.len() {
+                        return Err(ierr(format!("route index {rel} out of range at layer {li}")));
+                    }
+                    Ok(idx as usize)
+                };
+                if layers.len() == 1 {
+                    let i = resolve(layers[0])?;
+                    cur = layer_out[i].clone();
+                    cur_c = layer_channels[i];
+                } else {
+                    let idxs =
+                        layers.iter().map(|&l| resolve(l)).collect::<Result<Vec<_>, _>>()?;
+                    let parts: Vec<Expr> = idxs.iter().map(|&i| layer_out[i].clone()).collect();
+                    cur_c = idxs.iter().map(|&i| layer_channels[i]).sum();
+                    cur = call(OpKind::Concatenate(ConcatAttrs { axis: 1 }), parts);
+                }
+            }
+            "shortcut" => {
+                let from: isize = s
+                    .str("from")
+                    .ok_or_else(|| ierr("shortcut section needs 'from'"))?
+                    .trim()
+                    .parse()
+                    .map_err(|_| ierr("bad shortcut index"))?;
+                let idx = if from < 0 { li as isize + from } else { from };
+                if idx < 0 || idx as usize >= layer_out.len() {
+                    return Err(ierr(format!("shortcut index {from} out of range")));
+                }
+                cur = builder::add(cur, layer_out[idx as usize].clone());
+                cur = activation(cur, s.str("activation").unwrap_or("linear"))?;
+            }
+            "yolo" => {
+                // Detection head: box confidences and class scores pass a
+                // logistic; this stays on the output in Darknet order.
+                cur = builder::sigmoid(cur.clone());
+                yolo_outputs.push(cur.clone());
+            }
+            other => return Err(ierr(format!("unmapped darknet section [{other}]"))),
+        }
+        layer_out.push(cur.clone());
+        layer_channels.push(cur_c);
+    }
+
+    let body = match yolo_outputs.len() {
+        0 => cur,
+        1 => yolo_outputs.into_iter().next().unwrap(),
+        _ => tvmnp_relay::expr::tuple(yolo_outputs),
+    };
+    let module = Module::from_main(Function::new(vec![input], body));
+    tvmnp_relay::infer_types(&module).map_err(|e| ierr(format!("imported module ill-typed: {e}")))?;
+    Ok(module)
+}
+
+/// Count of floats a convolutional section consumes (for blob sizing).
+pub fn conv_weight_count(in_c: usize, filters: usize, size: usize, bn: bool) -> usize {
+    filters + if bn { 3 * filters } else { 0 } + filters * in_c * size * size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap as Map;
+    use tvmnp_relay::interp::run_module;
+    use tvmnp_tensor::rng::TensorRng;
+
+    fn tiny_cfg() -> DarknetNet {
+        let n_weights = conv_weight_count(3, 8, 3, true) + conv_weight_count(8, 8, 3, false);
+        let mut rng = TensorRng::new(81);
+        // Positive values: rolling variances live in this blob and must be > 0.
+        let weights = rng.uniform_f32([n_weights], 0.01, 0.4).as_f32().unwrap().to_vec();
+        DarknetNet {
+            sections: vec![
+                Section::new("net").with("channels", 3).with("height", 16).with("width", 16),
+                Section::new("convolutional")
+                    .with("filters", 8)
+                    .with("size", 3)
+                    .with("stride", 1)
+                    .with("pad", 1)
+                    .with("batch_normalize", 1)
+                    .with("activation", "leaky"),
+                Section::new("maxpool").with("size", 2).with("stride", 2),
+                Section::new("convolutional")
+                    .with("filters", 8)
+                    .with("size", 3)
+                    .with("stride", 1)
+                    .with("pad", 1)
+                    .with("activation", "linear"),
+                Section::new("yolo"),
+            ],
+            weights,
+        }
+    }
+
+    #[test]
+    fn imports_and_runs_tiny_yolo() {
+        let net = tiny_cfg();
+        let m = from_darknet(&net).unwrap();
+        let mut rng = TensorRng::new(82);
+        let mut inputs = Map::new();
+        inputs.insert("data".to_string(), rng.uniform_f32([1, 3, 16, 16], -1.0, 1.0));
+        let out = run_module(&m, &inputs).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 8, 8, 8]);
+        // Sigmoid head: all outputs in (0, 1).
+        assert!(out.as_f32().unwrap().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn weight_blob_exhaustion_detected() {
+        let mut net = tiny_cfg();
+        net.weights.truncate(10);
+        assert!(from_darknet(&net).is_err());
+    }
+
+    #[test]
+    fn route_concat_channels() {
+        // conv(4) -> conv(6) -> route[-1,-2] = 10 channels.
+        let n = conv_weight_count(3, 4, 1, false) + conv_weight_count(4, 6, 1, false);
+        let mut rng = TensorRng::new(83);
+        let weights = rng.uniform_f32([n], -0.3, 0.3).as_f32().unwrap().to_vec();
+        let net = DarknetNet {
+            sections: vec![
+                Section::new("net").with("channels", 3).with("height", 4).with("width", 4),
+                Section::new("convolutional").with("filters", 4).with("size", 1).with("activation", "linear"),
+                Section::new("convolutional").with("filters", 6).with("size", 1).with("activation", "linear"),
+                Section::new("route").with("layers", "-1,-2"),
+            ],
+            weights,
+        };
+        let m = from_darknet(&net).unwrap();
+        let mut inputs = Map::new();
+        inputs.insert("data".to_string(), Tensor::zeros_f32([1, 3, 4, 4]));
+        let out = run_module(&m, &inputs).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 10, 4, 4]);
+    }
+
+    #[test]
+    fn shortcut_residual() {
+        // conv(3) -> conv(3) -> shortcut from -2 (residual add).
+        let n = 2 * conv_weight_count(3, 3, 1, false);
+        let mut rng = TensorRng::new(84);
+        let weights = rng.uniform_f32([n], -0.3, 0.3).as_f32().unwrap().to_vec();
+        let net = DarknetNet {
+            sections: vec![
+                Section::new("net").with("channels", 3).with("height", 4).with("width", 4),
+                Section::new("convolutional").with("filters", 3).with("size", 1).with("activation", "linear"),
+                Section::new("convolutional").with("filters", 3).with("size", 1).with("activation", "linear"),
+                Section::new("shortcut").with("from", "-2").with("activation", "linear"),
+            ],
+            weights,
+        };
+        let m = from_darknet(&net).unwrap();
+        assert!(tvmnp_relay::visit::topo_order(&m.main().body)
+            .iter()
+            .any(|e| e.op().map(|o| o.name() == "add").unwrap_or(false)));
+    }
+
+    #[test]
+    fn upsample_uses_resize() {
+        let n = conv_weight_count(3, 2, 1, false);
+        let mut rng = TensorRng::new(85);
+        let weights = rng.uniform_f32([n], -0.3, 0.3).as_f32().unwrap().to_vec();
+        let net = DarknetNet {
+            sections: vec![
+                Section::new("net").with("channels", 3).with("height", 4).with("width", 4),
+                Section::new("convolutional").with("filters", 2).with("size", 1).with("activation", "linear"),
+                Section::new("upsample").with("stride", 2),
+            ],
+            weights,
+        };
+        let m = from_darknet(&net).unwrap();
+        let mut inputs = Map::new();
+        inputs.insert("data".to_string(), Tensor::zeros_f32([1, 3, 4, 4]));
+        let out = run_module(&m, &inputs).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 2, 8, 8]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Keras frontend: `relay.frontend.from_keras(model, shape_dict)`.
+//!
+//! The input is a Keras `Sequential` model description — exactly the shape
+//! of the paper's emotion-detection model (Listing 4): stacked `Conv2D`,
+//! `MaxPooling2D`, `Dropout`, `Flatten`, `Dense` layers with string
+//! activations. Keras stores conv kernels `HWIO` and dense kernels
+//! `[in, units]`; the importer transposes both into Relay's layouts, as
+//! TVM's Keras frontend does.
+
+use crate::{ierr, ImportError};
+use serde::{Deserialize, Serialize};
+use tvmnp_relay::builder;
+use tvmnp_relay::expr::{var, Expr, Function, Module};
+use tvmnp_relay::{Conv2dAttrs, Pool2dAttrs, TensorType};
+use tvmnp_tensor::kernels::transpose;
+use tvmnp_tensor::{DType, Tensor};
+
+/// Activation attached to a Keras layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// No activation.
+    Linear,
+    /// ReLU.
+    Relu,
+    /// Softmax (classification heads).
+    Softmax,
+    /// Sigmoid.
+    Sigmoid,
+    /// Tanh.
+    Tanh,
+}
+
+/// One layer of a `Sequential` model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum KerasLayer {
+    /// `Conv2D(filters, kernel_size, activation=...)`, valid padding,
+    /// kernel stored `HWIO`.
+    Conv2D {
+        /// Number of filters.
+        filters: usize,
+        /// Kernel size (h, w).
+        kernel_size: (usize, usize),
+        /// Fused activation.
+        activation: Activation,
+        /// `same` (true) or `valid` (false) padding.
+        same_padding: bool,
+        /// Kernel tensor, `HWIO`.
+        kernel: Tensor,
+        /// Bias, `[filters]`.
+        bias: Tensor,
+    },
+    /// `MaxPooling2D(pool_size)`.
+    MaxPooling2D {
+        /// Pool window (h, w); stride equals the window.
+        pool_size: (usize, usize),
+    },
+    /// `Dropout(rate)` — inference identity.
+    Dropout {
+        /// Drop rate (ignored at inference).
+        rate: f32,
+    },
+    /// `Flatten()`.
+    Flatten,
+    /// `Dense(units, activation=...)`, kernel stored `[in, units]`.
+    Dense {
+        /// Output width.
+        units: usize,
+        /// Fused activation.
+        activation: Activation,
+        /// Kernel tensor, `[in_features, units]`.
+        kernel: Tensor,
+        /// Bias, `[units]`.
+        bias: Tensor,
+    },
+}
+
+/// A Keras `Sequential` model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KerasModel {
+    /// Input shape as Keras sees it: `(h, w, channels)` — channels last.
+    pub input_shape: (usize, usize, usize),
+    /// Layers in order.
+    pub layers: Vec<KerasLayer>,
+}
+
+fn apply_activation(e: Expr, a: Activation) -> Expr {
+    match a {
+        Activation::Linear => e,
+        Activation::Relu => builder::relu(e),
+        Activation::Softmax => builder::softmax(e),
+        Activation::Sigmoid => builder::sigmoid(e),
+        Activation::Tanh => tvmnp_relay::expr::call(tvmnp_relay::OpKind::Tanh, vec![e]),
+    }
+}
+
+/// Import a `Sequential` model. The Relay input is `NCHW` float32 named
+/// `input_1` (Keras's default input name).
+pub fn from_keras(model: &KerasModel) -> Result<Module, ImportError> {
+    let (h, w, c) = model.input_shape;
+    let input = var("input_1", TensorType::new([1, c, h, w], DType::F32));
+    let mut e = input.clone();
+    for (i, layer) in model.layers.iter().enumerate() {
+        e = match layer {
+            KerasLayer::Conv2D { filters, kernel_size, activation, same_padding, kernel, bias } => {
+                let kd = kernel.shape().dims();
+                if kd.len() != 4 || kd[0] != kernel_size.0 || kd[1] != kernel_size.1 || kd[3] != *filters
+                {
+                    return Err(ierr(format!(
+                        "layer {i}: HWIO kernel shape {:?} inconsistent with Conv2D({filters}, {kernel_size:?})",
+                        kd
+                    )));
+                }
+                // HWIO -> OIHW.
+                let w_oihw = transpose(kernel, &[3, 2, 0, 1]).map_err(|e| ierr(e.to_string()))?;
+                let pad = if *same_padding { kernel_size.0 / 2 } else { 0 };
+                let attrs = Conv2dAttrs {
+                    padding: (pad, pad, pad, pad),
+                    ..Default::default()
+                };
+                let conv = builder::conv2d_bias(e, w_oihw, bias.clone(), attrs);
+                apply_activation(conv, *activation)
+            }
+            KerasLayer::MaxPooling2D { pool_size } => {
+                let attrs = Pool2dAttrs {
+                    kernel: *pool_size,
+                    strides: *pool_size,
+                    padding: (0, 0, 0, 0),
+                    count_include_pad: false,
+                };
+                builder::max_pool2d(e, attrs)
+            }
+            KerasLayer::Dropout { .. } => builder::dropout(e),
+            KerasLayer::Flatten => builder::batch_flatten(e),
+            KerasLayer::Dense { units, activation, kernel, bias } => {
+                let kd = kernel.shape().dims();
+                if kd.len() != 2 || kd[1] != *units {
+                    return Err(ierr(format!(
+                        "layer {i}: Dense kernel shape {:?} inconsistent with units {units}",
+                        kd
+                    )));
+                }
+                // [in, units] -> [units, in].
+                let w_t = transpose(kernel, &[1, 0]).map_err(|e| ierr(e.to_string()))?;
+                let d = builder::dense_bias(e, w_t, bias.clone());
+                apply_activation(d, *activation)
+            }
+        };
+    }
+    let module = Module::from_main(Function::new(vec![input], e));
+    tvmnp_relay::infer_types(&module).map_err(|e| ierr(format!("imported module ill-typed: {e}")))?;
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use tvmnp_relay::interp::run_module;
+    use tvmnp_tensor::rng::TensorRng;
+
+    fn tiny_keras() -> KerasModel {
+        let mut rng = TensorRng::new(61);
+        KerasModel {
+            input_shape: (8, 8, 1),
+            layers: vec![
+                KerasLayer::Conv2D {
+                    filters: 4,
+                    kernel_size: (3, 3),
+                    activation: Activation::Relu,
+                    same_padding: false,
+                    kernel: rng.uniform_f32([3, 3, 1, 4], -0.4, 0.4),
+                    bias: rng.uniform_f32([4], -0.1, 0.1),
+                },
+                KerasLayer::MaxPooling2D { pool_size: (2, 2) },
+                KerasLayer::Dropout { rate: 0.25 },
+                KerasLayer::Flatten,
+                KerasLayer::Dense {
+                    units: 7,
+                    activation: Activation::Softmax,
+                    kernel: rng.uniform_f32([4 * 3 * 3, 7], -0.2, 0.2),
+                    bias: rng.uniform_f32([7], -0.1, 0.1),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn imports_and_runs_seven_way_head() {
+        let m = from_keras(&tiny_keras()).unwrap();
+        let mut rng = TensorRng::new(62);
+        let mut inputs = HashMap::new();
+        inputs.insert("input_1".to_string(), rng.uniform_f32([1, 1, 8, 8], -1.0, 1.0));
+        let out = run_module(&m, &inputs).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 7]);
+        let sum: f32 = out.as_f32().unwrap().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn hwio_kernel_transposed_correctly() {
+        // A 1x1 conv with distinct per-channel weights checks the layout
+        // conversion numerically.
+        let kernel = Tensor::from_f32([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap(); // HWIO
+        let model = KerasModel {
+            input_shape: (1, 1, 2),
+            layers: vec![KerasLayer::Conv2D {
+                filters: 2,
+                kernel_size: (1, 1),
+                activation: Activation::Linear,
+                same_padding: false,
+                kernel,
+                bias: Tensor::from_f32([2], vec![0.0, 0.0]).unwrap(),
+            }],
+        };
+        let m = from_keras(&model).unwrap();
+        let mut inputs = HashMap::new();
+        inputs
+            .insert("input_1".to_string(), Tensor::from_f32([1, 2, 1, 1], vec![1.0, 1.0]).unwrap());
+        let out = run_module(&m, &inputs).unwrap();
+        // HWIO [1,1,2,2]: out0 = i0*w[0,0,0,0] + i1*w[0,0,1,0] = 1 + 3;
+        //                 out1 = i0*w[0,0,0,1] + i1*w[0,0,1,1] = 2 + 4.
+        assert_eq!(out.as_f32().unwrap(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn bad_kernel_shape_rejected() {
+        let mut model = tiny_keras();
+        if let KerasLayer::Conv2D { kernel, .. } = &mut model.layers[0] {
+            *kernel = Tensor::zeros_f32([3, 3, 1, 5]);
+        }
+        assert!(from_keras(&model).is_err());
+    }
+
+    #[test]
+    fn dropout_does_not_change_output() {
+        let mut with = tiny_keras();
+        let without = KerasModel {
+            input_shape: with.input_shape,
+            layers: {
+                let mut l = with.layers.clone();
+                l.retain(|x| !matches!(x, KerasLayer::Dropout { .. }));
+                l
+            },
+        };
+        let mut rng = TensorRng::new(63);
+        let x = rng.uniform_f32([1, 1, 8, 8], -1.0, 1.0);
+        let mut inputs = HashMap::new();
+        inputs.insert("input_1".to_string(), x);
+        let a = run_module(&from_keras(&with).unwrap(), &inputs).unwrap();
+        let b = run_module(&from_keras(&without).unwrap(), &inputs).unwrap();
+        assert!(a.bit_eq(&b));
+        with.layers.clear();
+    }
+}

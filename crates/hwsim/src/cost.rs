@@ -1,0 +1,184 @@
+//! Work items and the analytic time model.
+
+use crate::device::{DeviceKind, KernelClass};
+use crate::soc::SocSpec;
+use serde::{Deserialize, Serialize};
+
+/// Broad kernel categories — they differ in how well devices run them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkKind {
+    /// Dense MAC-bound kernels (conv, dense).
+    MacHeavy,
+    /// Element-wise / activation kernels.
+    Elementwise,
+    /// Pure data movement (reshape, transpose, concat, pad, slice).
+    DataMovement,
+    /// Reductions (pooling, mean, softmax normalization).
+    Reduction,
+}
+
+/// One kernel's worth of work, in device-neutral units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkItem {
+    /// Multiply-accumulate count (each MAC = 2 ops).
+    pub macs: u64,
+    /// Bytes read (inputs + weights).
+    pub bytes_in: u64,
+    /// Bytes written.
+    pub bytes_out: u64,
+    /// Whether the kernel runs in 8-bit integer arithmetic.
+    pub int8: bool,
+    /// Kernel category.
+    pub kind: WorkKind,
+}
+
+impl WorkItem {
+    /// A zero-cost placeholder (identity ops).
+    pub fn empty() -> Self {
+        WorkItem { macs: 0, bytes_in: 0, bytes_out: 0, int8: false, kind: WorkKind::DataMovement }
+    }
+
+    /// Total bytes touched.
+    pub fn bytes(&self) -> u64 {
+        self.bytes_in + self.bytes_out
+    }
+}
+
+/// The analytic time model over a [`SocSpec`].
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    soc: SocSpec,
+}
+
+impl CostModel {
+    /// Model over the given SoC.
+    pub fn new(soc: SocSpec) -> Self {
+        CostModel { soc }
+    }
+
+    /// Borrow the SoC description.
+    pub fn soc(&self) -> &SocSpec {
+        &self.soc
+    }
+
+    /// Time for one kernel on one device, **excluding** launch overhead:
+    /// roofline-style `max(compute, memory)`.
+    pub fn kernel_body_us(&self, w: &WorkItem, device: DeviceKind, class: KernelClass) -> f64 {
+        let spec = self.soc.device(device);
+        let gops = spec.effective_gops(w.int8, class).max(1e-9);
+        // MacHeavy kernels use the full MAC array; other kinds are
+        // throughput-limited well below peak (vector lanes, not MACs).
+        let kind_derate = match w.kind {
+            WorkKind::MacHeavy => 1.0,
+            WorkKind::Elementwise => 0.25,
+            WorkKind::Reduction => 0.15,
+            WorkKind::DataMovement => 1.0, // memory bound anyway
+        };
+        let ops = 2.0 * w.macs as f64;
+        let compute_us = ops / (gops * kind_derate * 1e3);
+        let memory_us = w.bytes() as f64 / (spec.mem_bw_gbps * 1e3);
+        compute_us.max(memory_us)
+    }
+
+    /// Time for one kernel including the per-kernel launch overhead.
+    pub fn kernel_us(&self, w: &WorkItem, device: DeviceKind, class: KernelClass) -> f64 {
+        self.soc.device(device).kernel_launch_us + self.kernel_body_us(w, device, class)
+    }
+
+    /// Fixed cost of dispatching one compiled subgraph to `device`.
+    pub fn subgraph_dispatch_us(&self, device: DeviceKind) -> f64 {
+        self.soc.device(device).subgraph_dispatch_us
+    }
+
+    /// Cost of moving `bytes` across a runtime/device boundary.
+    pub fn transfer_us(&self, bytes: usize) -> f64 {
+        self.soc.transfer.time_us(bytes)
+    }
+
+    /// Energy of one kernel on one device, microjoules (compute + its own
+    /// memory traffic).
+    pub fn kernel_energy_uj(&self, w: &WorkItem, device: DeviceKind, class: KernelClass) -> f64 {
+        let spec = self.soc.device(device);
+        let ops = 2.0 * w.macs as f64 + w.bytes() as f64 * 0.1; // traffic-side ops
+        spec.energy_uj(ops, w.int8, class) + crate::soc::TRANSFER_PJ_PER_BYTE * w.bytes() as f64 * 1e-6
+    }
+
+    /// Energy of one boundary transfer, microjoules.
+    pub fn transfer_energy_uj(&self, bytes: usize) -> f64 {
+        self.soc.transfer.energy_uj(bytes)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::new(SocSpec::dimensity_800())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv_item(macs: u64, int8: bool) -> WorkItem {
+        WorkItem { macs, bytes_in: 1 << 20, bytes_out: 1 << 18, int8, kind: WorkKind::MacHeavy }
+    }
+
+    #[test]
+    fn tvm_slower_than_vendor_on_cpu() {
+        let m = CostModel::default();
+        let w = conv_item(50_000_000, false);
+        let tvm = m.kernel_us(&w, DeviceKind::Cpu, KernelClass::TvmUntuned);
+        let np = m.kernel_us(&w, DeviceKind::Cpu, KernelClass::VendorTuned);
+        assert!(tvm > 2.0 * np, "tvm {tvm} should be much slower than vendor {np}");
+    }
+
+    #[test]
+    fn apu_fastest_for_int8_conv() {
+        let m = CostModel::default();
+        let w = conv_item(50_000_000, true);
+        let apu = m.kernel_body_us(&w, DeviceKind::Apu, KernelClass::VendorTuned);
+        let cpu = m.kernel_body_us(&w, DeviceKind::Cpu, KernelClass::VendorTuned);
+        let gpu = m.kernel_body_us(&w, DeviceKind::Gpu, KernelClass::VendorTuned);
+        assert!(apu < cpu && apu < gpu);
+    }
+
+    #[test]
+    fn memory_bound_kernels_hit_bandwidth_roof() {
+        let m = CostModel::default();
+        // Almost no MACs, lots of bytes: the roofline must pick memory time.
+        let w = WorkItem {
+            macs: 10,
+            bytes_in: 140_000_000,
+            bytes_out: 0,
+            int8: false,
+            kind: WorkKind::DataMovement,
+        };
+        let t = m.kernel_body_us(&w, DeviceKind::Cpu, KernelClass::VendorTuned);
+        // 140 MB at 14 GB/s = 10 ms.
+        assert!((t - 10_000.0).abs() / 10_000.0 < 0.01);
+    }
+
+    #[test]
+    fn dispatch_overhead_positive_everywhere() {
+        let m = CostModel::default();
+        for d in DeviceKind::ALL {
+            assert!(m.subgraph_dispatch_us(d) > 0.0);
+        }
+    }
+
+    #[test]
+    fn apu_saves_energy_on_int8_conv() {
+        let m = CostModel::default();
+        let w = conv_item(50_000_000, true);
+        let apu = m.kernel_energy_uj(&w, DeviceKind::Apu, KernelClass::VendorTuned);
+        let cpu = m.kernel_energy_uj(&w, DeviceKind::Cpu, KernelClass::VendorTuned);
+        assert!(apu < cpu / 3.0, "apu {apu} uJ vs cpu {cpu} uJ");
+    }
+
+    #[test]
+    fn empty_item_costs_only_overhead() {
+        let m = CostModel::default();
+        let t = m.kernel_us(&WorkItem::empty(), DeviceKind::Cpu, KernelClass::VendorTuned);
+        assert!((t - m.soc().device(DeviceKind::Cpu).kernel_launch_us).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,35 @@
+//! # tvmnp-hwsim
+//!
+//! Analytic performance simulator for a MediaTek Dimensity-800-class
+//! mobile SoC (the paper's testbed, Table 2: OPPO Reno4 Z 5G — 4×A76 +
+//! 4×A55 CPU, Mali-G57 MC4 GPU, MediaTek APU 3.0).
+//!
+//! ## Why a simulator
+//!
+//! The paper measures wall-clock inference time on proprietary silicon we
+//! cannot run. What its figures actually demonstrate is *relative* cost:
+//! which target permutation wins per model, by roughly what factor, and
+//! where coverage gaps leave bars missing. Those relations are functions
+//! of (a) per-device arithmetic/memory throughput, (b) per-kernel and
+//! per-subgraph dispatch overheads, and (c) inter-device transfer costs —
+//! all of which an analytic model captures deterministically.
+//!
+//! The *numeric results* of every graph are still computed for real on the
+//! host (see `tvmnp-tensor`); this crate only charges simulated time.
+//!
+//! Modules:
+//! * [`device`] — device kinds, throughput/overhead specs, kernel classes;
+//! * [`soc`] — the Dimensity 800 SoC descriptor (Table 2) and transfer model;
+//! * [`cost`] — work items and the time model;
+//! * [`timeline`] — simulated clock, resource reservations, Gantt segments
+//!   (consumed by the pipeline scheduler, paper Fig. 5).
+
+pub mod cost;
+pub mod device;
+pub mod soc;
+pub mod timeline;
+
+pub use cost::{CostModel, WorkItem, WorkKind};
+pub use device::{DeviceKind, DeviceSpec, KernelClass};
+pub use soc::{SocSpec, TransferModel};
+pub use timeline::{Segment, SimClock, Timeline};

@@ -1,0 +1,199 @@
+//! The simulated SoC: device inventory and inter-device transfer model.
+
+use crate::device::{DeviceKind, DeviceSpec};
+use serde::{Deserialize, Serialize};
+
+/// DRAM traffic energy, picojoules per byte moved across a boundary.
+pub const TRANSFER_PJ_PER_BYTE: f64 = 20.0;
+
+/// Cost model for moving tensors between device-visible memories.
+///
+/// On the Dimensity 800 every device shares LPDDR4X DRAM, but crossing a
+/// runtime boundary (TVM graph executor ↔ Neuron runtime, or CPU ↔ APU
+/// driver queue) costs a fixed synchronization latency plus a copy at
+/// bounded bandwidth. This is the I/O cost §5.1 says operation-level
+/// scheduling must take into account.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferModel {
+    /// Fixed per-transfer latency, microseconds.
+    pub latency_us: f64,
+    /// Copy bandwidth, GB/s.
+    pub bandwidth_gbps: f64,
+}
+
+impl TransferModel {
+    /// Time to move `bytes` across the boundary, in microseconds.
+    pub fn time_us(&self, bytes: usize) -> f64 {
+        self.latency_us + bytes as f64 / (self.bandwidth_gbps * 1e3)
+    }
+
+    /// Energy to move `bytes` across the boundary, in microjoules.
+    pub fn energy_uj(&self, bytes: usize) -> f64 {
+        bytes as f64 * TRANSFER_PJ_PER_BYTE * 1e-6
+    }
+}
+
+/// Full SoC description (paper Table 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SocSpec {
+    /// Operating system string.
+    pub os: String,
+    /// Chipset name.
+    pub chipset: String,
+    /// CPU configuration string.
+    pub cpu_desc: String,
+    /// GPU configuration string.
+    pub gpu_desc: String,
+    /// APU configuration string.
+    pub apu_desc: String,
+    /// Per-device performance specs.
+    pub devices: Vec<DeviceSpec>,
+    /// Cost of crossing a device/runtime boundary.
+    pub transfer: TransferModel,
+}
+
+impl SocSpec {
+    /// The Dimensity 800 / OPPO Reno4 Z 5G testbed of the paper.
+    ///
+    /// Throughput figures are public-order-of-magnitude values for the
+    /// parts (A76/A55 cluster NEON FLOPs, Mali-G57 MC4 FP32, APU 3.0's
+    /// marketed ~2.4 TOPS int8); efficiency deratings encode the untuned-
+    /// TVM vs vendor-library gap the paper observes. Fixed overheads
+    /// (kernel launch, driver dispatch, transfer latency) are scaled down
+    /// by roughly the same factor as the reproduction's models are scaled
+    /// from their full-size originals, so that the compute/overhead
+    /// balance — and therefore every ordering the figures test — matches
+    /// the paper's regime. Absolute values are not calibrated to the
+    /// authors' device; only orderings and ratios are meaningful
+    /// (DESIGN.md, EXPERIMENTS.md).
+    pub fn dimensity_800() -> Self {
+        SocSpec {
+            os: "Android 11".into(),
+            chipset: "MediaTek MT6873V Dimensity 800".into(),
+            cpu_desc: "4x2.0 GHz Cortex-A76 & 4x2.0 GHz Cortex-A55".into(),
+            gpu_desc: "Mali-G57 MC4".into(),
+            apu_desc: "MediaTek APU 3.0".into(),
+            devices: vec![
+                DeviceSpec {
+                    kind: DeviceKind::Cpu,
+                    model_name: "4xA76+4xA55 @ 2.0 GHz".into(),
+                    f32_gflops: 64.0,
+                    int8_gops: 128.0,
+                    mem_bw_gbps: 14.0,
+                    kernel_launch_us: 2.0,
+                    subgraph_dispatch_us: 4.0,
+                    tvm_efficiency: 0.10,
+                    vendor_efficiency: 0.55,
+                    pj_per_op_f32: 180.0,
+                    pj_per_op_int8: 60.0,
+                },
+                DeviceSpec {
+                    kind: DeviceKind::Gpu,
+                    model_name: "Mali-G57 MC4".into(),
+                    f32_gflops: 125.0,
+                    int8_gops: 250.0,
+                    mem_bw_gbps: 14.0,
+                    kernel_launch_us: 8.0,
+                    subgraph_dispatch_us: 20.0,
+                    tvm_efficiency: 0.05,
+                    vendor_efficiency: 0.45,
+                    pj_per_op_f32: 90.0,
+                    pj_per_op_int8: 35.0,
+                },
+                DeviceSpec {
+                    kind: DeviceKind::Apu,
+                    model_name: "APU 3.0".into(),
+                    f32_gflops: 450.0,
+                    int8_gops: 2400.0,
+                    mem_bw_gbps: 14.0,
+                    kernel_launch_us: 1.0,
+                    subgraph_dispatch_us: 30.0,
+                    tvm_efficiency: 0.0, // TVM cannot generate APU code.
+                    vendor_efficiency: 0.60,
+                    pj_per_op_f32: 25.0,
+                    pj_per_op_int8: 4.0,
+                },
+            ],
+            transfer: TransferModel { latency_us: 15.0, bandwidth_gbps: 10.0 },
+        }
+    }
+
+    /// Spec for one device.
+    pub fn device(&self, kind: DeviceKind) -> &DeviceSpec {
+        self.devices
+            .iter()
+            .find(|d| d.kind == kind)
+            .expect("SocSpec is missing a device entry")
+    }
+
+    /// Rows of paper Table 2 as (label, value) pairs.
+    pub fn table2_rows(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("OS", self.os.clone()),
+            ("Chipset", self.chipset.clone()),
+            ("CPU", self.cpu_desc.clone()),
+            ("GPU", self.gpu_desc.clone()),
+            ("APU", self.apu_desc.clone()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::KernelClass;
+
+    #[test]
+    fn testbed_has_all_devices() {
+        let soc = SocSpec::dimensity_800();
+        for k in DeviceKind::ALL {
+            assert_eq!(soc.device(k).kind, k);
+        }
+    }
+
+    #[test]
+    fn apu_dominates_int8_compute() {
+        let soc = SocSpec::dimensity_800();
+        let apu = soc.device(DeviceKind::Apu).effective_gops(true, KernelClass::VendorTuned);
+        let cpu = soc.device(DeviceKind::Cpu).effective_gops(true, KernelClass::VendorTuned);
+        assert!(apu > 10.0 * cpu, "APU must be an order of magnitude faster on int8");
+    }
+
+    #[test]
+    fn tvm_cpu_slower_than_vendor_cpu() {
+        let soc = SocSpec::dimensity_800();
+        let d = soc.device(DeviceKind::Cpu);
+        assert!(
+            d.effective_gops(false, KernelClass::VendorTuned)
+                > 3.0 * d.effective_gops(false, KernelClass::TvmUntuned)
+        );
+    }
+
+    #[test]
+    fn transfer_monotone_in_bytes() {
+        let t = TransferModel { latency_us: 100.0, bandwidth_gbps: 10.0 };
+        assert!(t.time_us(1_000_000) > t.time_us(1_000));
+        // 1 MB at 10 GB/s = 100 us + 100 us latency.
+        assert!((t.time_us(1_000_000) - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn apu_most_energy_efficient() {
+        let soc = SocSpec::dimensity_800();
+        let e = |k: DeviceKind, int8: bool| {
+            soc.device(k).energy_uj(1e9, int8, KernelClass::VendorTuned)
+        };
+        assert!(e(DeviceKind::Apu, false) < e(DeviceKind::Gpu, false));
+        assert!(e(DeviceKind::Gpu, false) < e(DeviceKind::Cpu, false));
+        assert!(e(DeviceKind::Apu, true) < e(DeviceKind::Apu, false));
+    }
+
+    #[test]
+    fn table2_matches_paper() {
+        let soc = SocSpec::dimensity_800();
+        let rows = soc.table2_rows();
+        assert_eq!(rows[0].1, "Android 11");
+        assert!(rows[1].1.contains("Dimensity 800"));
+        assert!(rows[4].1.contains("APU 3.0"));
+    }
+}

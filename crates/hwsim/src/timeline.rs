@@ -1,0 +1,232 @@
+//! Simulated clock, per-resource reservations and Gantt segments.
+//!
+//! The pipeline scheduler (paper §5.2, Fig. 5) needs exactly this: models
+//! may not use the same resource simultaneously, and the schedule is read
+//! as colored intervals per resource.
+
+use crate::device::DeviceKind;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A simple monotonically advancing clock in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimClock {
+    now_us: f64,
+}
+
+impl SimClock {
+    /// New clock at t = 0.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Current time, microseconds.
+    pub fn now_us(&self) -> f64 {
+        self.now_us
+    }
+
+    /// Advance by a non-negative duration.
+    pub fn advance(&mut self, us: f64) {
+        debug_assert!(us >= 0.0, "cannot advance clock backwards");
+        self.now_us += us;
+    }
+}
+
+/// One executed interval on a resource.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// The resource (device) occupied.
+    pub device: DeviceKind,
+    /// Start time, microseconds.
+    pub start_us: f64,
+    /// End time, microseconds.
+    pub end_us: f64,
+    /// Human-readable label ("obj-det frame 3", "nir_0", ...).
+    pub label: String,
+}
+
+impl Segment {
+    /// Duration in microseconds.
+    pub fn duration_us(&self) -> f64 {
+        self.end_us - self.start_us
+    }
+}
+
+/// Resource-exclusive timeline: reservations never overlap per device.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    busy_until: HashMap<DeviceKind, f64>,
+    segments: Vec<Segment>,
+}
+
+impl Timeline {
+    /// Empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Earliest time `device` is free.
+    pub fn free_at(&self, device: DeviceKind) -> f64 {
+        self.busy_until.get(&device).copied().unwrap_or(0.0)
+    }
+
+    /// Reserve `device` for `duration_us`, starting no earlier than
+    /// `earliest_us`. Returns the actual `(start, end)`.
+    pub fn reserve(
+        &mut self,
+        device: DeviceKind,
+        earliest_us: f64,
+        duration_us: f64,
+        label: impl Into<String>,
+    ) -> (f64, f64) {
+        debug_assert!(duration_us >= 0.0);
+        let start = self.free_at(device).max(earliest_us);
+        let end = start + duration_us;
+        self.busy_until.insert(device, end);
+        self.segments.push(Segment { device, start_us: start, end_us: end, label: label.into() });
+        (start, end)
+    }
+
+    /// Reserve several devices *simultaneously* (a CPU+APU co-run): the
+    /// start is the earliest instant every device is free.
+    pub fn reserve_joint(
+        &mut self,
+        devices: &[DeviceKind],
+        earliest_us: f64,
+        duration_us: f64,
+        label: impl Into<String>,
+    ) -> (f64, f64) {
+        let label = label.into();
+        let start = devices
+            .iter()
+            .map(|&d| self.free_at(d))
+            .fold(earliest_us, f64::max);
+        let end = start + duration_us;
+        for &d in devices {
+            self.busy_until.insert(d, end);
+            self.segments.push(Segment {
+                device: d,
+                start_us: start,
+                end_us: end,
+                label: label.clone(),
+            });
+        }
+        (start, end)
+    }
+
+    /// All recorded segments in reservation order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Completion time of the whole timeline (max end over segments).
+    pub fn makespan_us(&self) -> f64 {
+        self.segments.iter().map(|s| s.end_us).fold(0.0, f64::max)
+    }
+
+    /// Verify the exclusivity invariant: no two segments on the same
+    /// device overlap. Returns the first violating pair if any.
+    pub fn check_exclusive(&self) -> Option<(Segment, Segment)> {
+        let mut per_dev: HashMap<DeviceKind, Vec<&Segment>> = HashMap::new();
+        for s in &self.segments {
+            per_dev.entry(s.device).or_default().push(s);
+        }
+        for segs in per_dev.values_mut() {
+            segs.sort_by(|a, b| a.start_us.partial_cmp(&b.start_us).unwrap());
+            for w in segs.windows(2) {
+                if w[0].end_us > w[1].start_us + 1e-9 {
+                    return Some(((*w[0]).clone(), (*w[1]).clone()));
+                }
+            }
+        }
+        None
+    }
+
+    /// Render a coarse ASCII Gantt chart (for the Fig. 5 harness).
+    pub fn ascii_gantt(&self, cols: usize) -> String {
+        let span = self.makespan_us().max(1e-9);
+        let mut out = String::new();
+        for d in DeviceKind::ALL {
+            let mut row = vec!['.'; cols];
+            for s in self.segments.iter().filter(|s| s.device == d) {
+                let a = ((s.start_us / span) * cols as f64) as usize;
+                let b = (((s.end_us / span) * cols as f64).ceil() as usize).min(cols);
+                let ch = s.label.chars().next().unwrap_or('#');
+                for c in row.iter_mut().take(b).skip(a.min(cols)) {
+                    *c = ch;
+                }
+            }
+            out.push_str(&format!("{:>4} |{}|\n", d.name(), row.iter().collect::<String>()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances() {
+        let mut c = SimClock::new();
+        c.advance(10.0);
+        c.advance(5.0);
+        assert!((c.now_us() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reservations_serialize_on_one_device() {
+        let mut t = Timeline::new();
+        let (s1, e1) = t.reserve(DeviceKind::Cpu, 0.0, 100.0, "a");
+        let (s2, _e2) = t.reserve(DeviceKind::Cpu, 0.0, 50.0, "b");
+        assert_eq!(s1, 0.0);
+        assert_eq!(s2, e1, "second reservation must wait");
+        assert!(t.check_exclusive().is_none());
+    }
+
+    #[test]
+    fn different_devices_overlap_freely() {
+        let mut t = Timeline::new();
+        t.reserve(DeviceKind::Cpu, 0.0, 100.0, "a");
+        let (s, _) = t.reserve(DeviceKind::Apu, 0.0, 100.0, "b");
+        assert_eq!(s, 0.0);
+        assert!(t.check_exclusive().is_none());
+    }
+
+    #[test]
+    fn joint_reservation_waits_for_all() {
+        let mut t = Timeline::new();
+        t.reserve(DeviceKind::Cpu, 0.0, 100.0, "a");
+        t.reserve(DeviceKind::Apu, 0.0, 40.0, "b");
+        let (s, e) = t.reserve_joint(&[DeviceKind::Cpu, DeviceKind::Apu], 0.0, 10.0, "c");
+        assert_eq!(s, 100.0, "joint run starts when the busiest device frees");
+        assert_eq!(e, 110.0);
+        assert!(t.check_exclusive().is_none());
+    }
+
+    #[test]
+    fn makespan_is_max_end() {
+        let mut t = Timeline::new();
+        t.reserve(DeviceKind::Cpu, 0.0, 100.0, "a");
+        t.reserve(DeviceKind::Apu, 30.0, 200.0, "b");
+        assert!((t.makespan_us() - 230.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn earliest_constraint_respected() {
+        let mut t = Timeline::new();
+        let (s, _) = t.reserve(DeviceKind::Gpu, 500.0, 10.0, "x");
+        assert_eq!(s, 500.0);
+    }
+
+    #[test]
+    fn ascii_gantt_renders() {
+        let mut t = Timeline::new();
+        t.reserve(DeviceKind::Cpu, 0.0, 50.0, "obj");
+        t.reserve(DeviceKind::Apu, 0.0, 100.0, "emo");
+        let g = t.ascii_gantt(20);
+        assert!(g.contains("cpu"));
+        assert!(g.contains('o'));
+        assert!(g.contains('e'));
+    }
+}

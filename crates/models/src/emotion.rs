@@ -1,0 +1,118 @@
+//! The emotion-detection model (paper §4.3, Listing 4): a Keras
+//! `Sequential` CNN over 48×48 grayscale faces, classifying the seven
+//! basic emotions (angry, disgusted, fearful, happy, neutral, sad,
+//! surprised).
+//!
+//! Layer stack follows Listing 4's classic FER-2013 architecture, with the
+//! channel widths scaled by 1/4 so the suite runs numerically in CI
+//! (32→8, 64→16, 128→32, 1024→64).
+
+use crate::{Framework, Model};
+use tvmnp_frontends::keras::{from_keras, Activation, KerasLayer, KerasModel};
+use tvmnp_tensor::rng::TensorRng;
+use tvmnp_tensor::DType;
+
+/// The seven emotion labels, in output order.
+pub const EMOTIONS: [&str; 7] =
+    ["angry", "disgusted", "fearful", "happy", "neutral", "sad", "surprised"];
+
+/// Build the Keras model description (the `build_model` of Listing 4).
+pub fn keras_emotion_model(seed: u64) -> KerasModel {
+    let mut rng = TensorRng::new(seed);
+    let conv = |rng: &mut TensorRng, in_c: usize, filters: usize| KerasLayer::Conv2D {
+        filters,
+        kernel_size: (3, 3),
+        activation: Activation::Relu,
+        same_padding: false,
+        kernel: rng.kaiming_f32([3, 3, in_c, filters], in_c * 9),
+        bias: rng.uniform_f32([filters], -0.05, 0.05),
+    };
+    // 48x48x1 -> conv8 -> conv16 -> pool -> dropout
+    //   -> conv32 -> pool -> conv32 -> pool -> dropout
+    //   -> flatten -> dense64 -> dropout -> dense7(softmax)
+    // After convs/pools: 48->46->44->22->20->10->8->4, 32 channels.
+    let flat = 32 * 4 * 4;
+    KerasModel {
+        input_shape: (48, 48, 1),
+        layers: vec![
+            conv(&mut rng, 1, 8),
+            conv(&mut rng, 8, 16),
+            KerasLayer::MaxPooling2D { pool_size: (2, 2) },
+            KerasLayer::Dropout { rate: 0.25 },
+            conv(&mut rng, 16, 32),
+            KerasLayer::MaxPooling2D { pool_size: (2, 2) },
+            conv(&mut rng, 32, 32),
+            KerasLayer::MaxPooling2D { pool_size: (2, 2) },
+            KerasLayer::Dropout { rate: 0.25 },
+            KerasLayer::Flatten,
+            KerasLayer::Dense {
+                units: 64,
+                activation: Activation::Relu,
+                kernel: rng.kaiming_f32([flat, 64], flat),
+                bias: rng.uniform_f32([64], -0.05, 0.05),
+            },
+            KerasLayer::Dropout { rate: 0.5 },
+            KerasLayer::Dense {
+                units: 7,
+                activation: Activation::Softmax,
+                kernel: rng.kaiming_f32([64, 7], 64),
+                bias: rng.uniform_f32([7], -0.05, 0.05),
+            },
+        ],
+    }
+}
+
+/// Import the emotion model through the Keras frontend.
+pub fn emotion_model(seed: u64) -> Model {
+    let keras = keras_emotion_model(seed);
+    let module = from_keras(&keras).expect("emotion model imports");
+    Model {
+        name: "emotion-detection".into(),
+        dtype: DType::F32,
+        framework: Framework::Keras,
+        module,
+        input_name: "input_1".into(),
+        input_shape: vec![1, 1, 48, 48],
+        input_quant: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvmnp_relay::interp::run_module;
+
+    #[test]
+    fn classifies_into_seven_emotions() {
+        let m = emotion_model(3);
+        let out = run_module(&m.module, &m.sample_inputs(5)).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 7]);
+        let probs = out.as_f32().unwrap();
+        assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(out.argmax() < EMOTIONS.len());
+    }
+
+    #[test]
+    fn fully_neuropilot_supported() {
+        // The emotion model is the one showcase model whose NP-only bars
+        // exist in Fig. 4: every op must be Neuron-convertible after the
+        // dropout simplification.
+        let m = emotion_model(3);
+        let simplified = tvmnp_relay::passes::simplify(&m.module);
+        assert!(tvmnp_neuropilot::support::first_unsupported(simplified.main()).is_none());
+    }
+
+    #[test]
+    fn op_mix_matches_listing4() {
+        let m = emotion_model(3);
+        let names: Vec<&str> = tvmnp_relay::visit::topo_order(&m.module.main().body)
+            .iter()
+            .filter_map(|e| e.op().map(|o| o.name()))
+            .collect();
+        assert_eq!(names.iter().filter(|n| **n == "nn.conv2d").count(), 4);
+        assert_eq!(names.iter().filter(|n| **n == "nn.max_pool2d").count(), 3);
+        assert_eq!(names.iter().filter(|n| **n == "nn.dense").count(), 2);
+        assert_eq!(names.iter().filter(|n| **n == "nn.softmax").count(), 1);
+        assert_eq!(names.iter().filter(|n| **n == "nn.dropout").count(), 3);
+    }
+}

@@ -1,0 +1,136 @@
+//! # tvmnp-models
+//!
+//! The model zoo of the reproduction: the three application-showcase
+//! models (paper §4) and the evaluation networks of §6 / Table 1.
+//!
+//! Weights are seeded-deterministic rather than pretrained: every figure in
+//! the paper measures inference *time*, which depends on architecture, not
+//! on learned weight values (DESIGN.md records this substitution). The
+//! *provenance* of each model is faithful — each showcase model is
+//! constructed as its origin framework's artifact and imported through the
+//! corresponding `tvmnp-frontends` importer:
+//!
+//! * [`anti_spoofing`] — DeePixBiS (DenseNet-style, unfused BN, pixel-wise
+//!   sigmoid head) as a traced PyTorch module;
+//! * [`emotion`] — the Keras `Sequential` FER CNN of paper Listing 4;
+//! * [`object_detection`] — YOLOv3-tiny-style Darknet cfg+weights, and the
+//!   quantized MobileNet-SSD as a TFLite buffer;
+//! * [`zoo`] — densenet / inception-resnet-v2 / inception v3 / v4 /
+//!   mobilenet v1 / v2 / nasnet (float32) and quantized inception-v3 /
+//!   mobilenet-v1 / v2 (Table 1's dtype column).
+//!
+//! Spatial sizes and widths are scaled down from the originals by a
+//! uniform rule so the whole suite executes numerically in CI; orderings
+//! of the simulated times are preserved (see EXPERIMENTS.md).
+
+pub mod anti_spoofing;
+pub mod emotion;
+pub mod object_detection;
+pub mod zoo;
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tvmnp_relay::Module;
+use tvmnp_tensor::rng::TensorRng;
+use tvmnp_tensor::{DType, QuantParams, Tensor};
+
+/// A ready-to-compile model with its input signature.
+pub struct Model {
+    /// Model name as the paper spells it.
+    pub name: String,
+    /// Data type column of Table 1.
+    pub dtype: DType,
+    /// Origin framework (provenance label).
+    pub framework: Framework,
+    /// The imported Relay module.
+    pub module: Module,
+    /// Input tensor name.
+    pub input_name: String,
+    /// Input shape.
+    pub input_shape: Vec<usize>,
+    /// Input quantization for quantized models.
+    pub input_quant: Option<QuantParams>,
+}
+
+/// Origin framework of a model — the heterogeneity the showcase exists to
+/// demonstrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Framework {
+    /// PyTorch (traced TorchScript).
+    PyTorch,
+    /// Keras (Sequential).
+    Keras,
+    /// TFLite (quantized flatbuffer).
+    Tflite,
+    /// Darknet (cfg + weights blob).
+    Darknet,
+    /// ONNX.
+    Onnx,
+    /// Built directly at the Relay level (zoo networks).
+    Relay,
+}
+
+impl Framework {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Framework::PyTorch => "PyTorch",
+            Framework::Keras => "Keras",
+            Framework::Tflite => "TFLite",
+            Framework::Darknet => "Darknet",
+            Framework::Onnx => "ONNX",
+            Framework::Relay => "Relay",
+        }
+    }
+}
+
+impl Model {
+    /// A deterministic sample input for this model.
+    pub fn sample_input(&self, seed: u64) -> Tensor {
+        let mut rng = TensorRng::new(seed);
+        match self.input_quant {
+            Some(q) => rng.uniform_quantized(self.input_shape.clone(), self.dtype_in(), q),
+            None => rng.uniform_f32(self.input_shape.clone(), -1.0, 1.0),
+        }
+    }
+
+    /// Input dtype (quantized models take quantized inputs).
+    fn dtype_in(&self) -> DType {
+        if self.input_quant.is_some() {
+            DType::U8
+        } else {
+            DType::F32
+        }
+    }
+
+    /// Named input map for the executors.
+    pub fn inputs_from(&self, t: Tensor) -> HashMap<String, Tensor> {
+        let mut m = HashMap::new();
+        m.insert(self.input_name.clone(), t);
+        m
+    }
+
+    /// Convenience: named sample-input map.
+    pub fn sample_inputs(&self, seed: u64) -> HashMap<String, Tensor> {
+        self.inputs_from(self.sample_input(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framework_names() {
+        assert_eq!(Framework::PyTorch.name(), "PyTorch");
+        assert_eq!(Framework::Tflite.name(), "TFLite");
+    }
+
+    #[test]
+    fn sample_inputs_deterministic() {
+        let m = emotion::emotion_model(7);
+        let a = m.sample_input(1);
+        let b = m.sample_input(1);
+        assert!(a.bit_eq(&b));
+    }
+}

@@ -1,0 +1,294 @@
+//! Object-detection models (paper §4.2).
+//!
+//! Two models, as in the paper: a YOLOv3-style Darknet network for the
+//! server-side flow (Listing 3), and the quantized MobileNet-SSD TFLite
+//! model preferred on the phone — smaller, int8, and the vehicle for the
+//! QNN flow of §3.3. The SSD's box-decoding tail (`DEQUANTIZE` + `EXP`)
+//! is the NeuroPilot-unsupported part that keeps its NP-only bars out of
+//! Fig. 4 while BYOC handles it by leaving the tail on TVM.
+
+use crate::{Framework, Model};
+use tvmnp_frontends::darknet::{conv_weight_count, DarknetNet, Section};
+use tvmnp_frontends::tflite::{
+    TfliteModel, TfliteOp, TfliteTensor, ACT_RELU6, PADDING_SAME,
+};
+use tvmnp_tensor::rng::TensorRng;
+use tvmnp_tensor::{DType, QuantParams, Tensor};
+
+/// Build the YOLOv3-tiny-style Darknet artifact: conv/maxpool trunk, a
+/// route + upsample feature merge, and a logistic `[yolo]` head.
+pub fn darknet_yolo(seed: u64) -> DarknetNet {
+    let sections = vec![
+        Section::new("net").with("channels", 3).with("height", 64).with("width", 64),
+        Section::new("convolutional")
+            .with("filters", 16)
+            .with("size", 3)
+            .with("stride", 1)
+            .with("pad", 1)
+            .with("batch_normalize", 1)
+            .with("activation", "leaky"),
+        Section::new("maxpool").with("size", 2).with("stride", 2),
+        Section::new("convolutional")
+            .with("filters", 32)
+            .with("size", 3)
+            .with("stride", 1)
+            .with("pad", 1)
+            .with("batch_normalize", 1)
+            .with("activation", "leaky"),
+        Section::new("maxpool").with("size", 2).with("stride", 2),
+        Section::new("convolutional")
+            .with("filters", 32)
+            .with("size", 3)
+            .with("stride", 1)
+            .with("pad", 1)
+            .with("batch_normalize", 1)
+            .with("activation", "leaky"),
+        // FPN-style merge: upsample the deep features and concat with the
+        // earlier 32-channel map (layer index 3, counted from 0).
+        Section::new("upsample").with("stride", 2),
+        Section::new("route").with("layers", "-1,2"),
+        Section::new("convolutional")
+            .with("filters", 18) // 3 anchors x (4 box + 1 obj + 1 class)
+            .with("size", 1)
+            .with("stride", 1)
+            .with("activation", "linear"),
+        Section::new("yolo"),
+    ];
+    let n = conv_weight_count(3, 16, 3, true)
+        + conv_weight_count(16, 32, 3, true)
+        + conv_weight_count(32, 32, 3, true)
+        + conv_weight_count(64, 18, 1, false);
+    let mut rng = TensorRng::new(seed);
+    // Positive blob: BN rolling variances live inside it.
+    let weights = rng.uniform_f32([n], 0.01, 0.3).as_f32().unwrap().to_vec();
+    DarknetNet { sections, weights }
+}
+
+/// Import the YOLO model through the Darknet frontend.
+pub fn yolo_model(seed: u64) -> Model {
+    let net = darknet_yolo(seed);
+    let module = tvmnp_frontends::darknet::from_darknet(&net).expect("yolo imports");
+    Model {
+        name: "yolov3-tiny".into(),
+        dtype: DType::F32,
+        framework: Framework::Darknet,
+        module,
+        input_name: "data".into(),
+        input_shape: vec![1, 3, 64, 64],
+        input_quant: None,
+    }
+}
+
+/// Input quantization of the SSD model (image bytes 0..255 → real 0..1).
+pub fn ssd_input_quant() -> QuantParams {
+    QuantParams::new(1.0 / 255.0, 0)
+}
+
+/// Build the quantized MobileNet-SSD TFLite buffer: a depthwise-separable
+/// backbone plus a detection head whose class scores pass `LOGISTIC` and
+/// whose box sizes decode through `DEQUANTIZE` + `EXP`.
+pub fn tflite_mobilenet_ssd(seed: u64) -> TfliteModel {
+    let mut rng = TensorRng::new(seed);
+    let qa = QuantParams::new(0.05, 128); // generic activation scale
+    let qw = QuantParams::new(0.02, 128);
+    let mut tensors: Vec<TfliteTensor> = Vec::new();
+    let mut ops: Vec<TfliteOp> = Vec::new();
+
+    let act = |tensors: &mut Vec<TfliteTensor>, name: &str, shape: Vec<usize>, q: QuantParams| {
+        tensors.push(TfliteTensor {
+            name: name.into(),
+            shape,
+            dtype: DType::U8,
+            quant: Some(q),
+            data: None,
+        });
+        tensors.len() - 1
+    };
+    let weight = |tensors: &mut Vec<TfliteTensor>,
+                      rng: &mut TensorRng,
+                      name: &str,
+                      shape: Vec<usize>| {
+        let t = rng.uniform_quantized(shape.clone(), DType::U8, qw);
+        tensors.push(TfliteTensor {
+            name: name.into(),
+            shape,
+            dtype: DType::U8,
+            quant: Some(qw),
+            data: Some(t),
+        });
+        tensors.len() - 1
+    };
+    let bias = |tensors: &mut Vec<TfliteTensor>, name: &str, n: usize| {
+        tensors.push(TfliteTensor {
+            name: name.into(),
+            shape: vec![n],
+            dtype: DType::I32,
+            quant: None,
+            data: Some(Tensor::from_i32([n], vec![0; n], None).unwrap()),
+        });
+        tensors.len() - 1
+    };
+
+    // Input: 32x32 RGB, NHWC.
+    let input = act(&mut tensors, "normalized_input", vec![1, 64, 64, 3], ssd_input_quant());
+
+    // conv 3->32 stride 2, relu6.
+    let w0 = weight(&mut tensors, &mut rng, "conv0/w", vec![32, 3, 3, 3]);
+    let b0 = bias(&mut tensors, "conv0/b", 32);
+    let a0 = act(&mut tensors, "conv0/out", vec![1, 32, 32, 32], qa);
+    ops.push(
+        TfliteOp::new("CONV_2D", vec![input, w0, b0], vec![a0])
+            .with_opt("stride_h", 2)
+            .with_opt("stride_w", 2)
+            .with_opt("padding", PADDING_SAME)
+            .with_opt("fused_activation", ACT_RELU6),
+    );
+
+    // Depthwise-separable block 1: dw 32, pw 32->64.
+    let dw1 = weight(&mut tensors, &mut rng, "dw1/w", vec![1, 3, 3, 32]);
+    let a1 = act(&mut tensors, "dw1/out", vec![1, 32, 32, 32], qa);
+    ops.push(
+        TfliteOp::new("DEPTHWISE_CONV_2D", vec![a0, dw1], vec![a1])
+            .with_opt("padding", PADDING_SAME)
+            .with_opt("fused_activation", ACT_RELU6),
+    );
+    let pw1 = weight(&mut tensors, &mut rng, "pw1/w", vec![64, 1, 1, 32]);
+    let b1 = bias(&mut tensors, "pw1/b", 64);
+    let a2 = act(&mut tensors, "pw1/out", vec![1, 32, 32, 64], qa);
+    ops.push(
+        TfliteOp::new("CONV_2D", vec![a1, pw1, b1], vec![a2])
+            .with_opt("padding", PADDING_SAME)
+            .with_opt("fused_activation", ACT_RELU6),
+    );
+
+    // Block 2 with stride 2: dw s2, pw 64->128.
+    let dw2 = weight(&mut tensors, &mut rng, "dw2/w", vec![1, 3, 3, 64]);
+    let a3 = act(&mut tensors, "dw2/out", vec![1, 16, 16, 64], qa);
+    ops.push(
+        TfliteOp::new("DEPTHWISE_CONV_2D", vec![a2, dw2], vec![a3])
+            .with_opt("stride_h", 2)
+            .with_opt("stride_w", 2)
+            .with_opt("padding", PADDING_SAME)
+            .with_opt("fused_activation", ACT_RELU6),
+    );
+    let pw2 = weight(&mut tensors, &mut rng, "pw2/w", vec![128, 1, 1, 64]);
+    let b2 = bias(&mut tensors, "pw2/b", 128);
+    let feat = act(&mut tensors, "features", vec![1, 16, 16, 128], qa);
+    ops.push(
+        TfliteOp::new("CONV_2D", vec![a3, pw2, b2], vec![feat])
+            .with_opt("padding", PADDING_SAME)
+            .with_opt("fused_activation", ACT_RELU6),
+    );
+
+    // Box (loc) branch: 1x1 conv to 64 ch, reshape to [1, 16384].
+    let wl = weight(&mut tensors, &mut rng, "loc/w", vec![64, 1, 1, 128]);
+    let bl = bias(&mut tensors, "loc/b", 64);
+    let loc = act(&mut tensors, "loc/out", vec![1, 16, 16, 64], qa);
+    ops.push(
+        TfliteOp::new("CONV_2D", vec![feat, wl, bl], vec![loc]).with_opt("padding", PADDING_SAME),
+    );
+    let loc_flat = act(&mut tensors, "loc/flat", vec![1, 16384], qa);
+    ops.push(TfliteOp::new("RESHAPE", vec![loc], vec![loc_flat]));
+    // Box size decode: exp(dequantized loc deltas) — float output.
+    tensors.push(TfliteTensor {
+        name: "loc/decoded".into(),
+        shape: vec![1, 16384],
+        dtype: DType::F32,
+        quant: None,
+        data: None,
+    });
+    let loc_decoded = tensors.len() - 1;
+    ops.push(TfliteOp::new("EXP", vec![loc_flat], vec![loc_decoded]));
+
+    // Class (conf) branch: 1x1 conv to 32 ch, logistic, reshape to [1, 8192].
+    let wc = weight(&mut tensors, &mut rng, "conf/w", vec![32, 1, 1, 128]);
+    let bc = bias(&mut tensors, "conf/b", 32);
+    let conf = act(&mut tensors, "conf/out", vec![1, 16, 16, 32], qa);
+    ops.push(
+        TfliteOp::new("CONV_2D", vec![feat, wc, bc], vec![conf]).with_opt("padding", PADDING_SAME),
+    );
+    let qs = QuantParams::new(1.0 / 256.0, 0);
+    let scores = act(&mut tensors, "conf/scores", vec![1, 16, 16, 32], qs);
+    ops.push(TfliteOp::new("LOGISTIC", vec![conf], vec![scores]));
+    let scores_flat = act(&mut tensors, "conf/flat", vec![1, 8192], qs);
+    ops.push(TfliteOp::new("RESHAPE", vec![scores], vec![scores_flat]));
+
+    TfliteModel { tensors, ops, inputs: vec![input], outputs: vec![loc_decoded, scores_flat] }
+}
+
+/// Import the quantized SSD through the TFLite frontend.
+pub fn mobilenet_ssd_model(seed: u64) -> Model {
+    let tfl = tflite_mobilenet_ssd(seed);
+    let module = tvmnp_frontends::tflite::from_tflite(&tfl).expect("ssd imports");
+    Model {
+        name: "mobilenet-ssd-quant".into(),
+        dtype: DType::U8,
+        framework: Framework::Tflite,
+        module,
+        input_name: "normalized_input".into(),
+        input_shape: vec![1, 3, 64, 64],
+        input_quant: Some(ssd_input_quant()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvmnp_relay::interp::Interpreter;
+
+    #[test]
+    fn yolo_runs_and_boxes_shape() {
+        let m = yolo_model(41);
+        let out = tvmnp_relay::interp::run_module(&m.module, &m.sample_inputs(42)).unwrap();
+        // 18 channels over the merged 32x32 grid.
+        assert_eq!(out.shape().dims(), &[1, 18, 32, 32]);
+    }
+
+    #[test]
+    fn yolo_has_np_unsupported_upsample() {
+        let m = yolo_model(41);
+        let simplified = tvmnp_relay::passes::simplify(&m.module);
+        let bad = tvmnp_neuropilot::support::first_unsupported(simplified.main());
+        assert!(bad.is_some(), "yolo must have an NP gap (resize/batch_norm)");
+    }
+
+    #[test]
+    fn ssd_runs_with_two_outputs() {
+        let m = mobilenet_ssd_model(43);
+        let interp = Interpreter::new(&m.module);
+        let v = interp.run(&m.sample_inputs(44)).unwrap();
+        match v {
+            tvmnp_relay::interp::Value::Tuple(parts) => {
+                assert_eq!(parts.len(), 2);
+                let loc = parts[0].tensor().unwrap();
+                let conf = parts[1].tensor().unwrap();
+                assert_eq!(loc.shape().dims(), &[1, 16384]);
+                assert_eq!(loc.dtype(), DType::F32);
+                assert!(loc.as_f32().unwrap().iter().all(|&v| v > 0.0), "exp output positive");
+                assert_eq!(conf.shape().dims(), &[1, 8192]);
+                assert_eq!(conf.dtype(), DType::U8);
+            }
+            _ => panic!("SSD must produce (boxes, scores)"),
+        }
+    }
+
+    #[test]
+    fn ssd_np_only_blocked_by_exp() {
+        let m = mobilenet_ssd_model(43);
+        let simplified = tvmnp_relay::passes::simplify(&m.module);
+        assert_eq!(
+            tvmnp_neuropilot::support::first_unsupported(simplified.main()),
+            Some("exp".to_string())
+        );
+    }
+
+    #[test]
+    fn ssd_is_quantized_end_to_end_in_backbone() {
+        let m = mobilenet_ssd_model(43);
+        let qnn_convs = tvmnp_relay::visit::topo_order(&m.module.main().body)
+            .iter()
+            .filter(|e| e.op().map(|o| o.name() == "qnn.conv2d").unwrap_or(false))
+            .count();
+        assert!(qnn_convs >= 6, "backbone + heads are qnn.conv2d (got {qnn_convs})");
+    }
+}

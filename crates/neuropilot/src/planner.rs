@@ -1,0 +1,350 @@
+//! The Execution Planner (paper §2.1): assigns each Neuron op to a
+//! back-end target under a target policy, and derives the segment/crossing
+//! structure the runtime charges time for.
+
+use crate::error::NeuronError;
+use crate::nir::{work_item, NeuronGraph};
+use crate::support::device_supports;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use tvmnp_hwsim::DeviceKind;
+
+/// Back-end target selection policy — the `nir_targets=[...]` argument of
+/// the paper's Listing 6, and the axis of its seven permutations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TargetPolicy {
+    /// Everything on the mobile CPU (vendor kernels).
+    CpuOnly,
+    /// Prefer the GPU; ops it cannot run fall back to the slow reference
+    /// CPU path.
+    GpuPrefer,
+    /// Prefer the APU; ops it cannot run fall back to the slow reference
+    /// CPU path (NNAPI-style reference fallback).
+    ApuPrefer,
+    /// Use CPU and APU together: MAC-heavy ops *large enough to amortize
+    /// the APU driver round-trip* go to the APU; everything else runs on
+    /// the tuned vendor CPU kernels. This is the paper's "CPU+APU"
+    /// permutation — a simple op-size heuristic, not an optimum
+    /// (operation-level optimal scheduling is the paper's future work).
+    /// The size awareness is what lets CPU+APU beat APU-prefer on
+    /// fragmented models (Fig. 4's anti-spoofing / object detection) while
+    /// losing to APU-prefer on fully-APU-capable ones (emotion).
+    CpuApu,
+}
+
+impl TargetPolicy {
+    /// All policies the experiments sweep.
+    pub const ALL: [TargetPolicy; 4] =
+        [TargetPolicy::CpuOnly, TargetPolicy::GpuPrefer, TargetPolicy::ApuPrefer, TargetPolicy::CpuApu];
+
+    /// Short label used in tables/figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            TargetPolicy::CpuOnly => "cpu",
+            TargetPolicy::GpuPrefer => "gpu",
+            TargetPolicy::ApuPrefer => "apu",
+            TargetPolicy::CpuApu => "cpu+apu",
+        }
+    }
+}
+
+impl fmt::Display for TargetPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Minimum MAC count for which the CPU+APU planner considers a *float* op
+/// worth the APU dispatch + transfer round trip (the Execution Planner's
+/// op-size heuristic; see [`TargetPolicy::CpuApu`]).
+pub const APU_OFFLOAD_MIN_MACS_F32: u64 = 2_000_000;
+
+/// The int8 threshold is higher: the vendor CPU's int8 kernels are already
+/// ~2x its float throughput, so the APU round trip amortizes later.
+pub const APU_OFFLOAD_MIN_MACS_INT8: u64 = 6_000_000;
+
+/// One op's placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Chosen device.
+    pub device: DeviceKind,
+    /// Whether this placement is a reference-implementation fallback (the
+    /// preferred device could not run the op). Fallback kernels are far
+    /// slower than the vendor-tuned ones.
+    pub fallback: bool,
+}
+
+/// A maximal run of consecutive ops on one device — dispatched to the
+/// driver as a unit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanSegment {
+    /// Device executing the segment.
+    pub device: DeviceKind,
+    /// Indices into `NeuronGraph::ops`, consecutive.
+    pub op_indices: Vec<usize>,
+}
+
+/// The planner's output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionPlan {
+    /// Policy that produced the plan.
+    pub policy: TargetPolicy,
+    /// Per-op placement, parallel to `NeuronGraph::ops`.
+    pub placements: Vec<Placement>,
+    /// Device segments in execution order.
+    pub segments: Vec<PlanSegment>,
+    /// Data edges whose producer and consumer sit on different devices
+    /// (each costs a transfer at runtime): `(tensor_id, bytes)`.
+    pub crossings: Vec<(usize, usize)>,
+}
+
+impl ExecutionPlan {
+    /// Distinct devices used.
+    pub fn devices_used(&self) -> Vec<DeviceKind> {
+        let mut out = Vec::new();
+        for p in &self.placements {
+            if !out.contains(&p.device) {
+                out.push(p.device);
+            }
+        }
+        out
+    }
+
+    /// Number of fallback-placed ops.
+    pub fn fallback_ops(&self) -> usize {
+        self.placements.iter().filter(|p| p.fallback).count()
+    }
+}
+
+/// The Execution Planner.
+pub struct Planner;
+
+impl Planner {
+    /// Plan `graph` under `policy`.
+    pub fn plan(graph: &NeuronGraph, policy: TargetPolicy) -> Result<ExecutionPlan, NeuronError> {
+        let mut placements = Vec::with_capacity(graph.ops.len());
+        for op in &graph.ops {
+            let placement = match policy {
+                TargetPolicy::CpuOnly => Placement { device: DeviceKind::Cpu, fallback: false },
+                TargetPolicy::GpuPrefer => {
+                    if device_supports(DeviceKind::Gpu, &op.kind) {
+                        Placement { device: DeviceKind::Gpu, fallback: false }
+                    } else {
+                        Placement { device: DeviceKind::Cpu, fallback: true }
+                    }
+                }
+                TargetPolicy::ApuPrefer => {
+                    if device_supports(DeviceKind::Apu, &op.kind) {
+                        Placement { device: DeviceKind::Apu, fallback: false }
+                    } else {
+                        Placement { device: DeviceKind::Cpu, fallback: true }
+                    }
+                }
+                TargetPolicy::CpuApu => {
+                    let w = work_item(graph, op);
+                    let threshold =
+                        if w.int8 { APU_OFFLOAD_MIN_MACS_INT8 } else { APU_OFFLOAD_MIN_MACS_F32 };
+                    let big_enough = op.kind.is_mac_heavy() && w.macs >= threshold;
+                    if big_enough && device_supports(DeviceKind::Apu, &op.kind) {
+                        Placement { device: DeviceKind::Apu, fallback: false }
+                    } else {
+                        Placement { device: DeviceKind::Cpu, fallback: false }
+                    }
+                }
+            };
+            if !device_supports(placement.device, &op.kind) {
+                return Err(NeuronError::NoCapableDevice {
+                    op: op.kind.name().to_string(),
+                    policy: policy.label().to_string(),
+                });
+            }
+            placements.push(placement);
+        }
+
+        // Segments: maximal consecutive same-device runs.
+        let mut segments: Vec<PlanSegment> = Vec::new();
+        for (i, p) in placements.iter().enumerate() {
+            match segments.last_mut() {
+                Some(seg) if seg.device == p.device => seg.op_indices.push(i),
+                _ => segments.push(PlanSegment { device: p.device, op_indices: vec![i] }),
+            }
+        }
+
+        // Crossings: producer/consumer device mismatches over tensor edges.
+        let mut producer: HashMap<usize, usize> = HashMap::new(); // tensor -> op idx
+        for (i, op) in graph.ops.iter().enumerate() {
+            for &o in &op.outputs {
+                producer.insert(o, i);
+            }
+        }
+        let mut crossings = Vec::new();
+        for (i, op) in graph.ops.iter().enumerate() {
+            for &t in &op.inputs {
+                if let Some(&pi) = producer.get(&t) {
+                    if placements[pi].device != placements[i].device {
+                        crossings.push((t, graph.tensors[t].size_bytes()));
+                    }
+                }
+            }
+        }
+        // Host boundary: graph inputs consumed off-CPU, outputs produced
+        // off-CPU (the host application lives on the CPU side).
+        for &t in &graph.inputs {
+            let consumed_off_cpu = graph.ops.iter().enumerate().any(|(i, op)| {
+                op.inputs.contains(&t) && placements[i].device != DeviceKind::Cpu
+            });
+            if consumed_off_cpu {
+                crossings.push((t, graph.tensors[t].size_bytes()));
+            }
+        }
+        for &t in &graph.outputs {
+            if let Some(&pi) = producer.get(&t) {
+                if placements[pi].device != DeviceKind::Cpu {
+                    crossings.push((t, graph.tensors[t].size_bytes()));
+                }
+            }
+        }
+
+        Ok(ExecutionPlan { policy, placements, segments, crossings })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nir::{NeuronOp, NeuronOpKind, NeuronTensor};
+    use tvmnp_tensor::DType;
+
+    fn act(name: &str) -> NeuronTensor {
+        NeuronTensor {
+            name: name.into(),
+            shape: [1, 8, 4, 4].into(),
+            dtype: DType::F32,
+            quant: None,
+            data: None,
+        }
+    }
+
+    /// conv -> sigmoid -> conv graph.
+    fn conv_sigmoid_conv() -> NeuronGraph {
+        let mut g = NeuronGraph::default();
+        let x = g.add_tensor(act("x"));
+        let w1 = g.add_tensor(NeuronTensor {
+            data: Some(tvmnp_tensor::Tensor::zeros_f32([8, 8, 1, 1])),
+            ..act("w1")
+        });
+        let t1 = g.add_tensor(act("t1"));
+        let t2 = g.add_tensor(act("t2"));
+        let w2 = g.add_tensor(NeuronTensor {
+            data: Some(tvmnp_tensor::Tensor::zeros_f32([8, 8, 1, 1])),
+            ..act("w2")
+        });
+        let y = g.add_tensor(act("y"));
+        g.inputs = vec![x];
+        g.outputs = vec![y];
+        let conv = NeuronOpKind::Conv2d {
+            strides: (1, 1),
+            padding: (0, 0, 0, 0),
+            dilation: (1, 1),
+            groups: 1,
+        };
+        g.add_op(NeuronOp { kind: conv.clone(), inputs: vec![x, w1], outputs: vec![t1] });
+        g.add_op(NeuronOp { kind: NeuronOpKind::Sigmoid, inputs: vec![t1], outputs: vec![t2] });
+        g.add_op(NeuronOp { kind: conv, inputs: vec![t2, w2], outputs: vec![y] });
+        g
+    }
+
+    #[test]
+    fn cpu_only_single_segment() {
+        let g = conv_sigmoid_conv();
+        let p = Planner::plan(&g, TargetPolicy::CpuOnly).unwrap();
+        assert_eq!(p.segments.len(), 1);
+        assert!(p.crossings.is_empty());
+        assert_eq!(p.fallback_ops(), 0);
+    }
+
+    #[test]
+    fn apu_prefer_falls_back_on_sigmoid() {
+        let g = conv_sigmoid_conv();
+        let p = Planner::plan(&g, TargetPolicy::ApuPrefer).unwrap();
+        assert_eq!(p.placements[0].device, DeviceKind::Apu);
+        assert_eq!(p.placements[1].device, DeviceKind::Cpu);
+        assert!(p.placements[1].fallback);
+        assert_eq!(p.placements[2].device, DeviceKind::Apu);
+        assert_eq!(p.segments.len(), 3);
+        // t1 crosses APU->CPU, t2 crosses CPU->APU, x host->APU, y APU->host.
+        assert_eq!(p.crossings.len(), 4);
+    }
+
+    #[test]
+    fn cpu_apu_keeps_small_convs_on_cpu() {
+        // The test graph's convs are tiny (8 ch over 4x4): below the
+        // APU_OFFLOAD_MIN_MACS threshold, everything stays on the CPU.
+        let g = conv_sigmoid_conv();
+        let p = Planner::plan(&g, TargetPolicy::CpuApu).unwrap();
+        assert!(p.placements.iter().all(|pl| pl.device == DeviceKind::Cpu));
+        assert_eq!(p.fallback_ops(), 0);
+        assert_eq!(p.segments.len(), 1);
+    }
+
+    #[test]
+    fn cpu_apu_sends_large_convs_to_apu() {
+        let mut g = NeuronGraph::default();
+        let big = |name: &str| NeuronTensor {
+            name: name.into(),
+            shape: [1, 64, 64, 64].into(),
+            dtype: DType::F32,
+            quant: None,
+            data: None,
+        };
+        let x = g.add_tensor(big("x"));
+        let w = g.add_tensor(NeuronTensor {
+            data: Some(tvmnp_tensor::Tensor::zeros_f32([64, 64, 3, 3])),
+            shape: [64, 64, 3, 3].into(),
+            ..big("w")
+        });
+        let y = g.add_tensor(big("y"));
+        let z = g.add_tensor(big("z"));
+        g.inputs = vec![x];
+        g.outputs = vec![z];
+        g.add_op(NeuronOp {
+            kind: NeuronOpKind::Conv2d {
+                strides: (1, 1),
+                padding: (1, 1, 1, 1),
+                dilation: (1, 1),
+                groups: 1,
+            },
+            inputs: vec![x, w],
+            outputs: vec![y],
+        });
+        g.add_op(NeuronOp { kind: NeuronOpKind::Relu, inputs: vec![y], outputs: vec![z] });
+        let p = Planner::plan(&g, TargetPolicy::CpuApu).unwrap();
+        assert_eq!(p.placements[0].device, DeviceKind::Apu, "150 MMACs amortize the APU");
+        assert_eq!(p.placements[1].device, DeviceKind::Cpu);
+        assert_eq!(p.fallback_ops(), 0);
+    }
+
+    #[test]
+    fn fully_apu_capable_graph_is_one_apu_segment() {
+        let mut g = NeuronGraph::default();
+        let x = g.add_tensor(act("x"));
+        let t = g.add_tensor(act("t"));
+        let y = g.add_tensor(act("y"));
+        g.inputs = vec![x];
+        g.outputs = vec![y];
+        g.add_op(NeuronOp { kind: NeuronOpKind::Relu, inputs: vec![x], outputs: vec![t] });
+        g.add_op(NeuronOp { kind: NeuronOpKind::Softmax, inputs: vec![t], outputs: vec![y] });
+        let p = Planner::plan(&g, TargetPolicy::ApuPrefer).unwrap();
+        assert_eq!(p.segments.len(), 1);
+        assert_eq!(p.segments[0].device, DeviceKind::Apu);
+        // Only host-boundary crossings.
+        assert_eq!(p.crossings.len(), 2);
+    }
+
+    #[test]
+    fn policy_labels() {
+        assert_eq!(TargetPolicy::CpuApu.label(), "cpu+apu");
+        assert_eq!(TargetPolicy::ALL.len(), 4);
+    }
+}

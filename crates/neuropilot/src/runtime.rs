@@ -1,0 +1,478 @@
+//! The Neuron runtime: executes a planned network.
+//!
+//! Numeric results are computed on the host kernels (bit-identical to the
+//! Relay interpreter — the correctness check the paper performs against
+//! the origin frameworks), while *simulated* time is charged on the
+//! `tvmnp-hwsim` cost model: per-segment driver dispatch, per-kernel time
+//! on the assigned device, reference-implementation penalty for fallback
+//! ops, and a transfer per device-boundary crossing.
+
+use crate::error::NeuronError;
+use crate::nir::{NeuronGraph, NeuronOp, NeuronOpKind};
+use crate::planner::{ExecutionPlan, Planner, TargetPolicy};
+use tvmnp_hwsim::{CostModel, DeviceKind, KernelClass};
+use tvmnp_tensor::kernels::{self, BinaryOp, UnaryOp};
+use tvmnp_tensor::{QuantParams, Tensor};
+
+/// A compiled, planned, executable Neuron network.
+pub struct CompiledNetwork {
+    graph: NeuronGraph,
+    plan: ExecutionPlan,
+    cost: CostModel,
+}
+
+impl CompiledNetwork {
+    /// Compile (plan) `graph` for `policy` over the cost model's SoC.
+    pub fn compile(
+        graph: NeuronGraph,
+        policy: TargetPolicy,
+        cost: CostModel,
+    ) -> Result<Self, NeuronError> {
+        let plan = Planner::plan(&graph, policy)?;
+        Ok(CompiledNetwork { graph, plan, cost })
+    }
+
+    /// Wrap an externally-computed plan (e.g. the op-level scheduler of
+    /// [`crate::oplevel`]) into an executable network.
+    pub fn from_plan(graph: NeuronGraph, plan: ExecutionPlan, cost: CostModel) -> Self {
+        CompiledNetwork { graph, plan, cost }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &NeuronGraph {
+        &self.graph
+    }
+
+    /// The execution plan.
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
+    }
+
+    /// Simulated inference time in microseconds (input-independent: static
+    /// shapes, static plan).
+    pub fn estimate_time_us(&self) -> f64 {
+        let mut t = 0.0;
+        for seg in &self.plan.segments {
+            t += self.cost.subgraph_dispatch_us(seg.device);
+            // Off-CPU segments stage their weights through the driver each
+            // dispatch (the prototype runtime does not cache them).
+            if seg.device != DeviceKind::Cpu {
+                let const_bytes: usize = seg
+                    .op_indices
+                    .iter()
+                    .flat_map(|&i| self.graph.ops[i].inputs.iter())
+                    .filter(|&&tid| self.graph.tensors[tid].is_const())
+                    .map(|&tid| self.graph.tensors[tid].size_bytes())
+                    .sum();
+                if const_bytes > 0 {
+                    t += self.cost.transfer_us(const_bytes);
+                }
+            }
+        }
+        for (i, op) in self.graph.ops.iter().enumerate() {
+            let w = crate::nir::work_item(&self.graph, op);
+            let p = self.plan.placements[i];
+            t += if p.fallback {
+                // NNAPI-style reference fallback: untuned CPU kernel.
+                self.cost.kernel_us(&w, DeviceKind::Cpu, KernelClass::TvmUntuned)
+            } else {
+                self.cost.kernel_us(&w, p.device, KernelClass::VendorTuned)
+            };
+        }
+        for &(_, bytes) in &self.plan.crossings {
+            t += self.cost.transfer_us(bytes);
+        }
+        t
+    }
+
+    /// Simulated inference energy in microjoules: per-op kernel energy on
+    /// the assigned device (reference-fallback ops burn untuned-CPU
+    /// energy) plus boundary-transfer traffic.
+    pub fn estimate_energy_uj(&self) -> f64 {
+        let mut e = 0.0;
+        for (i, op) in self.graph.ops.iter().enumerate() {
+            let w = crate::nir::work_item(&self.graph, op);
+            let p = self.plan.placements[i];
+            e += if p.fallback {
+                self.cost.kernel_energy_uj(&w, DeviceKind::Cpu, KernelClass::TvmUntuned)
+            } else {
+                self.cost.kernel_energy_uj(&w, p.device, KernelClass::VendorTuned)
+            };
+        }
+        for &(_, bytes) in &self.plan.crossings {
+            e += self.cost.transfer_energy_uj(bytes);
+        }
+        e
+    }
+
+    /// Execute on concrete inputs (in `graph.inputs` order); returns the
+    /// output tensors and the simulated time in microseconds.
+    pub fn execute(&self, inputs: &[Tensor]) -> Result<(Vec<Tensor>, f64), NeuronError> {
+        if inputs.len() != self.graph.inputs.len() {
+            return Err(NeuronError::Execution(format!(
+                "expected {} inputs, got {}",
+                self.graph.inputs.len(),
+                inputs.len()
+            )));
+        }
+        let mut slots: Vec<Option<Tensor>> = vec![None; self.graph.tensors.len()];
+        for (t, slot) in self.graph.tensors.iter().zip(slots.iter_mut()) {
+            if let Some(data) = &t.data {
+                *slot = Some(data.clone());
+            }
+        }
+        for (&id, input) in self.graph.inputs.iter().zip(inputs) {
+            let expect = &self.graph.tensors[id];
+            if input.shape() != &expect.shape || input.dtype() != expect.dtype {
+                return Err(NeuronError::Execution(format!(
+                    "input '{}' expects {} {}, got {} {}",
+                    expect.name,
+                    expect.shape,
+                    expect.dtype,
+                    input.shape(),
+                    input.dtype()
+                )));
+            }
+            *slot_mut(&mut slots, id)? = Some(input.clone());
+        }
+
+        for op in &self.graph.ops {
+            let out = self.eval_op(op, &slots)?;
+            *slot_mut(&mut slots, op.outputs[0])? = Some(out);
+        }
+
+        let mut outputs = Vec::with_capacity(self.graph.outputs.len());
+        for &o in &self.graph.outputs {
+            outputs.push(
+                slots[o]
+                    .clone()
+                    .ok_or_else(|| NeuronError::Execution(format!("output slot {o} empty")))?,
+            );
+        }
+        Ok((outputs, self.estimate_time_us()))
+    }
+
+    fn eval_op(&self, op: &NeuronOp, slots: &[Option<Tensor>]) -> Result<Tensor, NeuronError> {
+        let get = |i: usize| -> Result<&Tensor, NeuronError> {
+            slots
+                .get(op.inputs[i])
+                .and_then(|s| s.as_ref())
+                .ok_or_else(|| NeuronError::Execution(format!("input slot {} empty", op.inputs[i])))
+        };
+        let quant = |id: usize| -> Result<QuantParams, NeuronError> {
+            self.graph.tensors[id].quant.ok_or_else(|| {
+                NeuronError::Execution(format!(
+                    "tensor '{}' misses quant params",
+                    self.graph.tensors[id].name
+                ))
+            })
+        };
+        let out_slot = op.outputs[0];
+        let out_meta = &self.graph.tensors[out_slot];
+        let e = |err: kernels::KernelError| NeuronError::Execution(err.to_string());
+
+        let result = match &op.kind {
+            NeuronOpKind::Conv2d { strides, padding, dilation, groups } => {
+                let params = kernels::Conv2dParams {
+                    strides: *strides,
+                    padding: *padding,
+                    dilation: *dilation,
+                    groups: *groups,
+                };
+                let x = get(0)?;
+                let w = get(1)?;
+                let bias = if op.inputs.len() > 2 { Some(get(2)?) } else { None };
+                if x.dtype().is_quantized() {
+                    let q = kernels::QConvQuant {
+                        input: quant(op.inputs[0])?,
+                        weight: quant(op.inputs[1])?,
+                        output: quant(out_slot)?,
+                        out_dtype: out_meta.dtype,
+                    };
+                    kernels::qconv2d(x, w, bias, &params, &q).map_err(e)?
+                } else {
+                    kernels::conv2d_f32(x, w, bias, &params).map_err(e)?
+                }
+            }
+            NeuronOpKind::FullyConnected => {
+                let x = get(0)?;
+                let w = get(1)?;
+                let bias = if op.inputs.len() > 2 { Some(get(2)?) } else { None };
+                if x.dtype().is_quantized() {
+                    kernels::qdense(
+                        x,
+                        w,
+                        bias,
+                        quant(op.inputs[0])?,
+                        quant(op.inputs[1])?,
+                        quant(out_slot)?,
+                        out_meta.dtype,
+                    )
+                    .map_err(e)?
+                } else {
+                    kernels::dense_f32(x, w, bias).map_err(e)?
+                }
+            }
+            NeuronOpKind::BiasAdd => kernels::bias_add(get(0)?, get(1)?).map_err(e)?,
+            NeuronOpKind::MaxPool2d { kernel, strides, padding } => {
+                let p = kernels::Pool2dParams {
+                    kernel: *kernel,
+                    strides: *strides,
+                    padding: *padding,
+                    count_include_pad: false,
+                };
+                kernels::max_pool2d(get(0)?, &p).map_err(e)?
+            }
+            NeuronOpKind::AvgPool2d { kernel, strides, padding } => {
+                let p = kernels::Pool2dParams {
+                    kernel: *kernel,
+                    strides: *strides,
+                    padding: *padding,
+                    count_include_pad: false,
+                };
+                kernels::avg_pool2d(get(0)?, &p).map_err(e)?
+            }
+            NeuronOpKind::GlobalAvgPool2d => kernels::global_avg_pool2d(get(0)?).map_err(e)?,
+            NeuronOpKind::Relu => kernels::unary(get(0)?, UnaryOp::Relu).map_err(e)?,
+            NeuronOpKind::LeakyRelu { alpha } => {
+                kernels::unary(get(0)?, UnaryOp::LeakyRelu(*alpha)).map_err(e)?
+            }
+            NeuronOpKind::Clip { min, max } => {
+                kernels::unary(get(0)?, UnaryOp::Clip(*min, *max)).map_err(e)?
+            }
+            NeuronOpKind::Sigmoid => kernels::unary(get(0)?, UnaryOp::Sigmoid).map_err(e)?,
+            NeuronOpKind::Tanh => kernels::unary(get(0)?, UnaryOp::Tanh).map_err(e)?,
+            NeuronOpKind::Softmax => kernels::softmax_f32(&get(0)?.to_f32()).map_err(e)?,
+            NeuronOpKind::Add => {
+                let a = get(0)?;
+                let b = get(1)?;
+                if a.dtype().is_quantized() {
+                    kernels::qadd(
+                        a,
+                        b,
+                        quant(op.inputs[0])?,
+                        quant(op.inputs[1])?,
+                        quant(out_slot)?,
+                        out_meta.dtype,
+                    )
+                    .map_err(e)?
+                } else {
+                    kernels::binary_f32(a, b, BinaryOp::Add).map_err(e)?
+                }
+            }
+            NeuronOpKind::Mul => kernels::binary_f32(get(0)?, get(1)?, BinaryOp::Mul).map_err(e)?,
+            NeuronOpKind::Max => {
+                kernels::binary_f32(get(0)?, get(1)?, BinaryOp::Maximum).map_err(e)?
+            }
+            NeuronOpKind::Reshape { new_shape } => get(0)?
+                .reshaped(new_shape.clone())
+                .map_err(|err| NeuronError::Execution(err.to_string()))?,
+            NeuronOpKind::Transpose { axes } => kernels::transpose(get(0)?, axes).map_err(e)?,
+            NeuronOpKind::Concat { axis } => {
+                let parts: Vec<&Tensor> =
+                    op.inputs.iter().map(|&i| slots[i].as_ref().unwrap()).collect();
+                let c = kernels::concat(&parts, *axis).map_err(e)?;
+                match self.graph.tensors[out_slot].quant {
+                    Some(q) if c.dtype().is_quantized() => c.with_quant(q),
+                    _ => c,
+                }
+            }
+            NeuronOpKind::Pad { pads, value } => kernels::pad(get(0)?, pads, *value).map_err(e)?,
+            NeuronOpKind::BatchFlatten => kernels::batch_flatten(get(0)?).map_err(e)?,
+            NeuronOpKind::Quantize => get(0)?
+                .quantize(quant(out_slot)?, out_meta.dtype)
+                .map_err(|err| NeuronError::Execution(err.to_string()))?,
+            NeuronOpKind::Dequantize => {
+                let x = get(0)?;
+                let qp = quant(op.inputs[0])?;
+                let vals: Vec<f32> = x.iter_int().map(|q| qp.dequantize(q)).collect();
+                Tensor::from_f32(x.shape().clone(), vals)
+                    .map_err(|err| NeuronError::Execution(err.to_string()))?
+            }
+            NeuronOpKind::Requantize => {
+                let x = get(0)?;
+                let in_q = quant(op.inputs[0])?;
+                let out_q = quant(out_slot)?;
+                let fpm = tvmnp_tensor::quant::FixedPointMultiplier::from_real(
+                    in_q.scale as f64 / out_q.scale as f64,
+                );
+                let vals: Vec<i32> = x
+                    .iter_int()
+                    .map(|q| {
+                        tvmnp_tensor::quant::requantize_value(
+                            q - in_q.zero_point,
+                            fpm,
+                            out_q.zero_point,
+                            out_meta.dtype,
+                        )
+                    })
+                    .collect();
+                Tensor::from_int_values(x.shape().clone(), &vals, out_meta.dtype, Some(out_q))
+                    .map_err(|err| NeuronError::Execution(err.to_string()))?
+            }
+        };
+        Ok(result)
+    }
+}
+
+fn slot_mut<'a>(
+    slots: &'a mut [Option<Tensor>],
+    id: usize,
+) -> Result<&'a mut Option<Tensor>, NeuronError> {
+    slots
+        .get_mut(id)
+        .ok_or_else(|| NeuronError::Execution(format!("slot {id} out of range")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::convert_function;
+    use crate::nir::work_item;
+    use tvmnp_hwsim::WorkKind;
+    use std::collections::HashMap;
+    use tvmnp_relay::builder;
+    use tvmnp_relay::expr::{var, Function, Module};
+    use tvmnp_relay::interp::run_module;
+    use tvmnp_relay::{Conv2dAttrs, TensorType};
+    use tvmnp_tensor::DType;
+    use tvmnp_tensor::rng::TensorRng;
+
+    fn small_net() -> (Function, Tensor) {
+        let mut rng = TensorRng::new(21);
+        let x = var("x", TensorType::f32([1, 3, 8, 8]));
+        let w = rng.uniform_f32([4, 3, 3, 3], -0.5, 0.5);
+        let b = rng.uniform_f32([4], -0.1, 0.1);
+        let body = builder::softmax(builder::batch_flatten(builder::relu(builder::bias_add(
+            builder::conv2d(x.clone(), w, Conv2dAttrs::same(1)),
+            b,
+        ))));
+        (Function::new(vec![x], body), rng.uniform_f32([1, 3, 8, 8], -1.0, 1.0))
+    }
+
+    #[test]
+    fn neuron_runtime_matches_relay_interpreter() {
+        let (f, input) = small_net();
+        let g = convert_function(&f).unwrap();
+        let net = CompiledNetwork::compile(g, TargetPolicy::CpuOnly, CostModel::default()).unwrap();
+        let (outs, time_us) = net.execute(&[input.clone()]).unwrap();
+        let module = Module::from_main(f);
+        let mut ins = HashMap::new();
+        ins.insert("x".to_string(), input);
+        let reference = run_module(&module, &ins).unwrap();
+        assert!(outs[0].bit_eq(&reference), "Neuron path must be bit-identical to Relay");
+        assert!(time_us > 0.0);
+    }
+
+    #[test]
+    fn policies_agree_numerically_but_not_in_time() {
+        let (f, input) = small_net();
+        let g = convert_function(&f).unwrap();
+        let mut times = Vec::new();
+        let mut outputs: Vec<Tensor> = Vec::new();
+        for policy in TargetPolicy::ALL {
+            let net =
+                CompiledNetwork::compile(g.clone(), policy, CostModel::default()).unwrap();
+            let (outs, t) = net.execute(&[input.clone()]).unwrap();
+            times.push(t);
+            outputs.push(outs[0].clone());
+        }
+        for o in &outputs[1..] {
+            assert!(o.bit_eq(&outputs[0]), "placement must not change numerics");
+        }
+        // Times differ across policies (different devices/overheads).
+        assert!(times.iter().any(|&t| (t - times[0]).abs() > 1e-6));
+    }
+
+    #[test]
+    fn wrong_input_shape_rejected() {
+        let (f, _) = small_net();
+        let g = convert_function(&f).unwrap();
+        let net = CompiledNetwork::compile(g, TargetPolicy::CpuOnly, CostModel::default()).unwrap();
+        let bad = Tensor::zeros_f32([1, 3, 4, 4]);
+        assert!(net.execute(&[bad]).is_err());
+    }
+
+    #[test]
+    fn work_item_conv_macs() {
+        let (f, _) = small_net();
+        let g = convert_function(&f).unwrap();
+        let conv = &g.ops[0];
+        let w = work_item(&g, conv);
+        // out 1x4x8x8 = 256 elems, 3*3*3 = 27 MACs each.
+        assert_eq!(w.macs, 256 * 27);
+        assert_eq!(w.kind, WorkKind::MacHeavy);
+        assert!(!w.int8);
+    }
+
+    #[test]
+    fn quantized_network_runs_end_to_end() {
+        use tvmnp_relay::expr::call;
+        use tvmnp_relay::{DequantizeAttrs, OpKind, QnnConv2dAttrs, QuantizeAttrs};
+        let mut rng = TensorRng::new(31);
+        let qx = QuantParams::new(1.0 / 64.0, 128);
+        let qw = QuantParams::new(1.0 / 128.0, 0);
+        let qy = QuantParams::new(1.0 / 16.0, 128);
+        let x = var("x", TensorType::f32([1, 2, 6, 6]));
+        let q = call(
+            OpKind::QnnQuantize(QuantizeAttrs { out: qx, out_dtype: DType::U8 }),
+            vec![x.clone()],
+        );
+        let w = rng.uniform_quantized([4, 2, 3, 3], DType::I8, qw);
+        let conv = call(
+            OpKind::QnnConv2d(QnnConv2dAttrs {
+                conv: Conv2dAttrs::same(1),
+                input_q: qx,
+                weight_q: qw,
+                output_q: qy,
+                out_dtype: DType::U8,
+            }),
+            vec![q, tvmnp_relay::expr::constant(w)],
+        );
+        let d = call(OpKind::QnnDequantize(DequantizeAttrs { input: qy }), vec![conv]);
+        let f = Function::new(vec![x.clone()], d);
+        let g = convert_function(&f).unwrap();
+        let net = CompiledNetwork::compile(g, TargetPolicy::ApuPrefer, CostModel::default()).unwrap();
+        let input = rng.uniform_f32([1, 2, 6, 6], -1.0, 1.0);
+        let (outs, _) = net.execute(&[input.clone()]).unwrap();
+        // Reference through the Relay interpreter.
+        let module = Module::from_main(f);
+        let mut ins = HashMap::new();
+        ins.insert("x".to_string(), input);
+        let reference = run_module(&module, &ins).unwrap();
+        assert!(outs[0].bit_eq(&reference));
+    }
+
+    #[test]
+    fn apu_faster_than_cpu_for_quantized_conv_heavy_graph() {
+        use tvmnp_relay::expr::call;
+        use tvmnp_relay::{OpKind, QnnConv2dAttrs};
+        let mut rng = TensorRng::new(41);
+        let qx = QuantParams::new(0.02, 128);
+        let qw = QuantParams::new(0.01, 0);
+        let x = var("x", TensorType::new([1, 32, 56, 56], DType::U8));
+        let mut e = x.clone();
+        for _ in 0..4 {
+            let w = rng.uniform_quantized([32, 32, 3, 3], DType::I8, qw);
+            e = call(
+                OpKind::QnnConv2d(QnnConv2dAttrs {
+                    conv: Conv2dAttrs::same(1),
+                    input_q: qx,
+                    weight_q: qw,
+                    output_q: qx,
+                    out_dtype: DType::U8,
+                }),
+                vec![e, tvmnp_relay::expr::constant(w)],
+            );
+        }
+        let f = Function::new(vec![x], e);
+        let g = convert_function(&f).unwrap();
+        let apu = CompiledNetwork::compile(g.clone(), TargetPolicy::ApuPrefer, CostModel::default())
+            .unwrap()
+            .estimate_time_us();
+        let cpu = CompiledNetwork::compile(g, TargetPolicy::CpuOnly, CostModel::default())
+            .unwrap()
+            .estimate_time_us();
+        assert!(apu < cpu, "APU ({apu} us) must beat CPU ({cpu} us) on int8 convs");
+    }
+}

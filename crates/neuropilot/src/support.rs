@@ -1,0 +1,162 @@
+//! Operator-coverage matrices.
+//!
+//! NeuroPilot supports *fewer* operators than TVM (paper §5, Fig. 4/6:
+//! "NeuroPilot does not support as many AI operations as TVM, so there may
+//! not be any statistics"). Two levels of coverage matter:
+//!
+//! * [`neuron_supported`] — can the Neuron compiler ingest the op at all?
+//!   This drives the BYOC annotate step and decides whether a
+//!   NeuroPilot-only build succeeds (missing bars when it does not).
+//! * [`device_supports`] — can a given back-end target execute the Neuron
+//!   opcode? The APU's narrower coverage forces CPU fallbacks, which is
+//!   what makes the CPU+APU permutations interesting (paper §5.1).
+
+use crate::nir::NeuronOpKind;
+use std::collections::HashSet;
+use std::sync::OnceLock;
+use tvmnp_hwsim::DeviceKind;
+use tvmnp_relay::passes::CompilerSupport;
+use tvmnp_relay::{OpKind, Type};
+
+/// Relay op names the Neuron compiler can convert (keys of the
+/// op-handler dictionary in [`crate::convert`]).
+pub const NEURON_RELAY_OPS: &[&str] = &[
+    "nn.conv2d",
+    "nn.dense",
+    "nn.bias_add",
+    "nn.relu",
+    "nn.leaky_relu",
+    "clip",
+    "sigmoid",
+    "tanh",
+    "nn.max_pool2d",
+    "nn.avg_pool2d",
+    "nn.global_avg_pool2d",
+    "nn.softmax",
+    "add",
+    "multiply",
+    "maximum",
+    "reshape",
+    "transpose",
+    "concatenate",
+    "nn.pad",
+    "nn.batch_flatten",
+    "qnn.quantize",
+    "qnn.dequantize",
+    "qnn.requantize",
+    "qnn.conv2d",
+    "qnn.dense",
+    "qnn.add",
+    "qnn.concatenate",
+];
+
+fn neuron_set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| NEURON_RELAY_OPS.iter().copied().collect())
+}
+
+/// Whether NeuroPilot can take this Relay op at all.
+///
+/// Notable gaps (all of which appear in the paper's model set and produce
+/// its missing bars): unfused `nn.batch_norm` (vendor compilers expect BN
+/// folded at export), `exp`/`mean`/`image.resize2d` (detection post-
+/// processing), `strided_slice`, `nn.log_softmax`.
+pub fn neuron_supported(op_name: &str) -> bool {
+    neuron_set().contains(op_name)
+}
+
+/// Which Neuron opcodes each device can execute.
+pub fn device_supports(device: DeviceKind, op: &NeuronOpKind) -> bool {
+    match device {
+        // The vendor CPU (and GPU) kernels cover the full Neuron opcode set.
+        DeviceKind::Cpu | DeviceKind::Gpu => true,
+        // The APU 3.0 datapath covers the CNN core but not the
+        // transcendental activations (driver falls back to CPU for those).
+        DeviceKind::Apu => !matches!(
+            op,
+            NeuronOpKind::Sigmoid
+                | NeuronOpKind::Tanh
+                | NeuronOpKind::LeakyRelu { .. }
+                | NeuronOpKind::Mul
+                | NeuronOpKind::Max
+        ),
+    }
+}
+
+/// The [`CompilerSupport`] oracle handed to the BYOC partitioner: "offload
+/// to NeuroPilot whatever its compiler can ingest".
+pub struct NeuronSupport;
+
+impl CompilerSupport for NeuronSupport {
+    fn name(&self) -> &str {
+        "neuropilot"
+    }
+
+    fn supported(&self, op: &OpKind, _arg_types: &[&Type]) -> bool {
+        neuron_supported(op.name())
+    }
+}
+
+/// Check an entire Relay function body for full Neuron coverage, returning
+/// the first unsupported op name if any. NeuroPilot-only builds require
+/// this to pass.
+pub fn first_unsupported(func: &tvmnp_relay::Function) -> Option<String> {
+    let mut bad: Option<String> = None;
+    tvmnp_relay::visit::post_order(&func.body, |e| {
+        if bad.is_some() {
+            return;
+        }
+        if let Some(op) = e.op() {
+            if !neuron_supported(op.name()) {
+                bad = Some(op.name().to_string());
+            }
+        }
+    });
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_cnn_ops_supported() {
+        for op in ["nn.conv2d", "nn.dense", "nn.relu", "nn.softmax", "qnn.conv2d"] {
+            assert!(neuron_supported(op), "{op} must be supported");
+        }
+    }
+
+    #[test]
+    fn known_gaps_unsupported() {
+        for op in ["nn.batch_norm", "exp", "mean", "image.resize2d", "strided_slice"] {
+            assert!(!neuron_supported(op), "{op} must be unsupported");
+        }
+    }
+
+    #[test]
+    fn apu_narrower_than_cpu() {
+        assert!(device_supports(DeviceKind::Cpu, &NeuronOpKind::Sigmoid));
+        assert!(!device_supports(DeviceKind::Apu, &NeuronOpKind::Sigmoid));
+        assert!(device_supports(DeviceKind::Apu, &NeuronOpKind::Softmax));
+        assert!(device_supports(
+            DeviceKind::Apu,
+            &NeuronOpKind::Conv2d {
+                strides: (1, 1),
+                padding: (0, 0, 0, 0),
+                dilation: (1, 1),
+                groups: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn oracle_matches_set() {
+        use tvmnp_relay::passes::CompilerSupport as _;
+        let s = NeuronSupport;
+        assert!(s.supported(&OpKind::Relu, &[]));
+        assert!(!s.supported(
+            &OpKind::BatchNorm(tvmnp_relay::BatchNormAttrs { epsilon: 1e-5 }),
+            &[]
+        ));
+    }
+}

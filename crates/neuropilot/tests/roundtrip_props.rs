@@ -1,0 +1,178 @@
+//! Property tests: Relay→Neuron conversion and planned execution preserve
+//! semantics on randomly generated NP-supported graphs, and plans always
+//! satisfy their structural invariants.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tvmnp_hwsim::CostModel;
+use tvmnp_neuropilot::{convert_function, plan_op_level, CompiledNetwork, Planner, TargetPolicy};
+use tvmnp_relay::builder;
+use tvmnp_relay::expr::{call, var, Expr, Function, Module};
+use tvmnp_relay::interp::run_module;
+use tvmnp_relay::{Conv2dAttrs, OpKind, TensorType};
+use tvmnp_tensor::rng::TensorRng;
+use tvmnp_tensor::Tensor;
+
+/// Random graph over the NP-supported float op set.
+fn random_supported_graph(choices: &[u8], seed: u64) -> (Function, Tensor) {
+    let mut rng = TensorRng::new(seed);
+    let x = var("x", TensorType::f32([1, 4, 8, 8]));
+    let mut nodes: Vec<Expr> = vec![x.clone()];
+    for (i, &c) in choices.iter().enumerate() {
+        let pick = |k: usize| nodes[(c as usize + k * 5 + i) % nodes.len()].clone();
+        let new = match c % 7 {
+            0 => builder::relu(pick(0)),
+            1 => builder::sigmoid(pick(0)),
+            2 => call(OpKind::Tanh, vec![pick(0)]),
+            3 => builder::add(pick(0), pick(1)),
+            4 => builder::multiply(pick(0), pick(1)),
+            5 => builder::conv2d(
+                pick(0),
+                rng.uniform_f32([4, 4, 3, 3], -0.3, 0.3),
+                Conv2dAttrs::same(1),
+            ),
+            _ => builder::max_pool2d(
+                pick(0),
+                tvmnp_relay::Pool2dAttrs {
+                    kernel: (3, 3),
+                    strides: (1, 1),
+                    padding: (1, 1, 1, 1),
+                    count_include_pad: false,
+                },
+            ),
+        };
+        nodes.push(new);
+    }
+    let body = nodes.last().unwrap().clone();
+    let input = rng.uniform_f32([1, 4, 8, 8], -1.0, 1.0);
+    (Function::new(vec![x], body), input)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conversion + any policy's planned execution is bit-identical to the
+    /// Relay interpreter.
+    #[test]
+    fn conversion_roundtrip_bit_exact(
+        choices in prop::collection::vec(0u8..=255, 1..16),
+        seed in 0u64..10_000,
+        policy_pick in 0usize..4,
+    ) {
+        let (f, input) = random_supported_graph(&choices, seed);
+        let module = Module::from_main(Function::new(f.params.clone(), f.body.clone()));
+        let mut ins = HashMap::new();
+        ins.insert("x".to_string(), input.clone());
+        let reference = run_module(&module, &ins).unwrap();
+
+        let graph = convert_function(&f).unwrap();
+        let policy = TargetPolicy::ALL[policy_pick];
+        let net = CompiledNetwork::compile(graph, policy, CostModel::default()).unwrap();
+        let (outs, t) = net.execute(&[input]).unwrap();
+        prop_assert!(outs[0].bit_eq(&reference), "policy {policy} diverged");
+        prop_assert!(t > 0.0);
+    }
+
+    /// Plan invariants: placements cover every op exactly once, segments
+    /// partition the op sequence in order, and crossings reference real
+    /// tensors.
+    #[test]
+    fn plan_structural_invariants(
+        choices in prop::collection::vec(0u8..=255, 1..16),
+        seed in 0u64..10_000,
+        policy_pick in 0usize..4,
+    ) {
+        let (f, _) = random_supported_graph(&choices, seed);
+        let graph = convert_function(&f).unwrap();
+        let policy = TargetPolicy::ALL[policy_pick];
+        let plan = Planner::plan(&graph, policy).unwrap();
+        prop_assert_eq!(plan.placements.len(), graph.ops.len());
+        let mut covered = vec![false; graph.ops.len()];
+        let mut expected_next = 0usize;
+        for seg in &plan.segments {
+            for &i in &seg.op_indices {
+                prop_assert_eq!(i, expected_next, "segments must be in order");
+                expected_next += 1;
+                prop_assert!(!covered[i]);
+                covered[i] = true;
+                prop_assert_eq!(plan.placements[i].device, seg.device);
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c));
+        for &(tid, bytes) in &plan.crossings {
+            prop_assert!(tid < graph.tensors.len());
+            prop_assert_eq!(bytes, graph.tensors[tid].size_bytes());
+        }
+    }
+
+    /// The op-level DP never plans worse than the fixed CPU/APU policies
+    /// under the same cost model.
+    #[test]
+    fn op_level_dominates_fixed_policies(
+        choices in prop::collection::vec(0u8..=255, 1..12),
+        seed in 0u64..10_000,
+    ) {
+        let (f, _) = random_supported_graph(&choices, seed);
+        let graph = convert_function(&f).unwrap();
+        let cost = CostModel::default();
+        let op_plan = plan_op_level(&graph, &cost).unwrap();
+        let t_op = CompiledNetwork::from_plan(graph.clone(), op_plan, cost.clone())
+            .estimate_time_us();
+        for policy in [TargetPolicy::CpuOnly, TargetPolicy::ApuPrefer, TargetPolicy::CpuApu] {
+            let fixed = Planner::plan(&graph, policy).unwrap();
+            let t_fixed =
+                CompiledNetwork::from_plan(graph.clone(), fixed, cost.clone()).estimate_time_us();
+            prop_assert!(
+                t_op <= t_fixed * 1.001,
+                "op-level {t_op:.1} vs {policy} {t_fixed:.1}"
+            );
+        }
+    }
+
+    /// Quant propagation totality: converting any quantized chain leaves no
+    /// quantized tensor without parameters (validated inside convert).
+    #[test]
+    fn quantized_chains_validate(depth in 1usize..6, seed in 0u64..10_000) {
+        use tvmnp_relay::{QnnConv2dAttrs, QuantizeAttrs, DequantizeAttrs};
+        use tvmnp_tensor::{DType, QuantParams};
+        let mut rng = TensorRng::new(seed);
+        let qp = QuantParams::new(0.03, 128);
+        let qw = QuantParams::new(0.01, 128);
+        let x = var("x", TensorType::f32([1, 4, 8, 8]));
+        let mut e = call(
+            OpKind::QnnQuantize(QuantizeAttrs { out: qp, out_dtype: DType::U8 }),
+            vec![x.clone()],
+        );
+        for _ in 0..depth {
+            let w = rng.uniform_quantized([4, 4, 3, 3], DType::U8, qw);
+            e = call(
+                OpKind::QnnConv2d(QnnConv2dAttrs {
+                    conv: Conv2dAttrs::same(1),
+                    input_q: qp,
+                    weight_q: qw,
+                    output_q: qp,
+                    out_dtype: DType::U8,
+                }),
+                vec![e, tvmnp_relay::expr::constant(w)],
+            );
+            // A quant-transparent op between convs exercises propagation.
+            e = builder::max_pool2d(
+                e,
+                tvmnp_relay::Pool2dAttrs {
+                    kernel: (3, 3),
+                    strides: (1, 1),
+                    padding: (1, 1, 1, 1),
+                    count_include_pad: false,
+                },
+            );
+        }
+        e = call(OpKind::QnnDequantize(DequantizeAttrs { input: qp }), vec![e]);
+        let f = Function::new(vec![x], e);
+        let graph = convert_function(&f).unwrap();
+        for t in &graph.tensors {
+            if t.dtype.is_quantized() {
+                prop_assert!(t.quant.is_some(), "tensor '{}' lost its params", t.name);
+            }
+        }
+    }
+}

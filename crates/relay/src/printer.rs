@@ -1,0 +1,167 @@
+//! Text-form printer for Relay modules, in the spirit of TVM's
+//! `mod.astext()`: SSA-style `%N = op(args) /* ty */` lines per function.
+//!
+//! The printer is for humans (debugging, docs, the examples' output); it
+//! is deliberately not a parser round-trip format.
+
+use crate::expr::{CallTarget, ExprKind, Function, Module};
+use crate::infer::infer_types;
+use crate::visit::topo_order;
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Render one function as text. `types` may be empty if inference failed.
+fn print_function(
+    name: &str,
+    f: &Function,
+    types: &HashMap<usize, crate::ty::Type>,
+    out: &mut String,
+) {
+    let ty_of = |id: usize| {
+        types.get(&id).map(|t| format!(" /* {t} */")).unwrap_or_default()
+    };
+    write!(out, "def @{name}(").unwrap();
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        if let ExprKind::Var(v) = &p.kind {
+            write!(out, "%{}: {}", v.name, v.ty).unwrap();
+        }
+    }
+    let mut attrs: Vec<String> =
+        f.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    attrs.sort();
+    if attrs.is_empty() {
+        out.push_str(") {\n");
+    } else {
+        write!(out, "), attrs=[{}] {{\n", attrs.join(", ")).unwrap();
+    }
+
+    // SSA numbering in topo order.
+    let mut ssa: HashMap<usize, String> = HashMap::new();
+    for p in &f.params {
+        if let ExprKind::Var(v) = &p.kind {
+            ssa.insert(p.id, format!("%{}", v.name));
+        }
+    }
+    let mut n = 0usize;
+    for e in topo_order(&f.body) {
+        if ssa.contains_key(&e.id) {
+            continue;
+        }
+        let name_of = |id: usize, ssa: &HashMap<usize, String>| {
+            ssa.get(&id).cloned().unwrap_or_else(|| "?".to_string())
+        };
+        match &e.kind {
+            ExprKind::Var(v) => {
+                ssa.insert(e.id, format!("%{}", v.name));
+            }
+            ExprKind::Constant(c) => {
+                let label = format!("meta[Constant]{}{}", c.value.shape(), c.value.dtype());
+                ssa.insert(e.id, label);
+            }
+            ExprKind::Call(c) => {
+                let id = format!("%{n}");
+                n += 1;
+                let args: Vec<String> =
+                    c.args.iter().map(|a| name_of(a.id, &ssa)).collect();
+                let target = match &c.target {
+                    CallTarget::Op(op) => op.name().to_string(),
+                    CallTarget::Global(g) => format!("@{g}"),
+                };
+                writeln!(out, "  {id} = {target}({}){}", args.join(", "), ty_of(e.id)).unwrap();
+                ssa.insert(e.id, id);
+            }
+            ExprKind::Tuple(fs) => {
+                let id = format!("%{n}");
+                n += 1;
+                let args: Vec<String> = fs.iter().map(|a| name_of(a.id, &ssa)).collect();
+                writeln!(out, "  {id} = ({}){}", args.join(", "), ty_of(e.id)).unwrap();
+                ssa.insert(e.id, id);
+            }
+            ExprKind::TupleGetItem(t, i) => {
+                let id = format!("%{n}");
+                n += 1;
+                writeln!(out, "  {id} = {}.{i}{}", name_of(t.id, &ssa), ty_of(e.id)).unwrap();
+                ssa.insert(e.id, id);
+            }
+        }
+    }
+    writeln!(out, "  {}", ssa.get(&f.body.id).cloned().unwrap_or_default()).unwrap();
+    out.push_str("}\n");
+}
+
+/// Render the whole module (externals first, `main` last), with checked
+/// types inline when the module type-checks.
+pub fn print_module(module: &Module) -> String {
+    let types = infer_types(module).unwrap_or_default();
+    let mut out = String::new();
+    let mut names: Vec<&String> = module.functions.keys().collect();
+    names.sort_by_key(|n| (n.as_str() == "main") as u8);
+    for name in names {
+        print_function(name, &module.functions[name], &types, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use crate::expr::var;
+    use crate::ty::TensorType;
+    use crate::Conv2dAttrs;
+    use tvmnp_tensor::rng::TensorRng;
+
+    #[test]
+    fn prints_plain_cnn() {
+        let mut rng = TensorRng::new(1);
+        let x = var("x", TensorType::f32([1, 3, 8, 8]));
+        let w = rng.uniform_f32([4, 3, 3, 3], -0.5, 0.5);
+        let y = builder::softmax(builder::batch_flatten(builder::relu(builder::conv2d(
+            x.clone(),
+            w,
+            Conv2dAttrs::same(1),
+        ))));
+        let m = Module::from_main(Function::new(vec![x], y));
+        let text = print_module(&m);
+        assert!(text.contains("def @main(%x: Tensor[(1, 3, 8, 8), float32])"));
+        assert!(text.contains("nn.conv2d"));
+        assert!(text.contains("nn.softmax"));
+        assert!(text.contains("/* Tensor[(1, 256), float32] */"));
+    }
+
+    #[test]
+    fn prints_partitioned_module_with_attrs() {
+        use crate::passes::{partition_graph, SupportByName};
+        let mut rng = TensorRng::new(2);
+        let x = var("x", TensorType::f32([1, 3, 8, 8]));
+        let w = rng.uniform_f32([4, 3, 3, 3], -0.5, 0.5);
+        let y = builder::sigmoid(builder::relu(builder::conv2d(x.clone(), w, Conv2dAttrs::same(1))));
+        let m = Module::from_main(Function::new(vec![x], y));
+        let support = SupportByName::new("neuropilot", ["nn.conv2d", "nn.relu"]);
+        let (p, _) = partition_graph(&m, &support).unwrap();
+        let text = print_module(&p);
+        assert!(text.contains("Compiler=neuropilot"));
+        assert!(text.contains("@neuropilot_0("));
+        // main calls the external.
+        assert!(text.contains("= @neuropilot_0("));
+        // main printed last.
+        let main_pos = text.find("def @main").unwrap();
+        let ext_pos = text.find("def @neuropilot_0").unwrap();
+        assert!(ext_pos < main_pos);
+    }
+
+    #[test]
+    fn prints_tuples() {
+        let x = var("x", TensorType::f32([2]));
+        let t = crate::expr::tuple(vec![builder::relu(x.clone()), x.clone()]);
+        let g = crate::expr::tuple_get(t, 0);
+        let m = Module::from_main(Function::new(vec![x], g));
+        let text = print_module(&m);
+        assert!(text.contains("= (%"));
+        assert!(text.contains(".0"));
+    }
+}

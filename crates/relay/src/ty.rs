@@ -1,0 +1,123 @@
+//! Types checked onto Relay expressions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tvmnp_tensor::{DType, Shape};
+
+/// The type of one tensor value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorType {
+    /// Static shape (the reproduction, like the paper's mobile deployments,
+    /// compiles fixed-shape graphs).
+    pub shape: Shape,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl TensorType {
+    /// Convenience constructor.
+    pub fn new(shape: impl Into<Shape>, dtype: DType) -> Self {
+        TensorType { shape: shape.into(), dtype }
+    }
+
+    /// Float32 tensor type.
+    pub fn f32(shape: impl Into<Shape>) -> Self {
+        TensorType::new(shape, DType::F32)
+    }
+
+    /// Payload size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.shape.num_elements() * self.dtype.size_bytes()
+    }
+}
+
+impl fmt::Display for TensorType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor[{}, {}]", self.shape, self.dtype)
+    }
+}
+
+/// The checked type of an expression: a tensor or a tuple of tensors.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Type {
+    /// Single tensor.
+    Tensor(TensorType),
+    /// Tuple of component types.
+    Tuple(Vec<Type>),
+}
+
+impl Type {
+    /// Unwrap a tensor type, panicking on tuples (used where the op
+    /// signature guarantees a tensor).
+    pub fn as_tensor(&self) -> &TensorType {
+        match self {
+            Type::Tensor(t) => t,
+            Type::Tuple(_) => panic!("expected tensor type, found tuple"),
+        }
+    }
+
+    /// Tensor type, or `None` for tuples.
+    pub fn tensor(&self) -> Option<&TensorType> {
+        match self {
+            Type::Tensor(t) => Some(t),
+            Type::Tuple(_) => None,
+        }
+    }
+
+    /// Total payload bytes (summed over tuple components).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Type::Tensor(t) => t.size_bytes(),
+            Type::Tuple(ts) => ts.iter().map(Type::size_bytes).sum(),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Tensor(t) => write!(f, "{t}"),
+            Type::Tuple(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl From<TensorType> for Type {
+    fn from(t: TensorType) -> Self {
+        Type::Tensor(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        let t = TensorType::f32([1, 3, 8, 8]);
+        assert_eq!(t.size_bytes(), 3 * 64 * 4);
+        let tup = Type::Tuple(vec![t.clone().into(), TensorType::new([2], DType::I8).into()]);
+        assert_eq!(tup.size_bytes(), 3 * 64 * 4 + 2);
+    }
+
+    #[test]
+    fn display() {
+        let t = TensorType::new([2, 2], DType::U8);
+        assert_eq!(t.to_string(), "Tensor[(2, 2), uint8]");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected tensor type")]
+    fn as_tensor_panics_on_tuple() {
+        Type::Tuple(vec![]).as_tensor();
+    }
+}

@@ -1,0 +1,388 @@
+//! The graph executor — TVM's `GraphModule` (`set_input` / `run` /
+//! `get_output`), with simulated-time accounting.
+
+use crate::graph::{ExecutorGraph, NodeKind, NodeRef};
+use crate::module::ModuleRegistry;
+use crate::work::relay_work_item;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use tvmnp_hwsim::{CostModel, DeviceKind, KernelClass};
+use tvmnp_relay::interp::{eval_op, Value};
+use tvmnp_relay::TensorType;
+use tvmnp_tensor::Tensor;
+
+/// Executor failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecError(pub String);
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "executor error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The graph executor: owns the graph, linked external modules, bound
+/// inputs and computed outputs.
+pub struct GraphExecutor {
+    graph: ExecutorGraph,
+    modules: ModuleRegistry,
+    cost: CostModel,
+    inputs: HashMap<String, Tensor>,
+    values: HashMap<NodeRef, Tensor>,
+    last_run_us: Option<f64>,
+}
+
+impl GraphExecutor {
+    /// Construct from a lowered graph and linked external modules.
+    ///
+    /// Every external symbol referenced by the graph must be registered —
+    /// the same constraint TVM enforces when linking BYOC modules.
+    pub fn new(
+        graph: ExecutorGraph,
+        modules: ModuleRegistry,
+        cost: CostModel,
+    ) -> Result<Self, ExecError> {
+        for sym in graph.external_symbols() {
+            if modules.get(sym).is_none() {
+                return Err(ExecError(format!("external symbol '{sym}' is not linked")));
+            }
+        }
+        Ok(GraphExecutor {
+            graph,
+            modules,
+            cost,
+            inputs: HashMap::new(),
+            values: HashMap::new(),
+            last_run_us: None,
+        })
+    }
+
+    /// Bind a named input (TVM `m.set_input`).
+    pub fn set_input(&mut self, name: &str, value: Tensor) -> Result<(), ExecError> {
+        let &idx = self
+            .graph
+            .input_index
+            .get(name)
+            .ok_or_else(|| ExecError(format!("unknown input '{name}'")))?;
+        let expect = &self.graph.nodes[idx].out_types[0];
+        if value.shape() != &expect.shape || value.dtype() != expect.dtype {
+            return Err(ExecError(format!(
+                "input '{name}' expects {} {}, got {} {}",
+                expect.shape,
+                expect.dtype,
+                value.shape(),
+                value.dtype()
+            )));
+        }
+        self.inputs.insert(name.to_string(), value);
+        Ok(())
+    }
+
+    /// Execute the graph (TVM `m.run`). Returns the simulated time in
+    /// microseconds.
+    pub fn run(&mut self) -> Result<f64, ExecError> {
+        self.values.clear();
+        let mut time_us = 0.0;
+        let mut groups_dispatched: HashSet<usize> = HashSet::new();
+        let cpu_launch = self.cost.soc().device(DeviceKind::Cpu).kernel_launch_us;
+
+        for (idx, node) in self.graph.nodes.iter().enumerate() {
+            match &node.kind {
+                NodeKind::Input { name } => {
+                    let v = self
+                        .inputs
+                        .get(name)
+                        .ok_or_else(|| ExecError(format!("input '{name}' not set")))?;
+                    self.values.insert(NodeRef { node: idx, output: 0 }, v.clone());
+                }
+                NodeKind::Param { index } => {
+                    self.values.insert(
+                        NodeRef { node: idx, output: 0 },
+                        self.graph.params[*index].clone(),
+                    );
+                }
+                NodeKind::Op { op, inputs, group } => {
+                    let args: Vec<Value> = inputs
+                        .iter()
+                        .map(|r| {
+                            self.values
+                                .get(r)
+                                .cloned()
+                                .map(Value::Tensor)
+                                .ok_or_else(|| ExecError(format!("value for {r:?} missing")))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let out = eval_op(op, &args)
+                        .map_err(|e| ExecError(e.to_string()))?
+                        .into_tensor()
+                        .map_err(|e| ExecError(e.to_string()))?;
+                    // Time: one launch per fusion group + roofline body.
+                    let arg_types: Vec<TensorType> = inputs
+                        .iter()
+                        .map(|r| self.graph.nodes[r.node].out_types[r.output].clone())
+                        .collect();
+                    let arg_refs: Vec<&TensorType> = arg_types.iter().collect();
+                    let w = relay_work_item(op, &arg_refs, &node.out_types[0]);
+                    time_us +=
+                        self.cost.kernel_body_us(&w, DeviceKind::Cpu, KernelClass::TvmUntuned);
+                    if groups_dispatched.insert(*group) {
+                        time_us += cpu_launch;
+                    }
+                    self.values.insert(NodeRef { node: idx, output: 0 }, out);
+                }
+                NodeKind::External { symbol, inputs } => {
+                    let module = self.modules.get(symbol).expect("checked at construction");
+                    let args: Vec<Tensor> = inputs
+                        .iter()
+                        .map(|r| {
+                            self.values
+                                .get(r)
+                                .cloned()
+                                .ok_or_else(|| ExecError(format!("value for {r:?} missing")))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    // Host → external transfer for each argument.
+                    for a in &args {
+                        time_us += self.cost.transfer_us(a.size_bytes());
+                    }
+                    let (outs, ext_us) =
+                        module.run(&args).map_err(|e| ExecError(e.to_string()))?;
+                    time_us += ext_us;
+                    if outs.len() != node.out_types.len() {
+                        return Err(ExecError(format!(
+                            "'{symbol}' returned {} outputs, expected {}",
+                            outs.len(),
+                            node.out_types.len()
+                        )));
+                    }
+                    // External → host transfer for each result.
+                    for (k, o) in outs.into_iter().enumerate() {
+                        time_us += self.cost.transfer_us(o.size_bytes());
+                        self.values.insert(NodeRef { node: idx, output: k }, o);
+                    }
+                }
+            }
+        }
+        self.last_run_us = Some(time_us);
+        Ok(time_us)
+    }
+
+    /// Simulated time of one inference, computed analytically from shapes
+    /// and the linked modules — no numeric execution needed (static shapes
+    /// make the time input-independent, like the paper's per-model
+    /// measurements).
+    pub fn estimate_time_us(&self) -> f64 {
+        let mut time_us = 0.0;
+        let mut groups_dispatched: HashSet<usize> = HashSet::new();
+        let cpu_launch = self.cost.soc().device(DeviceKind::Cpu).kernel_launch_us;
+        for node in &self.graph.nodes {
+            match &node.kind {
+                NodeKind::Input { .. } | NodeKind::Param { .. } => {}
+                NodeKind::Op { op, inputs, group } => {
+                    let arg_types: Vec<TensorType> = inputs
+                        .iter()
+                        .map(|r| self.graph.nodes[r.node].out_types[r.output].clone())
+                        .collect();
+                    let arg_refs: Vec<&TensorType> = arg_types.iter().collect();
+                    let w = relay_work_item(op, &arg_refs, &node.out_types[0]);
+                    time_us +=
+                        self.cost.kernel_body_us(&w, DeviceKind::Cpu, KernelClass::TvmUntuned);
+                    if groups_dispatched.insert(*group) {
+                        time_us += cpu_launch;
+                    }
+                }
+                NodeKind::External { symbol, inputs } => {
+                    let module = self.modules.get(symbol).expect("checked at construction");
+                    for r in inputs {
+                        let t = &self.graph.nodes[r.node].out_types[r.output];
+                        time_us += self.cost.transfer_us(t.size_bytes());
+                    }
+                    time_us += module.estimate_time_us();
+                    for t in &node.out_types {
+                        time_us += self.cost.transfer_us(t.size_bytes());
+                    }
+                }
+            }
+        }
+        time_us
+    }
+
+    /// Simulated inference energy in microjoules (host ops burn untuned
+    /// CPU energy; external modules are consulted via the registry).
+    pub fn estimate_energy_uj(&self) -> f64 {
+        let mut e = 0.0;
+        for node in &self.graph.nodes {
+            match &node.kind {
+                NodeKind::Input { .. } | NodeKind::Param { .. } => {}
+                NodeKind::Op { op, inputs, .. } => {
+                    let arg_types: Vec<TensorType> = inputs
+                        .iter()
+                        .map(|r| self.graph.nodes[r.node].out_types[r.output].clone())
+                        .collect();
+                    let arg_refs: Vec<&TensorType> = arg_types.iter().collect();
+                    let w = relay_work_item(op, &arg_refs, &node.out_types[0]);
+                    e += self.cost.kernel_energy_uj(&w, DeviceKind::Cpu, KernelClass::TvmUntuned);
+                }
+                NodeKind::External { symbol, inputs } => {
+                    let module = self.modules.get(symbol).expect("checked at construction");
+                    for r in inputs {
+                        let t = &self.graph.nodes[r.node].out_types[r.output];
+                        e += self.cost.transfer_energy_uj(t.size_bytes());
+                    }
+                    e += module.estimate_energy_uj();
+                    for t in &node.out_types {
+                        e += self.cost.transfer_energy_uj(t.size_bytes());
+                    }
+                }
+            }
+        }
+        e
+    }
+
+    /// Fetch output `i` after a run (TVM `m.get_output`).
+    pub fn get_output(&self, i: usize) -> Result<Tensor, ExecError> {
+        let r = self
+            .graph
+            .outputs
+            .get(i)
+            .ok_or_else(|| ExecError(format!("output index {i} out of range")))?;
+        self.values
+            .get(r)
+            .cloned()
+            .ok_or_else(|| ExecError("run() has not produced outputs yet".into()))
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.graph.outputs.len()
+    }
+
+    /// Simulated time of the last run.
+    pub fn last_run_us(&self) -> Option<f64> {
+        self.last_run_us
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &ExecutorGraph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ExecutorGraph;
+    use crate::module::test_support::NegateModule;
+    use tvmnp_relay::builder;
+    use tvmnp_relay::expr::{call_global, var, Function, Module};
+    use tvmnp_relay::Conv2dAttrs;
+    use tvmnp_tensor::rng::TensorRng;
+
+    #[test]
+    fn runs_host_graph() {
+        let mut rng = TensorRng::new(2);
+        let x = var("x", tvmnp_relay::TensorType::f32([1, 3, 8, 8]));
+        let w = rng.uniform_f32([4, 3, 3, 3], -0.5, 0.5);
+        let y = builder::relu(builder::conv2d(x.clone(), w, Conv2dAttrs::same(1)));
+        let m = Module::from_main(Function::new(vec![x], y));
+        let g = ExecutorGraph::build(&m).unwrap();
+        let mut ex = GraphExecutor::new(g, ModuleRegistry::new(), CostModel::default()).unwrap();
+        ex.set_input("x", rng.uniform_f32([1, 3, 8, 8], -1.0, 1.0)).unwrap();
+        let t = ex.run().unwrap();
+        assert!(t > 0.0);
+        let out = ex.get_output(0).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 4, 8, 8]);
+        assert!(out.as_f32().unwrap().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn missing_module_rejected_at_link() {
+        let x = var("x", tvmnp_relay::TensorType::f32([2]));
+        let y = call_global("nir_0", vec![x.clone()]);
+        let px = var("p", tvmnp_relay::TensorType::f32([2]));
+        let ext = Function::new(vec![px.clone()], builder::relu(px))
+            .with_attr("Compiler", "neuropilot");
+        let mut m = Module::from_main(Function::new(vec![x], y));
+        m.functions.insert("nir_0".into(), ext);
+        let g = ExecutorGraph::build(&m).unwrap();
+        assert!(GraphExecutor::new(g, ModuleRegistry::new(), CostModel::default()).is_err());
+    }
+
+    #[test]
+    fn external_module_invoked_with_transfer_cost() {
+        let x = var("x", tvmnp_relay::TensorType::f32([2]));
+        let y = call_global("nir_0", vec![x.clone()]);
+        let px = var("p", tvmnp_relay::TensorType::f32([2]));
+        // Body irrelevant to numerics (fake module negates), but types must
+        // line up.
+        let ext = Function::new(vec![px.clone()], builder::relu(px))
+            .with_attr("Compiler", "fake");
+        let mut m = Module::from_main(Function::new(vec![x], y));
+        m.functions.insert("nir_0".into(), ext);
+        let g = ExecutorGraph::build(&m).unwrap();
+        let mut reg = ModuleRegistry::new();
+        reg.register(Box::new(NegateModule { symbol: "nir_0".into(), time_us: 42.0 }));
+        let cost = CostModel::default();
+        let min_transfer = 2.0 * cost.transfer_us(8);
+        let mut ex = GraphExecutor::new(g, reg, cost).unwrap();
+        ex.set_input("x", Tensor::from_f32([2], vec![1.0, -2.0]).unwrap()).unwrap();
+        let t = ex.run().unwrap();
+        assert_eq!(ex.get_output(0).unwrap().as_f32().unwrap(), &[-1.0, 2.0]);
+        assert!(t >= 42.0 + min_transfer, "time {t} must include module + transfers");
+    }
+
+    #[test]
+    fn unset_input_is_error() {
+        let x = var("x", tvmnp_relay::TensorType::f32([2]));
+        let y = builder::relu(x.clone());
+        let m = Module::from_main(Function::new(vec![x], y));
+        let g = ExecutorGraph::build(&m).unwrap();
+        let mut ex = GraphExecutor::new(g, ModuleRegistry::new(), CostModel::default()).unwrap();
+        assert!(ex.run().is_err());
+    }
+
+    #[test]
+    fn wrong_shape_input_rejected() {
+        let x = var("x", tvmnp_relay::TensorType::f32([2]));
+        let y = builder::relu(x.clone());
+        let m = Module::from_main(Function::new(vec![x], y));
+        let g = ExecutorGraph::build(&m).unwrap();
+        let mut ex = GraphExecutor::new(g, ModuleRegistry::new(), CostModel::default()).unwrap();
+        assert!(ex.set_input("x", Tensor::zeros_f32([3])).is_err());
+        assert!(ex.set_input("y", Tensor::zeros_f32([2])).is_err());
+    }
+
+    #[test]
+    fn fusion_reduces_dispatches() {
+        // conv+bias+relu (one group) vs three separate groups: compare
+        // times through two graphs with identical math.
+        let mut rng = TensorRng::new(3);
+        let w = rng.uniform_f32([4, 3, 3, 3], -0.5, 0.5);
+        let b = rng.uniform_f32([4], -0.1, 0.1);
+        let x1 = var("x", tvmnp_relay::TensorType::f32([1, 3, 8, 8]));
+        let fused = builder::relu(builder::bias_add(
+            builder::conv2d(x1.clone(), w.clone(), Conv2dAttrs::same(1)),
+            b.clone(),
+        ));
+        let m1 = Module::from_main(Function::new(vec![x1], fused));
+        // Break fusion by consuming the conv twice.
+        let x2 = var("x", tvmnp_relay::TensorType::f32([1, 3, 8, 8]));
+        let conv = builder::conv2d(x2.clone(), w, Conv2dAttrs::same(1));
+        let split = builder::add(builder::relu(conv.clone()), builder::sigmoid(conv));
+        let m2 = Module::from_main(Function::new(vec![x2], split));
+
+        let input = rng.uniform_f32([1, 3, 8, 8], -1.0, 1.0);
+        let run = |m: &Module| {
+            let g = ExecutorGraph::build(m).unwrap();
+            let mut ex =
+                GraphExecutor::new(g, ModuleRegistry::new(), CostModel::default()).unwrap();
+            ex.set_input("x", input.clone()).unwrap();
+            ex.run().unwrap()
+        };
+        let t_fused = run(&m1);
+        let t_split = run(&m2);
+        assert!(t_split > t_fused, "more dispatch groups must cost more");
+    }
+}

@@ -1,0 +1,186 @@
+//! The storage planner — TVM's `GraphPlanMemory`.
+//!
+//! Assigns each op/external output a storage slot, greedily reusing slots
+//! whose producing value is dead. Inputs and params live in their own
+//! pinned storage. The planner reports slot assignments and peak bytes —
+//! the number that decides whether a model fits a phone's memory budget.
+
+use crate::graph::{ExecutorGraph, NodeKind, NodeRef};
+use std::collections::HashMap;
+
+/// Result of memory planning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryPlan {
+    /// Storage slot per intermediate value.
+    pub slot_of: HashMap<NodeRef, usize>,
+    /// Size of each slot in bytes.
+    pub slot_bytes: Vec<usize>,
+    /// Peak transient memory (sum of slot sizes).
+    pub peak_bytes: usize,
+}
+
+/// Plan storage for a lowered graph.
+pub fn plan_memory(graph: &ExecutorGraph) -> MemoryPlan {
+    // Reference counts: how many later uses each value has.
+    let mut refcount: HashMap<NodeRef, usize> = HashMap::new();
+    for node in &graph.nodes {
+        let inputs = match &node.kind {
+            NodeKind::Op { inputs, .. } | NodeKind::External { inputs, .. } => inputs.as_slice(),
+            _ => &[],
+        };
+        for r in inputs {
+            *refcount.entry(*r).or_insert(0) += 1;
+        }
+    }
+    for r in &graph.outputs {
+        *refcount.entry(*r).or_insert(0) += 1;
+    }
+
+    let mut slot_bytes: Vec<usize> = Vec::new();
+    let mut free: Vec<usize> = Vec::new(); // free slot indices
+    let mut slot_of: HashMap<NodeRef, usize> = HashMap::new();
+    let mut live_refs: HashMap<NodeRef, usize> = HashMap::new(); // value -> remaining uses
+
+    for (idx, node) in graph.nodes.iter().enumerate() {
+        let (inputs, produces): (&[NodeRef], usize) = match &node.kind {
+            NodeKind::Op { inputs, .. } => (inputs.as_slice(), 1),
+            NodeKind::External { inputs, .. } => (inputs.as_slice(), node.out_types.len()),
+            // Inputs/params are pinned outside the transient pool.
+            _ => (&[], 0),
+        };
+        // Allocate outputs: best-fit from the free list, else a new slot.
+        for k in 0..produces {
+            let r = NodeRef { node: idx, output: k };
+            let need = node.out_types[k].size_bytes();
+            let fit = free
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| slot_bytes[s] >= need)
+                .min_by_key(|(_, &s)| slot_bytes[s])
+                .map(|(i, _)| i);
+            let slot = match fit {
+                Some(i) => free.swap_remove(i),
+                None => {
+                    slot_bytes.push(need);
+                    slot_bytes.len() - 1
+                }
+            };
+            slot_of.insert(r, slot);
+            live_refs.insert(r, refcount.get(&r).copied().unwrap_or(0));
+            // A value nobody consumes dies immediately.
+            if live_refs[&r] == 0 {
+                free.push(slot);
+            }
+        }
+        // Release inputs whose last use this was.
+        for r in inputs {
+            if let Some(c) = live_refs.get_mut(r) {
+                *c -= 1;
+                if *c == 0 {
+                    if let Some(&s) = slot_of.get(r) {
+                        free.push(s);
+                    }
+                }
+            }
+        }
+    }
+
+    let peak_bytes = slot_bytes.iter().sum();
+    MemoryPlan { slot_of, slot_bytes, peak_bytes }
+}
+
+impl MemoryPlan {
+    /// Verify no two simultaneously-live values share a slot. Liveness is
+    /// re-derived from the graph; returns the first conflict found.
+    pub fn check_no_alias(&self, graph: &ExecutorGraph) -> Option<(NodeRef, NodeRef)> {
+        // A value is live from its producing node until its last consumer.
+        let mut last_use: HashMap<NodeRef, usize> = HashMap::new();
+        for (idx, node) in graph.nodes.iter().enumerate() {
+            let inputs = match &node.kind {
+                NodeKind::Op { inputs, .. } | NodeKind::External { inputs, .. } => {
+                    inputs.as_slice()
+                }
+                _ => &[],
+            };
+            for r in inputs {
+                last_use.insert(*r, idx);
+            }
+        }
+        for r in &graph.outputs {
+            last_use.insert(*r, graph.nodes.len());
+        }
+        let refs: Vec<&NodeRef> = self.slot_of.keys().collect();
+        for (i, a) in refs.iter().enumerate() {
+            for b in refs.iter().skip(i + 1) {
+                if self.slot_of[a] != self.slot_of[b] {
+                    continue;
+                }
+                let (a_start, b_start) = (a.node, b.node);
+                let a_end = last_use.get(a).copied().unwrap_or(a.node);
+                let b_end = last_use.get(b).copied().unwrap_or(b.node);
+                // Live intervals (start, end]: overlap when each starts
+                // strictly before the other ends.
+                if a_start < b_end && b_start < a_end {
+                    return Some((**a, **b));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvmnp_relay::builder;
+    use tvmnp_relay::expr::{var, Function, Module};
+    use tvmnp_relay::TensorType;
+
+    fn chain(n: usize) -> ExecutorGraph {
+        let x = var("x", TensorType::f32([64]));
+        let mut e = x.clone();
+        for _ in 0..n {
+            e = builder::relu(e);
+        }
+        ExecutorGraph::build(&Module::from_main(Function::new(vec![x], e))).unwrap()
+    }
+
+    #[test]
+    fn chain_reuses_two_slots() {
+        let g = chain(10);
+        let plan = plan_memory(&g);
+        // Ping-pong between two buffers regardless of depth.
+        assert!(plan.slot_bytes.len() <= 2, "got {} slots", plan.slot_bytes.len());
+        assert!(plan.check_no_alias(&g).is_none());
+    }
+
+    #[test]
+    fn diamond_needs_extra_slot() {
+        let x = var("x", TensorType::f32([64]));
+        let a = builder::relu(x.clone());
+        let b = builder::sigmoid(a.clone());
+        let c = builder::add(a.clone(), b); // `a` stays live across `b`
+        let g = ExecutorGraph::build(&Module::from_main(Function::new(vec![x], c))).unwrap();
+        let plan = plan_memory(&g);
+        assert!(plan.slot_bytes.len() >= 2);
+        assert!(plan.check_no_alias(&g).is_none());
+    }
+
+    #[test]
+    fn peak_bytes_positive_and_bounded() {
+        let g = chain(5);
+        let plan = plan_memory(&g);
+        assert!(plan.peak_bytes >= 64 * 4);
+        assert!(plan.peak_bytes <= 2 * 64 * 4);
+    }
+
+    #[test]
+    fn outputs_never_recycled_early() {
+        // The graph output must hold a slot to the very end.
+        let g = chain(3);
+        let plan = plan_memory(&g);
+        let out_slot = plan.slot_of[&g.outputs[0]];
+        assert!(out_slot < plan.slot_bytes.len());
+        assert!(plan.check_no_alias(&g).is_none());
+    }
+}

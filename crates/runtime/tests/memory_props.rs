@@ -1,0 +1,94 @@
+//! Property tests for the storage planner and the executor's analytic
+//! time estimate.
+
+use proptest::prelude::*;
+use tvmnp_hwsim::CostModel;
+use tvmnp_relay::builder;
+use tvmnp_relay::expr::{call, var, Expr, Function, Module};
+use tvmnp_relay::{Conv2dAttrs, OpKind, TensorType};
+use tvmnp_runtime::{plan_memory, ExecutorGraph, GraphExecutor, ModuleRegistry};
+use tvmnp_tensor::rng::TensorRng;
+
+fn random_graph(choices: &[u8], seed: u64) -> Module {
+    let mut rng = TensorRng::new(seed);
+    let x = var("x", TensorType::f32([1, 4, 8, 8]));
+    let mut nodes: Vec<Expr> = vec![x.clone()];
+    for (i, &c) in choices.iter().enumerate() {
+        let pick = |k: usize| nodes[(c as usize + k * 3 + i) % nodes.len()].clone();
+        let new = match c % 6 {
+            0 => builder::relu(pick(0)),
+            1 => builder::sigmoid(pick(0)),
+            2 => builder::add(pick(0), pick(1)),
+            3 => builder::multiply(pick(0), pick(1)),
+            4 => builder::conv2d(
+                pick(0),
+                rng.uniform_f32([4, 4, 3, 3], -0.3, 0.3),
+                Conv2dAttrs::same(1),
+            ),
+            _ => call(OpKind::Tanh, vec![pick(0)]),
+        };
+        nodes.push(new);
+    }
+    Module::from_main(Function::new(vec![x], nodes.last().unwrap().clone()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The storage plan never aliases two simultaneously-live values, and
+    /// peak memory is bounded by the no-reuse total.
+    #[test]
+    fn memory_plan_sound(choices in prop::collection::vec(0u8..=255, 1..24), seed in 0u64..10_000) {
+        let m = random_graph(&choices, seed);
+        let g = ExecutorGraph::build(&m).unwrap();
+        let plan = plan_memory(&g);
+        prop_assert!(plan.check_no_alias(&g).is_none());
+        // Upper bound: sum of all op-output sizes (no reuse at all).
+        let no_reuse: usize = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, tvmnp_runtime::NodeKind::Op { .. }))
+            .flat_map(|n| n.out_types.iter().map(|t| t.size_bytes()))
+            .sum();
+        prop_assert!(plan.peak_bytes <= no_reuse.max(1));
+        // Lower bound: at least the largest single output.
+        let largest = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, tvmnp_runtime::NodeKind::Op { .. }))
+            .flat_map(|n| n.out_types.iter().map(|t| t.size_bytes()))
+            .max()
+            .unwrap_or(0);
+        prop_assert!(plan.peak_bytes >= largest);
+    }
+
+    /// The executor's analytic estimate equals the time accounted during a
+    /// real run (one timing source of truth).
+    #[test]
+    fn estimate_matches_run(choices in prop::collection::vec(0u8..=255, 1..12), seed in 0u64..10_000) {
+        let m = random_graph(&choices, seed);
+        let g = ExecutorGraph::build(&m).unwrap();
+        let mut ex = GraphExecutor::new(g, ModuleRegistry::new(), CostModel::default()).unwrap();
+        let est = ex.estimate_time_us();
+        let mut rng = TensorRng::new(seed);
+        ex.set_input("x", rng.uniform_f32([1, 4, 8, 8], -1.0, 1.0)).unwrap();
+        let ran = ex.run().unwrap();
+        prop_assert!((est - ran).abs() < 1e-6, "estimate {est} vs run {ran}");
+    }
+
+    /// Lowering and executing equals the interpreter for random graphs.
+    #[test]
+    fn executor_matches_interpreter(choices in prop::collection::vec(0u8..=255, 1..12), seed in 0u64..10_000) {
+        let m = random_graph(&choices, seed);
+        let g = ExecutorGraph::build(&m).unwrap();
+        let mut ex = GraphExecutor::new(g, ModuleRegistry::new(), CostModel::default()).unwrap();
+        let mut rng = TensorRng::new(seed ^ 0xabcd);
+        let input = rng.uniform_f32([1, 4, 8, 8], -1.0, 1.0);
+        ex.set_input("x", input.clone()).unwrap();
+        ex.run().unwrap();
+        let mut ins = std::collections::HashMap::new();
+        ins.insert("x".to_string(), input);
+        let reference = tvmnp_relay::interp::run_module(&m, &ins).unwrap();
+        prop_assert!(ex.get_output(0).unwrap().bit_eq(&reference));
+    }
+}

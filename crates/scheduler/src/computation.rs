@@ -1,0 +1,97 @@
+//! Model-level computation scheduling (paper §5.1).
+//!
+//! "We could assign them to targets that are more efficient, and this type
+//! of computation scheduling is a simple method since it is on the
+//! model-level" — i.e. per model, pick the permutation with the smallest
+//! measured inference time.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tvmnp_byoc::{Measurement, Permutation};
+
+/// The measured permutation sweep of one model (one group of Fig. 4 bars).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Model name.
+    pub name: String,
+    /// Measurements across the seven permutations (missing bars are
+    /// `time_ms: None`).
+    pub measurements: Vec<Measurement>,
+}
+
+impl ModelProfile {
+    /// The fastest permutation and its time.
+    pub fn best(&self) -> Option<(Permutation, f64)> {
+        self.measurements
+            .iter()
+            .filter_map(|m| m.time_ms.map(|t| (m.permutation, t)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+    }
+
+    /// Time under a specific permutation (None = missing bar).
+    pub fn time_ms(&self, p: Permutation) -> Option<f64> {
+        self.measurements.iter().find(|m| m.permutation == p).and_then(|m| m.time_ms)
+    }
+}
+
+/// Assign each model to its fastest permutation.
+pub fn best_assignment(profiles: &[ModelProfile]) -> HashMap<String, Permutation> {
+    profiles
+        .iter()
+        .filter_map(|p| p.best().map(|(perm, _)| (p.name.clone(), perm)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(name: &str, times: &[(Permutation, Option<f64>)]) -> ModelProfile {
+        ModelProfile {
+            name: name.into(),
+            measurements: times
+                .iter()
+                .map(|&(p, t)| Measurement { permutation: p, time_ms: t, subgraphs: 0 })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn picks_minimum_time() {
+        let p = profile(
+            "emotion",
+            &[
+                (Permutation::TvmOnly, Some(20.0)),
+                (Permutation::ByocApu, Some(3.0)),
+                (Permutation::NpApu, Some(2.0)),
+            ],
+        );
+        assert_eq!(p.best(), Some((Permutation::NpApu, 2.0)));
+    }
+
+    #[test]
+    fn missing_bars_never_win() {
+        let p = profile(
+            "anti-spoof",
+            &[(Permutation::NpApu, None), (Permutation::ByocCpuApu, Some(9.0))],
+        );
+        assert_eq!(p.best(), Some((Permutation::ByocCpuApu, 9.0)));
+    }
+
+    #[test]
+    fn assignment_covers_all_models() {
+        let ps = vec![
+            profile("a", &[(Permutation::TvmOnly, Some(5.0))]),
+            profile("b", &[(Permutation::ByocCpu, Some(4.0)), (Permutation::ByocApu, Some(2.0))]),
+        ];
+        let a = best_assignment(&ps);
+        assert_eq!(a["a"], Permutation::TvmOnly);
+        assert_eq!(a["b"], Permutation::ByocApu);
+    }
+
+    #[test]
+    fn all_missing_yields_no_entry() {
+        let ps = vec![profile("x", &[(Permutation::NpCpu, None)])];
+        assert!(best_assignment(&ps).is_empty());
+    }
+}

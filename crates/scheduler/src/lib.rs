@@ -1,0 +1,27 @@
+//! # tvmnp-scheduler
+//!
+//! The scheduling layer of paper §5: once the application's three models
+//! are compiled, *where* and *when* they run decides end-to-end
+//! performance.
+//!
+//! * [`computation`] — §5.1 model-level computation scheduling: measure
+//!   each model under every target permutation and assign it to its
+//!   fastest one (the paper's "simple method ... on the model-level");
+//! * [`pipeline`] — §5.2 pipeline scheduling: an event-driven simulator
+//!   over the `tvmnp-hwsim` timeline honoring the intra-frame dependency
+//!   chain (object detection → anti-spoofing → emotion) and the
+//!   exclusive-resource constraint ("models could not utilize the same
+//!   resources at the same time"), plus the automatic assignment search
+//!   the paper lists as future work;
+//! * [`threaded`] — a real multi-threaded pipeline executor (crossbeam
+//!   channels + per-resource locks) used by the application showcase.
+
+pub mod computation;
+pub mod pipeline;
+pub mod threaded;
+
+pub use computation::{best_assignment, ModelProfile};
+pub use pipeline::{
+    auto_schedule, simulate_pipelined, simulate_sequential, PipelineStage, ScheduleResult,
+};
+pub use threaded::{PipelineExecutor, StageSpec};

@@ -1,0 +1,110 @@
+//! Property tests for the pipeline scheduler: resource exclusivity,
+//! dependency ordering, and dominance relations hold for arbitrary stage
+//! configurations.
+
+use proptest::prelude::*;
+use tvmnp_hwsim::DeviceKind;
+use tvmnp_scheduler::pipeline::{auto_schedule, simulate_pipelined, simulate_sequential, PipelineStage};
+
+fn stage_strategy() -> impl Strategy<Value = PipelineStage> {
+    (0u8..7, 1.0f64..10_000.0).prop_map(|(mask, dur)| {
+        let mut resources = Vec::new();
+        if mask & 1 != 0 || mask & 7 == 0 {
+            resources.push(DeviceKind::Cpu);
+        }
+        if mask & 2 != 0 {
+            resources.push(DeviceKind::Apu);
+        }
+        if mask & 4 != 0 {
+            resources.push(DeviceKind::Gpu);
+        }
+        PipelineStage { name: "s".into(), resources, duration_us: dur }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The pipelined schedule never violates resource exclusivity and is
+    /// never slower than the sequential baseline.
+    #[test]
+    fn pipelined_sound_and_dominant(
+        stages in prop::collection::vec(stage_strategy(), 1..5),
+        frames in 1usize..12,
+    ) {
+        // Give stages unique names so the Gantt labels disambiguate.
+        let stages: Vec<PipelineStage> = stages
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut s)| {
+                s.name = format!("s{i}");
+                s
+            })
+            .collect();
+        let seq = simulate_sequential(&stages, frames);
+        let pipe = simulate_pipelined(&stages, frames);
+        prop_assert!(pipe.timeline.check_exclusive().is_none());
+        prop_assert!(seq.timeline.check_exclusive().is_none());
+        prop_assert!(pipe.makespan_us <= seq.makespan_us + 1e-6);
+        // Makespan is at least one frame's critical path.
+        let frame_time: f64 = stages.iter().map(|s| s.duration_us).sum();
+        prop_assert!(pipe.makespan_us + 1e-6 >= frame_time);
+        prop_assert!(seq.makespan_us + 1e-6 >= frame_time * frames as f64);
+    }
+
+    /// Dependencies: within every frame, stage k+1 starts only after
+    /// stage k ends.
+    #[test]
+    fn dependencies_hold(
+        stages in prop::collection::vec(stage_strategy(), 2..5),
+        frames in 1usize..8,
+    ) {
+        let stages: Vec<PipelineStage> = stages
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut s)| {
+                s.name = format!("s{i}");
+                s
+            })
+            .collect();
+        let pipe = simulate_pipelined(&stages, frames);
+        for f in 0..frames {
+            for k in 1..stages.len() {
+                let prev_end = pipe
+                    .timeline
+                    .segments()
+                    .iter()
+                    .filter(|s| s.label == format!("s{} f{f}", k - 1))
+                    .map(|s| s.end_us)
+                    .fold(0.0, f64::max);
+                let start = pipe
+                    .timeline
+                    .segments()
+                    .iter()
+                    .filter(|s| s.label == format!("s{k} f{f}"))
+                    .map(|s| s.start_us)
+                    .fold(f64::INFINITY, f64::min);
+                prop_assert!(start + 1e-9 >= prev_end, "frame {f} stage {k}");
+            }
+        }
+    }
+
+    /// The auto-scheduler returns the minimum over the option product.
+    #[test]
+    fn auto_schedule_is_exhaustive_min(
+        a in prop::collection::vec(stage_strategy(), 1..3),
+        b in prop::collection::vec(stage_strategy(), 1..3),
+        frames in 1usize..6,
+    ) {
+        let options = vec![a.clone(), b.clone()];
+        let Some((_, best)) = auto_schedule(&options, frames) else {
+            return Err(TestCaseError::fail("auto_schedule returned none"));
+        };
+        for x in &a {
+            for y in &b {
+                let manual = simulate_pipelined(&[x.clone(), y.clone()], frames);
+                prop_assert!(best.makespan_us <= manual.makespan_us + 1e-6);
+            }
+        }
+    }
+}

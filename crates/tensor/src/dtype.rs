@@ -1,0 +1,118 @@
+//! Element data types supported by the stack.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Element type of a [`crate::Tensor`].
+///
+/// The paper's stack handles float32 models (Keras, PyTorch, Darknet) and
+/// pre-quantized int8/uint8 models (TFLite QNN); `I32` is the accumulator
+/// type of quantized convolution/dense and the type of bias tensors in QNN
+/// graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// IEEE-754 single precision.
+    F32,
+    /// Signed 8-bit affine-quantized value.
+    I8,
+    /// Unsigned 8-bit affine-quantized value (TFLite's classic quant scheme).
+    U8,
+    /// 32-bit signed integer (accumulators, biases, indices).
+    I32,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub const fn size_bytes(self) -> usize {
+        match self {
+            DType::F32 | DType::I32 => 4,
+            DType::I8 | DType::U8 => 1,
+        }
+    }
+
+    /// Whether this is one of the 8-bit quantized storage types.
+    pub const fn is_quantized(self) -> bool {
+        matches!(self, DType::I8 | DType::U8)
+    }
+
+    /// Whether this type is a floating point type.
+    pub const fn is_float(self) -> bool {
+        matches!(self, DType::F32)
+    }
+
+    /// Canonical lowercase name, matching TVM's dtype strings.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DType::F32 => "float32",
+            DType::I8 => "int8",
+            DType::U8 => "uint8",
+            DType::I32 => "int32",
+        }
+    }
+
+    /// Parse a TVM-style dtype string.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "float32" | "f32" => Some(DType::F32),
+            "int8" | "i8" => Some(DType::I8),
+            "uint8" | "u8" => Some(DType::U8),
+            "int32" | "i32" => Some(DType::I32),
+            _ => None,
+        }
+    }
+
+    /// Representable range for the integer types, as `(min, max)`.
+    ///
+    /// Returns `None` for floats.
+    pub fn int_range(self) -> Option<(i32, i32)> {
+        match self {
+            DType::I8 => Some((i8::MIN as i32, i8::MAX as i32)),
+            DType::U8 => Some((u8::MIN as i32, u8::MAX as i32)),
+            DType::I32 => Some((i32::MIN, i32::MAX)),
+            DType::F32 => None,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::I8.size_bytes(), 1);
+        assert_eq!(DType::U8.size_bytes(), 1);
+        assert_eq!(DType::I32.size_bytes(), 4);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for d in [DType::F32, DType::I8, DType::U8, DType::I32] {
+            assert_eq!(DType::parse(d.name()), Some(d));
+        }
+        assert_eq!(DType::parse("float64"), None);
+    }
+
+    #[test]
+    fn quantized_flags() {
+        assert!(DType::I8.is_quantized());
+        assert!(DType::U8.is_quantized());
+        assert!(!DType::F32.is_quantized());
+        assert!(!DType::I32.is_quantized());
+        assert!(DType::F32.is_float());
+    }
+
+    #[test]
+    fn int_ranges() {
+        assert_eq!(DType::I8.int_range(), Some((-128, 127)));
+        assert_eq!(DType::U8.int_range(), Some((0, 255)));
+        assert_eq!(DType::F32.int_range(), None);
+    }
+}

@@ -1,0 +1,226 @@
+//! Float32 2-D convolution (direct algorithm, Rayon-parallel over the
+//! batch × output-channel dimension).
+
+use super::{kerr, KernelError};
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Spatial attributes of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dParams {
+    /// Vertical/horizontal stride.
+    pub strides: (usize, usize),
+    /// Padding as (top, left, bottom, right).
+    pub padding: (usize, usize, usize, usize),
+    /// Kernel dilation.
+    pub dilation: (usize, usize),
+    /// Feature-group count; `groups == in_channels` is depthwise.
+    pub groups: usize,
+}
+
+impl Default for Conv2dParams {
+    fn default() -> Self {
+        Conv2dParams { strides: (1, 1), padding: (0, 0, 0, 0), dilation: (1, 1), groups: 1 }
+    }
+}
+
+impl Conv2dParams {
+    /// Unit-stride convolution with symmetric "same"-style padding.
+    pub fn same(pad: usize) -> Self {
+        Conv2dParams { padding: (pad, pad, pad, pad), ..Default::default() }
+    }
+
+    /// Output spatial size for an input `(h, w)` and kernel `(kh, kw)`.
+    pub fn out_hw(&self, h: usize, w: usize, kh: usize, kw: usize) -> Result<(usize, usize), KernelError> {
+        let (pt, pl, pb, pr) = self.padding;
+        let eff_kh = (kh - 1) * self.dilation.0 + 1;
+        let eff_kw = (kw - 1) * self.dilation.1 + 1;
+        let ih = h + pt + pb;
+        let iw = w + pl + pr;
+        if ih < eff_kh || iw < eff_kw {
+            return Err(kerr(format!(
+                "conv2d kernel {eff_kh}x{eff_kw} larger than padded input {ih}x{iw}"
+            )));
+        }
+        Ok(((ih - eff_kh) / self.strides.0 + 1, (iw - eff_kw) / self.strides.1 + 1))
+    }
+}
+
+/// `NCHW` × `OIHW` float convolution.
+///
+/// `weight` has shape `[out_c, in_c/groups, kh, kw]`; `bias`, when present,
+/// has shape `[out_c]`.
+pub fn conv2d_f32(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: &Conv2dParams,
+) -> Result<Tensor, KernelError> {
+    let ishape = input.shape().dims();
+    let wshape = weight.shape().dims();
+    if ishape.len() != 4 || wshape.len() != 4 {
+        return Err(kerr(format!(
+            "conv2d expects rank-4 input/weight, got {:?} / {:?}",
+            ishape, wshape
+        )));
+    }
+    let (n, c, h, w) = (ishape[0], ishape[1], ishape[2], ishape[3]);
+    let (oc, wic, kh, kw) = (wshape[0], wshape[1], wshape[2], wshape[3]);
+    let groups = params.groups;
+    if groups == 0 || c % groups != 0 || oc % groups != 0 {
+        return Err(kerr(format!("conv2d groups {groups} incompatible with C={c}, O={oc}")));
+    }
+    if wic != c / groups {
+        return Err(kerr(format!(
+            "conv2d weight in-channels {wic} != input C/groups {}",
+            c / groups
+        )));
+    }
+    let (oh, ow) = params.out_hw(h, w, kh, kw)?;
+    let x = input.as_f32().map_err(|e| kerr(e.to_string()))?;
+    let wt = weight.as_f32().map_err(|e| kerr(e.to_string()))?;
+    let b = match bias {
+        Some(t) => Some(t.as_f32().map_err(|e| kerr(e.to_string()))?),
+        None => None,
+    };
+    if let Some(b) = b {
+        if b.len() != oc {
+            return Err(kerr(format!("conv2d bias length {} != out channels {oc}", b.len())));
+        }
+    }
+
+    let (pt, pl, _, _) = params.padding;
+    let (sh, sw) = params.strides;
+    let (dh, dw) = params.dilation;
+    let cg = c / groups; // channels per group
+    let og = oc / groups; // output channels per group
+
+    let mut out = vec![0.0f32; n * oc * oh * ow];
+    // One output image plane (fixed n, fixed oc) per parallel task.
+    out.par_chunks_mut(oh * ow).enumerate().for_each(|(plane, out_plane)| {
+        let ni = plane / oc;
+        let o = plane % oc;
+        let g = o / og;
+        let bias_v = b.map(|b| b[o]).unwrap_or(0.0);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = bias_v;
+                for ic in 0..cg {
+                    let in_c = g * cg + ic;
+                    let x_base = ((ni * c + in_c) * h) * w;
+                    let w_base = ((o * cg + ic) * kh) * kw;
+                    for ky in 0..kh {
+                        let iy = (oy * sh + ky * dh) as isize - pt as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * sw + kx * dw) as isize - pl as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            acc += x[x_base + iy as usize * w + ix as usize]
+                                * wt[w_base + ky * kw + kx];
+                        }
+                    }
+                }
+                out_plane[oy * ow + ox] = acc;
+            }
+        }
+    });
+
+    Tensor::from_f32([n, oc, oh, ow], out).map_err(|e| kerr(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t4(shape: [usize; 4], data: Vec<f32>) -> Tensor {
+        Tensor::from_f32(shape, data).unwrap()
+    }
+
+    #[test]
+    fn identity_kernel() {
+        // 1x1 kernel of value 1 reproduces the input.
+        let x = t4([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let w = t4([1, 1, 1, 1], vec![1.0]);
+        let y = conv2d_f32(&x, &w, None, &Conv2dParams::default()).unwrap();
+        assert_eq!(y.as_f32().unwrap(), x.as_f32().unwrap());
+    }
+
+    #[test]
+    fn known_3x3_valid() {
+        // 3x3 all-ones kernel over a 3x3 all-ones image = 9.
+        let x = t4([1, 1, 3, 3], vec![1.0; 9]);
+        let w = t4([1, 1, 3, 3], vec![1.0; 9]);
+        let y = conv2d_f32(&x, &w, None, &Conv2dParams::default()).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 1, 1]);
+        assert_eq!(y.as_f32().unwrap()[0], 9.0);
+    }
+
+    #[test]
+    fn same_padding_shape() {
+        let x = t4([1, 1, 4, 4], vec![0.0; 16]);
+        let w = t4([2, 1, 3, 3], vec![0.0; 18]);
+        let y = conv2d_f32(&x, &w, None, &Conv2dParams::same(1)).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn stride_two() {
+        let x = t4([1, 1, 4, 4], (0..16).map(|v| v as f32).collect());
+        let w = t4([1, 1, 1, 1], vec![1.0]);
+        let p = Conv2dParams { strides: (2, 2), ..Default::default() };
+        let y = conv2d_f32(&x, &w, None, &p).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_f32().unwrap(), &[0.0, 2.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn bias_added_per_channel() {
+        let x = t4([1, 1, 2, 2], vec![1.0; 4]);
+        let w = t4([2, 1, 1, 1], vec![1.0, 2.0]);
+        let b = Tensor::from_f32([2], vec![10.0, 20.0]).unwrap();
+        let y = conv2d_f32(&x, &w, Some(&b), &Conv2dParams::default()).unwrap();
+        let v = y.as_f32().unwrap();
+        assert!(v[..4].iter().all(|&e| e == 11.0));
+        assert!(v[4..].iter().all(|&e| e == 22.0));
+    }
+
+    #[test]
+    fn depthwise_groups() {
+        // groups = C: each channel convolved independently.
+        let x = t4([1, 2, 2, 2], vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+        let w = t4([2, 1, 2, 2], vec![1.0; 8]);
+        let p = Conv2dParams { groups: 2, ..Default::default() };
+        let y = conv2d_f32(&x, &w, None, &p).unwrap();
+        assert_eq!(y.as_f32().unwrap(), &[4.0, 8.0]);
+    }
+
+    #[test]
+    fn dilation() {
+        // Dilated 2x2 kernel with d=2 covers a 3x3 receptive field.
+        let x = t4([1, 1, 3, 3], (1..=9).map(|v| v as f32).collect());
+        let w = t4([1, 1, 2, 2], vec![1.0; 4]);
+        let p = Conv2dParams { dilation: (2, 2), ..Default::default() };
+        let y = conv2d_f32(&x, &w, None, &p).unwrap();
+        // Corners of the 3x3 image: 1 + 3 + 7 + 9 = 20.
+        assert_eq!(y.as_f32().unwrap(), &[20.0]);
+    }
+
+    #[test]
+    fn rejects_bad_groups() {
+        let x = t4([1, 3, 2, 2], vec![0.0; 12]);
+        let w = t4([4, 1, 1, 1], vec![0.0; 4]);
+        let p = Conv2dParams { groups: 2, ..Default::default() };
+        assert!(conv2d_f32(&x, &w, None, &p).is_err());
+    }
+
+    #[test]
+    fn rejects_kernel_larger_than_input() {
+        let x = t4([1, 1, 2, 2], vec![0.0; 4]);
+        let w = t4([1, 1, 5, 5], vec![0.0; 25]);
+        assert!(conv2d_f32(&x, &w, None, &Conv2dParams::default()).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Fully-connected (dense / `nn.dense` / `qnn.dense`) kernels.
+
+use super::{kerr, KernelError};
+use crate::dtype::DType;
+use crate::quant::{requantize_value, FixedPointMultiplier, QuantParams};
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Float dense: `input [n, k] × weight [units, k] (+ bias [units]) → [n, units]`.
+pub fn dense_f32(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Tensor, KernelError> {
+    let ishape = input.shape().dims();
+    let wshape = weight.shape().dims();
+    if ishape.len() != 2 || wshape.len() != 2 {
+        return Err(kerr(format!("dense expects rank-2 operands, got {ishape:?} / {wshape:?}")));
+    }
+    let (n, k) = (ishape[0], ishape[1]);
+    let (units, wk) = (wshape[0], wshape[1]);
+    if k != wk {
+        return Err(kerr(format!("dense reduction mismatch: input k={k}, weight k={wk}")));
+    }
+    let x = input.as_f32().map_err(|e| kerr(e.to_string()))?;
+    let wt = weight.as_f32().map_err(|e| kerr(e.to_string()))?;
+    let b = match bias {
+        Some(t) => {
+            let b = t.as_f32().map_err(|e| kerr(e.to_string()))?;
+            if b.len() != units {
+                return Err(kerr(format!("dense bias length {} != units {units}", b.len())));
+            }
+            Some(b)
+        }
+        None => None,
+    };
+    let mut out = vec![0.0f32; n * units];
+    out.par_chunks_mut(units).enumerate().for_each(|(row, out_row)| {
+        let x_row = &x[row * k..(row + 1) * k];
+        for (u, o) in out_row.iter_mut().enumerate() {
+            let w_row = &wt[u * k..(u + 1) * k];
+            let mut acc = b.map(|b| b[u]).unwrap_or(0.0);
+            for i in 0..k {
+                acc += x_row[i] * w_row[i];
+            }
+            *o = acc;
+        }
+    });
+    Tensor::from_f32([n, units], out).map_err(|e| kerr(e.to_string()))
+}
+
+/// Quantized dense with i32 accumulation and requantization.
+pub fn qdense(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    input_q: QuantParams,
+    weight_q: QuantParams,
+    output_q: QuantParams,
+    out_dtype: DType,
+) -> Result<Tensor, KernelError> {
+    let ishape = input.shape().dims();
+    let wshape = weight.shape().dims();
+    if ishape.len() != 2 || wshape.len() != 2 {
+        return Err(kerr("qdense expects rank-2 operands".to_string()));
+    }
+    if !input.dtype().is_quantized() || !weight.dtype().is_quantized() {
+        return Err(kerr("qdense expects quantized operands".to_string()));
+    }
+    let (n, k) = (ishape[0], ishape[1]);
+    let (units, wk) = (wshape[0], wshape[1]);
+    if k != wk {
+        return Err(kerr(format!("qdense reduction mismatch: {k} vs {wk}")));
+    }
+    let x: Vec<i32> = input.iter_int().collect();
+    let wt: Vec<i32> = weight.iter_int().collect();
+    let b: Option<&[i32]> = match bias {
+        Some(t) => Some(t.as_i32().map_err(|e| kerr(e.to_string()))?),
+        None => None,
+    };
+    let zx = input_q.zero_point;
+    let zw = weight_q.zero_point;
+    let fpm = FixedPointMultiplier::from_real(
+        input_q.scale as f64 * weight_q.scale as f64 / output_q.scale as f64,
+    );
+    let zo = output_q.zero_point;
+    let mut out = vec![0i32; n * units];
+    out.par_chunks_mut(units).enumerate().for_each(|(row, out_row)| {
+        let x_row = &x[row * k..(row + 1) * k];
+        for (u, o) in out_row.iter_mut().enumerate() {
+            let w_row = &wt[u * k..(u + 1) * k];
+            let mut acc: i64 = b.map(|b| b[u]).unwrap_or(0) as i64;
+            for i in 0..k {
+                acc += (x_row[i] - zx) as i64 * (w_row[i] - zw) as i64;
+            }
+            let acc32 = acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+            *o = requantize_value(acc32, fpm, zo, out_dtype);
+        }
+    });
+    Tensor::from_int_values([n, units], &out, out_dtype, Some(output_q))
+        .map_err(|e| kerr(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TensorRng;
+
+    #[test]
+    fn dense_known_values() {
+        let x = Tensor::from_f32([1, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        let w = Tensor::from_f32([2, 3], vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0]).unwrap();
+        let y = dense_f32(&x, &w, None).unwrap();
+        assert_eq!(y.as_f32().unwrap(), &[1.0, 5.0]);
+    }
+
+    #[test]
+    fn dense_bias() {
+        let x = Tensor::from_f32([2, 2], vec![1.0, 1.0, 2.0, 2.0]).unwrap();
+        let w = Tensor::from_f32([1, 2], vec![1.0, 1.0]).unwrap();
+        let b = Tensor::from_f32([1], vec![0.5]).unwrap();
+        let y = dense_f32(&x, &w, Some(&b)).unwrap();
+        assert_eq!(y.as_f32().unwrap(), &[2.5, 4.5]);
+    }
+
+    #[test]
+    fn dense_rejects_mismatch() {
+        let x = Tensor::from_f32([1, 3], vec![0.0; 3]).unwrap();
+        let w = Tensor::from_f32([2, 4], vec![0.0; 8]).unwrap();
+        assert!(dense_f32(&x, &w, None).is_err());
+    }
+
+    #[test]
+    fn qdense_tracks_float() {
+        let mut rng = TensorRng::new(5);
+        let xf = rng.uniform_f32([2, 16], -1.0, 1.0);
+        let wf = rng.uniform_f32([4, 16], -0.5, 0.5);
+        let qx = QuantParams::from_range(-1.0, 1.0, DType::U8);
+        let qw = QuantParams::symmetric_from_absmax(0.5, DType::I8);
+        let xq = xf.quantize(qx, DType::U8).unwrap();
+        let wq = wf.quantize(qw, DType::I8).unwrap();
+        let yref = dense_f32(&xq.to_f32(), &wq.to_f32(), None).unwrap();
+        let absmax = yref.as_f32().unwrap().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let qy = QuantParams::from_range(-absmax, absmax, DType::I8);
+        let yq = qdense(&xq, &wq, None, qx, qw, qy, DType::I8).unwrap();
+        assert!(yq.to_f32().max_abs_diff(&yref) <= qy.scale * 1.01);
+    }
+
+    #[test]
+    fn qdense_zero_maps_to_zero_point() {
+        let q = QuantParams::new(0.1, 7);
+        let x = Tensor::from_int_values([1, 4], &[7; 4], DType::I8, Some(q)).unwrap();
+        let w = Tensor::from_int_values([3, 4], &[5; 12], DType::I8, Some(QuantParams::new(0.1, 0)))
+            .unwrap();
+        let qy = QuantParams::new(0.2, -3);
+        let y = qdense(&x, &w, None, q, QuantParams::new(0.1, 0), qy, DType::I8).unwrap();
+        assert!(y.iter_int().all(|v| v == -3));
+    }
+}

@@ -1,0 +1,292 @@
+//! Element-wise unary and (broadcasting) binary kernels, float and quantized.
+
+use super::{kerr, KernelError};
+use crate::dtype::DType;
+use crate::quant::QuantParams;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Unary float op applied element-wise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UnaryOp {
+    /// `max(x, 0)`
+    Relu,
+    /// `min(max(x, 0), 6)`
+    Relu6,
+    /// `x if x > 0 else alpha * x`
+    LeakyRelu(f32),
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// `clip(x, lo, hi)`
+    Clip(f32, f32),
+    /// `sqrt(x)`
+    Sqrt,
+    /// `exp(x)`
+    Exp,
+    /// `-x`
+    Neg,
+}
+
+impl UnaryOp {
+    /// Evaluate on one float.
+    pub fn eval(self, x: f32) -> f32 {
+        match self {
+            UnaryOp::Relu => x.max(0.0),
+            UnaryOp::Relu6 => x.clamp(0.0, 6.0),
+            UnaryOp::LeakyRelu(a) => {
+                if x > 0.0 {
+                    x
+                } else {
+                    a * x
+                }
+            }
+            UnaryOp::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            UnaryOp::Tanh => x.tanh(),
+            UnaryOp::Clip(lo, hi) => x.clamp(lo, hi),
+            UnaryOp::Sqrt => x.sqrt(),
+            UnaryOp::Exp => x.exp(),
+            UnaryOp::Neg => -x,
+        }
+    }
+}
+
+/// Apply a unary op.
+///
+/// Float tensors are mapped directly. Quantized tensors support the
+/// clamp-family ops (`Relu`, `Relu6`, `Clip`) natively in the integer domain
+/// (clamping at the quantized image of the real bound, like TFLite's fused
+/// activations); other ops go through dequantize → op → requantize.
+pub fn unary(input: &Tensor, op: UnaryOp) -> Result<Tensor, KernelError> {
+    if input.dtype().is_float() {
+        let v: Vec<f32> = input.as_f32().unwrap().iter().map(|&x| op.eval(x)).collect();
+        return Tensor::from_f32(input.shape().clone(), v).map_err(|e| kerr(e.to_string()));
+    }
+    let qp = input
+        .quant()
+        .ok_or_else(|| kerr("quantized unary requires quant params".to_string()))?;
+    let (dlo, dhi) = input.dtype().int_range().expect("quantized dtype");
+    let clamp_q = |lo: f32, hi: f32| -> (i32, i32) {
+        (
+            qp.quantize(lo, input.dtype()).max(dlo),
+            qp.quantize(hi, input.dtype()).min(dhi),
+        )
+    };
+    match op {
+        UnaryOp::Relu | UnaryOp::Relu6 | UnaryOp::Clip(..) => {
+            let (qlo, qhi) = match op {
+                UnaryOp::Relu => (qp.zero_point.max(dlo), dhi),
+                UnaryOp::Relu6 => clamp_q(0.0, 6.0),
+                UnaryOp::Clip(lo, hi) => clamp_q(lo, hi),
+                _ => unreachable!(),
+            };
+            let vals: Vec<i32> = input.iter_int().map(|v| v.clamp(qlo, qhi)).collect();
+            Tensor::from_int_values(input.shape().clone(), &vals, input.dtype(), Some(qp))
+                .map_err(|e| kerr(e.to_string()))
+        }
+        _ => {
+            // Dequantize, evaluate, requantize with the same params — the
+            // lookup-table strategy integer runtimes use.
+            let f = input.to_f32();
+            let vals: Vec<i32> = f
+                .as_f32()
+                .unwrap()
+                .iter()
+                .map(|&x| qp.quantize(op.eval(x), input.dtype()))
+                .collect();
+            Tensor::from_int_values(input.shape().clone(), &vals, input.dtype(), Some(qp))
+                .map_err(|e| kerr(e.to_string()))
+        }
+    }
+}
+
+/// Binary float op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `a / b`
+    Div,
+    /// `max(a, b)`
+    Maximum,
+    /// `min(a, b)`
+    Minimum,
+}
+
+impl BinaryOp {
+    /// Evaluate on two floats.
+    pub fn eval(self, a: f32, b: f32) -> f32 {
+        match self {
+            BinaryOp::Add => a + b,
+            BinaryOp::Sub => a - b,
+            BinaryOp::Mul => a * b,
+            BinaryOp::Div => a / b,
+            BinaryOp::Maximum => a.max(b),
+            BinaryOp::Minimum => a.min(b),
+        }
+    }
+}
+
+/// Broadcasting float binary op.
+pub fn binary_f32(a: &Tensor, b: &Tensor, op: BinaryOp) -> Result<Tensor, KernelError> {
+    let out_shape = a
+        .shape()
+        .broadcast(b.shape())
+        .ok_or_else(|| kerr(format!("cannot broadcast {} with {}", a.shape(), b.shape())))?;
+    let av = a.as_f32().map_err(|e| kerr(e.to_string()))?;
+    let bv = b.as_f32().map_err(|e| kerr(e.to_string()))?;
+    let n = out_shape.num_elements();
+    let mut out = vec![0.0f32; n];
+    let a_idx = BroadcastIndexer::new(a.shape(), &out_shape);
+    let b_idx = BroadcastIndexer::new(b.shape(), &out_shape);
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = op.eval(av[a_idx.map(i, &out_shape)], bv[b_idx.map(i, &out_shape)]);
+    }
+    Tensor::from_f32(out_shape, out).map_err(|e| kerr(e.to_string()))
+}
+
+/// Quantized addition (`qnn.add`): rescale both operands into the output's
+/// quantization and add, with saturation.
+pub fn qadd(
+    a: &Tensor,
+    b: &Tensor,
+    a_q: QuantParams,
+    b_q: QuantParams,
+    out_q: QuantParams,
+    out_dtype: DType,
+) -> Result<Tensor, KernelError> {
+    let out_shape = a
+        .shape()
+        .broadcast(b.shape())
+        .ok_or_else(|| kerr(format!("cannot broadcast {} with {}", a.shape(), b.shape())))?;
+    if !a.dtype().is_quantized() || !b.dtype().is_quantized() {
+        return Err(kerr("qadd expects quantized operands".to_string()));
+    }
+    let av: Vec<i32> = a.iter_int().collect();
+    let bv: Vec<i32> = b.iter_int().collect();
+    let a_idx = BroadcastIndexer::new(a.shape(), &out_shape);
+    let b_idx = BroadcastIndexer::new(b.shape(), &out_shape);
+    let (lo, hi) = out_dtype.int_range().expect("quantized out dtype");
+    let n = out_shape.num_elements();
+    let mut out = vec![0i32; n];
+    for (i, o) in out.iter_mut().enumerate() {
+        let ra = a_q.dequantize(av[a_idx.map(i, &out_shape)]);
+        let rb = b_q.dequantize(bv[b_idx.map(i, &out_shape)]);
+        let q = ((ra + rb) / out_q.scale).round() as i64 + out_q.zero_point as i64;
+        *o = q.clamp(lo as i64, hi as i64) as i32;
+    }
+    Tensor::from_int_values(out_shape, &out, out_dtype, Some(out_q)).map_err(|e| kerr(e.to_string()))
+}
+
+/// Maps a flat output index back to a flat input index under broadcasting.
+struct BroadcastIndexer {
+    /// Stride per output dimension into the input buffer (0 where broadcast).
+    strides: Vec<usize>,
+}
+
+impl BroadcastIndexer {
+    fn new(in_shape: &Shape, out_shape: &Shape) -> Self {
+        let in_dims = in_shape.dims();
+        let out_rank = out_shape.rank();
+        let offset = out_rank - in_dims.len();
+        let in_strides = in_shape.strides();
+        let mut strides = vec![0usize; out_rank];
+        for i in 0..in_dims.len() {
+            strides[offset + i] = if in_dims[i] == 1 { 0 } else { in_strides[i] };
+        }
+        BroadcastIndexer { strides }
+    }
+
+    fn map(&self, flat_out: usize, out_shape: &Shape) -> usize {
+        let idx = out_shape.unravel(flat_out);
+        idx.iter().zip(&self.strides).map(|(&i, &s)| i * s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_float() {
+        let x = Tensor::from_f32([4], vec![-1.0, 0.0, 2.0, -3.0]).unwrap();
+        let y = unary(&x, UnaryOp::Relu).unwrap();
+        assert_eq!(y.as_f32().unwrap(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn relu6_and_clip() {
+        let x = Tensor::from_f32([3], vec![-1.0, 3.0, 9.0]).unwrap();
+        assert_eq!(unary(&x, UnaryOp::Relu6).unwrap().as_f32().unwrap(), &[0.0, 3.0, 6.0]);
+        assert_eq!(
+            unary(&x, UnaryOp::Clip(-0.5, 4.0)).unwrap().as_f32().unwrap(),
+            &[-0.5, 3.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn sigmoid_midpoint() {
+        let x = Tensor::from_f32([1], vec![0.0]).unwrap();
+        assert!((unary(&x, UnaryOp::Sigmoid).unwrap().as_f32().unwrap()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantized_relu_clamps_at_zero_point() {
+        let qp = QuantParams::new(0.1, 100);
+        let x = Tensor::from_int_values([4], &[50, 100, 150, 255], DType::U8, Some(qp)).unwrap();
+        let y = unary(&x, UnaryOp::Relu).unwrap();
+        // Values below zero_point (negative reals) clamp up to it.
+        assert_eq!(y.iter_int().collect::<Vec<_>>(), vec![100, 100, 150, 255]);
+        assert_eq!(y.quant(), Some(qp));
+    }
+
+    #[test]
+    fn quantized_sigmoid_via_lut_path() {
+        let qp = QuantParams::new(0.05, 0);
+        let x = Tensor::from_int_values([1], &[0], DType::I8, Some(qp)).unwrap();
+        let y = unary(&x, UnaryOp::Sigmoid).unwrap();
+        // sigmoid(0) = 0.5 → 0.5/0.05 = 10.
+        assert_eq!(y.int_at(0), 10);
+    }
+
+    #[test]
+    fn binary_broadcast_add() {
+        let a = Tensor::from_f32([2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_f32([2], vec![10.0, 20.0]).unwrap();
+        let y = binary_f32(&a, &b, BinaryOp::Add).unwrap();
+        assert_eq!(y.as_f32().unwrap(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn binary_shape_error() {
+        let a = Tensor::from_f32([3], vec![0.0; 3]).unwrap();
+        let b = Tensor::from_f32([2], vec![0.0; 2]).unwrap();
+        assert!(binary_f32(&a, &b, BinaryOp::Mul).is_err());
+    }
+
+    #[test]
+    fn qadd_matches_real_sum() {
+        let qa = QuantParams::new(0.1, 0);
+        let qb = QuantParams::new(0.2, 5);
+        let qo = QuantParams::new(0.25, 10);
+        let a = Tensor::from_int_values([2], &[10, -10], DType::I8, Some(qa)).unwrap(); // 1.0, -1.0
+        let b = Tensor::from_int_values([2], &[10, 10], DType::I8, Some(qb)).unwrap(); // 1.0, 1.0
+        let y = qadd(&a, &b, qa, qb, qo, DType::I8).unwrap();
+        // 2.0/0.25+10 = 18; 0.0/0.25+10 = 10.
+        assert_eq!(y.iter_int().collect::<Vec<_>>(), vec![18, 10]);
+    }
+
+    #[test]
+    fn qadd_saturates() {
+        let q = QuantParams::new(1.0, 0);
+        let a = Tensor::from_int_values([1], &[100], DType::I8, Some(q)).unwrap();
+        let b = Tensor::from_int_values([1], &[100], DType::I8, Some(q)).unwrap();
+        let y = qadd(&a, &b, q, q, q, DType::I8).unwrap();
+        assert_eq!(y.int_at(0), 127);
+    }
+}

@@ -1,0 +1,231 @@
+//! 2-D pooling kernels over `NCHW` activations, float and quantized.
+
+use super::{kerr, KernelError};
+use crate::tensor::Tensor;
+
+/// Attributes of a 2-D pooling op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool2dParams {
+    /// Pooling window (h, w).
+    pub kernel: (usize, usize),
+    /// Stride (h, w).
+    pub strides: (usize, usize),
+    /// Padding as (top, left, bottom, right).
+    pub padding: (usize, usize, usize, usize),
+    /// Whether average pooling divides by the full window size even when the
+    /// window hangs over padding (TFLite: false).
+    pub count_include_pad: bool,
+}
+
+impl Pool2dParams {
+    /// Square window, stride = window, no padding (the common CNN reduction).
+    pub fn square(k: usize) -> Self {
+        Pool2dParams { kernel: (k, k), strides: (k, k), padding: (0, 0, 0, 0), count_include_pad: false }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> Result<(usize, usize), KernelError> {
+        let (pt, pl, pb, pr) = self.padding;
+        let ih = h + pt + pb;
+        let iw = w + pl + pr;
+        if ih < self.kernel.0 || iw < self.kernel.1 {
+            return Err(kerr(format!(
+                "pool window {:?} larger than padded input {ih}x{iw}",
+                self.kernel
+            )));
+        }
+        Ok(((ih - self.kernel.0) / self.strides.0 + 1, (iw - self.kernel.1) / self.strides.1 + 1))
+    }
+}
+
+fn pool_shape(input: &Tensor, params: &Pool2dParams) -> Result<(usize, usize, usize, usize, usize, usize), KernelError> {
+    let d = input.shape().dims();
+    if d.len() != 4 {
+        return Err(kerr(format!("pool2d expects rank-4 input, got {d:?}")));
+    }
+    let (oh, ow) = params.out_hw(d[2], d[3])?;
+    Ok((d[0], d[1], d[2], d[3], oh, ow))
+}
+
+/// Max pooling. Works on float and quantized tensors (max commutes with the
+/// affine map, so the output keeps the input's quantization parameters).
+pub fn max_pool2d(input: &Tensor, params: &Pool2dParams) -> Result<Tensor, KernelError> {
+    let (n, c, h, w, oh, ow) = pool_shape(input, params)?;
+    let (pt, pl, _, _) = params.padding;
+    let (kh, kw) = params.kernel;
+    let (sh, sw) = params.strides;
+
+    if input.dtype().is_float() {
+        let x = input.as_f32().unwrap();
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        pool_loop(n, c, h, w, oh, ow, kh, kw, sh, sw, pt, pl, |plane_base, taps, oi| {
+            out[oi] = taps.iter().map(|&t| x[plane_base + t]).fold(f32::NEG_INFINITY, f32::max);
+        });
+        Tensor::from_f32([n, c, oh, ow], out).map_err(|e| kerr(e.to_string()))
+    } else {
+        let x: Vec<i32> = input.iter_int().collect();
+        let mut out = vec![0i32; n * c * oh * ow];
+        pool_loop(n, c, h, w, oh, ow, kh, kw, sh, sw, pt, pl, |plane_base, taps, oi| {
+            out[oi] = taps.iter().map(|&t| x[plane_base + t]).max().unwrap_or(0);
+        });
+        Tensor::from_int_values([n, c, oh, ow], &out, input.dtype(), input.quant())
+            .map_err(|e| kerr(e.to_string()))
+    }
+}
+
+/// Average pooling. For quantized input, averages in i32 with round-half-up,
+/// keeping the input quantization parameters (TFLite semantics).
+pub fn avg_pool2d(input: &Tensor, params: &Pool2dParams) -> Result<Tensor, KernelError> {
+    let (n, c, h, w, oh, ow) = pool_shape(input, params)?;
+    let (pt, pl, _, _) = params.padding;
+    let (kh, kw) = params.kernel;
+    let (sh, sw) = params.strides;
+    let full = (kh * kw) as f32;
+
+    if input.dtype().is_float() {
+        let x = input.as_f32().unwrap();
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        pool_loop(n, c, h, w, oh, ow, kh, kw, sh, sw, pt, pl, |plane_base, taps, oi| {
+            let sum: f32 = taps.iter().map(|&t| x[plane_base + t]).sum();
+            let denom = if params.count_include_pad { full } else { taps.len() as f32 };
+            out[oi] = sum / denom;
+        });
+        Tensor::from_f32([n, c, oh, ow], out).map_err(|e| kerr(e.to_string()))
+    } else {
+        let x: Vec<i32> = input.iter_int().collect();
+        let mut out = vec![0i32; n * c * oh * ow];
+        pool_loop(n, c, h, w, oh, ow, kh, kw, sh, sw, pt, pl, |plane_base, taps, oi| {
+            let sum: i64 = taps.iter().map(|&t| x[plane_base + t] as i64).sum();
+            let denom = if params.count_include_pad { (kh * kw) as i64 } else { taps.len() as i64 };
+            // round-half-away-from-zero
+            let v = if sum >= 0 { (sum + denom / 2) / denom } else { (sum - denom / 2) / denom };
+            out[oi] = v as i32;
+        });
+        Tensor::from_int_values([n, c, oh, ow], &out, input.dtype(), input.quant())
+            .map_err(|e| kerr(e.to_string()))
+    }
+}
+
+/// Global average pooling to `[n, c, 1, 1]`.
+pub fn global_avg_pool2d(input: &Tensor) -> Result<Tensor, KernelError> {
+    let d = input.shape().dims();
+    if d.len() != 4 {
+        return Err(kerr(format!("global_avg_pool2d expects rank-4 input, got {d:?}")));
+    }
+    let params = Pool2dParams {
+        kernel: (d[2], d[3]),
+        strides: (1, 1),
+        padding: (0, 0, 0, 0),
+        count_include_pad: false,
+    };
+    avg_pool2d(input, &params)
+}
+
+/// Shared window iteration: calls `f(plane_base, in_window_offsets, out_index)`.
+#[allow(clippy::too_many_arguments)]
+fn pool_loop(
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    kh: usize,
+    kw: usize,
+    sh: usize,
+    sw: usize,
+    pt: usize,
+    pl: usize,
+    mut f: impl FnMut(usize, &[usize], usize),
+) {
+    let mut taps = Vec::with_capacity(kh * kw);
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane_base = (ni * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    taps.clear();
+                    for ky in 0..kh {
+                        let iy = (oy * sh + ky) as isize - pt as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * sw + kx) as isize - pl as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            taps.push(iy as usize * w + ix as usize);
+                        }
+                    }
+                    let oi = ((ni * c + ci) * oh + oy) * ow + ox;
+                    f(plane_base, &taps, oi);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DType;
+    use crate::quant::QuantParams;
+
+    #[test]
+    fn max_pool_2x2() {
+        let x = Tensor::from_f32([1, 1, 4, 4], (0..16).map(|v| v as f32).collect()).unwrap();
+        let y = max_pool2d(&x, &Pool2dParams::square(2)).unwrap();
+        assert_eq!(y.as_f32().unwrap(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn avg_pool_2x2() {
+        let x = Tensor::from_f32([1, 1, 2, 2], vec![1.0, 3.0, 5.0, 7.0]).unwrap();
+        let y = avg_pool2d(&x, &Pool2dParams::square(2)).unwrap();
+        assert_eq!(y.as_f32().unwrap(), &[4.0]);
+    }
+
+    #[test]
+    fn avg_pool_excludes_pad_by_default() {
+        let mut p = Pool2dParams::square(2);
+        p.padding = (1, 1, 0, 0);
+        p.strides = (2, 2);
+        let x = Tensor::from_f32([1, 1, 2, 2], vec![4.0, 4.0, 4.0, 4.0]).unwrap();
+        let y = avg_pool2d(&x, &p).unwrap();
+        // Top-left window covers only element (0,0): average is 4, not 1.
+        assert_eq!(y.as_f32().unwrap()[0], 4.0);
+    }
+
+    #[test]
+    fn global_avg() {
+        let x = Tensor::from_f32([1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0])
+            .unwrap();
+        let y = global_avg_pool2d(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 2, 1, 1]);
+        assert_eq!(y.as_f32().unwrap(), &[2.5, 10.0]);
+    }
+
+    #[test]
+    fn quantized_max_pool_keeps_params() {
+        let qp = QuantParams::new(0.5, 3);
+        let x = Tensor::from_int_values([1, 1, 2, 2], &[1, 9, 4, 2], DType::U8, Some(qp)).unwrap();
+        let y = max_pool2d(&x, &Pool2dParams::square(2)).unwrap();
+        assert_eq!(y.int_at(0), 9);
+        assert_eq!(y.quant(), Some(qp));
+    }
+
+    #[test]
+    fn quantized_avg_rounds() {
+        let qp = QuantParams::new(1.0, 0);
+        let x = Tensor::from_int_values([1, 1, 2, 2], &[1, 2, 2, 2], DType::U8, Some(qp)).unwrap();
+        let y = avg_pool2d(&x, &Pool2dParams::square(2)).unwrap();
+        // (1+2+2+2)/4 = 1.75 → rounds to 2.
+        assert_eq!(y.int_at(0), 2);
+    }
+
+    #[test]
+    fn window_too_large_rejected() {
+        let x = Tensor::zeros_f32([1, 1, 2, 2]);
+        assert!(max_pool2d(&x, &Pool2dParams::square(3)).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Affine-quantized 2-D convolution with 32-bit accumulation and
+//! gemmlowp-style requantization — the arithmetic behind `qnn.conv2d` +
+//! `qnn.requantize` in Relay and behind the APU's integer datapath.
+
+use super::conv::Conv2dParams;
+use super::{kerr, KernelError};
+use crate::dtype::DType;
+use crate::quant::{requantize_value, FixedPointMultiplier, QuantParams};
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Quantization attributes of a quantized convolution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QConvQuant {
+    /// Input activation quantization.
+    pub input: QuantParams,
+    /// Weight quantization (per-tensor, usually symmetric).
+    pub weight: QuantParams,
+    /// Output activation quantization.
+    pub output: QuantParams,
+    /// Output storage type (i8 or u8).
+    pub out_dtype: DType,
+}
+
+impl QConvQuant {
+    /// The real requantization multiplier `s_in * s_w / s_out`.
+    pub fn real_multiplier(&self) -> f64 {
+        self.input.scale as f64 * self.weight.scale as f64 / self.output.scale as f64
+    }
+}
+
+/// Quantized `NCHW` × `OIHW` convolution.
+///
+/// `input` must be i8/u8 activations, `weight` i8/u8 weights, `bias` (when
+/// present) an i32 tensor already scaled by `s_in * s_w`.
+pub fn qconv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: &Conv2dParams,
+    quant: &QConvQuant,
+) -> Result<Tensor, KernelError> {
+    let ishape = input.shape().dims();
+    let wshape = weight.shape().dims();
+    if ishape.len() != 4 || wshape.len() != 4 {
+        return Err(kerr("qconv2d expects rank-4 input and weight".to_string()));
+    }
+    if !input.dtype().is_quantized() || !weight.dtype().is_quantized() {
+        return Err(kerr(format!(
+            "qconv2d expects quantized operands, got {} / {}",
+            input.dtype(),
+            weight.dtype()
+        )));
+    }
+    let (n, c, h, w) = (ishape[0], ishape[1], ishape[2], ishape[3]);
+    let (oc, wic, kh, kw) = (wshape[0], wshape[1], wshape[2], wshape[3]);
+    let groups = params.groups;
+    if groups == 0 || c % groups != 0 || oc % groups != 0 || wic != c / groups {
+        return Err(kerr(format!(
+            "qconv2d group/channel mismatch: C={c}, O={oc}, groups={groups}, w_ic={wic}"
+        )));
+    }
+    let (oh, ow) = params.out_hw(h, w, kh, kw)?;
+
+    let x: Vec<i32> = input.iter_int().collect();
+    let wt: Vec<i32> = weight.iter_int().collect();
+    let b: Option<&[i32]> = match bias {
+        Some(t) => Some(t.as_i32().map_err(|e| kerr(e.to_string()))?),
+        None => None,
+    };
+    if let Some(b) = b {
+        if b.len() != oc {
+            return Err(kerr(format!("qconv2d bias length {} != out channels {oc}", b.len())));
+        }
+    }
+
+    let zx = quant.input.zero_point;
+    let zw = quant.weight.zero_point;
+    let fpm = FixedPointMultiplier::from_real(quant.real_multiplier());
+    let zo = quant.output.zero_point;
+    let out_dtype = quant.out_dtype;
+
+    let (pt, pl, _, _) = params.padding;
+    let (sh, sw) = params.strides;
+    let (dh, dw) = params.dilation;
+    let cg = c / groups;
+    let og = oc / groups;
+
+    let mut out = vec![0i32; n * oc * oh * ow];
+    out.par_chunks_mut(oh * ow).enumerate().for_each(|(plane, out_plane)| {
+        let ni = plane / oc;
+        let o = plane % oc;
+        let g = o / og;
+        let bias_v = b.map(|b| b[o]).unwrap_or(0);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc: i64 = bias_v as i64;
+                for ic in 0..cg {
+                    let in_c = g * cg + ic;
+                    let x_base = ((ni * c + in_c) * h) * w;
+                    let w_base = ((o * cg + ic) * kh) * kw;
+                    for ky in 0..kh {
+                        let iy = (oy * sh + ky * dh) as isize - pt as isize;
+                        for kx in 0..kw {
+                            let ix = (ox * sw + kx * dw) as isize - pl as isize;
+                            // Out-of-bounds taps read the input zero point,
+                            // i.e. real value 0 (TFLite padding semantics).
+                            let xv = if iy < 0 || iy as usize >= h || ix < 0 || ix as usize >= w {
+                                0i64
+                            } else {
+                                (x[x_base + iy as usize * w + ix as usize] - zx) as i64
+                            };
+                            let wv = (wt[w_base + ky * kw + kx] - zw) as i64;
+                            acc += xv * wv;
+                        }
+                    }
+                }
+                let acc32 = acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+                out_plane[oy * ow + ox] = requantize_value(acc32, fpm, zo, out_dtype);
+            }
+        }
+    });
+
+    Tensor::from_int_values([n, oc, oh, ow], &out, out_dtype, Some(quant.output))
+        .map_err(|e| kerr(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::conv::conv2d_f32;
+    use crate::rng::TensorRng;
+
+    /// Reference check: quantized conv tracks float conv within ~1 output LSB.
+    #[test]
+    fn matches_float_reference_within_one_lsb() {
+        let mut rng = TensorRng::new(11);
+        let xf = rng.uniform_f32([1, 3, 8, 8], -1.0, 1.0);
+        let wf = rng.uniform_f32([4, 3, 3, 3], -0.5, 0.5);
+        let qp_x = QuantParams::from_range(-1.0, 1.0, DType::U8);
+        let qp_w = QuantParams::symmetric_from_absmax(0.5, DType::I8);
+        let xq = xf.quantize(qp_x, DType::U8).unwrap();
+        let wq = wf.quantize(qp_w, DType::I8).unwrap();
+        // Dequantized operands give the exact reference the int path targets.
+        let yf = conv2d_f32(&xq.to_f32(), &wq.to_f32(), None, &Conv2dParams::same(1)).unwrap();
+        let absmax = yf.as_f32().unwrap().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let qp_y = QuantParams::from_range(-absmax, absmax, DType::U8);
+        let quant = QConvQuant { input: qp_x, weight: qp_w, output: qp_y, out_dtype: DType::U8 };
+        let yq = qconv2d(&xq, &wq, None, &Conv2dParams::same(1), &quant).unwrap();
+        let diff = yq.to_f32().max_abs_diff(&yf);
+        assert!(diff <= qp_y.scale * 1.01, "diff {diff} > 1 LSB {}", qp_y.scale);
+    }
+
+    #[test]
+    fn zero_input_maps_to_output_zero_point() {
+        let qp_x = QuantParams::new(0.05, 128);
+        let qp_w = QuantParams::new(0.02, 0);
+        let qp_y = QuantParams::new(0.1, 100);
+        let x = Tensor::from_int_values([1, 1, 2, 2], &[128; 4], DType::U8, Some(qp_x)).unwrap();
+        let w = Tensor::from_int_values([1, 1, 1, 1], &[37], DType::I8, Some(qp_w)).unwrap();
+        let quant = QConvQuant { input: qp_x, weight: qp_w, output: qp_y, out_dtype: DType::U8 };
+        let y = qconv2d(&x, &w, None, &Conv2dParams::default(), &quant).unwrap();
+        assert!(y.iter_int().all(|v| v == 100));
+    }
+
+    #[test]
+    fn bias_contributes_in_accumulator_scale() {
+        let qp_x = QuantParams::new(0.1, 0);
+        let qp_w = QuantParams::new(0.1, 0);
+        let qp_y = QuantParams::new(0.01, 0);
+        // bias of 100 in accumulator units = 100 * 0.01 real = 1.0 real.
+        let x = Tensor::from_int_values([1, 1, 1, 1], &[0], DType::I8, Some(qp_x)).unwrap();
+        let w = Tensor::from_int_values([1, 1, 1, 1], &[0], DType::I8, Some(qp_w)).unwrap();
+        let b = Tensor::from_i32([1], vec![100], None).unwrap();
+        let quant = QConvQuant { input: qp_x, weight: qp_w, output: qp_y, out_dtype: DType::I8 };
+        let y = qconv2d(&x, &w, Some(&b), &Conv2dParams::default(), &quant).unwrap();
+        // acc 100 * (0.1*0.1/0.01 = 1.0) = 100 quanta = 1.0 real.
+        assert_eq!(y.int_at(0), 100);
+    }
+
+    #[test]
+    fn padding_reads_zero_point() {
+        // With a non-zero input zero point, padded taps must contribute
+        // exactly zero real value.
+        let qp_x = QuantParams::new(1.0, 10);
+        let qp_w = QuantParams::new(1.0, 0);
+        let qp_y = QuantParams::new(1.0, 0);
+        let x = Tensor::from_int_values([1, 1, 1, 1], &[10], DType::U8, Some(qp_x)).unwrap();
+        let w = Tensor::from_int_values([1, 1, 3, 3], &[1; 9], DType::I8, Some(qp_w)).unwrap();
+        let quant = QConvQuant { input: qp_x, weight: qp_w, output: qp_y, out_dtype: DType::I8 };
+        let y = qconv2d(&x, &w, None, &Conv2dParams::same(1), &quant).unwrap();
+        assert!(y.iter_int().all(|v| v == 0));
+    }
+
+    #[test]
+    fn rejects_float_input() {
+        let x = Tensor::zeros_f32([1, 1, 2, 2]);
+        let w = Tensor::from_int_values([1, 1, 1, 1], &[1], DType::I8, None).unwrap();
+        let quant = QConvQuant {
+            input: QuantParams::identity(),
+            weight: QuantParams::identity(),
+            output: QuantParams::identity(),
+            out_dtype: DType::I8,
+        };
+        assert!(qconv2d(&x, &w, None, &Conv2dParams::default(), &quant).is_err());
+    }
+}

@@ -1,0 +1,435 @@
+//! Data-movement kernels: transpose, concat, pad, slice, flatten, resize.
+//!
+//! These ops are dtype-generic: they move elements without arithmetic, so
+//! quantized tensors keep their parameters.
+
+use super::{kerr, KernelError};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Gather elements of `input` at flat source offsets into a new tensor of
+/// `out_shape`, preserving dtype and quant params.
+fn gather_by_offsets(input: &Tensor, out_shape: Shape, offsets: &[usize]) -> Result<Tensor, KernelError> {
+    debug_assert_eq!(out_shape.num_elements(), offsets.len());
+    if input.dtype().is_float() {
+        let x = input.as_f32().unwrap();
+        let out: Vec<f32> = offsets.iter().map(|&o| x[o]).collect();
+        Tensor::from_f32(out_shape, out).map_err(|e| kerr(e.to_string()))
+    } else {
+        let x: Vec<i32> = input.iter_int().collect();
+        let out: Vec<i32> = offsets.iter().map(|&o| x[o]).collect();
+        Tensor::from_int_values(out_shape, &out, input.dtype(), input.quant())
+            .map_err(|e| kerr(e.to_string()))
+    }
+}
+
+/// Permute axes: `transpose(x, axes)`.
+pub fn transpose(input: &Tensor, axes: &[usize]) -> Result<Tensor, KernelError> {
+    let dims = input.shape().dims();
+    if axes.len() != dims.len() {
+        return Err(kerr(format!("transpose axes {axes:?} wrong rank for {dims:?}")));
+    }
+    let mut seen = vec![false; dims.len()];
+    for &a in axes {
+        if a >= dims.len() || seen[a] {
+            return Err(kerr(format!("transpose axes {axes:?} not a permutation")));
+        }
+        seen[a] = true;
+    }
+    let out_dims: Vec<usize> = axes.iter().map(|&a| dims[a]).collect();
+    let out_shape = Shape::new(out_dims);
+    let in_strides = input.shape().strides();
+    let n = out_shape.num_elements();
+    let mut offsets = Vec::with_capacity(n);
+    for flat in 0..n {
+        let oidx = out_shape.unravel(flat);
+        let src: usize = oidx.iter().zip(axes).map(|(&i, &a)| i * in_strides[a]).sum();
+        offsets.push(src);
+    }
+    gather_by_offsets(input, out_shape, &offsets)
+}
+
+/// Concatenate along `axis`. All inputs must share dtype/rank and agree on
+/// every other dimension; quant params are taken from the first input (QNN
+/// concat requires pre-aligned scales, which the frontends guarantee).
+pub fn concat(inputs: &[&Tensor], axis: usize) -> Result<Tensor, KernelError> {
+    if inputs.is_empty() {
+        return Err(kerr("concat of zero tensors".to_string()));
+    }
+    let first = inputs[0];
+    let rank = first.shape().rank();
+    if axis >= rank {
+        return Err(kerr(format!("concat axis {axis} out of range for rank {rank}")));
+    }
+    let mut out_dims = first.shape().dims().to_vec();
+    let mut axis_total = 0usize;
+    for t in inputs {
+        if t.dtype() != first.dtype() || t.shape().rank() != rank {
+            return Err(kerr("concat dtype/rank mismatch".to_string()));
+        }
+        for (d, (&a, &b)) in t.shape().dims().iter().zip(first.shape().dims()).enumerate() {
+            if d != axis && a != b {
+                return Err(kerr(format!("concat non-axis dim {d} mismatch: {a} vs {b}")));
+            }
+        }
+        axis_total += t.shape().dims()[axis];
+    }
+    out_dims[axis] = axis_total;
+    let out_shape = Shape::new(out_dims);
+
+    // outer = product of dims before axis; inner = product after.
+    let outer: usize = first.shape().dims()[..axis].iter().product();
+    let inner: usize = first.shape().dims()[axis + 1..].iter().product();
+
+    if first.dtype().is_float() {
+        let mut out = Vec::with_capacity(out_shape.num_elements());
+        for o in 0..outer {
+            for t in inputs {
+                let ax = t.shape().dims()[axis];
+                let x = t.as_f32().unwrap();
+                out.extend_from_slice(&x[o * ax * inner..(o + 1) * ax * inner]);
+            }
+        }
+        Tensor::from_f32(out_shape, out).map_err(|e| kerr(e.to_string()))
+    } else {
+        let mut out: Vec<i32> = Vec::with_capacity(out_shape.num_elements());
+        let ints: Vec<Vec<i32>> = inputs.iter().map(|t| t.iter_int().collect()).collect();
+        for o in 0..outer {
+            for (t, x) in inputs.iter().zip(&ints) {
+                let ax = t.shape().dims()[axis];
+                out.extend_from_slice(&x[o * ax * inner..(o + 1) * ax * inner]);
+            }
+        }
+        Tensor::from_int_values(out_shape, &out, first.dtype(), first.quant())
+            .map_err(|e| kerr(e.to_string()))
+    }
+}
+
+/// Constant-pad with per-dimension (before, after) amounts.
+pub fn pad(input: &Tensor, pads: &[(usize, usize)], value: f32) -> Result<Tensor, KernelError> {
+    let dims = input.shape().dims();
+    if pads.len() != dims.len() {
+        return Err(kerr(format!("pad spec rank {} != tensor rank {}", pads.len(), dims.len())));
+    }
+    let out_dims: Vec<usize> =
+        dims.iter().zip(pads).map(|(&d, &(b, a))| d + b + a).collect();
+    let out_shape = Shape::new(out_dims);
+    let n = out_shape.num_elements();
+
+    if input.dtype().is_float() {
+        let x = input.as_f32().unwrap();
+        let mut out = vec![value; n];
+        for (flat, o) in out.iter_mut().enumerate() {
+            let oidx = out_shape.unravel(flat);
+            let mut in_idx = Vec::with_capacity(dims.len());
+            let mut inside = true;
+            for (d, &i) in oidx.iter().enumerate() {
+                let (b, _) = pads[d];
+                if i < b || i >= b + dims[d] {
+                    inside = false;
+                    break;
+                }
+                in_idx.push(i - b);
+            }
+            if inside {
+                *o = x[input.shape().offset(&in_idx)];
+            }
+        }
+        Tensor::from_f32(out_shape, out).map_err(|e| kerr(e.to_string()))
+    } else {
+        let qp = input.quant();
+        // For quantized tensors, the pad value is in the real domain; store
+        // its quantized image (TFLite pads with the zero point for value 0).
+        let qv = qp
+            .map(|q| q.quantize(value, input.dtype()))
+            .unwrap_or(value as i32);
+        let x: Vec<i32> = input.iter_int().collect();
+        let mut out = vec![qv; n];
+        for (flat, o) in out.iter_mut().enumerate() {
+            let oidx = out_shape.unravel(flat);
+            let mut in_idx = Vec::with_capacity(dims.len());
+            let mut inside = true;
+            for (d, &i) in oidx.iter().enumerate() {
+                let (b, _) = pads[d];
+                if i < b || i >= b + dims[d] {
+                    inside = false;
+                    break;
+                }
+                in_idx.push(i - b);
+            }
+            if inside {
+                *o = x[input.shape().offset(&in_idx)];
+            }
+        }
+        Tensor::from_int_values(out_shape, &out, input.dtype(), qp).map_err(|e| kerr(e.to_string()))
+    }
+}
+
+/// `strided_slice(begin, end)` with unit strides.
+pub fn slice(input: &Tensor, begin: &[usize], end: &[usize]) -> Result<Tensor, KernelError> {
+    let dims = input.shape().dims();
+    if begin.len() != dims.len() || end.len() != dims.len() {
+        return Err(kerr("slice begin/end rank mismatch".to_string()));
+    }
+    for d in 0..dims.len() {
+        if begin[d] >= end[d] || end[d] > dims[d] {
+            return Err(kerr(format!(
+                "slice range [{}, {}) invalid for dim {d} of size {}",
+                begin[d], end[d], dims[d]
+            )));
+        }
+    }
+    let out_dims: Vec<usize> = begin.iter().zip(end).map(|(&b, &e)| e - b).collect();
+    let out_shape = Shape::new(out_dims);
+    let n = out_shape.num_elements();
+    let mut offsets = Vec::with_capacity(n);
+    for flat in 0..n {
+        let oidx = out_shape.unravel(flat);
+        let src_idx: Vec<usize> = oidx.iter().zip(begin).map(|(&i, &b)| i + b).collect();
+        offsets.push(input.shape().offset(&src_idx));
+    }
+    gather_by_offsets(input, out_shape, &offsets)
+}
+
+/// `batch_flatten`: `[n, ...] → [n, prod(...)]`.
+pub fn batch_flatten(input: &Tensor) -> Result<Tensor, KernelError> {
+    let dims = input.shape().dims();
+    if dims.is_empty() {
+        return Err(kerr("batch_flatten needs rank >= 1".to_string()));
+    }
+    let n = dims[0];
+    let rest: usize = dims[1..].iter().product();
+    input.reshaped([n, rest]).map_err(|e| kerr(e.to_string()))
+}
+
+/// Interpolation used by [`resize2d`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResizeMethod {
+    /// Nearest neighbour (asymmetric coordinates).
+    Nearest,
+    /// Bilinear (half-pixel coordinates).
+    Bilinear,
+}
+
+/// Resize `NCHW` activations to `(out_h, out_w)`.
+pub fn resize2d(input: &Tensor, out_h: usize, out_w: usize, method: ResizeMethod) -> Result<Tensor, KernelError> {
+    let dims = input.shape().dims();
+    if dims.len() != 4 {
+        return Err(kerr("resize2d expects rank-4 input".to_string()));
+    }
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    if out_h == 0 || out_w == 0 {
+        return Err(kerr("resize2d target must be non-zero".to_string()));
+    }
+    let fsrc = input.to_f32();
+    let x = fsrc.as_f32().unwrap();
+    let mut out = vec![0.0f32; n * c * out_h * out_w];
+    let sy = h as f32 / out_h as f32;
+    let sx = w as f32 / out_w as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let obase = (ni * c + ci) * out_h * out_w;
+            for oy in 0..out_h {
+                for ox in 0..out_w {
+                    let v = match method {
+                        ResizeMethod::Nearest => {
+                            let iy = ((oy as f32 * sy) as usize).min(h - 1);
+                            let ix = ((ox as f32 * sx) as usize).min(w - 1);
+                            x[base + iy * w + ix]
+                        }
+                        ResizeMethod::Bilinear => {
+                            let fy = ((oy as f32 + 0.5) * sy - 0.5).clamp(0.0, (h - 1) as f32);
+                            let fx = ((ox as f32 + 0.5) * sx - 0.5).clamp(0.0, (w - 1) as f32);
+                            let y0 = fy.floor() as usize;
+                            let x0 = fx.floor() as usize;
+                            let y1 = (y0 + 1).min(h - 1);
+                            let x1 = (x0 + 1).min(w - 1);
+                            let dy = fy - y0 as f32;
+                            let dx = fx - x0 as f32;
+                            let v00 = x[base + y0 * w + x0];
+                            let v01 = x[base + y0 * w + x1];
+                            let v10 = x[base + y1 * w + x0];
+                            let v11 = x[base + y1 * w + x1];
+                            v00 * (1.0 - dy) * (1.0 - dx)
+                                + v01 * (1.0 - dy) * dx
+                                + v10 * dy * (1.0 - dx)
+                                + v11 * dy * dx
+                        }
+                    };
+                    out[obase + oy * out_w + ox] = v;
+                }
+            }
+        }
+    }
+    let result = Tensor::from_f32([n, c, out_h, out_w], out).map_err(|e| kerr(e.to_string()))?;
+    if input.dtype().is_float() {
+        Ok(result)
+    } else {
+        // Requantize back into the source parameters to stay in the integer
+        // domain end-to-end.
+        let qp = input.quant().expect("quantized tensor has params");
+        result.quantize(qp, input.dtype()).map_err(|e| kerr(e.to_string()))
+    }
+}
+
+/// Mean over the given axes (keepdims = false), float only.
+pub fn mean_f32(input: &Tensor, axes: &[usize]) -> Result<Tensor, KernelError> {
+    let dims = input.shape().dims();
+    for &a in axes {
+        if a >= dims.len() {
+            return Err(kerr(format!("mean axis {a} out of range")));
+        }
+    }
+    let out_dims: Vec<usize> = dims
+        .iter()
+        .enumerate()
+        .filter(|(d, _)| !axes.contains(d))
+        .map(|(_, &s)| s)
+        .collect();
+    let out_shape = Shape::new(out_dims);
+    let x = input.as_f32().map_err(|e| kerr(e.to_string()))?;
+    let mut sums = vec![0.0f32; out_shape.num_elements().max(1)];
+    let mut counts = vec![0usize; sums.len()];
+    for (flat, &v) in x.iter().enumerate() {
+        let idx = input.shape().unravel(flat);
+        let out_idx: Vec<usize> = idx
+            .iter()
+            .enumerate()
+            .filter(|(d, _)| !axes.contains(d))
+            .map(|(_, &i)| i)
+            .collect();
+        let o = if out_idx.is_empty() { 0 } else { out_shape.offset(&out_idx) };
+        sums[o] += v;
+        counts[o] += 1;
+    }
+    for (s, &c) in sums.iter_mut().zip(&counts) {
+        *s /= c.max(1) as f32;
+    }
+    Tensor::from_f32(out_shape, sums).map_err(|e| kerr(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DType;
+    use crate::quant::QuantParams;
+
+    #[test]
+    fn transpose_2d() {
+        let x = Tensor::from_f32([2, 3], (0..6).map(|v| v as f32).collect()).unwrap();
+        let y = transpose(&x, &[1, 0]).unwrap();
+        assert_eq!(y.shape().dims(), &[3, 2]);
+        assert_eq!(y.as_f32().unwrap(), &[0.0, 3.0, 1.0, 4.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn transpose_nchw_to_nhwc_roundtrip() {
+        let x = Tensor::from_f32([1, 2, 2, 3], (0..12).map(|v| v as f32).collect()).unwrap();
+        let nhwc = transpose(&x, &[0, 2, 3, 1]).unwrap();
+        let back = transpose(&nhwc, &[0, 3, 1, 2]).unwrap();
+        assert!(x.bit_eq(&back));
+    }
+
+    #[test]
+    fn transpose_rejects_non_permutation() {
+        let x = Tensor::zeros_f32([2, 2]);
+        assert!(transpose(&x, &[0, 0]).is_err());
+        assert!(transpose(&x, &[0]).is_err());
+    }
+
+    #[test]
+    fn concat_axis1() {
+        let a = Tensor::from_f32([2, 1], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_f32([2, 2], vec![3.0, 4.0, 5.0, 6.0]).unwrap();
+        let y = concat(&[&a, &b], 1).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 3]);
+        assert_eq!(y.as_f32().unwrap(), &[1.0, 3.0, 4.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_quantized_keeps_params() {
+        let qp = QuantParams::new(0.5, 1);
+        let a = Tensor::from_int_values([1, 2], &[1, 2], DType::U8, Some(qp)).unwrap();
+        let b = Tensor::from_int_values([1, 2], &[3, 4], DType::U8, Some(qp)).unwrap();
+        let y = concat(&[&a, &b], 0).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 2]);
+        assert_eq!(y.quant(), Some(qp));
+    }
+
+    #[test]
+    fn concat_rejects_mismatch() {
+        let a = Tensor::zeros_f32([2, 2]);
+        let b = Tensor::zeros_f32([3, 3]);
+        assert!(concat(&[&a, &b], 0).is_err());
+    }
+
+    #[test]
+    fn pad_spatial() {
+        let x = Tensor::from_f32([1, 1, 1, 1], vec![5.0]).unwrap();
+        let y = pad(&x, &[(0, 0), (0, 0), (1, 1), (1, 1)], 0.0).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 3, 3]);
+        let v = y.as_f32().unwrap();
+        assert_eq!(v[4], 5.0);
+        assert_eq!(v.iter().filter(|&&e| e == 0.0).count(), 8);
+    }
+
+    #[test]
+    fn pad_quantized_uses_zero_point() {
+        let qp = QuantParams::new(1.0, 42);
+        let x = Tensor::from_int_values([1], &[7], DType::U8, Some(qp)).unwrap();
+        let y = pad(&x, &[(1, 1)], 0.0).unwrap();
+        assert_eq!(y.iter_int().collect::<Vec<_>>(), vec![42, 7, 42]);
+    }
+
+    #[test]
+    fn slice_middle() {
+        let x = Tensor::from_f32([4, 4], (0..16).map(|v| v as f32).collect()).unwrap();
+        let y = slice(&x, &[1, 1], &[3, 3]).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 2]);
+        assert_eq!(y.as_f32().unwrap(), &[5.0, 6.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn slice_rejects_bad_range() {
+        let x = Tensor::zeros_f32([2, 2]);
+        assert!(slice(&x, &[0, 0], &[3, 2]).is_err());
+        assert!(slice(&x, &[1, 0], &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn batch_flatten_shape() {
+        let x = Tensor::zeros_f32([2, 3, 4, 5]);
+        let y = batch_flatten(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 60]);
+    }
+
+    #[test]
+    fn resize_nearest_doubles() {
+        let x = Tensor::from_f32([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = resize2d(&x, 4, 4, ResizeMethod::Nearest).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 4, 4]);
+        let v = y.as_f32().unwrap();
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[3], 2.0);
+        assert_eq!(v[15], 4.0);
+    }
+
+    #[test]
+    fn resize_bilinear_midpoint() {
+        let x = Tensor::from_f32([1, 1, 1, 2], vec![0.0, 2.0]).unwrap();
+        let y = resize2d(&x, 1, 4, ResizeMethod::Bilinear).unwrap();
+        let v = y.as_f32().unwrap();
+        // Half-pixel: values interpolate smoothly between 0 and 2.
+        assert!(v[0] < v[1] && v[1] < v[2] && v[2] < v[3]);
+    }
+
+    #[test]
+    fn mean_over_spatial_axes() {
+        let x = Tensor::from_f32([1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 5.0, 5.0, 5.0])
+            .unwrap();
+        let y = mean_f32(&x, &[2, 3]).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 2]);
+        assert_eq!(y.as_f32().unwrap(), &[2.5, 5.0]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Affine quantization: parameters, conversion, and fixed-point requantize.
+//!
+//! Relay QNN attaches these parameters to *operators* (`qnn.conv2d` carries
+//! input/kernel scales); Neuron IR attaches them to *tensors*. Both sides of
+//! the paper's §3.3 conversion therefore share this module.
+
+use crate::dtype::DType;
+use serde::{Deserialize, Serialize};
+
+/// Affine quantization parameters: `real = scale * (q - zero_point)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    /// Positive real scale.
+    pub scale: f32,
+    /// Zero point in the quantized domain.
+    pub zero_point: i32,
+}
+
+impl QuantParams {
+    /// New parameter pair.
+    pub fn new(scale: f32, zero_point: i32) -> Self {
+        debug_assert!(scale > 0.0, "quantization scale must be positive");
+        QuantParams { scale, zero_point }
+    }
+
+    /// The identity mapping for already-real values (`scale=1, zp=0`).
+    pub fn identity() -> Self {
+        QuantParams { scale: 1.0, zero_point: 0 }
+    }
+
+    /// Quantize one real value into the given integer dtype with saturation.
+    pub fn quantize(&self, real: f32, dtype: DType) -> i32 {
+        let (lo, hi) = dtype.int_range().expect("quantize target must be an integer type");
+        let q = (real / self.scale).round() as i64 + self.zero_point as i64;
+        q.clamp(lo as i64, hi as i64) as i32
+    }
+
+    /// Dequantize one stored value back to real.
+    pub fn dequantize(&self, q: i32) -> f32 {
+        self.scale * (q - self.zero_point) as f32
+    }
+
+    /// Choose parameters covering `[min, max]` for the given dtype, the way
+    /// TFLite's post-training quantizer does (range widened to include 0).
+    pub fn from_range(mut min: f32, mut max: f32, dtype: DType) -> Self {
+        if min > max {
+            std::mem::swap(&mut min, &mut max);
+        }
+        min = min.min(0.0);
+        max = max.max(0.0);
+        let (qlo, qhi) = dtype.int_range().expect("from_range target must be an integer type");
+        let span = (max - min).max(f32::EPSILON);
+        let scale = span / (qhi - qlo) as f32;
+        let zero_point = (qlo as f32 - min / scale).round().clamp(qlo as f32, qhi as f32) as i32;
+        QuantParams { scale, zero_point }
+    }
+
+    /// Symmetric per-tensor parameters for weights (`zero_point = 0`).
+    pub fn symmetric_from_absmax(absmax: f32, dtype: DType) -> Self {
+        let (_, qhi) = dtype.int_range().expect("symmetric target must be an integer type");
+        let scale = (absmax.max(f32::EPSILON)) / qhi as f32;
+        QuantParams { scale, zero_point: 0 }
+    }
+}
+
+/// A requantization multiplier in fixed point, as used by integer-only
+/// inference runtimes (gemmlowp-style): `real_multiplier = m0 * 2^shift`
+/// with `m0` a Q31 value in `[0.5, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedPointMultiplier {
+    /// Q31 significand in `[2^30, 2^31)` (or 0 when the multiplier is 0).
+    pub multiplier: i32,
+    /// Base-2 exponent applied after the Q31 multiply.
+    pub shift: i32,
+}
+
+impl FixedPointMultiplier {
+    /// Decompose a positive real multiplier into Q31 significand + shift.
+    pub fn from_real(real: f64) -> Self {
+        assert!(real >= 0.0, "requantize multiplier must be non-negative");
+        if real == 0.0 {
+            return FixedPointMultiplier { multiplier: 0, shift: 0 };
+        }
+        let mut shift = 0i32;
+        let mut m = real;
+        while m < 0.5 {
+            m *= 2.0;
+            shift -= 1;
+        }
+        while m >= 1.0 {
+            m /= 2.0;
+            shift += 1;
+        }
+        let mut q = (m * (1i64 << 31) as f64).round() as i64;
+        if q == (1i64 << 31) {
+            q /= 2;
+            shift += 1;
+        }
+        FixedPointMultiplier { multiplier: q as i32, shift }
+    }
+
+    /// Saturating rounding doubling high multiply followed by
+    /// rounding-divide-by-power-of-two: `round(x * multiplier * 2^shift)`.
+    pub fn apply(&self, x: i32) -> i32 {
+        let v = saturating_rounding_doubling_high_mul(x, self.multiplier);
+        rounding_divide_by_pot(v, -self.shift)
+    }
+
+    /// Recover the approximate real multiplier (for tests/diagnostics).
+    pub fn to_real(&self) -> f64 {
+        self.multiplier as f64 / (1i64 << 31) as f64 * 2f64.powi(self.shift)
+    }
+}
+
+/// gemmlowp `SaturatingRoundingDoublingHighMul`.
+fn saturating_rounding_doubling_high_mul(a: i32, b: i32) -> i32 {
+    if a == i32::MIN && b == i32::MIN {
+        return i32::MAX;
+    }
+    let ab = a as i64 * b as i64;
+    let nudge = if ab >= 0 { 1i64 << 30 } else { 1 - (1i64 << 30) };
+    ((ab + nudge) >> 31) as i32
+}
+
+/// gemmlowp `RoundingDivideByPOT` (round-half-away-from-zero).
+fn rounding_divide_by_pot(x: i32, exponent: i32) -> i32 {
+    if exponent <= 0 {
+        // A negative exponent means a left shift (multiplier >= 1).
+        return x.checked_shl((-exponent) as u32).unwrap_or(if x >= 0 { i32::MAX } else { i32::MIN });
+    }
+    let mask = (1i64 << exponent) - 1;
+    let remainder = (x as i64) & mask;
+    let threshold = (mask >> 1) + i64::from(x < 0);
+    let mut result = x >> exponent;
+    if remainder > threshold {
+        result = result.wrapping_add(1);
+    }
+    result
+}
+
+/// Requantize a raw i32 accumulator from (`in_params`) to (`out_params`,
+/// `out_dtype`), the core of `qnn.requantize`.
+pub fn requantize_value(
+    acc: i32,
+    real_multiplier: FixedPointMultiplier,
+    out_zero_point: i32,
+    out_dtype: DType,
+) -> i32 {
+    let (lo, hi) = out_dtype.int_range().expect("requantize target must be integer");
+    let v = real_multiplier.apply(acc) as i64 + out_zero_point as i64;
+    v.clamp(lo as i64, hi as i64) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_dequantize_identity_scale() {
+        let qp = QuantParams::new(1.0, 0);
+        assert_eq!(qp.quantize(5.0, DType::I8), 5);
+        assert_eq!(qp.dequantize(5), 5.0);
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let qp = QuantParams::new(1.0, 0);
+        assert_eq!(qp.quantize(1000.0, DType::I8), 127);
+        assert_eq!(qp.quantize(-1000.0, DType::I8), -128);
+        assert_eq!(qp.quantize(1000.0, DType::U8), 255);
+    }
+
+    #[test]
+    fn from_range_covers_zero() {
+        let qp = QuantParams::from_range(0.5, 6.0, DType::U8);
+        // The range must widen to include zero so zero is exactly representable.
+        let zq = qp.quantize(0.0, DType::U8);
+        assert!((qp.dequantize(zq)).abs() < qp.scale * 0.51);
+        let top = qp.quantize(6.0, DType::U8);
+        assert!((qp.dequantize(top) - 6.0).abs() < qp.scale);
+    }
+
+    #[test]
+    fn symmetric_weights() {
+        let qp = QuantParams::symmetric_from_absmax(2.54, DType::I8);
+        assert_eq!(qp.zero_point, 0);
+        assert!((qp.dequantize(127) - 2.54).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fixed_point_roundtrip() {
+        for real in [0.00037_f64, 0.25, 0.4999, 0.75, 1.0, 1.5, 37.2] {
+            let fpm = FixedPointMultiplier::from_real(real);
+            let back = fpm.to_real();
+            assert!(
+                (back - real).abs() / real < 1e-6,
+                "real {real} decomposed to {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_point_apply_matches_float() {
+        let fpm = FixedPointMultiplier::from_real(0.007_812_5); // 1/128, exact
+        assert_eq!(fpm.apply(1280), 10);
+        assert_eq!(fpm.apply(-1280), -10);
+        // Rounding: 0.0078125 * 192 = 1.5 rounds away from zero to 2.
+        assert_eq!(fpm.apply(192), 2);
+    }
+
+    #[test]
+    fn requantize_clamps_to_dtype() {
+        let fpm = FixedPointMultiplier::from_real(1.0);
+        assert_eq!(requantize_value(300, fpm, 0, DType::I8), 127);
+        assert_eq!(requantize_value(-300, fpm, 0, DType::I8), -128);
+        assert_eq!(requantize_value(100, fpm, 50, DType::U8), 150);
+    }
+
+    #[test]
+    fn zero_multiplier() {
+        let fpm = FixedPointMultiplier::from_real(0.0);
+        assert_eq!(fpm.apply(12345), 0);
+    }
+}

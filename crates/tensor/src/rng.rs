@@ -1,0 +1,91 @@
+//! Deterministic seeded tensor generation.
+//!
+//! The paper uses pretrained weights; inference *latency* (the measured
+//! quantity) is weight-independent, so the reproduction substitutes seeded
+//! pseudo-random weights that are stable across runs and platforms.
+
+use crate::dtype::DType;
+use crate::quant::QuantParams;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic tensor generator keyed by a 64-bit seed.
+pub struct TensorRng {
+    rng: SmallRng,
+}
+
+impl TensorRng {
+    /// New generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TensorRng { rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Uniform float tensor in `[lo, hi)`.
+    pub fn uniform_f32(&mut self, shape: impl Into<Shape>, lo: f32, hi: f32) -> Tensor {
+        let shape = shape.into();
+        let n = shape.num_elements();
+        let data: Vec<f32> = (0..n).map(|_| self.rng.gen_range(lo..hi)).collect();
+        Tensor::from_f32(shape, data).expect("generated length matches shape")
+    }
+
+    /// Kaiming-style weight init: uniform in `±sqrt(6/fan_in)`.
+    pub fn kaiming_f32(&mut self, shape: impl Into<Shape>, fan_in: usize) -> Tensor {
+        let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+        self.uniform_f32(shape, -bound, bound)
+    }
+
+    /// Quantized tensor with values drawn uniformly over the dtype range.
+    pub fn uniform_quantized(
+        &mut self,
+        shape: impl Into<Shape>,
+        dtype: DType,
+        qp: QuantParams,
+    ) -> Tensor {
+        let shape = shape.into();
+        let (lo, hi) = dtype.int_range().expect("quantized dtype");
+        let n = shape.num_elements();
+        let vals: Vec<i32> = (0..n).map(|_| self.rng.gen_range(lo..=hi)).collect();
+        Tensor::from_int_values(shape, &vals, dtype, Some(qp)).expect("length matches")
+    }
+
+    /// A fresh u64 for deriving child seeds.
+    pub fn next_seed(&mut self) -> u64 {
+        self.rng.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = TensorRng::new(42).uniform_f32([2, 3], -1.0, 1.0);
+        let b = TensorRng::new(42).uniform_f32([2, 3], -1.0, 1.0);
+        assert!(a.bit_eq(&b));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TensorRng::new(1).uniform_f32([64], -1.0, 1.0);
+        let b = TensorRng::new(2).uniform_f32([64], -1.0, 1.0);
+        assert!(!a.bit_eq(&b));
+    }
+
+    #[test]
+    fn kaiming_bound_respected() {
+        let t = TensorRng::new(7).kaiming_f32([32, 16, 3, 3], 16 * 9);
+        let bound = (6.0f32 / (16.0 * 9.0)).sqrt();
+        assert!(t.as_f32().unwrap().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn quantized_within_range() {
+        let qp = QuantParams::new(0.1, 0);
+        let t = TensorRng::new(3).uniform_quantized([100], DType::U8, qp);
+        assert!(t.iter_int().all(|v| (0..=255).contains(&v)));
+        assert_eq!(t.quant(), Some(qp));
+    }
+}

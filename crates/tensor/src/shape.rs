@@ -1,0 +1,174 @@
+//! Tensor shapes and row-major index arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a dense row-major tensor.
+///
+/// A scalar is represented by the empty shape `[]` (one element).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Build a shape from dimension sizes.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// Scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Total number of elements (1 for a scalar).
+    pub fn num_elements(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flatten a multi-index to a linear offset.
+    ///
+    /// Panics (debug) on out-of-range indices; release builds rely on the
+    /// caller and the following multiplication staying in range.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.rank(), "index rank mismatch");
+        let mut off = 0usize;
+        for (d, (&i, &s)) in idx.iter().zip(self.0.iter()).enumerate() {
+            debug_assert!(i < s, "index {i} out of range for dim {d} (size {s})");
+            let _ = d;
+            off = off * s + i;
+        }
+        off
+    }
+
+    /// Inverse of [`Shape::offset`]: linear offset to multi-index.
+    pub fn unravel(&self, mut off: usize) -> Vec<usize> {
+        let mut idx = vec![0usize; self.rank()];
+        for i in (0..self.rank()).rev() {
+            let s = self.0[i];
+            idx[i] = off % s;
+            off /= s;
+        }
+        idx
+    }
+
+    /// NumPy-style broadcast of two shapes, if compatible.
+    ///
+    /// Shapes are right-aligned; a dimension broadcasts when equal or when
+    /// either side is 1.
+    pub fn broadcast(&self, other: &Shape) -> Option<Shape> {
+        let rank = self.rank().max(other.rank());
+        let mut out = vec![0usize; rank];
+        for i in 0..rank {
+            let a = if i < rank - self.rank() { 1 } else { self.0[i - (rank - self.rank())] };
+            let b = if i < rank - other.rank() { 1 } else { other.0[i - (rank - other.rank())] };
+            out[i] = if a == b {
+                a
+            } else if a == 1 {
+                b
+            } else if b == 1 {
+                a
+            } else {
+                return None;
+            };
+        }
+        Some(Shape(out))
+    }
+
+    /// Whether this shape can be reshaped into `other` (same element count).
+    pub fn reshape_compatible(&self, other: &Shape) -> bool {
+        self.num_elements() == other.num_elements()
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(v: [usize; N]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.num_elements(), 24);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::scalar().num_elements(), 1);
+    }
+
+    #[test]
+    fn offset_unravel_roundtrip() {
+        let s = Shape::from([2, 3, 4]);
+        for off in 0..s.num_elements() {
+            let idx = s.unravel(off);
+            assert_eq!(s.offset(&idx), off);
+        }
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        let a = Shape::from([1, 3, 1]);
+        let b = Shape::from([2, 1, 4]);
+        assert_eq!(a.broadcast(&b), Some(Shape::from([2, 3, 4])));
+        // Right alignment with differing ranks.
+        let c = Shape::from([4]);
+        assert_eq!(b.broadcast(&c), Some(Shape::from([2, 1, 4])));
+        // Incompatible.
+        let d = Shape::from([3]);
+        assert_eq!(c.broadcast(&d), None);
+        // Scalars broadcast with anything.
+        assert_eq!(Shape::scalar().broadcast(&a), Some(a.clone()));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::from([1, 3, 224, 224]).to_string(), "(1, 3, 224, 224)");
+    }
+}

@@ -1,0 +1,375 @@
+//! The dense tensor value type shared by every layer of the stack.
+
+use crate::dtype::DType;
+use crate::quant::QuantParams;
+use crate::shape::Shape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised by tensor construction and access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Element count does not match the shape.
+    LengthMismatch { expected: usize, got: usize },
+    /// An operation was asked to treat the tensor as the wrong dtype.
+    DTypeMismatch { expected: DType, got: DType },
+    /// Two shapes that had to agree did not.
+    ShapeMismatch { left: Shape, right: Shape },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, got } => {
+                write!(f, "data length {got} does not match shape element count {expected}")
+            }
+            TensorError::DTypeMismatch { expected, got } => {
+                write!(f, "expected dtype {expected}, got {got}")
+            }
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Backing storage, one dense row-major buffer per dtype.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Data {
+    /// float32 elements.
+    F32(Vec<f32>),
+    /// int8 elements.
+    I8(Vec<i8>),
+    /// uint8 elements.
+    U8(Vec<u8>),
+    /// int32 elements.
+    I32(Vec<i32>),
+}
+
+impl Data {
+    fn len(&self) -> usize {
+        match self {
+            Data::F32(v) => v.len(),
+            Data::I8(v) => v.len(),
+            Data::U8(v) => v.len(),
+            Data::I32(v) => v.len(),
+        }
+    }
+
+    fn dtype(&self) -> DType {
+        match self {
+            Data::F32(_) => DType::F32,
+            Data::I8(_) => DType::I8,
+            Data::U8(_) => DType::U8,
+            Data::I32(_) => DType::I32,
+        }
+    }
+}
+
+/// A dense row-major tensor.
+///
+/// Quantized tensors carry their affine [`QuantParams`] alongside the data;
+/// this is exactly the *tensor-oriented* representation Neuron IR requires
+/// and that §3.3 of the paper derives from Relay's operator-oriented QNN.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Data,
+    /// Quantization parameters; `None` for float tensors and raw i32 indices.
+    quant: Option<QuantParams>,
+}
+
+impl Tensor {
+    /// Construct a float32 tensor.
+    pub fn from_f32(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if shape.num_elements() != data.len() {
+            return Err(TensorError::LengthMismatch { expected: shape.num_elements(), got: data.len() });
+        }
+        Ok(Tensor { shape, data: Data::F32(data), quant: None })
+    }
+
+    /// Construct an int8 tensor with quantization parameters.
+    pub fn from_i8(shape: impl Into<Shape>, data: Vec<i8>, quant: QuantParams) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if shape.num_elements() != data.len() {
+            return Err(TensorError::LengthMismatch { expected: shape.num_elements(), got: data.len() });
+        }
+        Ok(Tensor { shape, data: Data::I8(data), quant: Some(quant) })
+    }
+
+    /// Construct a uint8 tensor with quantization parameters.
+    pub fn from_u8(shape: impl Into<Shape>, data: Vec<u8>, quant: QuantParams) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if shape.num_elements() != data.len() {
+            return Err(TensorError::LengthMismatch { expected: shape.num_elements(), got: data.len() });
+        }
+        Ok(Tensor { shape, data: Data::U8(data), quant: Some(quant) })
+    }
+
+    /// Construct an int32 tensor (bias/accumulator/index).
+    pub fn from_i32(shape: impl Into<Shape>, data: Vec<i32>, quant: Option<QuantParams>) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if shape.num_elements() != data.len() {
+            return Err(TensorError::LengthMismatch { expected: shape.num_elements(), got: data.len() });
+        }
+        Ok(Tensor { shape, data: Data::I32(data), quant })
+    }
+
+    /// A float tensor of zeros.
+    pub fn zeros_f32(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.num_elements();
+        Tensor { shape, data: Data::F32(vec![0.0; n]), quant: None }
+    }
+
+    /// A float scalar.
+    pub fn scalar_f32(v: f32) -> Self {
+        Tensor { shape: Shape::scalar(), data: Data::F32(vec![v]), quant: None }
+    }
+
+    /// An int32 scalar.
+    pub fn scalar_i32(v: i32) -> Self {
+        Tensor { shape: Shape::scalar(), data: Data::I32(vec![v]), quant: None }
+    }
+
+    /// Shape accessor.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Element type.
+    pub fn dtype(&self) -> DType {
+        self.data.dtype()
+    }
+
+    /// Total elements.
+    pub fn num_elements(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Size in bytes of the payload.
+    pub fn size_bytes(&self) -> usize {
+        self.num_elements() * self.dtype().size_bytes()
+    }
+
+    /// Quantization parameters, if any.
+    pub fn quant(&self) -> Option<QuantParams> {
+        self.quant
+    }
+
+    /// Attach/replace quantization parameters (used by QNN propagation).
+    pub fn with_quant(mut self, quant: QuantParams) -> Self {
+        self.quant = Some(quant);
+        self
+    }
+
+    /// Borrow as `&[f32]`.
+    pub fn as_f32(&self) -> Result<&[f32], TensorError> {
+        match &self.data {
+            Data::F32(v) => Ok(v),
+            other => Err(TensorError::DTypeMismatch { expected: DType::F32, got: other.dtype() }),
+        }
+    }
+
+    /// Borrow as `&mut [f32]`.
+    pub fn as_f32_mut(&mut self) -> Result<&mut [f32], TensorError> {
+        match &mut self.data {
+            Data::F32(v) => Ok(v),
+            other => Err(TensorError::DTypeMismatch { expected: DType::F32, got: other.dtype() }),
+        }
+    }
+
+    /// Borrow as `&[i8]`.
+    pub fn as_i8(&self) -> Result<&[i8], TensorError> {
+        match &self.data {
+            Data::I8(v) => Ok(v),
+            other => Err(TensorError::DTypeMismatch { expected: DType::I8, got: other.dtype() }),
+        }
+    }
+
+    /// Borrow as `&[u8]`.
+    pub fn as_u8(&self) -> Result<&[u8], TensorError> {
+        match &self.data {
+            Data::U8(v) => Ok(v),
+            other => Err(TensorError::DTypeMismatch { expected: DType::U8, got: other.dtype() }),
+        }
+    }
+
+    /// Borrow as `&[i32]`.
+    pub fn as_i32(&self) -> Result<&[i32], TensorError> {
+        match &self.data {
+            Data::I32(v) => Ok(v),
+            other => Err(TensorError::DTypeMismatch { expected: DType::I32, got: other.dtype() }),
+        }
+    }
+
+    /// Read element `i` of an integer tensor widened to i32.
+    pub fn int_at(&self, i: usize) -> i32 {
+        match &self.data {
+            Data::I8(v) => v[i] as i32,
+            Data::U8(v) => v[i] as i32,
+            Data::I32(v) => v[i],
+            Data::F32(_) => panic!("int_at on float tensor"),
+        }
+    }
+
+    /// Iterate the integer payload widened to i32.
+    pub fn iter_int(&self) -> Box<dyn Iterator<Item = i32> + '_> {
+        match &self.data {
+            Data::I8(v) => Box::new(v.iter().map(|&x| x as i32)),
+            Data::U8(v) => Box::new(v.iter().map(|&x| x as i32)),
+            Data::I32(v) => Box::new(v.iter().copied()),
+            Data::F32(_) => panic!("iter_int on float tensor"),
+        }
+    }
+
+    /// Build an integer tensor of `dtype` from i32 values (saturating).
+    pub fn from_int_values(
+        shape: impl Into<Shape>,
+        values: &[i32],
+        dtype: DType,
+        quant: Option<QuantParams>,
+    ) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if shape.num_elements() != values.len() {
+            return Err(TensorError::LengthMismatch { expected: shape.num_elements(), got: values.len() });
+        }
+        let data = match dtype {
+            DType::I8 => Data::I8(values.iter().map(|&v| v.clamp(-128, 127) as i8).collect()),
+            DType::U8 => Data::U8(values.iter().map(|&v| v.clamp(0, 255) as u8).collect()),
+            DType::I32 => Data::I32(values.to_vec()),
+            DType::F32 => {
+                return Err(TensorError::DTypeMismatch { expected: DType::I32, got: DType::F32 })
+            }
+        };
+        Ok(Tensor { shape, data, quant })
+    }
+
+    /// Dequantize (or pass through) to a float32 tensor.
+    pub fn to_f32(&self) -> Tensor {
+        match &self.data {
+            Data::F32(_) => self.clone(),
+            _ => {
+                let qp = self.quant.unwrap_or(QuantParams::identity());
+                let vals: Vec<f32> = self.iter_int().map(|q| qp.dequantize(q)).collect();
+                Tensor { shape: self.shape.clone(), data: Data::F32(vals), quant: None }
+            }
+        }
+    }
+
+    /// Quantize a float tensor into `dtype` with the given params.
+    pub fn quantize(&self, qp: QuantParams, dtype: DType) -> Result<Tensor, TensorError> {
+        let vals = self.as_f32()?;
+        let ints: Vec<i32> = vals.iter().map(|&v| qp.quantize(v, dtype)).collect();
+        Tensor::from_int_values(self.shape.clone(), &ints, dtype, Some(qp))
+    }
+
+    /// Replace the shape without touching data (reshape).
+    pub fn reshaped(&self, shape: impl Into<Shape>) -> Result<Tensor, TensorError> {
+        let shape = shape.into();
+        if !self.shape.reshape_compatible(&shape) {
+            return Err(TensorError::ShapeMismatch { left: self.shape.clone(), right: shape });
+        }
+        let mut t = self.clone();
+        t.shape = shape;
+        Ok(t)
+    }
+
+    /// Max absolute difference against another float tensor.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        let a = self.to_f32();
+        let b = other.to_f32();
+        assert_eq!(a.shape, b.shape, "max_abs_diff shape mismatch");
+        a.as_f32()
+            .unwrap()
+            .iter()
+            .zip(b.as_f32().unwrap())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max)
+    }
+
+    /// Approximate float equality within `tol`.
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape && self.max_abs_diff(other) <= tol
+    }
+
+    /// Bit-exact equality of shape, dtype and payload.
+    pub fn bit_eq(&self, other: &Tensor) -> bool {
+        self.shape == other.shape && self.data == other.data
+    }
+
+    /// Index of the maximum element (float view), for classification heads.
+    pub fn argmax(&self) -> usize {
+        let f = self.to_f32();
+        let v = f.as_f32().unwrap();
+        v.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_access() {
+        let t = Tensor::from_f32([2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(t.dtype(), DType::F32);
+        assert_eq!(t.num_elements(), 4);
+        assert_eq!(t.size_bytes(), 16);
+        assert_eq!(t.as_f32().unwrap()[3], 4.0);
+        assert!(t.as_i8().is_err());
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(matches!(
+            Tensor::from_f32([2, 2], vec![1.0]),
+            Err(TensorError::LengthMismatch { expected: 4, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn quantize_roundtrip_within_half_scale() {
+        let t = Tensor::from_f32([4], vec![-1.0, 0.0, 0.5, 1.0]).unwrap();
+        let qp = QuantParams::from_range(-1.0, 1.0, DType::I8);
+        let q = t.quantize(qp, DType::I8).unwrap();
+        assert_eq!(q.dtype(), DType::I8);
+        let back = q.to_f32();
+        assert!(t.max_abs_diff(&back) <= qp.scale * 0.5 + 1e-6);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_f32([2, 3], (0..6).map(|i| i as f32).collect()).unwrap();
+        let r = t.reshaped([3, 2]).unwrap();
+        assert_eq!(r.as_f32().unwrap(), t.as_f32().unwrap());
+        assert!(t.reshaped([4, 2]).is_err());
+    }
+
+    #[test]
+    fn argmax_picks_peak() {
+        let t = Tensor::from_f32([5], vec![0.1, 0.9, 0.3, 0.2, 0.05]).unwrap();
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn int_tensor_saturates() {
+        let t = Tensor::from_int_values([3], &[300, -300, 7], DType::I8, None).unwrap();
+        assert_eq!(t.as_i8().unwrap(), &[127, -128, 7]);
+    }
+
+    #[test]
+    fn bit_eq_vs_approx_eq() {
+        let a = Tensor::from_f32([2], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_f32([2], vec![1.0, 2.0 + 1e-6]).unwrap();
+        assert!(!a.bit_eq(&b));
+        assert!(a.approx_eq(&b, 1e-5));
+    }
+}

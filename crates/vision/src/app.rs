@@ -1,0 +1,435 @@
+//! The application showcase (paper §4.4, Fig. 1, Listing 5).
+//!
+//! Per frame: object detection + face detection → overlap gating →
+//! anti-spoofing on candidate faces → emotion detection on real faces.
+//! The three DNNs are compiled through the BYOC stack under a
+//! per-model target assignment (§5.1) and can run either sequentially or
+//! through the §5.2 pipeline executor.
+
+use crate::detect::{luminance_saliency, match_faces, texture_energy, BBox};
+use crate::frame::{FaceKind, Frame, SyntheticVideo};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tvmnp_byoc::{relay_build, CompiledModel, TargetMode};
+use tvmnp_hwsim::{CostModel, DeviceKind};
+use tvmnp_models::anti_spoofing::anti_spoofing_model;
+use tvmnp_models::emotion::{emotion_model, EMOTIONS};
+use tvmnp_models::object_detection::{mobilenet_ssd_model, ssd_input_quant};
+use tvmnp_models::Model;
+use tvmnp_neuropilot::TargetPolicy;
+use tvmnp_scheduler::pipeline::PipelineStage;
+use tvmnp_scheduler::threaded::{PipelineExecutor, StageSpec};
+use tvmnp_tensor::{DType, Tensor};
+
+/// Target assignment of the three showcase models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShowcaseAssignment {
+    /// Object detection target.
+    pub obj: TargetMode,
+    /// Anti-spoofing target.
+    pub spoof: TargetMode,
+    /// Emotion detection target.
+    pub emotion: TargetMode,
+}
+
+impl ShowcaseAssignment {
+    /// The paper's §5.2 prototype: object detection forced to CPU-only,
+    /// anti-spoofing on BYOC CPU+APU, emotion on the APU alone (Fig. 5's
+    /// blue / yellow / green).
+    pub fn paper_prototype() -> Self {
+        ShowcaseAssignment {
+            obj: TargetMode::Byoc(TargetPolicy::CpuOnly),
+            spoof: TargetMode::Byoc(TargetPolicy::CpuApu),
+            emotion: TargetMode::NeuroPilotOnly(TargetPolicy::ApuPrefer),
+        }
+    }
+
+    /// The pre-pipeline greedy assignment (§5.1): every model on its
+    /// fastest target, object detection sharing CPU+APU.
+    pub fn greedy() -> Self {
+        ShowcaseAssignment {
+            obj: TargetMode::Byoc(TargetPolicy::CpuApu),
+            spoof: TargetMode::Byoc(TargetPolicy::CpuApu),
+            emotion: TargetMode::NeuroPilotOnly(TargetPolicy::ApuPrefer),
+        }
+    }
+}
+
+/// Devices a target mode occupies, for the exclusivity locks and the
+/// Fig. 5 Gantt colors.
+pub fn resources_of(mode: TargetMode) -> Vec<DeviceKind> {
+    match mode {
+        TargetMode::TvmOnly => vec![DeviceKind::Cpu],
+        TargetMode::Byoc(p) | TargetMode::NeuroPilotOnly(p) => match p {
+            TargetPolicy::CpuOnly => vec![DeviceKind::Cpu],
+            TargetPolicy::GpuPrefer => vec![DeviceKind::Gpu],
+            TargetPolicy::ApuPrefer => vec![DeviceKind::Apu],
+            TargetPolicy::CpuApu => vec![DeviceKind::Cpu, DeviceKind::Apu],
+        },
+    }
+}
+
+/// Per-face outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaceResult {
+    /// Face box.
+    pub bbox: BBox,
+    /// Liveness decision.
+    pub real: bool,
+    /// Emotion label for real faces.
+    pub emotion: Option<&'static str>,
+}
+
+/// Simulated time spent per stage for one frame, microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShowcaseTiming {
+    /// Object-detection model time.
+    pub obj_us: f64,
+    /// Anti-spoofing model time (summed over candidate faces).
+    pub spoof_us: f64,
+    /// Emotion model time (summed over real faces).
+    pub emotion_us: f64,
+}
+
+impl ShowcaseTiming {
+    /// Total simulated time.
+    pub fn total_us(&self) -> f64 {
+        self.obj_us + self.spoof_us + self.emotion_us
+    }
+}
+
+/// Per-frame outcome.
+#[derive(Debug, Clone)]
+pub struct FrameResult {
+    /// Frame index.
+    pub frame_index: usize,
+    /// Detected object boxes.
+    pub objects: Vec<BBox>,
+    /// Gated face results.
+    pub faces: Vec<FaceResult>,
+    /// Stage timing.
+    pub times: ShowcaseTiming,
+}
+
+struct CompiledStage {
+    model: Model,
+    compiled: Mutex<CompiledModel>,
+    mode: TargetMode,
+}
+
+/// The assembled application.
+pub struct Showcase {
+    obj: Arc<CompiledStage>,
+    spoof: Arc<CompiledStage>,
+    emotion: Arc<CompiledStage>,
+    liveness_threshold: f32,
+}
+
+fn compile(model: Model, mode: TargetMode, cost: &CostModel) -> Arc<CompiledStage> {
+    let compiled = relay_build(&model.module, mode, cost.clone())
+        .unwrap_or_else(|e| panic!("{} fails to build for {mode}: {e}", model.name));
+    Arc::new(CompiledStage { model, compiled: Mutex::new(compiled), mode })
+}
+
+impl Showcase {
+    /// Build the three models (Listing 5's `build_model_on_TVM`) under the
+    /// given assignment, and calibrate the liveness threshold on a short
+    /// ground-truth calibration clip.
+    pub fn new(seed: u64, assignment: ShowcaseAssignment, cost: &CostModel) -> Self {
+        let obj = compile(mobilenet_ssd_model(seed), assignment.obj, cost);
+        let spoof = compile(anti_spoofing_model(seed.wrapping_add(1)), assignment.spoof, cost);
+        let emotion = compile(emotion_model(seed.wrapping_add(2)), assignment.emotion, cost);
+        let liveness_threshold = calibrate_liveness(seed.wrapping_add(3));
+        Showcase { obj, spoof, emotion, liveness_threshold }
+    }
+
+    /// Process one frame through the Fig. 1 flow.
+    pub fn process_frame(&self, frame: &Frame) -> FrameResult {
+        let mut times = ShowcaseTiming::default();
+
+        // Object detection: the DNN runs on the full frame (its latency is
+        // the measured quantity); localization comes from the saliency
+        // detector, as the untrained SSD cannot localize (DESIGN.md).
+        let obj_input = prepare_ssd_input(frame);
+        let (_, t) = self
+            .obj
+            .compiled
+            .lock()
+            .run(&self.obj.model.inputs_from(obj_input))
+            .expect("object detection runs");
+        times.obj_us += t;
+        let objects = luminance_saliency(frame, 4, 1.8);
+
+        // Face detection + overlap gating (Listing 5).
+        let face_boxes = match_faces(frame, 0.6);
+        let candidates: Vec<BBox> = face_boxes
+            .into_iter()
+            .filter(|f| objects.iter().any(|o| o.overlaps(f)))
+            .collect();
+
+        let mut faces = Vec::new();
+        for bbox in candidates {
+            // Anti-spoofing on the face crop.
+            let crop = frame.crop_resized(bbox.tuple(), 32, 32);
+            let (outs, t) = self
+                .spoof
+                .compiled
+                .lock()
+                .run(&self.spoof.model.inputs_from(crop))
+                .expect("anti-spoofing runs");
+            times.spoof_us += t;
+            let _pixel_map = &outs[0];
+            // Liveness: texture feature on the same crop (the pixel map of
+            // an untrained DeePixBiS is not discriminative; see DESIGN.md).
+            let gray = frame.gray_crop_resized(bbox.tuple(), crate::frame::FACE_SIZE);
+            let real = texture_energy(&gray) > self.liveness_threshold;
+
+            // Emotion detection only on real faces.
+            let emotion = if real {
+                let e_in = frame.gray_crop_resized(bbox.tuple(), 48);
+                let (e_out, t) = self
+                    .emotion
+                    .compiled
+                    .lock()
+                    .run(&self.emotion.model.inputs_from(e_in))
+                    .expect("emotion runs");
+                times.emotion_us += t;
+                Some(EMOTIONS[e_out[0].argmax()])
+            } else {
+                None
+            };
+            faces.push(FaceResult { bbox, real, emotion });
+        }
+
+        FrameResult { frame_index: frame.index, objects, faces, times }
+    }
+
+    /// Sequential per-frame processing (the §4.4 baseline).
+    pub fn process_video(&self, frames: &[Frame]) -> Vec<FrameResult> {
+        frames.iter().map(|f| self.process_frame(f)).collect()
+    }
+
+    /// Pipelined processing: the three model stages run on their own
+    /// threads with exclusive device locks (§5.2). Results are identical
+    /// to [`Showcase::process_video`]; only the wall-clock schedule
+    /// changes.
+    pub fn process_video_pipelined(&self, frames: Vec<Frame>) -> Vec<FrameResult> {
+        struct Item {
+            frame: Frame,
+            objects: Vec<BBox>,
+            candidates: Vec<BBox>,
+            real_flags: Vec<bool>,
+            faces: Vec<FaceResult>,
+            times: ShowcaseTiming,
+        }
+
+        let obj = self.obj.clone();
+        let spoof = self.spoof.clone();
+        let emotion = self.emotion.clone();
+        let threshold = self.liveness_threshold;
+
+        let stage1 = StageSpec::new("obj-det", &resources_of(obj.mode), move |mut it: Item| {
+            let input = prepare_ssd_input(&it.frame);
+            let (_, t) =
+                obj.compiled.lock().run(&obj.model.inputs_from(input)).expect("obj runs");
+            it.times.obj_us += t;
+            it.objects = luminance_saliency(&it.frame, 4, 1.8);
+            let face_boxes = match_faces(&it.frame, 0.6);
+            it.candidates = face_boxes
+                .into_iter()
+                .filter(|f| it.objects.iter().any(|o| o.overlaps(f)))
+                .collect();
+            it
+        });
+        let stage2 = StageSpec::new("anti-spoof", &resources_of(spoof.mode), move |mut it: Item| {
+            for bbox in it.candidates.clone() {
+                let crop = it.frame.crop_resized(bbox.tuple(), 32, 32);
+                let (_, t) = spoof
+                    .compiled
+                    .lock()
+                    .run(&spoof.model.inputs_from(crop))
+                    .expect("spoof runs");
+                it.times.spoof_us += t;
+                let gray = it.frame.gray_crop_resized(bbox.tuple(), crate::frame::FACE_SIZE);
+                it.real_flags.push(texture_energy(&gray) > threshold);
+            }
+            it
+        });
+        let stage3 = StageSpec::new("emotion", &resources_of(emotion.mode), move |mut it: Item| {
+            for (k, bbox) in it.candidates.clone().into_iter().enumerate() {
+                let real = it.real_flags[k];
+                let label = if real {
+                    let e_in = it.frame.gray_crop_resized(bbox.tuple(), 48);
+                    let (out, t) = emotion
+                        .compiled
+                        .lock()
+                        .run(&emotion.model.inputs_from(e_in))
+                        .expect("emotion runs");
+                    it.times.emotion_us += t;
+                    Some(EMOTIONS[out[0].argmax()])
+                } else {
+                    None
+                };
+                it.faces.push(FaceResult { bbox, real, emotion: label });
+            }
+            it
+        });
+
+        let items: Vec<Item> = frames
+            .into_iter()
+            .map(|frame| Item {
+                frame,
+                objects: Vec::new(),
+                candidates: Vec::new(),
+                real_flags: Vec::new(),
+                faces: Vec::new(),
+                times: ShowcaseTiming::default(),
+            })
+            .collect();
+        PipelineExecutor::run(vec![stage1, stage2, stage3], items)
+            .into_iter()
+            .map(|it| FrameResult {
+                frame_index: it.frame.index,
+                objects: it.objects,
+                faces: it.faces,
+                times: it.times,
+            })
+            .collect()
+    }
+
+    /// Measured per-stage latencies (for the Fig. 5 simulation), taken
+    /// from a representative frame containing a real face.
+    pub fn stage_profile(&self, seed: u64) -> Vec<PipelineStage> {
+        let mut video = SyntheticVideo::new(seed, 64, 64);
+        let frames = video.frames(4);
+        // Scene 2 of the cycle holds a real face → all three stages run.
+        let r = self.process_frame(&frames[2]);
+        vec![
+            PipelineStage {
+                name: "obj-det".into(),
+                resources: resources_of(self.obj.mode),
+                duration_us: r.times.obj_us.max(1.0),
+            },
+            PipelineStage {
+                name: "anti-spoof".into(),
+                resources: resources_of(self.spoof.mode),
+                duration_us: r.times.spoof_us.max(1.0),
+            },
+            PipelineStage {
+                name: "emotion".into(),
+                resources: resources_of(self.emotion.mode),
+                duration_us: r.times.emotion_us.max(1.0),
+            },
+        ]
+    }
+}
+
+/// Resize + quantize a frame for the SSD input.
+fn prepare_ssd_input(frame: &Frame) -> Tensor {
+    let resized = frame.crop_resized((0, 0, frame.width(), frame.height()), 64, 64);
+    resized.quantize(ssd_input_quant(), DType::U8).expect("quantize frame")
+}
+
+/// Calibrate the liveness threshold on a labelled calibration clip:
+/// geometric midpoint between real-face and spoof-face texture energies.
+fn calibrate_liveness(seed: u64) -> f32 {
+    let mut video = SyntheticVideo::new(seed, 64, 64);
+    let frames = video.frames(8);
+    let mut real = Vec::new();
+    let mut spoof = Vec::new();
+    for f in &frames {
+        for o in &f.objects {
+            if let Some((bbox, kind)) = o.face {
+                let e = texture_energy(&f.gray_crop_resized(bbox, crate::frame::FACE_SIZE));
+                match kind {
+                    FaceKind::Real => real.push(e),
+                    FaceKind::Spoof => spoof.push(e),
+                }
+            }
+        }
+    }
+    let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
+    (mean(&real) * mean(&spoof)).max(1e-12).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn showcase() -> Showcase {
+        Showcase::new(1000, ShowcaseAssignment::paper_prototype(), &CostModel::default())
+    }
+
+    #[test]
+    fn frame_flow_matches_listing5() {
+        let sc = showcase();
+        let mut video = SyntheticVideo::new(2000, 64, 64);
+        let frames = video.frames(4);
+
+        // Frame 0: empty scene — nothing detected, only obj-det ran.
+        let r0 = sc.process_frame(&frames[0]);
+        assert!(r0.objects.is_empty());
+        assert!(r0.faces.is_empty());
+        assert!(r0.times.obj_us > 0.0);
+        assert_eq!(r0.times.spoof_us, 0.0);
+
+        // Frame 1: person, no face — no anti-spoofing.
+        let r1 = sc.process_frame(&frames[1]);
+        assert!(!r1.objects.is_empty());
+        assert!(r1.faces.is_empty());
+
+        // Frame 2: real face — all three stages ran, emotion assigned.
+        let r2 = sc.process_frame(&frames[2]);
+        assert_eq!(r2.faces.len(), 1);
+        assert!(r2.faces[0].real);
+        assert!(r2.faces[0].emotion.is_some());
+        assert!(r2.times.spoof_us > 0.0);
+        assert!(r2.times.emotion_us > 0.0);
+
+        // Frame 3: spoof face — anti-spoofing ran, emotion did not.
+        let r3 = sc.process_frame(&frames[3]);
+        assert_eq!(r3.faces.len(), 1);
+        assert!(!r3.faces[0].real);
+        assert!(r3.faces[0].emotion.is_none());
+        assert!(r3.times.spoof_us > 0.0);
+        assert_eq!(r3.times.emotion_us, 0.0);
+    }
+
+    #[test]
+    fn pipelined_results_match_sequential() {
+        let sc = showcase();
+        let mut video = SyntheticVideo::new(2000, 64, 64);
+        let frames = video.frames(8);
+        let seq = sc.process_video(&frames);
+        let pipe = sc.process_video_pipelined(frames);
+        assert_eq!(seq.len(), pipe.len());
+        for (a, b) in seq.iter().zip(&pipe) {
+            assert_eq!(a.frame_index, b.frame_index);
+            assert_eq!(a.objects, b.objects);
+            assert_eq!(a.faces, b.faces);
+        }
+    }
+
+    #[test]
+    fn stage_profile_has_three_stages_with_paper_resources() {
+        let sc = showcase();
+        let stages = sc.stage_profile(2000);
+        assert_eq!(stages.len(), 3);
+        assert_eq!(stages[0].resources, vec![DeviceKind::Cpu]);
+        assert_eq!(stages[1].resources, vec![DeviceKind::Cpu, DeviceKind::Apu]);
+        assert_eq!(stages[2].resources, vec![DeviceKind::Apu]);
+        assert!(stages.iter().all(|s| s.duration_us > 0.0));
+    }
+
+    #[test]
+    fn anti_spoof_is_slowest_model_of_the_three() {
+        // Fig. 4's observation: the anti-spoofing model's inference time
+        // exceeds the other two (many subgraphs).
+        let sc = showcase();
+        let stages = sc.stage_profile(2000);
+        let spoof = stages[1].duration_us;
+        assert!(spoof > stages[0].duration_us, "spoof {} vs obj {}", spoof, stages[0].duration_us);
+        assert!(spoof > stages[2].duration_us, "spoof {} vs emo {}", spoof, stages[2].duration_us);
+    }
+}

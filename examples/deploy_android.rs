@@ -1,0 +1,65 @@
+//! Cross-compile & deploy to Android (paper §4.5, Listing 6).
+//!
+//! The TVM stack splits into compiler and runtime: the model is compiled
+//! and `export_library`'d on the "server", then a phone that owns only the
+//! runtime loads the artifact and runs inference. This example walks that
+//! path with the quantized MobileNet-SSD.
+//!
+//! Run with: `cargo run --release --example deploy_android`
+
+use tvm_neuropilot::byoc::build::relay_build_with_artifact;
+use tvm_neuropilot::byoc::NeuronModule;
+use tvm_neuropilot::models::object_detection::mobilenet_ssd_model;
+use tvm_neuropilot::prelude::*;
+use tvm_neuropilot::runtime::artifact::LoaderRegistry;
+use tvm_neuropilot::runtime::{AndroidDevice, Artifact};
+
+fn main() {
+    let cost = CostModel::default();
+    let model = mobilenet_ssd_model(9);
+    println!("server: compiling {} for BYOC CPU+APU ...", model.name);
+
+    // relay.build(...) with opt passes + partitioning + external codegen.
+    let (mut compiled, artifact) = relay_build_with_artifact(
+        &model.module,
+        TargetMode::Byoc(TargetPolicy::CpuApu),
+        cost.clone(),
+    )
+    .unwrap();
+    let artifact = artifact.expect("TVM-side builds export artifacts");
+
+    // lib.export_library(dylib_path, ndk.create_shared)
+    let dir = std::env::temp_dir().join("tvmnp_deploy");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dylib_path = dir.join("mobilenet_ssd_quant.so.json");
+    artifact.export_library(&dylib_path).unwrap();
+    println!(
+        "server: exported {} ({} KiB, {} external module(s))",
+        dylib_path.display(),
+        artifact.size_bytes() / 1024,
+        artifact.externals.len()
+    );
+
+    // Reference output computed on the server side.
+    let inputs = model.sample_inputs(77);
+    let (server_out, _) = compiled.run(&inputs).unwrap();
+
+    // The phone owns only the runtime: loaders + cost model, no compiler.
+    let mut loaders = LoaderRegistry::new();
+    loaders.register("neuropilot", NeuronModule::loader(cost.clone()));
+    let phone = AndroidDevice::new("OPPO Reno4 Z 5G", loaders, cost);
+    let loaded = Artifact::load_library(&dylib_path).unwrap();
+    let mut executor = phone.load(&loaded).unwrap();
+
+    // set_input / run / get_output on the device.
+    executor.set_input(&model.input_name, inputs[&model.input_name].clone()).unwrap();
+    let t = executor.run().unwrap();
+    println!("phone : inference in {:.2} ms (simulated on {})", t / 1000.0, phone.name);
+
+    for i in 0..executor.num_outputs() {
+        let out = executor.get_output(i).unwrap();
+        assert!(out.bit_eq(&server_out[i]), "device output {i} must match the server");
+        println!("phone : output {i} = {} {}", out.shape(), out.dtype());
+    }
+    println!("deployment round-trip verified: server and device outputs are bit-identical");
+}

@@ -1,0 +1,47 @@
+//! Quickstart: the paper's core flow in ~40 lines.
+//!
+//! Import a Keras model (the emotion-detection CNN of Listing 4),
+//! partition it for NeuroPilot through the BYOC flow, build it for a
+//! target permutation, and run inference on the simulated Dimensity 800 —
+//! comparing against TVM-only to see why the paper calls BYOC a win-win.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tvm_neuropilot::models::emotion::{emotion_model, EMOTIONS};
+use tvm_neuropilot::nir;
+use tvm_neuropilot::prelude::*;
+
+fn main() {
+    // 1. A model from a "foreign" framework lands in Relay.
+    let model = emotion_model(7);
+    println!("model: {} (from {})", model.name, model.framework.name());
+
+    // 2. BYOC partitioning: which parts can NeuroPilot take?
+    let (_partitioned, report) = nir::partition_for_nir(&model.module).unwrap();
+    println!(
+        "partition: {} subgraph(s), {}/{} calls offloaded",
+        report.num_subgraphs,
+        report.offloaded_calls,
+        report.offloaded_calls + report.host_calls
+    );
+
+    // 3. Build under two target modes and run the same input.
+    let cost = CostModel::default();
+    let input = model.sample_inputs(42);
+
+    let mut tvm_only = relay_build(&model.module, TargetMode::TvmOnly, cost.clone()).unwrap();
+    let (out_tvm, t_tvm) = tvm_only.run(&input).unwrap();
+
+    let mut byoc =
+        relay_build(&model.module, TargetMode::Byoc(TargetPolicy::ApuPrefer), cost).unwrap();
+    let (out_byoc, t_byoc) = byoc.run(&input).unwrap();
+
+    // 4. Same numerics, different simulated time.
+    assert!(out_tvm[0].bit_eq(&out_byoc[0]), "BYOC must not change results");
+    let label = EMOTIONS[out_byoc[0].argmax()];
+    println!("predicted emotion: {label}");
+    println!("TVM-only    : {:8.2} ms (simulated)", t_tvm / 1000.0);
+    println!("BYOC + APU  : {:8.2} ms (simulated)", t_byoc / 1000.0);
+    println!("speedup     : {:.1}x", t_tvm / t_byoc);
+    assert!(t_byoc < t_tvm, "the paper's headline: BYOC beats TVM-only");
+}

