@@ -18,7 +18,11 @@ fn bench_showcase(c: &mut Criterion) {
     group.sample_size(10);
     for model in &models {
         let inputs = model.sample_inputs(104);
-        for p in [Permutation::TvmOnly, Permutation::ByocCpu, Permutation::ByocCpuApu] {
+        for p in [
+            Permutation::TvmOnly,
+            Permutation::ByocCpu,
+            Permutation::ByocCpuApu,
+        ] {
             let Ok(mut compiled) = relay_build(&model.module, p.mode(), cost.clone()) else {
                 continue;
             };

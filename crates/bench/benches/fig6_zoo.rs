@@ -16,9 +16,11 @@ fn bench_zoo_inference(c: &mut Criterion) {
         else {
             continue;
         };
-        group.bench_with_input(BenchmarkId::new("byoc-cpu+apu", &model.name), &inputs, |b, inputs| {
-            b.iter(|| compiled.run(inputs).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("byoc-cpu+apu", &model.name),
+            &inputs,
+            |b, inputs| b.iter(|| compiled.run(inputs).unwrap()),
+        );
     }
     group.finish();
 }
@@ -27,7 +29,11 @@ fn bench_zoo_compile(c: &mut Criterion) {
     let cost = CostModel::default();
     let mut group = c.benchmark_group("fig6/compile");
     group.sample_size(10);
-    for model in [zoo::mobilenet_v2(600), zoo::inception_v4(600), zoo::densenet(600)] {
+    for model in [
+        zoo::mobilenet_v2(600),
+        zoo::inception_v4(600),
+        zoo::densenet(600),
+    ] {
         group.bench_with_input(
             BenchmarkId::new("partition+codegen", &model.name),
             &model.module,

@@ -3,8 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tvm_neuropilot::tensor::kernels::{
-    conv2d_f32, dense_f32, max_pool2d, qconv2d, softmax_f32, Conv2dParams, Pool2dParams,
-    QConvQuant,
+    conv2d_f32, dense_f32, max_pool2d, qconv2d, softmax_f32, Conv2dParams, Pool2dParams, QConvQuant,
 };
 use tvm_neuropilot::tensor::rng::TensorRng;
 use tvm_neuropilot::tensor::{DType, QuantParams};
@@ -21,7 +20,12 @@ fn bench_kernels(c: &mut Criterion) {
     let qw = QuantParams::new(0.01, 0);
     let xq = x.quantize(qx, DType::U8).unwrap();
     let wq = w.quantize(qw, DType::I8).unwrap();
-    let quant = QConvQuant { input: qx, weight: qw, output: qx, out_dtype: DType::U8 };
+    let quant = QConvQuant {
+        input: qx,
+        weight: qw,
+        output: qx,
+        out_dtype: DType::U8,
+    };
     c.bench_function("kernels/qconv2d_u8_16x32x32", |b| {
         b.iter(|| qconv2d(&xq, &wq, None, &Conv2dParams::same(1), &quant).unwrap())
     });
@@ -37,7 +41,9 @@ fn bench_kernels(c: &mut Criterion) {
     });
 
     let logits = rng.uniform_f32([64, 1000], -5.0, 5.0);
-    c.bench_function("kernels/softmax_64x1000", |b| b.iter(|| softmax_f32(&logits).unwrap()));
+    c.bench_function("kernels/softmax_64x1000", |b| {
+        b.iter(|| softmax_f32(&logits).unwrap())
+    });
 }
 
 criterion_group!(benches, bench_kernels);

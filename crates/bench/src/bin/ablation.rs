@@ -13,7 +13,7 @@
 //! 5. **Op-level scheduling** — the paper's future work vs its fixed
 //!    policies.
 //!
-//! `cargo run --release -p tvmnp-bench --bin ablation`
+//! `cargo run --release -p tvmnp-bench --bin ablation [--profile] [--trace-out <path>]`
 
 use tvm_neuropilot::models::{anti_spoofing, emotion, zoo};
 use tvm_neuropilot::neuropilot::{convert_function, plan_op_level, CompiledNetwork};
@@ -21,8 +21,10 @@ use tvm_neuropilot::prelude::*;
 use tvm_neuropilot::relay::passes::{
     count_batch_norms, fold_batch_norm, quantize_with_calibration, simplify,
 };
+use tvmnp_bench::profiling::TelemetryCli;
 
 fn main() {
+    let mut telem = TelemetryCli::from_env();
     let cost = CostModel::default();
 
     // ---- 1. BN folding ---------------------------------------------------
@@ -48,13 +50,18 @@ fn main() {
     }
     let b_sub = before.iter().map(|m| m.subgraphs).max().unwrap();
     let a_sub = after.iter().map(|m| m.subgraphs).max().unwrap();
-    assert!(a_sub < b_sub, "folding must collapse subgraphs ({b_sub} -> {a_sub})");
+    assert!(
+        a_sub < b_sub,
+        "folding must collapse subgraphs ({b_sub} -> {a_sub})"
+    );
     assert!(
         before.iter().any(|m| m.time_ms.is_none()) && after.iter().all(|m| m.time_ms.is_some()),
         "folding must unlock NeuroPilot-only compilation"
     );
     let best = |ms: &[Measurement]| {
-        ms.iter().filter_map(|m| m.time_ms).fold(f64::INFINITY, f64::min)
+        ms.iter()
+            .filter_map(|m| m.time_ms)
+            .fold(f64::INFINITY, f64::min)
     };
     println!(
         "\nbest bar: unfused {:.3} ms -> folded {:.3} ms (subgraphs {} -> {})\n",
@@ -72,12 +79,24 @@ fn main() {
     let cal: Vec<_> = (0..4).map(|i| emo.sample_inputs(900 + i)).collect();
     let quantized = quantize_with_calibration(&simplified, &cal).expect("emotion quantizes");
     for (label, module) in [("float32", &simplified), ("int8 (PTQ)", &quantized)] {
-        let apu = measure_one(module, Permutation::ByocApu, &cost).unwrap().time_ms.unwrap();
-        let cpu = measure_one(module, Permutation::ByocCpu, &cost).unwrap().time_ms.unwrap();
+        let apu = measure_one(module, Permutation::ByocApu, &cost)
+            .unwrap()
+            .time_ms
+            .unwrap();
+        let cpu = measure_one(module, Permutation::ByocCpu, &cost)
+            .unwrap()
+            .time_ms
+            .unwrap();
         println!("{label:<12} BYOC CPU {cpu:>8.3} ms   BYOC APU {apu:>8.3} ms");
     }
-    let f_apu = measure_one(&simplified, Permutation::ByocApu, &cost).unwrap().time_ms.unwrap();
-    let q_apu = measure_one(&quantized, Permutation::ByocApu, &cost).unwrap().time_ms.unwrap();
+    let f_apu = measure_one(&simplified, Permutation::ByocApu, &cost)
+        .unwrap()
+        .time_ms
+        .unwrap();
+    let q_apu = measure_one(&quantized, Permutation::ByocApu, &cost)
+        .unwrap()
+        .time_ms
+        .unwrap();
     assert!(q_apu < f_apu, "PTQ must pay off on the APU");
     println!();
 
@@ -85,8 +104,7 @@ fn main() {
     println!("== ablation 3: operator fusion (TVM dispatch grouping) ==\n");
     for model in [zoo::mobilenet_v1(802), zoo::inception_v3(803)] {
         use tvm_neuropilot::relay::passes::fuse_analysis;
-        let prepared =
-            tvm_neuropilot::relay::passes::fold_constants(&simplify(&model.module));
+        let prepared = tvm_neuropilot::relay::passes::fold_constants(&simplify(&model.module));
         let groups = fuse_analysis(&prepared.main().body).len();
         let calls = prepared.main().num_calls();
         let launch = cost.soc().device(DeviceKind::Cpu).kernel_launch_us;
@@ -102,17 +120,29 @@ fn main() {
     // ---- 4. Transfer-latency sweep ----------------------------------------
     println!("== ablation 4: CPU<->APU transfer latency vs the BYOC win ==\n");
     let model = zoo::mobilenet_v2(804);
-    println!("{:<14} {:>12} {:>12} {:>9}", "latency (us)", "tvm (ms)", "byoc-apu", "speedup");
+    println!(
+        "{:<14} {:>12} {:>12} {:>9}",
+        "latency (us)", "tvm (ms)", "byoc-apu", "speedup"
+    );
     let mut last_speedup = f64::INFINITY;
     for latency in [5.0, 15.0, 60.0, 240.0, 960.0] {
         let mut soc = tvm_neuropilot::hwsim::SocSpec::dimensity_800();
         soc.transfer.latency_us = latency;
         let c = CostModel::new(soc);
-        let tvm = measure_one(&model.module, Permutation::TvmOnly, &c).unwrap().time_ms.unwrap();
-        let apu = measure_one(&model.module, Permutation::ByocApu, &c).unwrap().time_ms.unwrap();
+        let tvm = measure_one(&model.module, Permutation::TvmOnly, &c)
+            .unwrap()
+            .time_ms
+            .unwrap();
+        let apu = measure_one(&model.module, Permutation::ByocApu, &c)
+            .unwrap()
+            .time_ms
+            .unwrap();
         let speedup = tvm / apu;
         println!("{latency:<14} {tvm:>12.3} {apu:>12.3} {speedup:>8.2}x");
-        assert!(speedup < last_speedup + 1e-9, "speedup must erode with latency");
+        assert!(
+            speedup < last_speedup + 1e-9,
+            "speedup must erode with latency"
+        );
         last_speedup = speedup;
     }
     println!();
@@ -124,7 +154,11 @@ fn main() {
     let graph = convert_function(prepared.main()).expect("emotion converts");
     println!("{:<18} {:>12}", "planner", "time (ms)");
     let mut fixed_best = f64::INFINITY;
-    for policy in [TargetPolicy::CpuOnly, TargetPolicy::ApuPrefer, TargetPolicy::CpuApu] {
+    for policy in [
+        TargetPolicy::CpuOnly,
+        TargetPolicy::ApuPrefer,
+        TargetPolicy::CpuApu,
+    ] {
         let t = CompiledNetwork::compile(graph.clone(), policy, cost.clone())
             .unwrap()
             .estimate_time_us()
@@ -133,9 +167,13 @@ fn main() {
         fixed_best = fixed_best.min(t);
     }
     let plan = plan_op_level(&graph, &cost).unwrap();
-    let t_op =
-        CompiledNetwork::from_plan(graph, plan, cost.clone()).estimate_time_us() / 1000.0;
+    let t_op = CompiledNetwork::from_plan(graph, plan, cost.clone()).estimate_time_us() / 1000.0;
     println!("{:<18} {t_op:>12.3}", "op-level DP");
-    assert!(t_op <= fixed_best * 1.001, "op-level must match or beat fixed policies");
+    assert!(
+        t_op <= fixed_best * 1.001,
+        "op-level must match or beat fixed policies"
+    );
     println!("\nall ablation checks passed");
+    telem.trace_model(&emotion::emotion_model(806), &cost);
+    telem.finish();
 }

@@ -31,15 +31,28 @@ fn main() {
     ];
     for model in &models {
         let e = |mode: TargetMode| {
-            relay_build(&model.module, mode, cost.clone()).unwrap().estimate_energy_uj()
+            relay_build(&model.module, mode, cost.clone())
+                .unwrap()
+                .estimate_energy_uj()
         };
         let tvm = e(TargetMode::TvmOnly);
         let cpu = e(TargetMode::Byoc(TargetPolicy::CpuOnly));
         let gpu = e(TargetMode::Byoc(TargetPolicy::GpuPrefer));
         let apu = e(TargetMode::Byoc(TargetPolicy::ApuPrefer));
-        println!("{:<22} {tvm:>10.1} {cpu:>10.1} {gpu:>10.1} {apu:>10.1}", model.name);
-        assert!(tvm > cpu && tvm > gpu && tvm > apu, "{}: TVM-only burns most", model.name);
-        assert!(apu < cpu && apu < gpu, "{}: APU is the most frugal", model.name);
+        println!(
+            "{:<22} {tvm:>10.1} {cpu:>10.1} {gpu:>10.1} {apu:>10.1}",
+            model.name
+        );
+        assert!(
+            tvm > cpu && tvm > gpu && tvm > apu,
+            "{}: TVM-only burns most",
+            model.name
+        );
+        assert!(
+            apu < cpu && apu < gpu,
+            "{}: APU is the most frugal",
+            model.name
+        );
     }
 
     // Same-architecture int8 vs float on the APU.
@@ -49,13 +62,24 @@ fn main() {
     ];
     println!();
     for (f, q) in pairs {
-        let ef = relay_build(&f.module, TargetMode::Byoc(TargetPolicy::ApuPrefer), cost.clone())
-            .unwrap()
-            .estimate_energy_uj();
-        let eq = relay_build(&q.module, TargetMode::Byoc(TargetPolicy::ApuPrefer), cost.clone())
-            .unwrap()
-            .estimate_energy_uj();
-        println!("{:<22} APU energy: float {ef:>8.1} uJ vs int8 {eq:>8.1} uJ", f.name);
+        let ef = relay_build(
+            &f.module,
+            TargetMode::Byoc(TargetPolicy::ApuPrefer),
+            cost.clone(),
+        )
+        .unwrap()
+        .estimate_energy_uj();
+        let eq = relay_build(
+            &q.module,
+            TargetMode::Byoc(TargetPolicy::ApuPrefer),
+            cost.clone(),
+        )
+        .unwrap()
+        .estimate_energy_uj();
+        println!(
+            "{:<22} APU energy: float {ef:>8.1} uJ vs int8 {eq:>8.1} uJ",
+            f.name
+        );
         assert!(eq < ef, "int8 must save energy");
     }
     println!("\nenergy checks passed: the power argument behind NeuroPilot holds.");

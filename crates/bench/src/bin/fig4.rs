@@ -7,13 +7,15 @@
 //! the emotion model is fastest on the APU alone; anti-spoofing carries
 //! the most subgraphs and the largest absolute time.
 //!
-//! `cargo run --release -p tvmnp-bench --bin fig4`
+//! `cargo run --release -p tvmnp-bench --bin fig4 [--profile] [--trace-out <path>]`
 
 use tvm_neuropilot::models::{anti_spoofing, emotion, object_detection};
 use tvm_neuropilot::prelude::*;
+use tvmnp_bench::profiling::TelemetryCli;
 use tvmnp_bench::{check_figure_shape, figure_group};
 
 fn main() {
+    let mut telem = TelemetryCli::from_env();
     let cost = CostModel::default();
     println!("== Figure 4: showcase-model inference time (simulated ms) ==\n");
 
@@ -29,6 +31,7 @@ fn main() {
         check_figure_shape(&model.name, &ms);
         println!("{text}");
         groups.push((model.name.clone(), ms));
+        telem.trace_model(model, &cost);
     }
 
     // Paper-shape assertions beyond the per-group checks.
@@ -52,16 +55,25 @@ fn main() {
     // flow" (EXPERIMENTS.md discusses the deviation from the figure).
     let emo_apu = time("emotion-detection", Permutation::NpApu).unwrap();
     let emo_cpu_apu = time("emotion-detection", Permutation::NpCpuApu).unwrap();
-    assert!(emo_apu < emo_cpu_apu, "emotion: APU {emo_apu} vs CPU+APU {emo_cpu_apu}");
+    assert!(
+        emo_apu < emo_cpu_apu,
+        "emotion: APU {emo_apu} vs CPU+APU {emo_cpu_apu}"
+    );
     {
         let apu = time("anti-spoofing", Permutation::ByocApu).unwrap();
         let both = time("anti-spoofing", Permutation::ByocCpuApu).unwrap();
-        assert!(both < apu, "anti-spoofing: CPU+APU {both} must beat APU-prefer {apu}");
+        assert!(
+            both < apu,
+            "anti-spoofing: CPU+APU {both} must beat APU-prefer {apu}"
+        );
     }
     {
         let cpu = time("mobilenet-ssd-quant", Permutation::ByocCpu).unwrap();
         let both = time("mobilenet-ssd-quant", Permutation::ByocCpuApu).unwrap();
-        assert!(both <= cpu * 1.01, "ssd: CPU+APU {both} must not lose to CPU {cpu}");
+        assert!(
+            both <= cpu * 1.01,
+            "ssd: CPU+APU {both} must not lose to CPU {cpu}"
+        );
     }
 
     // Anti-spoofing is the slowest model (most subgraphs).
@@ -82,4 +94,5 @@ fn main() {
     println!("anti-spoofing and SSD; emotion fastest on APU alone; anti-spoofing");
     println!("slowest overall (subgraph fragmentation); CPU+APU best for the");
     println!("fragmented float model.");
+    telem.finish();
 }

@@ -4,12 +4,17 @@
 //! CPU-only (object detection, deliberately moved off the APU so it can
 //! overlap emotion across frames).
 //!
-//! `cargo run --release -p tvmnp-bench --bin fig5`
+//! `cargo run --release -p tvmnp-bench --bin fig5 [--profile] [--trace-out <path>]`
 
 use tvm_neuropilot::prelude::*;
 use tvm_neuropilot::scheduler::pipeline::{simulate_pipelined, simulate_sequential};
+use tvmnp_bench::profiling::TelemetryCli;
 
 fn main() {
+    let mut telem = TelemetryCli::from_env();
+    // The pipeline bin executes no graph; its profile aggregates the
+    // simulated stage spans instead of per-node executor spans.
+    telem.profile_span = "scheduler.stage";
     let cost = CostModel::default();
     println!("== Figure 5: pipeline scheduling prototype ==\n");
 
@@ -20,19 +25,33 @@ fn main() {
     println!("measured stages:");
     for s in &stages {
         let res: Vec<&str> = s.resources.iter().map(|d| d.name()).collect();
-        println!("  {:<12} {:>9.3} ms on {}", s.name, s.duration_us / 1000.0, res.join("+"));
+        println!(
+            "  {:<12} {:>9.3} ms on {}",
+            s.name,
+            s.duration_us / 1000.0,
+            res.join("+")
+        );
     }
 
     let frames = 8;
     let seq = simulate_sequential(&stages, frames);
     let pipe = simulate_pipelined(&stages, frames);
-    assert!(pipe.timeline.check_exclusive().is_none(), "exclusive-resource invariant");
+    assert!(
+        pipe.timeline.check_exclusive().is_none(),
+        "exclusive-resource invariant"
+    );
     assert!(pipe.makespan_us < seq.makespan_us, "pipelining must help");
 
-    println!("\nsequential: {:9.3} ms for {frames} frames ({:.3} ms/frame)",
-        seq.makespan_us / 1000.0, seq.period_us() / 1000.0);
-    println!("pipelined : {:9.3} ms for {frames} frames ({:.3} ms/frame)",
-        pipe.makespan_us / 1000.0, pipe.period_us() / 1000.0);
+    println!(
+        "\nsequential: {:9.3} ms for {frames} frames ({:.3} ms/frame)",
+        seq.makespan_us / 1000.0,
+        seq.period_us() / 1000.0
+    );
+    println!(
+        "pipelined : {:9.3} ms for {frames} frames ({:.3} ms/frame)",
+        pipe.makespan_us / 1000.0,
+        pipe.period_us() / 1000.0
+    );
     println!("gain      : {:9.3}x", seq.makespan_us / pipe.makespan_us);
 
     println!("\nsequential schedule:");
@@ -45,8 +64,15 @@ fn main() {
     let greedy = Showcase::new(900, ShowcaseAssignment::greedy(), &cost);
     let greedy_stages = greedy.stage_profile(901);
     let greedy_pipe = simulate_pipelined(&greedy_stages, frames);
-    println!("\ngreedy (obj-det on CPU+APU) pipelined: {:9.3} ms — {}",
+    println!(
+        "\ngreedy (obj-det on CPU+APU) pipelined: {:9.3} ms — {}",
         greedy_pipe.makespan_us / 1000.0,
-        if greedy_pipe.makespan_us > pipe.makespan_us { "worse than the prototype ✓" } else { "?" });
+        if greedy_pipe.makespan_us > pipe.makespan_us {
+            "worse than the prototype ✓"
+        } else {
+            "?"
+        }
+    );
     assert!(greedy_pipe.makespan_us > pipe.makespan_us);
+    telem.finish();
 }

@@ -6,13 +6,15 @@
 //! models with NP-unsupported ops (densenet, inception-resnet-v2,
 //! nasnet), quantized models gaining the most from the APU.
 //!
-//! `cargo run --release -p tvmnp-bench --bin fig6`
+//! `cargo run --release -p tvmnp-bench --bin fig6 [--profile] [--trace-out <path>]`
 
 use tvm_neuropilot::models::zoo;
 use tvm_neuropilot::prelude::*;
+use tvmnp_bench::profiling::TelemetryCli;
 use tvmnp_bench::{check_figure_shape, figure_group};
 
 fn main() {
+    let mut telem = TelemetryCli::from_env();
     let cost = CostModel::default();
     println!("== Figure 6: model-zoo inference time (simulated ms) ==\n");
 
@@ -23,10 +25,7 @@ fn main() {
         check_figure_shape(&model.name, &ms);
         println!("{text}");
 
-        let np_missing = ms
-            .iter()
-            .filter(|m| m.time_ms.is_none())
-            .count();
+        let np_missing = ms.iter().filter(|m| m.time_ms.is_none()).count();
         let expect_missing = missing_expected.contains(&model.name.as_str());
         assert_eq!(
             np_missing > 0,
@@ -35,11 +34,15 @@ fn main() {
             model.name
         );
 
+        telem.trace_model(&model, &cost);
     }
 
     // Same-architecture int8 vs float on the APU (the QNN-flow payoff).
     let apu_ms = |module: &Module| {
-        measure_one(module, Permutation::ByocApu, &cost).unwrap().time_ms.unwrap()
+        measure_one(module, Permutation::ByocApu, &cost)
+            .unwrap()
+            .time_ms
+            .unwrap()
     };
     let pairs = [
         (zoo::mobilenet_v1(600), zoo::mobilenet_v1_quant(600)),
@@ -48,8 +51,12 @@ fn main() {
     for (f, q) in pairs {
         let tf = apu_ms(&f.module);
         let tq = apu_ms(&q.module);
-        println!("{:<22} BYOC APU: float {tf:.3} ms vs int8 {tq:.3} ms", f.name);
+        println!(
+            "{:<22} BYOC APU: float {tf:.3} ms vs int8 {tq:.3} ms",
+            f.name
+        );
         assert!(tq < tf, "int8 must beat float on the APU");
     }
     println!("shape checks passed: same pattern as Fig. 4 across the zoo.");
+    telem.finish();
 }

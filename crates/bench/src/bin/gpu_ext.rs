@@ -27,7 +27,10 @@ fn main() {
         zoo::densenet(604),
     ] {
         let t = |mode: TargetMode| {
-            relay_build(&model.module, mode, cost.clone()).unwrap().estimate_us() / 1000.0
+            relay_build(&model.module, mode, cost.clone())
+                .unwrap()
+                .estimate_us()
+                / 1000.0
         };
         let cpu = t(TargetMode::Byoc(TargetPolicy::CpuOnly));
         let gpu = t(gpu_mode);

@@ -49,7 +49,11 @@ fn main() {
             t_nir
         );
         assert!(nir_report.offload_fraction() >= nnapi_report.offload_fraction());
-        assert!(t_nir <= t_nnapi + 1e-9, "{}: direct flow must not lose", model.name);
+        assert!(
+            t_nir <= t_nnapi + 1e-9,
+            "{}: direct flow must not lose",
+            model.name
+        );
     }
     println!("\nNeuroPilot-direct offloads >= NNAPI and never runs slower — the");
     println!("win the paper's introduction claims over the prior NNAPI flow.");

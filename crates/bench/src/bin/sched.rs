@@ -1,13 +1,15 @@
 //! §5.1 computation scheduling: measure the three showcase models under
 //! all permutations and print the fastest-target assignment.
 //!
-//! `cargo run --release -p tvmnp-bench --bin sched`
+//! `cargo run --release -p tvmnp-bench --bin sched [--profile] [--trace-out <path>]`
 
 use tvm_neuropilot::models::{anti_spoofing, emotion, object_detection};
 use tvm_neuropilot::prelude::*;
 use tvm_neuropilot::scheduler::computation::{best_assignment, ModelProfile};
+use tvmnp_bench::profiling::TelemetryCli;
 
 fn main() {
+    let mut telem = TelemetryCli::from_env();
     let cost = CostModel::default();
     println!("== Computation scheduling (paper 5.1) ==\n");
     let models = [
@@ -34,4 +36,8 @@ fn main() {
     for p in &profiles {
         assert_ne!(assignment[&p.name], Permutation::TvmOnly);
     }
+    for model in &models {
+        telem.trace_model(model, &cost);
+    }
+    telem.finish();
 }

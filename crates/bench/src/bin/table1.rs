@@ -6,7 +6,7 @@ use tvm_neuropilot::models::zoo;
 
 fn main() {
     println!("== Table 1: models used for testing and their data types ==\n");
-    println!("{:<22} | {}", "Model", "Data Type");
+    println!("{:<22} | Data Type", "Model");
     println!("{:-<22}-+-{:-<9}", "", "");
     for (name, dtype) in zoo::table1(600) {
         println!("{name:<22} | {dtype}");

@@ -14,6 +14,8 @@
 
 use tvm_neuropilot::prelude::*;
 
+pub mod profiling;
+
 /// Render one figure group (a model's seven bars) as an aligned text row
 /// set, using `--` for missing bars as the paper's figures do.
 pub fn render_permutation_rows(model: &str, measurements: &[Measurement]) -> String {
@@ -24,7 +26,11 @@ pub fn render_permutation_rows(model: &str, measurements: &[Measurement]) -> Str
             Some(t) => format!("{t:10.3} ms"),
             None => format!("{:>10}   ", "--"),
         };
-        let sub = if m.subgraphs > 0 { format!("  [{} subgraph(s)]", m.subgraphs) } else { String::new() };
+        let sub = if m.subgraphs > 0 {
+            format!("  [{} subgraph(s)]", m.subgraphs)
+        } else {
+            String::new()
+        };
         out.push_str(&format!("  {:<16} {bar}{sub}\n", m.permutation.label()));
     }
     out
@@ -46,7 +52,11 @@ pub fn check_figure_shape(model: &str, ms: &[Measurement]) {
     let tvm = ms[0].time_ms.expect("TVM-only always compiles");
     for r in &ms[1..] {
         if let Some(t) = r.time_ms {
-            assert!(tvm > t, "{model}: TVM-only ({tvm:.3}) must exceed {} ({t:.3})", r.permutation);
+            assert!(
+                tvm > t,
+                "{model}: TVM-only ({tvm:.3}) must exceed {} ({t:.3})",
+                r.permutation
+            );
         }
     }
     for r in ms {

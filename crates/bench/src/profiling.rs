@@ -1,0 +1,110 @@
+//! `--profile` / `--trace-out <path>` support for the bench binaries.
+//!
+//! Every figure/table binary accepts:
+//!
+//! * `--profile` — print a per-op profile table (op, device, calls, total
+//!   µs, % of run) after the figure output;
+//! * `--trace-out <path>` — write a Chrome trace-event JSON file
+//!   (loadable in Perfetto / `chrome://tracing`) covering the compile,
+//!   partition, and execute phases of the run.
+
+use std::path::PathBuf;
+use tvm_neuropilot::models::Model;
+use tvm_neuropilot::prelude::*;
+use tvmnp_telemetry::{profile_table, write_chrome_trace, ProfileOptions};
+
+/// Parsed telemetry flags plus the state accumulated while profiling.
+pub struct TelemetryCli {
+    /// Print the per-op profile table at the end.
+    pub profile: bool,
+    /// Write a Chrome trace to this path at the end.
+    pub trace_out: Option<PathBuf>,
+    /// Span name the profile table aggregates (bins that execute no graph
+    /// override this, e.g. `scheduler.stage` for fig5).
+    pub profile_span: &'static str,
+    total_run_us: f64,
+}
+
+impl TelemetryCli {
+    /// Parse `--profile` / `--trace-out <path>` from the process args and
+    /// enable the telemetry collector if either is present.
+    pub fn from_env() -> TelemetryCli {
+        let mut profile = false;
+        let mut trace_out = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--profile" => profile = true,
+                "--trace-out" => {
+                    let path = args
+                        .next()
+                        .unwrap_or_else(|| panic!("--trace-out requires a path argument"));
+                    trace_out = Some(PathBuf::from(path));
+                }
+                other => {
+                    panic!("unknown argument '{other}' (supported: --profile, --trace-out <path>)")
+                }
+            }
+        }
+        let cli = TelemetryCli {
+            profile,
+            trace_out,
+            profile_span: "executor.node",
+            total_run_us: 0.0,
+        };
+        if cli.active() {
+            tvmnp_telemetry::enable();
+            tvmnp_telemetry::reset();
+        }
+        cli
+    }
+
+    /// Whether any telemetry output was requested.
+    pub fn active(&self) -> bool {
+        self.profile || self.trace_out.is_some()
+    }
+
+    /// Compile `model` through the BYOC flow and execute one inference so
+    /// the trace gains an execute phase with per-node timings. No-op when
+    /// telemetry is off (the figure harnesses measure analytically and
+    /// never execute).
+    pub fn trace_model(&mut self, model: &Model, cost: &CostModel) {
+        if !self.active() {
+            return;
+        }
+        let mut compiled = relay_build(
+            &model.module,
+            TargetMode::Byoc(TargetPolicy::CpuApu),
+            cost.clone(),
+        )
+        .expect("profiling build");
+        let (_, us) = compiled
+            .run(&model.sample_inputs(7))
+            .expect("profiling run");
+        self.total_run_us += us;
+    }
+
+    /// Emit the requested outputs and disable collection.
+    pub fn finish(self) {
+        if !self.active() {
+            return;
+        }
+        tvmnp_telemetry::disable();
+        let snap = tvmnp_telemetry::snapshot();
+        if self.profile {
+            let opts = ProfileOptions {
+                span_name: Some(self.profile_span.to_string()),
+                total_us: (self.total_run_us > 0.0).then_some(self.total_run_us),
+            };
+            println!("\n== per-op profile (simulated time) ==\n");
+            print!("{}", profile_table(&snap, &opts));
+        }
+        if let Some(path) = &self.trace_out {
+            write_chrome_trace(&snap, path).expect("write chrome trace");
+            println!(
+                "\nchrome trace written to {} (open in Perfetto)",
+                path.display()
+            );
+        }
+    }
+}

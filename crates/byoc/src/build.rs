@@ -10,8 +10,8 @@ use tvmnp_neuropilot::support::{first_unsupported, NeuronSupport};
 use tvmnp_neuropilot::{CompiledNetwork, NeuronError, TargetPolicy};
 use tvmnp_relay::expr::{ExprKind, Module};
 use tvmnp_relay::passes::{fold_constants, partition_graph, simplify, PartitionReport};
-use tvmnp_runtime::{Artifact, ExecutorGraph, GraphExecutor, ModuleRegistry};
 use tvmnp_runtime::module::ExternalModule;
+use tvmnp_runtime::{Artifact, ExecutorGraph, GraphExecutor, ModuleRegistry};
 use tvmnp_tensor::Tensor;
 
 /// How the model is compiled and where it runs — the axis of the paper's
@@ -77,6 +77,7 @@ impl std::error::Error for BuildError {}
 /// partition for the NeuroPilot codegen. Returns the partitioned module
 /// and the partition report (subgraph counts drive Fig. 4's analysis).
 pub fn partition_for_nir(module: &Module) -> Result<(Module, PartitionReport), BuildError> {
+    let _span = tvmnp_telemetry::span!("byoc.partition");
     let prepared = fold_constants(&simplify(module));
     partition_graph(&prepared, &NeuronSupport).map_err(|e| BuildError::Partition(e.to_string()))
 }
@@ -103,9 +104,16 @@ pub enum CompiledModel {
 
 impl CompiledModel {
     /// Run inference on named inputs; returns outputs and simulated µs.
-    pub fn run(&mut self, inputs: &HashMap<String, Tensor>) -> Result<(Vec<Tensor>, f64), BuildError> {
+    pub fn run(
+        &mut self,
+        inputs: &HashMap<String, Tensor>,
+    ) -> Result<(Vec<Tensor>, f64), BuildError> {
         match self {
-            CompiledModel::Tvm { executor, input_names, .. } => {
+            CompiledModel::Tvm {
+                executor,
+                input_names,
+                ..
+            } => {
                 for name in input_names.iter() {
                     let v = inputs
                         .get(name)
@@ -114,14 +122,19 @@ impl CompiledModel {
                         .set_input(name, v.clone())
                         .map_err(|e| BuildError::Runtime(e.to_string()))?;
                 }
-                let t = executor.run().map_err(|e| BuildError::Runtime(e.to_string()))?;
+                let t = executor
+                    .run()
+                    .map_err(|e| BuildError::Runtime(e.to_string()))?;
                 let outs = (0..executor.num_outputs())
                     .map(|i| executor.get_output(i))
                     .collect::<Result<Vec<_>, _>>()
                     .map_err(|e| BuildError::Runtime(e.to_string()))?;
                 Ok((outs, t))
             }
-            CompiledModel::Neuron { network, input_names } => {
+            CompiledModel::Neuron {
+                network,
+                input_names,
+            } => {
                 let ordered: Vec<Tensor> = input_names
                     .iter()
                     .map(|n| {
@@ -191,7 +204,11 @@ fn input_names_of(module: &Module) -> Vec<String> {
 }
 
 /// `relay.build(mod, target)` — compile a Relay module under a target mode.
-pub fn relay_build(module: &Module, mode: TargetMode, cost: CostModel) -> Result<CompiledModel, BuildError> {
+pub fn relay_build(
+    module: &Module,
+    mode: TargetMode,
+    cost: CostModel,
+) -> Result<CompiledModel, BuildError> {
     relay_build_inner(module, mode, cost).map(|(m, _)| m)
 }
 
@@ -210,6 +227,7 @@ fn relay_build_inner(
     mode: TargetMode,
     cost: CostModel,
 ) -> Result<(CompiledModel, Option<Artifact>), BuildError> {
+    let _span = tvmnp_telemetry::span!("byoc.build", "mode" => mode);
     let prepared = fold_constants(&simplify(module));
     let input_names = input_names_of(&prepared);
     match mode {
@@ -224,40 +242,67 @@ fn relay_build_inner(
                 offloaded_calls: 0,
                 host_calls: prepared.main().num_calls(),
             };
-            Ok((CompiledModel::Tvm { executor, input_names, report }, Some(artifact)))
+            Ok((
+                CompiledModel::Tvm {
+                    executor,
+                    input_names,
+                    report,
+                },
+                Some(artifact),
+            ))
         }
         TargetMode::Byoc(policy) => {
-            let (partitioned, report) =
-                partition_graph(&prepared, &NeuronSupport).map_err(|e| BuildError::Partition(e.to_string()))?;
+            let (partitioned, report) = {
+                let _span = tvmnp_telemetry::span!("byoc.partition");
+                partition_graph(&prepared, &NeuronSupport)
+                    .map_err(|e| BuildError::Partition(e.to_string()))?
+            };
             let graph = ExecutorGraph::build(&partitioned)
                 .map_err(|e| BuildError::Runtime(e.to_string()))?;
             let mut registry = ModuleRegistry::new();
             let mut modules_for_export: Vec<NeuronModule> = Vec::new();
             for name in partitioned.external_functions() {
                 let func = &partitioned.functions[name];
+                let _span = tvmnp_telemetry::span!("byoc.codegen", "symbol" => name);
                 let module = NeuronModule::codegen(name, func, policy, cost.clone())
                     .map_err(BuildError::Neuron)?;
                 modules_for_export.push(module);
             }
-            let refs: Vec<&dyn ExternalModule> =
-                modules_for_export.iter().map(|m| m as &dyn ExternalModule).collect();
+            let refs: Vec<&dyn ExternalModule> = modules_for_export
+                .iter()
+                .map(|m| m as &dyn ExternalModule)
+                .collect();
             let artifact = Artifact::export(&graph, &refs);
             for m in modules_for_export {
                 registry.register(Box::new(m));
             }
             let executor = GraphExecutor::new(graph, registry, cost)
                 .map_err(|e| BuildError::Runtime(e.to_string()))?;
-            Ok((CompiledModel::Tvm { executor, input_names, report }, Some(artifact)))
+            Ok((
+                CompiledModel::Tvm {
+                    executor,
+                    input_names,
+                    report,
+                },
+                Some(artifact),
+            ))
         }
         TargetMode::NeuroPilotOnly(policy) => {
             if let Some(op) = first_unsupported(prepared.main()) {
                 return Err(BuildError::Unsupported(op));
             }
-            let graph = tvmnp_neuropilot::convert_function(prepared.main())
-                .map_err(BuildError::Neuron)?;
+            let _span = tvmnp_telemetry::span!("byoc.codegen", "symbol" => "main");
+            let graph =
+                tvmnp_neuropilot::convert_function(prepared.main()).map_err(BuildError::Neuron)?;
             let network =
                 CompiledNetwork::compile(graph, policy, cost).map_err(BuildError::Neuron)?;
-            Ok((CompiledModel::Neuron { network, input_names }, None))
+            Ok((
+                CompiledModel::Neuron {
+                    network,
+                    input_names,
+                },
+                None,
+            ))
         }
     }
 }
@@ -332,7 +377,11 @@ mod tests {
     #[test]
     fn np_only_fails_on_unsupported_model() {
         let (m, _) = mixed_model();
-        match relay_build(&m, TargetMode::NeuroPilotOnly(TargetPolicy::CpuOnly), CostModel::default()) {
+        match relay_build(
+            &m,
+            TargetMode::NeuroPilotOnly(TargetPolicy::CpuOnly),
+            CostModel::default(),
+        ) {
             Err(BuildError::Unsupported(op)) => assert_eq!(op, "nn.batch_norm"),
             other => panic!("expected Unsupported, got {:?}", other.is_ok()),
         }
@@ -342,9 +391,16 @@ mod tests {
     fn byoc_handles_unsupported_model() {
         let (m, inputs) = mixed_model();
         let reference = tvmnp_relay::interp::run_module(&m, &inputs).unwrap();
-        let mut compiled =
-            relay_build(&m, TargetMode::Byoc(TargetPolicy::CpuApu), CostModel::default()).unwrap();
-        assert!(compiled.num_subgraphs() >= 2, "batch_norm must split the graph");
+        let mut compiled = relay_build(
+            &m,
+            TargetMode::Byoc(TargetPolicy::CpuApu),
+            CostModel::default(),
+        )
+        .unwrap();
+        assert!(
+            compiled.num_subgraphs() >= 2,
+            "batch_norm must split the graph"
+        );
         let (outs, _) = compiled.run(&inputs).unwrap();
         assert!(outs[0].bit_eq(&reference));
     }
@@ -353,8 +409,12 @@ mod tests {
     fn tvm_only_slower_than_byoc() {
         let (m, inputs) = clean_model();
         let mut tvm = relay_build(&m, TargetMode::TvmOnly, CostModel::default()).unwrap();
-        let mut byoc =
-            relay_build(&m, TargetMode::Byoc(TargetPolicy::CpuOnly), CostModel::default()).unwrap();
+        let mut byoc = relay_build(
+            &m,
+            TargetMode::Byoc(TargetPolicy::CpuOnly),
+            CostModel::default(),
+        )
+        .unwrap();
         let (_, t_tvm) = tvm.run(&inputs).unwrap();
         let (_, t_byoc) = byoc.run(&inputs).unwrap();
         assert!(

@@ -4,8 +4,8 @@ use serde::{Deserialize, Serialize};
 use tvmnp_hwsim::CostModel;
 use tvmnp_neuropilot::{convert_function, CompiledNetwork, NeuronError, NeuronGraph, TargetPolicy};
 use tvmnp_relay::Function;
-use tvmnp_runtime::module::{ExternalModule, ModuleError};
 use tvmnp_runtime::artifact::ModuleLoader;
+use tvmnp_runtime::module::{ExternalModule, ModuleError};
 use tvmnp_tensor::Tensor;
 
 /// Serialized form of a Neuron external module (the artifact payload).
@@ -34,7 +34,12 @@ impl NeuronModule {
     ) -> Result<Self, NeuronError> {
         let graph = convert_function(func)?;
         let network = CompiledNetwork::compile(graph.clone(), policy, cost)?;
-        Ok(NeuronModule { symbol: symbol.into(), policy, graph, network })
+        Ok(NeuronModule {
+            symbol: symbol.into(),
+            policy,
+            graph,
+            network,
+        })
     }
 
     /// Rebuild from an artifact payload on a runtime-only device.
@@ -42,7 +47,12 @@ impl NeuronModule {
         let blob: NeuronBlob = serde_json::from_value(value.clone()).map_err(|e| e.to_string())?;
         let network = CompiledNetwork::compile(blob.graph.clone(), blob.policy, cost)
             .map_err(|e| e.to_string())?;
-        Ok(NeuronModule { symbol: blob.symbol, policy: blob.policy, graph: blob.graph, network })
+        Ok(NeuronModule {
+            symbol: blob.symbol,
+            policy: blob.policy,
+            graph: blob.graph,
+            network,
+        })
     }
 
     /// The runtime-side loader for `LoaderRegistry::register("neuropilot", ...)`.
@@ -69,7 +79,9 @@ impl ExternalModule for NeuronModule {
     }
 
     fn run(&self, inputs: &[Tensor]) -> Result<(Vec<Tensor>, f64), ModuleError> {
-        self.network.execute(inputs).map_err(|e| ModuleError(e.to_string()))
+        self.network
+            .execute(inputs)
+            .map_err(|e| ModuleError(e.to_string()))
     }
 
     fn estimate_time_us(&self) -> f64 {
@@ -108,8 +120,13 @@ mod tests {
 
     #[test]
     fn codegen_and_run() {
-        let m = NeuronModule::codegen("neuropilot_0", &subgraph(), TargetPolicy::CpuOnly, CostModel::default())
-            .unwrap();
+        let m = NeuronModule::codegen(
+            "neuropilot_0",
+            &subgraph(),
+            TargetPolicy::CpuOnly,
+            CostModel::default(),
+        )
+        .unwrap();
         let mut rng = TensorRng::new(18);
         let input = rng.uniform_f32([1, 3, 8, 8], -1.0, 1.0);
         let (outs, t) = m.run(&[input]).unwrap();
@@ -120,8 +137,13 @@ mod tests {
 
     #[test]
     fn blob_roundtrip_preserves_numerics() {
-        let m = NeuronModule::codegen("neuropilot_0", &subgraph(), TargetPolicy::ApuPrefer, CostModel::default())
-            .unwrap();
+        let m = NeuronModule::codegen(
+            "neuropilot_0",
+            &subgraph(),
+            TargetPolicy::ApuPrefer,
+            CostModel::default(),
+        )
+        .unwrap();
         let blob = m.serialize();
         let m2 = NeuronModule::from_blob(&blob, CostModel::default()).unwrap();
         let mut rng = TensorRng::new(19);

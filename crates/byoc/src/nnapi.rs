@@ -15,14 +15,16 @@
 //! the consequence the paper's introduction claims: the NeuroPilot-direct
 //! flow dominates the NNAPI flow it replaced.
 
-use crate::codegen::NeuronModule;
 use crate::build::{BuildError, CompiledModel};
+use crate::codegen::NeuronModule;
 use std::collections::HashSet;
 use std::sync::OnceLock;
 use tvmnp_hwsim::CostModel;
 use tvmnp_neuropilot::TargetPolicy;
 use tvmnp_relay::expr::Module;
-use tvmnp_relay::passes::{fold_constants, partition_graph, simplify, CompilerSupport, PartitionReport};
+use tvmnp_relay::passes::{
+    fold_constants, partition_graph, simplify, CompilerSupport, PartitionReport,
+};
 use tvmnp_relay::{OpKind, Type};
 use tvmnp_runtime::module::{ExternalModule, ModuleError};
 use tvmnp_runtime::{ExecutorGraph, GraphExecutor, ModuleRegistry};
@@ -97,7 +99,9 @@ impl NnapiModule {
         policy: TargetPolicy,
         cost: CostModel,
     ) -> Result<Self, tvmnp_neuropilot::NeuronError> {
-        Ok(NnapiModule { inner: NeuronModule::codegen(symbol, func, policy, cost)? })
+        Ok(NnapiModule {
+            inner: NeuronModule::codegen(symbol, func, policy, cost)?,
+        })
     }
 }
 
@@ -156,9 +160,16 @@ pub fn relay_build_nnapi(
             NnapiModule::codegen(name, func, policy, cost.clone()).map_err(BuildError::Neuron)?;
         registry.register(Box::new(module));
     }
-    let executor =
-        GraphExecutor::new(graph, registry, cost).map_err(|e| BuildError::Runtime(e.to_string()))?;
-    Ok((CompiledModel::Tvm { executor, input_names, report: report.clone() }, report))
+    let executor = GraphExecutor::new(graph, registry, cost)
+        .map_err(|e| BuildError::Runtime(e.to_string()))?;
+    Ok((
+        CompiledModel::Tvm {
+            executor,
+            input_names,
+            report: report.clone(),
+        },
+        report,
+    ))
 }
 
 #[cfg(test)]
@@ -215,7 +226,10 @@ mod tests {
         let reference = tvmnp_relay::interp::run_module(&m, &ins).unwrap();
         let (mut compiled, report) =
             relay_build_nnapi(&m, TargetPolicy::CpuApu, CostModel::default()).unwrap();
-        assert!(report.num_subgraphs >= 2, "leaky_relu must split the NNAPI offload");
+        assert!(
+            report.num_subgraphs >= 2,
+            "leaky_relu must split the NNAPI offload"
+        );
         let (outs, t) = compiled.run(&ins).unwrap();
         assert!(outs[0].bit_eq(&reference));
         assert!(t > 0.0);
@@ -232,8 +246,7 @@ mod tests {
         assert!(nir_report.offload_fraction() > nnapi_report.offload_fraction());
         assert!(nir_report.num_subgraphs < nnapi_report.num_subgraphs);
 
-        let nir_compiled =
-            relay_build(&m, TargetMode::Byoc(TargetPolicy::CpuApu), cost).unwrap();
+        let nir_compiled = relay_build(&m, TargetMode::Byoc(TargetPolicy::CpuApu), cost).unwrap();
         let t_nir = nir_compiled.estimate_us();
         let t_nnapi = nnapi_compiled.estimate_us();
         assert!(

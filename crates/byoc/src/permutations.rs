@@ -8,7 +8,6 @@ use tvmnp_hwsim::CostModel;
 use tvmnp_neuropilot::TargetPolicy;
 use tvmnp_relay::expr::Module;
 
-
 /// The seven permutations, in the paper's presentation order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Permutation {
@@ -99,26 +98,35 @@ pub fn measure_one(
         Ok(compiled) => {
             let subgraphs = compiled.num_subgraphs();
             let us = compiled.estimate_us();
-            Ok(Measurement { permutation, time_ms: Some(us / 1000.0), subgraphs })
+            Ok(Measurement {
+                permutation,
+                time_ms: Some(us / 1000.0),
+                subgraphs,
+            })
         }
-        Err(BuildError::Unsupported(_)) => {
-            Ok(Measurement { permutation, time_ms: None, subgraphs: 0 })
-        }
+        Err(BuildError::Unsupported(_)) => Ok(Measurement {
+            permutation,
+            time_ms: None,
+            subgraphs: 0,
+        }),
         Err(e) => Err(e),
     }
 }
 
 /// Measure all seven permutations (one figure group).
 pub fn measure_all(module: &Module, cost: &CostModel) -> Result<Vec<Measurement>, BuildError> {
-    Permutation::ALL.iter().map(|&p| measure_one(module, p, cost)).collect()
+    Permutation::ALL
+        .iter()
+        .map(|&p| measure_one(module, p, cost))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
     use tvmnp_relay::builder;
     use tvmnp_relay::expr::{var, Function};
-    use std::collections::HashMap;
     use tvmnp_relay::{Conv2dAttrs, TensorType};
     use tvmnp_tensor::rng::TensorRng;
     use tvmnp_tensor::Tensor;
@@ -177,7 +185,11 @@ mod tests {
         let tvm = ms[0].time_ms.unwrap();
         for r in &ms[1..] {
             if let Some(t) = r.time_ms {
-                assert!(tvm > t, "TVM-only ({tvm}) must exceed {} ({t})", r.permutation);
+                assert!(
+                    tvm > t,
+                    "TVM-only ({tvm}) must exceed {} ({t})",
+                    r.permutation
+                );
             }
         }
     }

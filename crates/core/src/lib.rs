@@ -45,6 +45,7 @@
 //! | [`scheduler`] | §5.1 computation + §5.2 pipeline scheduling |
 //! | [`models`] | showcase models + the Table 1 zoo |
 //! | [`vision`] | synthetic video, detectors, the Fig. 1 application |
+//! | [`telemetry`] | spans, metrics, profile/Chrome-trace exporters |
 
 pub use tvmnp_byoc as byoc;
 pub use tvmnp_frontends as frontends;
@@ -54,6 +55,7 @@ pub use tvmnp_neuropilot as neuropilot;
 pub use tvmnp_relay as relay;
 pub use tvmnp_runtime as runtime;
 pub use tvmnp_scheduler as scheduler;
+pub use tvmnp_telemetry as telemetry;
 pub use tvmnp_tensor as tensor;
 pub use tvmnp_vision as vision;
 

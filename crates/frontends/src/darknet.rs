@@ -28,7 +28,10 @@ pub struct Section {
 impl Section {
     /// Convenience constructor.
     pub fn new(kind: &str) -> Self {
-        Section { kind: kind.into(), options: HashMap::new() }
+        Section {
+            kind: kind.into(),
+            options: HashMap::new(),
+        }
     }
 
     /// Attach an option.
@@ -38,7 +41,10 @@ impl Section {
     }
 
     fn int(&self, key: &str, default: i64) -> i64 {
-        self.options.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.options
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     fn str(&self, key: &str) -> Option<&str> {
@@ -91,17 +97,26 @@ fn activation(e: Expr, name: &str) -> Result<Expr, ImportError> {
 /// Import a Darknet network. Produces a single-output module when the cfg
 /// has one `[yolo]`/terminal layer, or a tuple of all yolo outputs.
 pub fn from_darknet(net: &DarknetNet) -> Result<Module, ImportError> {
+    let _span = tvmnp_telemetry::span!("frontend.import", "framework" => "darknet");
     let mut sections = net.sections.iter();
-    let head = sections.next().ok_or_else(|| ierr("cfg has no [net] section"))?;
+    let head = sections
+        .next()
+        .ok_or_else(|| ierr("cfg has no [net] section"))?;
     if head.kind != "net" {
-        return Err(ierr(format!("first section must be [net], got [{}]", head.kind)));
+        return Err(ierr(format!(
+            "first section must be [net], got [{}]",
+            head.kind
+        )));
     }
     let c = head.int("channels", 3) as usize;
     let h = head.int("height", 416) as usize;
     let w = head.int("width", 416) as usize;
 
     let input = var("data", TensorType::new([1, c, h, w], DType::F32));
-    let mut reader = WeightReader { data: &net.weights, pos: 0 };
+    let mut reader = WeightReader {
+        data: &net.weights,
+        pos: 0,
+    };
     // Per-layer outputs (Darknet layers index into this for route/shortcut).
     let mut layer_out: Vec<Expr> = Vec::new();
     let mut layer_channels: Vec<usize> = Vec::new();
@@ -115,7 +130,11 @@ pub fn from_darknet(net: &DarknetNet) -> Result<Module, ImportError> {
                 let filters = s.int("filters", 1) as usize;
                 let size = s.int("size", 1) as usize;
                 let stride = s.int("stride", 1) as usize;
-                let pad = if s.int("pad", 0) == 1 { size / 2 } else { s.int("padding", 0) as usize };
+                let pad = if s.int("pad", 0) == 1 {
+                    size / 2
+                } else {
+                    s.int("padding", 0) as usize
+                };
                 let bn = s.int("batch_normalize", 0) == 1;
                 // Darknet weight order: biases, [bn params], kernel.
                 let bias = reader.take(&[filters])?;
@@ -175,12 +194,18 @@ pub fn from_darknet(net: &DarknetNet) -> Result<Module, ImportError> {
                     .str("layers")
                     .ok_or_else(|| ierr("route section needs 'layers'"))?
                     .split(',')
-                    .map(|v| v.trim().parse().map_err(|_| ierr(format!("bad route index '{v}'"))))
+                    .map(|v| {
+                        v.trim()
+                            .parse()
+                            .map_err(|_| ierr(format!("bad route index '{v}'")))
+                    })
                     .collect::<Result<_, _>>()?;
                 let resolve = |rel: isize| -> Result<usize, ImportError> {
                     let idx = if rel < 0 { li as isize + rel } else { rel };
                     if idx < 0 || idx as usize >= layer_out.len() {
-                        return Err(ierr(format!("route index {rel} out of range at layer {li}")));
+                        return Err(ierr(format!(
+                            "route index {rel} out of range at layer {li}"
+                        )));
                     }
                     Ok(idx as usize)
                 };
@@ -189,8 +214,10 @@ pub fn from_darknet(net: &DarknetNet) -> Result<Module, ImportError> {
                     cur = layer_out[i].clone();
                     cur_c = layer_channels[i];
                 } else {
-                    let idxs =
-                        layers.iter().map(|&l| resolve(l)).collect::<Result<Vec<_>, _>>()?;
+                    let idxs = layers
+                        .iter()
+                        .map(|&l| resolve(l))
+                        .collect::<Result<Vec<_>, _>>()?;
                     let parts: Vec<Expr> = idxs.iter().map(|&i| layer_out[i].clone()).collect();
                     cur_c = idxs.iter().map(|&i| layer_channels[i]).sum();
                     cur = call(OpKind::Concatenate(ConcatAttrs { axis: 1 }), parts);
@@ -228,7 +255,8 @@ pub fn from_darknet(net: &DarknetNet) -> Result<Module, ImportError> {
         _ => tvmnp_relay::expr::tuple(yolo_outputs),
     };
     let module = Module::from_main(Function::new(vec![input], body));
-    tvmnp_relay::infer_types(&module).map_err(|e| ierr(format!("imported module ill-typed: {e}")))?;
+    tvmnp_relay::infer_types(&module)
+        .map_err(|e| ierr(format!("imported module ill-typed: {e}")))?;
     Ok(module)
 }
 
@@ -248,10 +276,17 @@ mod tests {
         let n_weights = conv_weight_count(3, 8, 3, true) + conv_weight_count(8, 8, 3, false);
         let mut rng = TensorRng::new(81);
         // Positive values: rolling variances live in this blob and must be > 0.
-        let weights = rng.uniform_f32([n_weights], 0.01, 0.4).as_f32().unwrap().to_vec();
+        let weights = rng
+            .uniform_f32([n_weights], 0.01, 0.4)
+            .as_f32()
+            .unwrap()
+            .to_vec();
         DarknetNet {
             sections: vec![
-                Section::new("net").with("channels", 3).with("height", 16).with("width", 16),
+                Section::new("net")
+                    .with("channels", 3)
+                    .with("height", 16)
+                    .with("width", 16),
                 Section::new("convolutional")
                     .with("filters", 8)
                     .with("size", 3)
@@ -278,11 +313,18 @@ mod tests {
         let m = from_darknet(&net).unwrap();
         let mut rng = TensorRng::new(82);
         let mut inputs = Map::new();
-        inputs.insert("data".to_string(), rng.uniform_f32([1, 3, 16, 16], -1.0, 1.0));
+        inputs.insert(
+            "data".to_string(),
+            rng.uniform_f32([1, 3, 16, 16], -1.0, 1.0),
+        );
         let out = run_module(&m, &inputs).unwrap();
         assert_eq!(out.shape().dims(), &[1, 8, 8, 8]);
         // Sigmoid head: all outputs in (0, 1).
-        assert!(out.as_f32().unwrap().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(out
+            .as_f32()
+            .unwrap()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]
@@ -300,9 +342,18 @@ mod tests {
         let weights = rng.uniform_f32([n], -0.3, 0.3).as_f32().unwrap().to_vec();
         let net = DarknetNet {
             sections: vec![
-                Section::new("net").with("channels", 3).with("height", 4).with("width", 4),
-                Section::new("convolutional").with("filters", 4).with("size", 1).with("activation", "linear"),
-                Section::new("convolutional").with("filters", 6).with("size", 1).with("activation", "linear"),
+                Section::new("net")
+                    .with("channels", 3)
+                    .with("height", 4)
+                    .with("width", 4),
+                Section::new("convolutional")
+                    .with("filters", 4)
+                    .with("size", 1)
+                    .with("activation", "linear"),
+                Section::new("convolutional")
+                    .with("filters", 6)
+                    .with("size", 1)
+                    .with("activation", "linear"),
                 Section::new("route").with("layers", "-1,-2"),
             ],
             weights,
@@ -322,10 +373,21 @@ mod tests {
         let weights = rng.uniform_f32([n], -0.3, 0.3).as_f32().unwrap().to_vec();
         let net = DarknetNet {
             sections: vec![
-                Section::new("net").with("channels", 3).with("height", 4).with("width", 4),
-                Section::new("convolutional").with("filters", 3).with("size", 1).with("activation", "linear"),
-                Section::new("convolutional").with("filters", 3).with("size", 1).with("activation", "linear"),
-                Section::new("shortcut").with("from", "-2").with("activation", "linear"),
+                Section::new("net")
+                    .with("channels", 3)
+                    .with("height", 4)
+                    .with("width", 4),
+                Section::new("convolutional")
+                    .with("filters", 3)
+                    .with("size", 1)
+                    .with("activation", "linear"),
+                Section::new("convolutional")
+                    .with("filters", 3)
+                    .with("size", 1)
+                    .with("activation", "linear"),
+                Section::new("shortcut")
+                    .with("from", "-2")
+                    .with("activation", "linear"),
             ],
             weights,
         };
@@ -342,8 +404,14 @@ mod tests {
         let weights = rng.uniform_f32([n], -0.3, 0.3).as_f32().unwrap().to_vec();
         let net = DarknetNet {
             sections: vec![
-                Section::new("net").with("channels", 3).with("height", 4).with("width", 4),
-                Section::new("convolutional").with("filters", 2).with("size", 1).with("activation", "linear"),
+                Section::new("net")
+                    .with("channels", 3)
+                    .with("height", 4)
+                    .with("width", 4),
+                Section::new("convolutional")
+                    .with("filters", 2)
+                    .with("size", 1)
+                    .with("activation", "linear"),
                 Section::new("upsample").with("stride", 2),
             ],
             weights,

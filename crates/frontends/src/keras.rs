@@ -96,14 +96,25 @@ fn apply_activation(e: Expr, a: Activation) -> Expr {
 /// Import a `Sequential` model. The Relay input is `NCHW` float32 named
 /// `input_1` (Keras's default input name).
 pub fn from_keras(model: &KerasModel) -> Result<Module, ImportError> {
+    let _span = tvmnp_telemetry::span!("frontend.import", "framework" => "keras");
     let (h, w, c) = model.input_shape;
     let input = var("input_1", TensorType::new([1, c, h, w], DType::F32));
     let mut e = input.clone();
     for (i, layer) in model.layers.iter().enumerate() {
         e = match layer {
-            KerasLayer::Conv2D { filters, kernel_size, activation, same_padding, kernel, bias } => {
+            KerasLayer::Conv2D {
+                filters,
+                kernel_size,
+                activation,
+                same_padding,
+                kernel,
+                bias,
+            } => {
                 let kd = kernel.shape().dims();
-                if kd.len() != 4 || kd[0] != kernel_size.0 || kd[1] != kernel_size.1 || kd[3] != *filters
+                if kd.len() != 4
+                    || kd[0] != kernel_size.0
+                    || kd[1] != kernel_size.1
+                    || kd[3] != *filters
                 {
                     return Err(ierr(format!(
                         "layer {i}: HWIO kernel shape {:?} inconsistent with Conv2D({filters}, {kernel_size:?})",
@@ -131,7 +142,12 @@ pub fn from_keras(model: &KerasModel) -> Result<Module, ImportError> {
             }
             KerasLayer::Dropout { .. } => builder::dropout(e),
             KerasLayer::Flatten => builder::batch_flatten(e),
-            KerasLayer::Dense { units, activation, kernel, bias } => {
+            KerasLayer::Dense {
+                units,
+                activation,
+                kernel,
+                bias,
+            } => {
                 let kd = kernel.shape().dims();
                 if kd.len() != 2 || kd[1] != *units {
                     return Err(ierr(format!(
@@ -147,7 +163,8 @@ pub fn from_keras(model: &KerasModel) -> Result<Module, ImportError> {
         };
     }
     let module = Module::from_main(Function::new(vec![input], e));
-    tvmnp_relay::infer_types(&module).map_err(|e| ierr(format!("imported module ill-typed: {e}")))?;
+    tvmnp_relay::infer_types(&module)
+        .map_err(|e| ierr(format!("imported module ill-typed: {e}")))?;
     Ok(module)
 }
 
@@ -189,7 +206,10 @@ mod tests {
         let m = from_keras(&tiny_keras()).unwrap();
         let mut rng = TensorRng::new(62);
         let mut inputs = HashMap::new();
-        inputs.insert("input_1".to_string(), rng.uniform_f32([1, 1, 8, 8], -1.0, 1.0));
+        inputs.insert(
+            "input_1".to_string(),
+            rng.uniform_f32([1, 1, 8, 8], -1.0, 1.0),
+        );
         let out = run_module(&m, &inputs).unwrap();
         assert_eq!(out.shape().dims(), &[1, 7]);
         let sum: f32 = out.as_f32().unwrap().iter().sum();
@@ -214,8 +234,10 @@ mod tests {
         };
         let m = from_keras(&model).unwrap();
         let mut inputs = HashMap::new();
-        inputs
-            .insert("input_1".to_string(), Tensor::from_f32([1, 2, 1, 1], vec![1.0, 1.0]).unwrap());
+        inputs.insert(
+            "input_1".to_string(),
+            Tensor::from_f32([1, 2, 1, 1], vec![1.0, 1.0]).unwrap(),
+        );
         let out = run_module(&m, &inputs).unwrap();
         // HWIO [1,1,2,2]: out0 = i0*w[0,0,0,0] + i1*w[0,0,1,0] = 1 + 3;
         //                 out1 = i0*w[0,0,0,1] + i1*w[0,0,1,1] = 2 + 4.

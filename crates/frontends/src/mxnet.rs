@@ -32,7 +32,12 @@ pub struct MxnetNode {
 impl MxnetNode {
     /// Convenience constructor.
     pub fn new(op: &str, name: &str, inputs: Vec<[usize; 2]>) -> Self {
-        MxnetNode { op: op.into(), name: name.into(), attrs: HashMap::new(), inputs }
+        MxnetNode {
+            op: op.into(),
+            name: name.into(),
+            attrs: HashMap::new(),
+            inputs,
+        }
     }
 
     /// Attach an attribute.
@@ -61,7 +66,11 @@ pub fn parse_tuple(s: &str) -> Result<Vec<usize>, ImportError> {
     trimmed
         .split(',')
         .filter(|p| !p.trim().is_empty())
-        .map(|p| p.trim().parse::<usize>().map_err(|_| ierr(format!("bad tuple '{s}'"))))
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .map_err(|_| ierr(format!("bad tuple '{s}'")))
+        })
         .collect()
 }
 
@@ -79,13 +88,17 @@ pub fn from_mxnet(
     params: &HashMap<String, Tensor>,
     data_shape: &[usize],
 ) -> Result<Module, ImportError> {
+    let _span = tvmnp_telemetry::span!("frontend.import", "framework" => "mxnet");
     // Value per (node, output) — all our ops are single-output.
     let mut env: HashMap<usize, Expr> = HashMap::new();
     let mut fn_params: Vec<Expr> = Vec::new();
 
     // Weight lookup for a `null` node: params dict by node name.
     let weight = |name: &str| -> Result<Tensor, ImportError> {
-        params.get(name).cloned().ok_or_else(|| ierr(format!("params dict misses '{name}'")))
+        params
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ierr(format!("params dict misses '{name}'")))
     };
 
     for (idx, node) in symbol.nodes.iter().enumerate() {
@@ -105,7 +118,10 @@ pub fn from_mxnet(
                 .ok_or_else(|| ierr(format!("{}: missing weight input {k}", node.op)))?;
             let src = &symbol.nodes[edge[0]];
             if src.op != "null" {
-                return Err(ierr(format!("{}: weight operand is not a null node", node.op)));
+                return Err(ierr(format!(
+                    "{}: weight operand is not a null node",
+                    node.op
+                )));
             }
             weight(&src.name)
         };
@@ -126,8 +142,11 @@ pub fn from_mxnet(
                 let stride = parse_tuple(node.attr("stride").unwrap_or("(1, 1)"))?;
                 let pad = parse_tuple(node.attr("pad").unwrap_or("(0, 0)"))?;
                 let dilate = parse_tuple(node.attr("dilate").unwrap_or("(1, 1)"))?;
-                let groups: usize =
-                    node.attr("num_group").unwrap_or("1").parse().map_err(|_| ierr("bad num_group"))?;
+                let groups: usize = node
+                    .attr("num_group")
+                    .unwrap_or("1")
+                    .parse()
+                    .map_err(|_| ierr("bad num_group"))?;
                 let _ = kernel;
                 let (ph, pw) = pair(&pad, (0, 0));
                 let attrs = Conv2dAttrs {
@@ -138,11 +157,18 @@ pub fn from_mxnet(
                 };
                 let no_bias = node.attr("no_bias").unwrap_or("False") == "True";
                 let conv = builder::conv2d(input(0)?, weight_in(1)?, attrs);
-                Some(if no_bias { conv } else { builder::bias_add(conv, weight_in(2)?) })
+                Some(if no_bias {
+                    conv
+                } else {
+                    builder::bias_add(conv, weight_in(2)?)
+                })
             }
             "BatchNorm" => {
-                let eps: f32 =
-                    node.attr("eps").unwrap_or("0.001").parse().map_err(|_| ierr("bad eps"))?;
+                let eps: f32 = node
+                    .attr("eps")
+                    .unwrap_or("0.001")
+                    .parse()
+                    .map_err(|_| ierr("bad eps"))?;
                 Some(builder::batch_norm(
                     input(0)?,
                     weight_in(1)?,
@@ -162,12 +188,18 @@ pub fn from_mxnet(
                 })
             }
             "LeakyReLU" => {
-                let slope: f32 =
-                    node.attr("slope").unwrap_or("0.25").parse().map_err(|_| ierr("bad slope"))?;
+                let slope: f32 = node
+                    .attr("slope")
+                    .unwrap_or("0.25")
+                    .parse()
+                    .map_err(|_| ierr("bad slope"))?;
                 Some(builder::leaky_relu(input(0)?, slope))
             }
             "Pooling" => {
-                let kernel = pair(&parse_tuple(node.attr("kernel").unwrap_or("(2, 2)"))?, (2, 2));
+                let kernel = pair(
+                    &parse_tuple(node.attr("kernel").unwrap_or("(2, 2)"))?,
+                    (2, 2),
+                );
                 let stride = pair(
                     &parse_tuple(node.attr("stride").unwrap_or("(2, 2)"))?,
                     kernel,
@@ -196,12 +228,19 @@ pub fn from_mxnet(
                 let x = builder::batch_flatten(input(0)?);
                 let no_bias = node.attr("no_bias").unwrap_or("False") == "True";
                 let d = builder::dense(x, weight_in(1)?);
-                Some(if no_bias { d } else { builder::bias_add(d, weight_in(2)?) })
+                Some(if no_bias {
+                    d
+                } else {
+                    builder::bias_add(d, weight_in(2)?)
+                })
             }
             "Flatten" => Some(builder::batch_flatten(input(0)?)),
             "Concat" => {
-                let dim: usize =
-                    node.attr("dim").unwrap_or("1").parse().map_err(|_| ierr("bad dim"))?;
+                let dim: usize = node
+                    .attr("dim")
+                    .unwrap_or("1")
+                    .parse()
+                    .map_err(|_| ierr("bad dim"))?;
                 let parts = node
                     .inputs
                     .iter()
@@ -227,7 +266,11 @@ pub fn from_mxnet(
     let outs = symbol
         .heads
         .iter()
-        .map(|h| env.get(&h[0]).cloned().ok_or_else(|| ierr(format!("head {} missing", h[0]))))
+        .map(|h| {
+            env.get(&h[0])
+                .cloned()
+                .ok_or_else(|| ierr(format!("head {} missing", h[0])))
+        })
         .collect::<Result<Vec<_>, _>>()?;
     let body = if outs.len() == 1 {
         outs.into_iter().next().unwrap()
@@ -235,7 +278,8 @@ pub fn from_mxnet(
         tvmnp_relay::expr::tuple(outs)
     };
     let module = Module::from_main(Function::new(fn_params, body));
-    tvmnp_relay::infer_types(&module).map_err(|e| ierr(format!("imported module ill-typed: {e}")))?;
+    tvmnp_relay::infer_types(&module)
+        .map_err(|e| ierr(format!("imported module ill-typed: {e}")))?;
     Ok(module)
 }
 
@@ -249,9 +293,15 @@ mod tests {
     fn lenet_style() -> (MxnetSymbol, HashMap<String, Tensor>) {
         let mut rng = TensorRng::new(201);
         let mut params = HashMap::new();
-        params.insert("conv0_weight".to_string(), rng.uniform_f32([8, 1, 3, 3], -0.4, 0.4));
+        params.insert(
+            "conv0_weight".to_string(),
+            rng.uniform_f32([8, 1, 3, 3], -0.4, 0.4),
+        );
         params.insert("conv0_bias".to_string(), rng.uniform_f32([8], -0.1, 0.1));
-        params.insert("fc0_weight".to_string(), rng.uniform_f32([10, 8 * 13 * 13], -0.1, 0.1));
+        params.insert(
+            "fc0_weight".to_string(),
+            rng.uniform_f32([10, 8 * 13 * 13], -0.1, 0.1),
+        );
         params.insert("fc0_bias".to_string(), rng.uniform_f32([10], -0.1, 0.1));
         let symbol = MxnetSymbol {
             nodes: vec![
@@ -282,7 +332,10 @@ mod tests {
         let m = from_mxnet(&symbol, &params, &[1, 1, 28, 28]).unwrap();
         let mut rng = TensorRng::new(202);
         let mut inputs = Map::new();
-        inputs.insert("data".to_string(), rng.uniform_f32([1, 1, 28, 28], -1.0, 1.0));
+        inputs.insert(
+            "data".to_string(),
+            rng.uniform_f32([1, 1, 28, 28], -1.0, 1.0),
+        );
         let out = run_module(&m, &inputs).unwrap();
         assert_eq!(out.shape().dims(), &[1, 10]);
         let s: f32 = out.as_f32().unwrap().iter().sum();
@@ -313,7 +366,8 @@ mod tests {
             nodes: vec![
                 MxnetNode::new("null", "data", vec![]),
                 MxnetNode::new("null", "w", vec![]),
-                MxnetNode::new("Convolution", "c", vec![[0, 0], [1, 0]]).with_attr("no_bias", "True"),
+                MxnetNode::new("Convolution", "c", vec![[0, 0], [1, 0]])
+                    .with_attr("no_bias", "True"),
                 MxnetNode::new("Pooling", "gap", vec![[2, 0]])
                     .with_attr("global_pool", "True")
                     .with_attr("pool_type", "avg"),

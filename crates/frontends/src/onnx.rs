@@ -104,10 +104,14 @@ fn pair_attr(v: Option<Vec<i64>>, default: (usize, usize)) -> (usize, usize) {
 
 /// Import an ONNX model into Relay. Inputs are float32.
 pub fn from_onnx(model: &OnnxModel) -> Result<Module, ImportError> {
+    let _span = tvmnp_telemetry::span!("frontend.import", "framework" => "onnx");
     let mut env: HashMap<String, Expr> = HashMap::new();
     let mut params: Vec<Expr> = Vec::new();
     for vi in &model.inputs {
-        let v = var(vi.name.clone(), TensorType::new(vi.shape.clone(), DType::F32));
+        let v = var(
+            vi.name.clone(),
+            TensorType::new(vi.shape.clone(), DType::F32),
+        );
         env.insert(vi.name.clone(), v.clone());
         params.push(v);
     }
@@ -135,14 +139,22 @@ pub fn from_onnx(model: &OnnxModel) -> Result<Module, ImportError> {
             "Conv" => {
                 let strides = pair_attr(node.ints("strides"), (1, 1));
                 let dilation = pair_attr(node.ints("dilations"), (1, 1));
-                let groups = node.ints("group").and_then(|v| v.first().copied()).unwrap_or(1) as usize;
+                let groups = node
+                    .ints("group")
+                    .and_then(|v| v.first().copied())
+                    .unwrap_or(1) as usize;
                 let pads = node.ints("pads").unwrap_or(vec![0, 0, 0, 0]);
                 let padding = match pads.as_slice() {
                     [t, l, b, r] => (*t as usize, *l as usize, *b as usize, *r as usize),
                     [p] => (*p as usize, *p as usize, *p as usize, *p as usize),
                     _ => return Err(ierr("Conv: bad pads attribute")),
                 };
-                let attrs = Conv2dAttrs { strides, padding, dilation, groups };
+                let attrs = Conv2dAttrs {
+                    strides,
+                    padding,
+                    dilation,
+                    groups,
+                };
                 let conv = builder::conv2d(input(0)?, init(&node.inputs[1])?, attrs);
                 if node.inputs.len() > 2 {
                     builder::bias_add(conv, init(&node.inputs[2])?)
@@ -174,7 +186,12 @@ pub fn from_onnx(model: &OnnxModel) -> Result<Module, ImportError> {
                     [t, l, b, r] => (*t as usize, *l as usize, *b as usize, *r as usize),
                     _ => (0, 0, 0, 0),
                 };
-                let attrs = Pool2dAttrs { kernel, strides, padding, count_include_pad: false };
+                let attrs = Pool2dAttrs {
+                    kernel,
+                    strides,
+                    padding,
+                    count_include_pad: false,
+                };
                 if node.op_type == "MaxPool" {
                     builder::max_pool2d(input(0)?, attrs)
                 } else {
@@ -183,7 +200,10 @@ pub fn from_onnx(model: &OnnxModel) -> Result<Module, ImportError> {
             }
             "GlobalAveragePool" => builder::global_avg_pool2d(input(0)?),
             "Concat" => {
-                let axis = node.ints("axis").and_then(|v| v.first().copied()).unwrap_or(1) as usize;
+                let axis = node
+                    .ints("axis")
+                    .and_then(|v| v.first().copied())
+                    .unwrap_or(1) as usize;
                 let parts = node
                     .inputs
                     .iter()
@@ -218,7 +238,11 @@ pub fn from_onnx(model: &OnnxModel) -> Result<Module, ImportError> {
     let outs = model
         .outputs
         .iter()
-        .map(|n| env.get(n).cloned().ok_or_else(|| ierr(format!("output '{n}' never produced"))))
+        .map(|n| {
+            env.get(n)
+                .cloned()
+                .ok_or_else(|| ierr(format!("output '{n}' never produced")))
+        })
         .collect::<Result<Vec<_>, _>>()?;
     let body = if outs.len() == 1 {
         outs.into_iter().next().unwrap()
@@ -226,7 +250,8 @@ pub fn from_onnx(model: &OnnxModel) -> Result<Module, ImportError> {
         tvmnp_relay::expr::tuple(outs)
     };
     let module = Module::from_main(Function::new(params, body));
-    tvmnp_relay::infer_types(&module).map_err(|e| ierr(format!("imported module ill-typed: {e}")))?;
+    tvmnp_relay::infer_types(&module)
+        .map_err(|e| ierr(format!("imported module ill-typed: {e}")))?;
     Ok(module)
 }
 
@@ -253,7 +278,10 @@ mod tests {
                 OnnxNode::new("Gemm", &["f1", "fc_w"], &["logits"]),
                 OnnxNode::new("Softmax", &["logits"], &["probs"]),
             ],
-            inputs: vec![ValueInfo { name: "x".into(), shape: vec![1, 3, 8, 8] }],
+            inputs: vec![ValueInfo {
+                name: "x".into(),
+                shape: vec![1, 3, 8, 8],
+            }],
             outputs: vec!["probs".into()],
             initializers,
         }

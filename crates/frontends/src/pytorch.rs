@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use tvmnp_relay::builder;
 use tvmnp_relay::expr::{call, var, Expr, Function, Module};
-use tvmnp_relay::{
-    ConcatAttrs, Conv2dAttrs, LeakyReluAttrs, OpKind, Pool2dAttrs, TensorType,
-};
+use tvmnp_relay::{ConcatAttrs, Conv2dAttrs, LeakyReluAttrs, OpKind, Pool2dAttrs, TensorType};
 use tvmnp_tensor::{DType, Tensor};
 
 /// One traced `aten::*` node.
@@ -83,6 +81,7 @@ pub fn from_pytorch(
     traced: &TracedModule,
     shape_list: &[(String, Vec<usize>)],
 ) -> Result<Module, ImportError> {
+    let _span = tvmnp_telemetry::span!("frontend.import", "framework" => "pytorch");
     let mut env: HashMap<String, Expr> = HashMap::new();
     let mut params: Vec<Expr> = Vec::new();
     for name in &traced.inputs {
@@ -109,7 +108,9 @@ pub fn from_pytorch(
                 .inputs
                 .get(i)
                 .ok_or_else(|| ierr(format!("{}: missing input {i}", node.op)))?;
-            env.get(name).cloned().ok_or_else(|| ierr(format!("{}: unknown value '{name}'", node.op)))
+            env.get(name)
+                .cloned()
+                .ok_or_else(|| ierr(format!("{}: unknown value '{name}'", node.op)))
         };
         let ints = |key: &str| node.int_attrs.get(key).cloned();
 
@@ -120,9 +121,13 @@ pub fn from_pytorch(
                 let strides = pair(&ints("stride").unwrap_or(vec![1, 1]), "stride")?;
                 let (ph, pw) = pair(&ints("padding").unwrap_or(vec![0, 0]), "padding")?;
                 let dilation = pair(&ints("dilation").unwrap_or(vec![1, 1]), "dilation")?;
-                let groups =
-                    ints("groups").and_then(|v| v.first().copied()).unwrap_or(1) as usize;
-                let attrs = Conv2dAttrs { strides, padding: (ph, pw, ph, pw), dilation, groups };
+                let groups = ints("groups").and_then(|v| v.first().copied()).unwrap_or(1) as usize;
+                let attrs = Conv2dAttrs {
+                    strides,
+                    padding: (ph, pw, ph, pw),
+                    dilation,
+                    groups,
+                };
                 let conv = builder::conv2d(x, w, attrs);
                 if node.inputs.len() > 2 && !node.inputs[2].is_empty() {
                     builder::bias_add(conv, weight(&node.inputs[2])?)
@@ -144,13 +149,20 @@ pub fn from_pytorch(
             }
             "aten::relu" => builder::relu(input(0)?),
             "aten::leaky_relu" => {
-                let alpha = node.float_attrs.get("negative_slope").copied().unwrap_or(0.01) as f32;
+                let alpha = node
+                    .float_attrs
+                    .get("negative_slope")
+                    .copied()
+                    .unwrap_or(0.01) as f32;
                 call(OpKind::LeakyRelu(LeakyReluAttrs { alpha }), vec![input(0)?])
             }
             "aten::sigmoid" => builder::sigmoid(input(0)?),
             "aten::tanh" => call(OpKind::Tanh, vec![input(0)?]),
             "aten::max_pool2d" => {
-                let kernel = pair(&ints("kernel_size").ok_or_else(|| ierr("max_pool2d needs kernel_size"))?, "kernel")?;
+                let kernel = pair(
+                    &ints("kernel_size").ok_or_else(|| ierr("max_pool2d needs kernel_size"))?,
+                    "kernel",
+                )?;
                 let strides = match ints("stride") {
                     Some(v) if !v.is_empty() => pair(&v, "stride")?,
                     _ => kernel,
@@ -165,7 +177,10 @@ pub fn from_pytorch(
                 builder::max_pool2d(input(0)?, attrs)
             }
             "aten::avg_pool2d" => {
-                let kernel = pair(&ints("kernel_size").ok_or_else(|| ierr("avg_pool2d needs kernel_size"))?, "kernel")?;
+                let kernel = pair(
+                    &ints("kernel_size").ok_or_else(|| ierr("avg_pool2d needs kernel_size"))?,
+                    "kernel",
+                )?;
                 let strides = match ints("stride") {
                     Some(v) if !v.is_empty() => pair(&v, "stride")?,
                     _ => kernel,
@@ -188,7 +203,11 @@ pub fn from_pytorch(
                 let parts = node
                     .inputs
                     .iter()
-                    .map(|n| env.get(n).cloned().ok_or_else(|| ierr(format!("cat: unknown '{n}'"))))
+                    .map(|n| {
+                        env.get(n)
+                            .cloned()
+                            .ok_or_else(|| ierr(format!("cat: unknown '{n}'")))
+                    })
                     .collect::<Result<Vec<_>, _>>()?;
                 call(OpKind::Concatenate(ConcatAttrs { axis: dim }), parts)
             }
@@ -217,7 +236,8 @@ pub fn from_pytorch(
         .cloned()
         .ok_or_else(|| ierr(format!("output value '{}' never produced", traced.output)))?;
     let module = Module::from_main(Function::new(params, body));
-    tvmnp_relay::infer_types(&module).map_err(|e| ierr(format!("imported module ill-typed: {e}")))?;
+    tvmnp_relay::infer_types(&module)
+        .map_err(|e| ierr(format!("imported module ill-typed: {e}")))?;
     Ok(module)
 }
 
@@ -245,16 +265,23 @@ mod tests {
     fn traced_cnn() -> TracedModule {
         let mut rng = TensorRng::new(51);
         let mut state = HashMap::new();
-        state.insert("conv1.weight".into(), rng.uniform_f32([4, 3, 3, 3], -0.4, 0.4));
+        state.insert(
+            "conv1.weight".into(),
+            rng.uniform_f32([4, 3, 3, 3], -0.4, 0.4),
+        );
         state.insert("conv1.bias".into(), rng.uniform_f32([4], -0.1, 0.1));
-        state.insert("fc.weight".into(), rng.uniform_f32([7, 4 * 4 * 4], -0.2, 0.2));
+        state.insert(
+            "fc.weight".into(),
+            rng.uniform_f32([7, 4 * 4 * 4], -0.2, 0.2),
+        );
         TracedModule {
             nodes: vec![
                 TorchNode::new("aten::conv2d", &["%x", "conv1.weight", "conv1.bias"], "%1")
                     .with_ints("stride", vec![1, 1])
                     .with_ints("padding", vec![1, 1]),
                 TorchNode::new("aten::relu", &["%1"], "%2"),
-                TorchNode::new("aten::max_pool2d", &["%2"], "%3").with_ints("kernel_size", vec![2, 2]),
+                TorchNode::new("aten::max_pool2d", &["%2"], "%3")
+                    .with_ints("kernel_size", vec![2, 2]),
                 TorchNode::new("aten::flatten", &["%3"], "%4"),
                 TorchNode::new("aten::linear", &["%4", "fc.weight"], "%5"),
                 TorchNode::new("aten::softmax", &["%5"], "%out"),
@@ -294,7 +321,9 @@ mod tests {
     #[test]
     fn unmapped_op_rejected() {
         let mut traced = traced_cnn();
-        traced.nodes.push(TorchNode::new("aten::einsum", &["%out"], "%bad"));
+        traced
+            .nodes
+            .push(TorchNode::new("aten::einsum", &["%out"], "%bad"));
         traced.output = "%bad".into();
         let e = from_pytorch(&traced, &[("%x".into(), vec![1, 3, 8, 8])]).unwrap_err();
         assert!(e.0.contains("einsum"));
@@ -318,7 +347,13 @@ mod tests {
                 TorchNode::new("aten::conv2d", &["%x", "c.weight"], "%1"),
                 TorchNode::new(
                     "aten::batch_norm",
-                    &["%1", "bn.weight", "bn.bias", "bn.running_mean", "bn.running_var"],
+                    &[
+                        "%1",
+                        "bn.weight",
+                        "bn.bias",
+                        "bn.running_mean",
+                        "bn.running_var",
+                    ],
                     "%2",
                 )
                 .with_float("eps", 1e-5),

@@ -65,7 +65,12 @@ pub struct TfliteOp {
 impl TfliteOp {
     /// Convenience constructor.
     pub fn new(opcode: &str, inputs: Vec<usize>, outputs: Vec<usize>) -> Self {
-        TfliteOp { opcode: opcode.into(), inputs, outputs, options: HashMap::new() }
+        TfliteOp {
+            opcode: opcode.into(),
+            inputs,
+            outputs,
+            options: HashMap::new(),
+        }
     }
 
     /// Attach a builtin option.
@@ -114,7 +119,10 @@ struct Importer<'m> {
 
 impl Importer<'_> {
     fn tensor(&self, i: usize) -> Result<&TfliteTensor, ImportError> {
-        self.model.tensors.get(i).ok_or_else(|| ierr(format!("tensor index {i} out of range")))
+        self.model
+            .tensors
+            .get(i)
+            .ok_or_else(|| ierr(format!("tensor index {i} out of range")))
     }
 
     fn quant(&self, i: usize) -> Result<QuantParams, ImportError> {
@@ -124,15 +132,24 @@ impl Importer<'_> {
     }
 
     fn expr(&self, i: usize) -> Result<Expr, ImportError> {
-        self.env.get(&i).cloned().ok_or_else(|| ierr(format!("tensor {i} not yet produced")))
+        self.env
+            .get(&i)
+            .cloned()
+            .ok_or_else(|| ierr(format!("tensor {i} not yet produced")))
     }
 
     /// Constant payload of tensor `i`, transposed by `perm` (empty = as-is).
     fn const_expr(&self, i: usize, perm: &[usize]) -> Result<Expr, ImportError> {
         let t = self.tensor(i)?;
-        let data = t.data.clone().ok_or_else(|| ierr(format!("tensor {i} is not constant")))?;
-        let data =
-            if perm.is_empty() { data } else { transpose(&data, perm).map_err(|e| ierr(e.to_string()))? };
+        let data = t
+            .data
+            .clone()
+            .ok_or_else(|| ierr(format!("tensor {i} is not constant")))?;
+        let data = if perm.is_empty() {
+            data
+        } else {
+            transpose(&data, perm).map_err(|e| ierr(e.to_string()))?
+        };
         Ok(constant(data))
     }
 
@@ -174,7 +191,12 @@ impl Importer<'_> {
             (0, 0, 0, 0)
         };
         let attrs = QnnConv2dAttrs {
-            conv: Conv2dAttrs { strides: (sh, sw), padding, dilation: (1, 1), groups },
+            conv: Conv2dAttrs {
+                strides: (sh, sw),
+                padding,
+                dilation: (1, 1),
+                groups,
+            },
             input_q: self.quant(x_idx)?,
             weight_q: self.quant(f_idx)?,
             output_q: self.quant(op.outputs[0])?,
@@ -209,8 +231,12 @@ impl Importer<'_> {
         } else {
             (0, 0, 0, 0)
         };
-        let attrs =
-            Pool2dAttrs { kernel: (kh, kw), strides: (sh, sw), padding, count_include_pad: false };
+        let attrs = Pool2dAttrs {
+            kernel: (kh, kw),
+            strides: (sh, sw),
+            padding,
+            count_include_pad: false,
+        };
         let out = if max {
             builder::max_pool2d(x, attrs)
         } else {
@@ -224,19 +250,28 @@ impl Importer<'_> {
     /// Dequantize → float op → requantize wrapper (TFLite kernels like
     /// SOFTMAX/LOGISTIC/EXP run with internal rescaling; the Relay frontend
     /// expresses them as a float island).
-    fn float_island(&mut self, op: &TfliteOp, build: impl Fn(Expr) -> Expr) -> Result<(), ImportError> {
+    fn float_island(
+        &mut self,
+        op: &TfliteOp,
+        build: impl Fn(Expr) -> Expr,
+    ) -> Result<(), ImportError> {
         let x_idx = op.inputs[0];
         let o_idx = op.outputs[0];
         let x = self.expr(x_idx)?;
         let deq = call(
-            OpKind::QnnDequantize(DequantizeAttrs { input: self.quant(x_idx)? }),
+            OpKind::QnnDequantize(DequantizeAttrs {
+                input: self.quant(x_idx)?,
+            }),
             vec![x],
         );
         let f = build(deq);
         let out_t = self.tensor(o_idx)?;
         let out = if out_t.dtype.is_quantized() {
             call(
-                OpKind::QnnQuantize(QuantizeAttrs { out: self.quant(o_idx)?, out_dtype: out_t.dtype }),
+                OpKind::QnnQuantize(QuantizeAttrs {
+                    out: self.quant(o_idx)?,
+                    out_dtype: out_t.dtype,
+                }),
                 vec![f],
             )
         } else {
@@ -250,7 +285,11 @@ impl Importer<'_> {
 /// Import a TFLite model into Relay. Inputs are named after their tensor
 /// names; rank-4 activations become `NCHW`.
 pub fn from_tflite(model: &TfliteModel) -> Result<Module, ImportError> {
-    let mut imp = Importer { model, env: HashMap::new() };
+    let _span = tvmnp_telemetry::span!("frontend.import", "framework" => "tflite");
+    let mut imp = Importer {
+        model,
+        env: HashMap::new(),
+    };
     let mut params: Vec<Expr> = Vec::new();
     for &i in &model.inputs {
         let t = imp.tensor(i)?;
@@ -265,14 +304,19 @@ pub fn from_tflite(model: &TfliteModel) -> Result<Module, ImportError> {
                 let o = op.outputs[0];
                 let out_t = imp.tensor(o)?;
                 let q = call(
-                    OpKind::QnnQuantize(QuantizeAttrs { out: imp.quant(o)?, out_dtype: out_t.dtype }),
+                    OpKind::QnnQuantize(QuantizeAttrs {
+                        out: imp.quant(o)?,
+                        out_dtype: out_t.dtype,
+                    }),
                     vec![imp.expr(op.inputs[0])?],
                 );
                 imp.env.insert(o, q);
             }
             "DEQUANTIZE" => {
                 let q = call(
-                    OpKind::QnnDequantize(DequantizeAttrs { input: imp.quant(op.inputs[0])? }),
+                    OpKind::QnnDequantize(DequantizeAttrs {
+                        input: imp.quant(op.inputs[0])?,
+                    }),
                     vec![imp.expr(op.inputs[0])?],
                 );
                 imp.env.insert(op.outputs[0], q);
@@ -324,7 +368,8 @@ pub fn from_tflite(model: &TfliteModel) -> Result<Module, ImportError> {
                     .iter()
                     .map(|&i| imp.expr(i))
                     .collect::<Result<Vec<_>, _>>()?;
-                imp.env.insert(op.outputs[0], call(OpKind::QnnConcatenate(attrs), parts));
+                imp.env
+                    .insert(op.outputs[0], call(OpKind::QnnConcatenate(attrs), parts));
             }
             "RESHAPE" => {
                 let o = op.outputs[0];
@@ -369,7 +414,8 @@ pub fn from_tflite(model: &TfliteModel) -> Result<Module, ImportError> {
         tvmnp_relay::expr::tuple(body_parts)
     };
     let module = Module::from_main(Function::new(params, body));
-    tvmnp_relay::infer_types(&module).map_err(|e| ierr(format!("imported module ill-typed: {e}")))?;
+    tvmnp_relay::infer_types(&module)
+        .map_err(|e| ierr(format!("imported module ill-typed: {e}")))?;
     Ok(module)
 }
 
@@ -381,7 +427,13 @@ mod tests {
     use tvmnp_tensor::rng::TensorRng;
 
     fn act(name: &str, shape: Vec<usize>, q: QuantParams) -> TfliteTensor {
-        TfliteTensor { name: name.into(), shape, dtype: DType::U8, quant: Some(q), data: None }
+        TfliteTensor {
+            name: name.into(),
+            shape,
+            dtype: DType::U8,
+            quant: Some(q),
+            data: None,
+        }
     }
 
     fn quantized_conv_model() -> TfliteModel {
@@ -426,7 +478,10 @@ mod tests {
         let mut rng = TensorRng::new(72);
         let qx = QuantParams::new(0.02, 128);
         let mut inputs = Map::new();
-        inputs.insert("input".to_string(), rng.uniform_quantized([1, 2, 6, 6], DType::U8, qx));
+        inputs.insert(
+            "input".to_string(),
+            rng.uniform_quantized([1, 2, 6, 6], DType::U8, qx),
+        );
         let out = run_module(&m, &inputs).unwrap();
         assert_eq!(out.shape().dims(), &[1, 4, 6, 6]);
         assert_eq!(out.dtype(), DType::U8);
@@ -466,7 +521,10 @@ mod tests {
         };
         let m = from_tflite(&model).unwrap();
         let mut inputs = Map::new();
-        inputs.insert("input".to_string(), rng.uniform_quantized([1, 2, 4, 4], DType::U8, q));
+        inputs.insert(
+            "input".to_string(),
+            rng.uniform_quantized([1, 2, 4, 4], DType::U8, q),
+        );
         let out = run_module(&m, &inputs).unwrap();
         assert_eq!(out.shape().dims(), &[1, 2, 4, 4]);
     }

@@ -35,7 +35,13 @@ pub struct WorkItem {
 impl WorkItem {
     /// A zero-cost placeholder (identity ops).
     pub fn empty() -> Self {
-        WorkItem { macs: 0, bytes_in: 0, bytes_out: 0, int8: false, kind: WorkKind::DataMovement }
+        WorkItem {
+            macs: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            int8: false,
+            kind: WorkKind::DataMovement,
+        }
     }
 
     /// Total bytes touched.
@@ -100,7 +106,8 @@ impl CostModel {
     pub fn kernel_energy_uj(&self, w: &WorkItem, device: DeviceKind, class: KernelClass) -> f64 {
         let spec = self.soc.device(device);
         let ops = 2.0 * w.macs as f64 + w.bytes() as f64 * 0.1; // traffic-side ops
-        spec.energy_uj(ops, w.int8, class) + crate::soc::TRANSFER_PJ_PER_BYTE * w.bytes() as f64 * 1e-6
+        spec.energy_uj(ops, w.int8, class)
+            + crate::soc::TRANSFER_PJ_PER_BYTE * w.bytes() as f64 * 1e-6
     }
 
     /// Energy of one boundary transfer, microjoules.
@@ -120,7 +127,13 @@ mod tests {
     use super::*;
 
     fn conv_item(macs: u64, int8: bool) -> WorkItem {
-        WorkItem { macs, bytes_in: 1 << 20, bytes_out: 1 << 18, int8, kind: WorkKind::MacHeavy }
+        WorkItem {
+            macs,
+            bytes_in: 1 << 20,
+            bytes_out: 1 << 18,
+            int8,
+            kind: WorkKind::MacHeavy,
+        }
     }
 
     #[test]
@@ -129,7 +142,10 @@ mod tests {
         let w = conv_item(50_000_000, false);
         let tvm = m.kernel_us(&w, DeviceKind::Cpu, KernelClass::TvmUntuned);
         let np = m.kernel_us(&w, DeviceKind::Cpu, KernelClass::VendorTuned);
-        assert!(tvm > 2.0 * np, "tvm {tvm} should be much slower than vendor {np}");
+        assert!(
+            tvm > 2.0 * np,
+            "tvm {tvm} should be much slower than vendor {np}"
+        );
     }
 
     #[test]
@@ -178,7 +194,11 @@ mod tests {
     #[test]
     fn empty_item_costs_only_overhead() {
         let m = CostModel::default();
-        let t = m.kernel_us(&WorkItem::empty(), DeviceKind::Cpu, KernelClass::VendorTuned);
+        let t = m.kernel_us(
+            &WorkItem::empty(),
+            DeviceKind::Cpu,
+            KernelClass::VendorTuned,
+        );
         assert!((t - m.soc().device(DeviceKind::Cpu).kernel_launch_us).abs() < 1e-9);
     }
 }

@@ -81,7 +81,11 @@ impl DeviceSpec {
     /// Effective compute throughput in GOP/s for the dtype width and
     /// kernel class, after the efficiency derating.
     pub fn effective_gops(&self, int8: bool, class: KernelClass) -> f64 {
-        let peak = if int8 { self.int8_gops } else { self.f32_gflops };
+        let peak = if int8 {
+            self.int8_gops
+        } else {
+            self.f32_gflops
+        };
         let eff = match class {
             KernelClass::TvmUntuned => self.tvm_efficiency,
             KernelClass::VendorTuned => self.vendor_efficiency,
@@ -102,7 +106,11 @@ impl DeviceSpec {
     /// per useful op, so energy scales inversely with the efficiency
     /// derating — the physics behind NeuroPilot's power pitch (paper §2.1).
     pub fn energy_uj(&self, ops: f64, int8: bool, class: KernelClass) -> f64 {
-        let pj = if int8 { self.pj_per_op_int8 } else { self.pj_per_op_f32 };
+        let pj = if int8 {
+            self.pj_per_op_int8
+        } else {
+            self.pj_per_op_f32
+        };
         let eff = match class {
             KernelClass::TvmUntuned => self.tvm_efficiency,
             KernelClass::VendorTuned => self.vendor_efficiency,
@@ -152,7 +160,10 @@ mod tests {
     #[test]
     fn only_cpu_is_tvm_targetable() {
         assert!(spec().tvm_can_target());
-        let apu = DeviceSpec { kind: DeviceKind::Apu, ..spec() };
+        let apu = DeviceSpec {
+            kind: DeviceKind::Apu,
+            ..spec()
+        };
         assert!(!apu.tvm_can_target());
     }
 

@@ -114,7 +114,10 @@ impl SocSpec {
                     pj_per_op_int8: 4.0,
                 },
             ],
-            transfer: TransferModel { latency_us: 15.0, bandwidth_gbps: 10.0 },
+            transfer: TransferModel {
+                latency_us: 15.0,
+                bandwidth_gbps: 10.0,
+            },
         }
     }
 
@@ -154,9 +157,16 @@ mod tests {
     #[test]
     fn apu_dominates_int8_compute() {
         let soc = SocSpec::dimensity_800();
-        let apu = soc.device(DeviceKind::Apu).effective_gops(true, KernelClass::VendorTuned);
-        let cpu = soc.device(DeviceKind::Cpu).effective_gops(true, KernelClass::VendorTuned);
-        assert!(apu > 10.0 * cpu, "APU must be an order of magnitude faster on int8");
+        let apu = soc
+            .device(DeviceKind::Apu)
+            .effective_gops(true, KernelClass::VendorTuned);
+        let cpu = soc
+            .device(DeviceKind::Cpu)
+            .effective_gops(true, KernelClass::VendorTuned);
+        assert!(
+            apu > 10.0 * cpu,
+            "APU must be an order of magnitude faster on int8"
+        );
     }
 
     #[test]
@@ -171,7 +181,10 @@ mod tests {
 
     #[test]
     fn transfer_monotone_in_bytes() {
-        let t = TransferModel { latency_us: 100.0, bandwidth_gbps: 10.0 };
+        let t = TransferModel {
+            latency_us: 100.0,
+            bandwidth_gbps: 10.0,
+        };
         assert!(t.time_us(1_000_000) > t.time_us(1_000));
         // 1 MB at 10 GB/s = 100 us + 100 us latency.
         assert!((t.time_us(1_000_000) - 200.0).abs() < 1e-6);

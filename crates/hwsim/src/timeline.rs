@@ -83,7 +83,12 @@ impl Timeline {
         let start = self.free_at(device).max(earliest_us);
         let end = start + duration_us;
         self.busy_until.insert(device, end);
-        self.segments.push(Segment { device, start_us: start, end_us: end, label: label.into() });
+        self.segments.push(Segment {
+            device,
+            start_us: start,
+            end_us: end,
+            label: label.into(),
+        });
         (start, end)
     }
 
@@ -156,7 +161,11 @@ impl Timeline {
                     *c = ch;
                 }
             }
-            out.push_str(&format!("{:>4} |{}|\n", d.name(), row.iter().collect::<String>()));
+            out.push_str(&format!(
+                "{:>4} |{}|\n",
+                d.name(),
+                row.iter().collect::<String>()
+            ));
         }
         out
     }

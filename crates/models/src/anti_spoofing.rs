@@ -52,12 +52,12 @@ pub fn traced_deepixbis(seed: u64) -> TracedModule {
     let mut cur_c = 32usize;
 
     let add_bn = |nodes: &mut Vec<TorchNode>,
-                      state: &mut std::collections::HashMap<String, Tensor>,
-                      rng: &mut TensorRng,
-                      bn_count: &mut usize,
-                      cur: &str,
-                      channels: usize,
-                      out: &str| {
+                  state: &mut std::collections::HashMap<String, Tensor>,
+                  rng: &mut TensorRng,
+                  bn_count: &mut usize,
+                  cur: &str,
+                  channels: usize,
+                  out: &str| {
         let prefix = format!("bn{}", *bn_count);
         *bn_count += 1;
         batch_norm_entry(
@@ -86,7 +86,15 @@ pub fn traced_deepixbis(seed: u64) -> TracedModule {
 
     {
         let b = fresh();
-        add_bn(&mut nodes, &mut state, &mut rng, &mut bn_count, &cur, cur_c, &b);
+        add_bn(
+            &mut nodes,
+            &mut state,
+            &mut rng,
+            &mut bn_count,
+            &cur,
+            cur_c,
+            &b,
+        );
         let r = fresh();
         nodes.push(TorchNode::new("aten::relu", &[&b], &r));
         let p = fresh();
@@ -100,11 +108,22 @@ pub fn traced_deepixbis(seed: u64) -> TracedModule {
     for block in 0..NUM_BLOCKS {
         for layer in 0..LAYERS_PER_BLOCK {
             let b = fresh();
-            add_bn(&mut nodes, &mut state, &mut rng, &mut bn_count, &cur, cur_c, &b);
+            add_bn(
+                &mut nodes,
+                &mut state,
+                &mut rng,
+                &mut bn_count,
+                &cur,
+                cur_c,
+                &b,
+            );
             let r = fresh();
             nodes.push(TorchNode::new("aten::relu", &[&b], &r));
             let wname = format!("block{block}.layer{layer}.weight");
-            state.insert(wname.clone(), rng.kaiming_f32([GROWTH, cur_c, 3, 3], cur_c * 9));
+            state.insert(
+                wname.clone(),
+                rng.kaiming_f32([GROWTH, cur_c, 3, 3], cur_c * 9),
+            );
             let c = fresh();
             nodes.push(
                 TorchNode::new("aten::conv2d", &[&r, &wname], &c)
@@ -120,7 +139,15 @@ pub fn traced_deepixbis(seed: u64) -> TracedModule {
         // Transition: bn -> relu -> 1x1 conv (halve channels) -> avgpool /2.
         if block + 1 < NUM_BLOCKS {
             let b = fresh();
-            add_bn(&mut nodes, &mut state, &mut rng, &mut bn_count, &cur, cur_c, &b);
+            add_bn(
+                &mut nodes,
+                &mut state,
+                &mut rng,
+                &mut bn_count,
+                &cur,
+                cur_c,
+                &b,
+            );
             let r = fresh();
             nodes.push(TorchNode::new("aten::relu", &[&b], &r));
             let wname = format!("trans{block}.weight");
@@ -139,7 +166,10 @@ pub fn traced_deepixbis(seed: u64) -> TracedModule {
     }
 
     // Pixel-wise binary head: 1x1 conv to a single map + sigmoid.
-    state.insert("head.weight".into(), rng.kaiming_f32([1, cur_c, 1, 1], cur_c));
+    state.insert(
+        "head.weight".into(),
+        rng.kaiming_f32([1, cur_c, 1, 1], cur_c),
+    );
     let h = fresh();
     nodes.push(TorchNode::new("aten::conv2d", &[&cur, "head.weight"], &h));
     conv_count += 1;
@@ -149,7 +179,12 @@ pub fn traced_deepixbis(seed: u64) -> TracedModule {
     debug_assert!(bn_count >= NUM_BLOCKS * LAYERS_PER_BLOCK);
     debug_assert!(conv_count >= NUM_BLOCKS * LAYERS_PER_BLOCK);
 
-    TracedModule { nodes, inputs: vec![input], output: out, state_dict: state }
+    TracedModule {
+        nodes,
+        inputs: vec![input],
+        output: out,
+        state_dict: state,
+    }
 }
 
 /// Import DeePixBiS through the PyTorch frontend. Input: `1×3×32×32` face
@@ -191,7 +226,11 @@ mod tests {
         assert_eq!(d[0], 1);
         assert_eq!(d[1], 1);
         assert!(d[2] > 1 && d[3] > 1, "pixel-wise map, not a scalar");
-        assert!(out.as_f32().unwrap().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(out
+            .as_f32()
+            .unwrap()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]
@@ -217,9 +256,11 @@ mod tests {
     #[test]
     fn shatters_into_many_subgraphs_under_byoc() {
         let m = anti_spoofing_model(11);
-        let (_, report) =
-            tvmnp_relay::passes::partition_graph(&m.module, &tvmnp_neuropilot::support::NeuronSupport)
-                .unwrap();
+        let (_, report) = tvmnp_relay::passes::partition_graph(
+            &m.module,
+            &tvmnp_neuropilot::support::NeuronSupport,
+        )
+        .unwrap();
         assert!(
             report.num_subgraphs >= 6,
             "the Fig. 4 story needs many subgraphs, got {}",

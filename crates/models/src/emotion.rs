@@ -13,8 +13,15 @@ use tvmnp_tensor::rng::TensorRng;
 use tvmnp_tensor::DType;
 
 /// The seven emotion labels, in output order.
-pub const EMOTIONS: [&str; 7] =
-    ["angry", "disgusted", "fearful", "happy", "neutral", "sad", "surprised"];
+pub const EMOTIONS: [&str; 7] = [
+    "angry",
+    "disgusted",
+    "fearful",
+    "happy",
+    "neutral",
+    "sad",
+    "surprised",
+];
 
 /// Build the Keras model description (the `build_model` of Listing 4).
 pub fn keras_emotion_model(seed: u64) -> KerasModel {

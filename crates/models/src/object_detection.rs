@@ -9,9 +9,7 @@
 
 use crate::{Framework, Model};
 use tvmnp_frontends::darknet::{conv_weight_count, DarknetNet, Section};
-use tvmnp_frontends::tflite::{
-    TfliteModel, TfliteOp, TfliteTensor, ACT_RELU6, PADDING_SAME,
-};
+use tvmnp_frontends::tflite::{TfliteModel, TfliteOp, TfliteTensor, ACT_RELU6, PADDING_SAME};
 use tvmnp_tensor::rng::TensorRng;
 use tvmnp_tensor::{DType, QuantParams, Tensor};
 
@@ -19,7 +17,10 @@ use tvmnp_tensor::{DType, QuantParams, Tensor};
 /// route + upsample feature merge, and a logistic `[yolo]` head.
 pub fn darknet_yolo(seed: u64) -> DarknetNet {
     let sections = vec![
-        Section::new("net").with("channels", 3).with("height", 64).with("width", 64),
+        Section::new("net")
+            .with("channels", 3)
+            .with("height", 64)
+            .with("width", 64),
         Section::new("convolutional")
             .with("filters", 16)
             .with("size", 3)
@@ -104,20 +105,18 @@ pub fn tflite_mobilenet_ssd(seed: u64) -> TfliteModel {
         });
         tensors.len() - 1
     };
-    let weight = |tensors: &mut Vec<TfliteTensor>,
-                      rng: &mut TensorRng,
-                      name: &str,
-                      shape: Vec<usize>| {
-        let t = rng.uniform_quantized(shape.clone(), DType::U8, qw);
-        tensors.push(TfliteTensor {
-            name: name.into(),
-            shape,
-            dtype: DType::U8,
-            quant: Some(qw),
-            data: Some(t),
-        });
-        tensors.len() - 1
-    };
+    let weight =
+        |tensors: &mut Vec<TfliteTensor>, rng: &mut TensorRng, name: &str, shape: Vec<usize>| {
+            let t = rng.uniform_quantized(shape.clone(), DType::U8, qw);
+            tensors.push(TfliteTensor {
+                name: name.into(),
+                shape,
+                dtype: DType::U8,
+                quant: Some(qw),
+                data: Some(t),
+            });
+            tensors.len() - 1
+        };
     let bias = |tensors: &mut Vec<TfliteTensor>, name: &str, n: usize| {
         tensors.push(TfliteTensor {
             name: name.into(),
@@ -130,7 +129,12 @@ pub fn tflite_mobilenet_ssd(seed: u64) -> TfliteModel {
     };
 
     // Input: 32x32 RGB, NHWC.
-    let input = act(&mut tensors, "normalized_input", vec![1, 64, 64, 3], ssd_input_quant());
+    let input = act(
+        &mut tensors,
+        "normalized_input",
+        vec![1, 64, 64, 3],
+        ssd_input_quant(),
+    );
 
     // conv 3->32 stride 2, relu6.
     let w0 = weight(&mut tensors, &mut rng, "conv0/w", vec![32, 3, 3, 3]);
@@ -213,7 +217,12 @@ pub fn tflite_mobilenet_ssd(seed: u64) -> TfliteModel {
     let scores_flat = act(&mut tensors, "conf/flat", vec![1, 8192], qs);
     ops.push(TfliteOp::new("RESHAPE", vec![scores], vec![scores_flat]));
 
-    TfliteModel { tensors, ops, inputs: vec![input], outputs: vec![loc_decoded, scores_flat] }
+    TfliteModel {
+        tensors,
+        ops,
+        inputs: vec![input],
+        outputs: vec![loc_decoded, scores_flat],
+    }
 }
 
 /// Import the quantized SSD through the TFLite frontend.
@@ -249,7 +258,10 @@ mod tests {
         let m = yolo_model(41);
         let simplified = tvmnp_relay::passes::simplify(&m.module);
         let bad = tvmnp_neuropilot::support::first_unsupported(simplified.main());
-        assert!(bad.is_some(), "yolo must have an NP gap (resize/batch_norm)");
+        assert!(
+            bad.is_some(),
+            "yolo must have an NP gap (resize/batch_norm)"
+        );
     }
 
     #[test]
@@ -264,7 +276,10 @@ mod tests {
                 let conf = parts[1].tensor().unwrap();
                 assert_eq!(loc.shape().dims(), &[1, 16384]);
                 assert_eq!(loc.dtype(), DType::F32);
-                assert!(loc.as_f32().unwrap().iter().all(|&v| v > 0.0), "exp output positive");
+                assert!(
+                    loc.as_f32().unwrap().iter().all(|&v| v > 0.0),
+                    "exp output positive"
+                );
                 assert_eq!(conf.shape().dims(), &[1, 8192]);
                 assert_eq!(conf.dtype(), DType::U8);
             }
@@ -289,6 +304,9 @@ mod tests {
             .iter()
             .filter(|e| e.op().map(|o| o.name() == "qnn.conv2d").unwrap_or(false))
             .count();
-        assert!(qnn_convs >= 6, "backbone + heads are qnn.conv2d (got {qnn_convs})");
+        assert!(
+            qnn_convs >= 6,
+            "backbone + heads are qnn.conv2d (got {qnn_convs})"
+        );
     }
 }

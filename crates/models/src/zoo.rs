@@ -56,7 +56,11 @@ struct Net {
 impl Net {
     fn new(seed: u64) -> Self {
         let input = var("input", TensorType::f32(INPUT));
-        Net { rng: TensorRng::new(seed), cur: input, c: 3 }
+        Net {
+            rng: TensorRng::new(seed),
+            cur: input,
+            c: 3,
+        }
     }
 
     fn conv(&mut self, out_c: usize, k: usize, stride: usize, with_relu: bool) -> &mut Self {
@@ -112,7 +116,10 @@ impl Net {
     }
 
     fn relu6(&mut self) -> &mut Self {
-        self.cur = call(OpKind::Clip(ClipAttrs { min: 0.0, max: 6.0 }), vec![self.cur.clone()]);
+        self.cur = call(
+            OpKind::Clip(ClipAttrs { min: 0.0, max: 6.0 }),
+            vec![self.cur.clone()],
+        );
         self
     }
 
@@ -182,12 +189,19 @@ fn inception_module(n: &mut Net, b1: usize, b3: usize, b5: usize, pool_proj: usi
     // double 3x3 ("5x5 factorized") branch
     n.cur = input.clone();
     n.c = in_c;
-    n.conv(b5, 1, 1, true).conv(b5, 3, 1, true).conv(b5, 3, 1, true);
+    n.conv(b5, 1, 1, true)
+        .conv(b5, 3, 1, true)
+        .conv(b5, 3, 1, true);
     let br5 = n.cur.clone();
     // pool projection branch
     let pooled = avg_pool2d(
         input,
-        Pool2dAttrs { kernel: (3, 3), strides: (1, 1), padding: (1, 1, 1, 1), count_include_pad: false },
+        Pool2dAttrs {
+            kernel: (3, 3),
+            strides: (1, 1),
+            padding: (1, 1, 1, 1),
+            count_include_pad: false,
+        },
     );
     n.cur = pooled;
     n.c = in_c;
@@ -210,7 +224,9 @@ pub fn inception_v3(seed: u64) -> Model {
 /// Inception v4: deeper stem and three modules.
 pub fn inception_v4(seed: u64) -> Model {
     let mut n = Net::new(seed);
-    n.conv(32, 3, 2, true).conv(32, 3, 1, true).conv(64, 3, 1, true);
+    n.conv(32, 3, 2, true)
+        .conv(32, 3, 1, true)
+        .conv(64, 3, 1, true);
     inception_module(&mut n, 32, 32, 32, 32);
     inception_module(&mut n, 32, 48, 32, 32);
     inception_module(&mut n, 48, 48, 32, 32);
@@ -274,7 +290,12 @@ pub fn nasnet(seed: u64) -> Model {
         // branch B: avg pool
         let b = avg_pool2d(
             cell_in.clone(),
-            Pool2dAttrs { kernel: (3, 3), strides: (1, 1), padding: (1, 1, 1, 1), count_include_pad: false },
+            Pool2dAttrs {
+                kernel: (3, 3),
+                strides: (1, 1),
+                padding: (1, 1, 1, 1),
+                count_include_pad: false,
+            },
         );
         n.cur = add(a, b);
         n.c = in_c;
@@ -303,13 +324,27 @@ impl QNet {
     fn new(seed: u64) -> Self {
         let q = QuantParams::new(0.05, 128);
         let input = var("input", TensorType::new(INPUT, DType::U8));
-        QNet { rng: TensorRng::new(seed), cur: input, c: 3, q }
+        QNet {
+            rng: TensorRng::new(seed),
+            cur: input,
+            c: 3,
+            q,
+        }
     }
 
-    fn qconv(&mut self, out_c: usize, k: usize, stride: usize, groups: usize, relu6: bool) -> &mut Self {
+    fn qconv(
+        &mut self,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        groups: usize,
+        relu6: bool,
+    ) -> &mut Self {
         let pad = k / 2;
         let qw = QuantParams::new(0.02, 128);
-        let w = self.rng.uniform_quantized([out_c, self.c / groups, k, k], DType::U8, qw);
+        let w = self
+            .rng
+            .uniform_quantized([out_c, self.c / groups, k, k], DType::U8, qw);
         let attrs = QnnConv2dAttrs {
             conv: Conv2dAttrs {
                 strides: (stride, stride),
@@ -322,16 +357,27 @@ impl QNet {
             output_q: self.q,
             out_dtype: DType::U8,
         };
-        self.cur = call(OpKind::QnnConv2d(attrs), vec![self.cur.clone(), constant(w)]);
+        self.cur = call(
+            OpKind::QnnConv2d(attrs),
+            vec![self.cur.clone(), constant(w)],
+        );
         if relu6 {
-            self.cur = call(OpKind::Clip(ClipAttrs { min: 0.0, max: 6.0 }), vec![self.cur.clone()]);
+            self.cur = call(
+                OpKind::Clip(ClipAttrs { min: 0.0, max: 6.0 }),
+                vec![self.cur.clone()],
+            );
         }
         self.c = out_c;
         self
     }
 
     fn qadd_residual(&mut self, other: Expr) -> &mut Self {
-        let attrs = QnnAddAttrs { lhs_q: self.q, rhs_q: self.q, output_q: self.q, out_dtype: DType::U8 };
+        let attrs = QnnAddAttrs {
+            lhs_q: self.q,
+            rhs_q: self.q,
+            output_q: self.q,
+            out_dtype: DType::U8,
+        };
         self.cur = call(OpKind::QnnAdd(attrs), vec![self.cur.clone(), other]);
         self
     }
@@ -416,7 +462,11 @@ pub fn inception_v3_quant(seed: u64) -> Model {
     n.c = in_c;
     n.qconv(32, 1, 1, 1, true).qconv(32, 3, 1, 1, true);
     let br3 = n.cur.clone();
-    let attrs = tvmnp_relay::QnnConcatAttrs { axis: 1, input_qs: vec![q, q], output_q: q };
+    let attrs = tvmnp_relay::QnnConcatAttrs {
+        axis: 1,
+        input_qs: vec![q, q],
+        output_q: q,
+    };
     n.cur = call(OpKind::QnnConcatenate(attrs), vec![br1, br3]);
     n.c = 64;
     n.qconv(64, 3, 1, 1, true);
@@ -445,7 +495,11 @@ pub fn table1(seed: u64) -> Vec<(String, &'static str)> {
     zoo(seed)
         .into_iter()
         .map(|m| {
-            let dt = if m.dtype == DType::F32 { "float32" } else { "int8" };
+            let dt = if m.dtype == DType::F32 {
+                "float32"
+            } else {
+                "int8"
+            };
             (m.name, dt)
         })
         .collect()
@@ -478,12 +532,7 @@ mod tests {
                 m.name.as_str(),
                 "densenet" | "inception resnet v2" | "nasnet"
             );
-            assert_eq!(
-                gap.is_some(),
-                expect_missing,
-                "{}: gap = {gap:?}",
-                m.name
-            );
+            assert_eq!(gap.is_some(), expect_missing, "{}: gap = {gap:?}", m.name);
         }
     }
 
@@ -498,7 +547,11 @@ mod tests {
 
     #[test]
     fn quant_models_are_integer_dominant() {
-        for m in [mobilenet_v1_quant(1), mobilenet_v2_quant(2), inception_v3_quant(3)] {
+        for m in [
+            mobilenet_v1_quant(1),
+            mobilenet_v2_quant(2),
+            inception_v3_quant(3),
+        ] {
             let qnn = tvmnp_relay::visit::topo_order(&m.module.main().body)
                 .iter()
                 .filter(|e| e.op().map(|o| o.is_qnn()).unwrap_or(false))

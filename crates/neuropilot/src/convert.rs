@@ -63,7 +63,11 @@ impl Ctx<'_> {
     }
 
     /// Allocate the activation tensor for `e`'s (single-tensor) result.
-    fn new_output(&mut self, e: &Expr, quant: Option<QuantParams>) -> Result<TensorId, NeuronError> {
+    fn new_output(
+        &mut self,
+        e: &Expr,
+        quant: Option<QuantParams>,
+    ) -> Result<TensorId, NeuronError> {
         let ty = self.types.get(&e.id).ok_or_else(|| {
             NeuronError::Conversion(format!("no inferred type for node {}", e.label()))
         })?;
@@ -94,8 +98,18 @@ impl Ctx<'_> {
 
     /// Emit the op and record its entry.
     fn push(&mut self, e: &Expr, kind: NeuronOpKind, inputs: Vec<TensorId>, output: TensorId) {
-        self.graph.add_op(NeuronOp { kind, inputs: inputs.clone(), outputs: vec![output] });
-        self.node_entry_dict.insert(e.id, NodeEntry { inputs, outputs: vec![output] });
+        self.graph.add_op(NeuronOp {
+            kind,
+            inputs: inputs.clone(),
+            outputs: vec![output],
+        });
+        self.node_entry_dict.insert(
+            e.id,
+            NodeEntry {
+                inputs,
+                outputs: vec![output],
+            },
+        );
     }
 }
 
@@ -159,7 +173,10 @@ fn neuron_kind(op: &OpKind) -> Result<NeuronOpKind, NeuronError> {
         OpKind::BiasAdd => NeuronOpKind::BiasAdd,
         OpKind::Relu => NeuronOpKind::Relu,
         OpKind::LeakyRelu(a) => NeuronOpKind::LeakyRelu { alpha: a.alpha },
-        OpKind::Clip(a) => NeuronOpKind::Clip { min: a.min, max: a.max },
+        OpKind::Clip(a) => NeuronOpKind::Clip {
+            min: a.min,
+            max: a.max,
+        },
         OpKind::Sigmoid => NeuronOpKind::Sigmoid,
         OpKind::Tanh => NeuronOpKind::Tanh,
         OpKind::MaxPool2d(a) => NeuronOpKind::MaxPool2d {
@@ -178,11 +195,18 @@ fn neuron_kind(op: &OpKind) -> Result<NeuronOpKind, NeuronError> {
         OpKind::QnnAdd(_) => NeuronOpKind::Add,
         OpKind::Multiply => NeuronOpKind::Mul,
         OpKind::Maximum => NeuronOpKind::Max,
-        OpKind::Reshape(a) => NeuronOpKind::Reshape { new_shape: a.new_shape.clone() },
-        OpKind::Transpose(a) => NeuronOpKind::Transpose { axes: a.axes.clone() },
+        OpKind::Reshape(a) => NeuronOpKind::Reshape {
+            new_shape: a.new_shape.clone(),
+        },
+        OpKind::Transpose(a) => NeuronOpKind::Transpose {
+            axes: a.axes.clone(),
+        },
         OpKind::Concatenate(a) => NeuronOpKind::Concat { axis: a.axis },
         OpKind::QnnConcatenate(a) => NeuronOpKind::Concat { axis: a.axis },
-        OpKind::Pad(a) => NeuronOpKind::Pad { pads: a.pads.clone(), value: a.value },
+        OpKind::Pad(a) => NeuronOpKind::Pad {
+            pads: a.pads.clone(),
+            value: a.value,
+        },
         OpKind::BatchFlatten => NeuronOpKind::BatchFlatten,
         OpKind::QnnQuantize(_) => NeuronOpKind::Quantize,
         OpKind::QnnDequantize(_) => NeuronOpKind::Dequantize,
@@ -258,7 +282,9 @@ fn h_qnn_unary(ctx: &mut Ctx, e: &Expr, op: &OpKind) -> Result<(), NeuronError> 
 /// qnn.add: both operand params and the result param come from the op.
 fn h_qnn_add(ctx: &mut Ctx, e: &Expr, op: &OpKind) -> Result<(), NeuronError> {
     let inputs = ctx.arg_ids(e)?;
-    let OpKind::QnnAdd(a) = op else { unreachable!("h_qnn_add on {}", op.name()) };
+    let OpKind::QnnAdd(a) = op else {
+        unreachable!("h_qnn_add on {}", op.name())
+    };
     ctx.set_quant(inputs[0], a.lhs_q);
     ctx.set_quant(inputs[1], a.rhs_q);
     let out = ctx.new_output(e, Some(a.output_q))?;
@@ -269,7 +295,9 @@ fn h_qnn_add(ctx: &mut Ctx, e: &Expr, op: &OpKind) -> Result<(), NeuronError> {
 /// qnn.concatenate: per-input params plus the result param.
 fn h_qnn_concat(ctx: &mut Ctx, e: &Expr, op: &OpKind) -> Result<(), NeuronError> {
     let inputs = ctx.arg_ids(e)?;
-    let OpKind::QnnConcatenate(a) = op else { unreachable!() };
+    let OpKind::QnnConcatenate(a) = op else {
+        unreachable!()
+    };
     for (&id, &q) in inputs.iter().zip(&a.input_qs) {
         ctx.set_quant(id, q);
     }
@@ -307,7 +335,10 @@ pub fn propagate_quant_params(graph: &mut NeuronGraph) {
             if !quant_transparent(&graph.ops[i].kind) {
                 continue;
             }
-            let in_q = graph.ops[i].inputs.first().and_then(|&t| graph.tensors[t].quant);
+            let in_q = graph.ops[i]
+                .inputs
+                .first()
+                .and_then(|&t| graph.tensors[t].quant);
             if let Some(q) = in_q {
                 for &o in &graph.ops[i].outputs.clone() {
                     if graph.tensors[o].dtype.is_quantized() && graph.tensors[o].quant.is_none() {
@@ -323,7 +354,10 @@ pub fn propagate_quant_params(graph: &mut NeuronGraph) {
             if !quant_transparent(&graph.ops[i].kind) {
                 continue;
             }
-            let out_q = graph.ops[i].outputs.first().and_then(|&t| graph.tensors[t].quant);
+            let out_q = graph.ops[i]
+                .outputs
+                .first()
+                .and_then(|&t| graph.tensors[t].quant);
             if let Some(q) = out_q {
                 for &t in &graph.ops[i].inputs.clone() {
                     if graph.tensors[t].dtype.is_quantized() && graph.tensors[t].quant.is_none() {
@@ -341,12 +375,17 @@ pub fn propagate_quant_params(graph: &mut NeuronGraph) {
 
 /// Convert a (partitioned) Relay function into a Neuron graph.
 pub fn convert_function(func: &Function) -> Result<NeuronGraph, NeuronError> {
+    let _span = tvmnp_telemetry::span!("neuropilot.convert");
     // Type the function in isolation.
     let module = Module::from_main(Function::new(func.params.clone(), func.body.clone()));
     let types: TypeMap =
         infer_types(&module).map_err(|e| NeuronError::Conversion(e.to_string()))?;
 
-    let mut ctx = Ctx { graph: NeuronGraph::default(), node_entry_dict: HashMap::new(), types: &types };
+    let mut ctx = Ctx {
+        graph: NeuronGraph::default(),
+        node_entry_dict: HashMap::new(),
+        types: &types,
+    };
 
     // Parameters become graph inputs, in declared order (paper visit_var).
     for p in &func.params {
@@ -359,9 +398,17 @@ pub fn convert_function(func: &Function) -> Result<NeuronGraph, NeuronError> {
                 data: None,
             });
             ctx.graph.inputs.push(id);
-            ctx.node_entry_dict.insert(p.id, NodeEntry { inputs: vec![id], outputs: vec![id] });
+            ctx.node_entry_dict.insert(
+                p.id,
+                NodeEntry {
+                    inputs: vec![id],
+                    outputs: vec![id],
+                },
+            );
         } else {
-            return Err(NeuronError::Conversion("function parameter is not a Var".into()));
+            return Err(NeuronError::Conversion(
+                "function parameter is not a Var".into(),
+            ));
         }
     }
 
@@ -372,7 +419,10 @@ pub fn convert_function(func: &Function) -> Result<NeuronGraph, NeuronError> {
         }
         match &e.kind {
             ExprKind::Var(v) => {
-                return Err(NeuronError::Conversion(format!("free variable '{}'", v.name)));
+                return Err(NeuronError::Conversion(format!(
+                    "free variable '{}'",
+                    v.name
+                )));
             }
             ExprKind::Constant(c) => {
                 let id = ctx.graph.add_tensor(NeuronTensor {
@@ -382,7 +432,13 @@ pub fn convert_function(func: &Function) -> Result<NeuronGraph, NeuronError> {
                     quant: c.value.quant(),
                     data: Some(c.value.clone()),
                 });
-                ctx.node_entry_dict.insert(e.id, NodeEntry { inputs: vec![id], outputs: vec![id] });
+                ctx.node_entry_dict.insert(
+                    e.id,
+                    NodeEntry {
+                        inputs: vec![id],
+                        outputs: vec![id],
+                    },
+                );
             }
             ExprKind::Tuple(fields) => {
                 // visit_tuple: gather the fields' outputs.
@@ -390,16 +446,26 @@ pub fn convert_function(func: &Function) -> Result<NeuronGraph, NeuronError> {
                 for f in fields {
                     outputs.extend(ctx.node_entry_dict[&f.id].outputs.clone());
                 }
-                ctx.node_entry_dict
-                    .insert(e.id, NodeEntry { inputs: outputs.clone(), outputs });
+                ctx.node_entry_dict.insert(
+                    e.id,
+                    NodeEntry {
+                        inputs: outputs.clone(),
+                        outputs,
+                    },
+                );
             }
             ExprKind::TupleGetItem(t, i) => {
                 let outs = &ctx.node_entry_dict[&t.id].outputs;
                 let picked = *outs.get(*i).ok_or_else(|| {
                     NeuronError::Conversion(format!("tuple index {i} out of range"))
                 })?;
-                ctx.node_entry_dict
-                    .insert(e.id, NodeEntry { inputs: vec![picked], outputs: vec![picked] });
+                ctx.node_entry_dict.insert(
+                    e.id,
+                    NodeEntry {
+                        inputs: vec![picked],
+                        outputs: vec![picked],
+                    },
+                );
             }
             ExprKind::Call(call) => match &call.target {
                 CallTarget::Op(op) => {
@@ -419,9 +485,7 @@ pub fn convert_function(func: &Function) -> Result<NeuronGraph, NeuronError> {
 
     ctx.graph.outputs = ctx.node_entry_dict[&func.body.id].outputs.clone();
     propagate_quant_params(&mut ctx.graph);
-    ctx.graph
-        .validate()
-        .map_err(NeuronError::Conversion)?;
+    ctx.graph.validate().map_err(NeuronError::Conversion)?;
     Ok(ctx.graph)
 }
 
@@ -481,7 +545,10 @@ mod tests {
             output_q: qy,
             out_dtype: DType::U8,
         };
-        let y = call(OpKind::QnnConv2d(attrs), vec![x.clone(), tvmnp_relay::expr::constant(w)]);
+        let y = call(
+            OpKind::QnnConv2d(attrs),
+            vec![x.clone(), tvmnp_relay::expr::constant(w)],
+        );
         let f = Function::new(vec![x], y);
         let g = convert_function(&f).unwrap();
         // Input var tensor got the operator's input params.
@@ -499,11 +566,17 @@ mod tests {
         let qp = QuantParams::new(0.1, 3);
         let x = var("x", TensorType::f32([1, 1, 4, 4]));
         let q = call(
-            OpKind::QnnQuantize(QuantizeAttrs { out: qp, out_dtype: DType::U8 }),
+            OpKind::QnnQuantize(QuantizeAttrs {
+                out: qp,
+                out_dtype: DType::U8,
+            }),
             vec![x.clone()],
         );
         let pool = call(OpKind::MaxPool2d(Pool2dAttrs::square(2)), vec![q]);
-        let d = call(OpKind::QnnDequantize(DequantizeAttrs { input: qp }), vec![pool]);
+        let d = call(
+            OpKind::QnnDequantize(DequantizeAttrs { input: qp }),
+            vec![pool],
+        );
         let f = Function::new(vec![x], d);
         let g = convert_function(&f).unwrap();
         // Every quantized tensor in the graph carries params (validated),
@@ -519,7 +592,10 @@ mod tests {
         let qp = QuantParams::new(0.25, 10);
         let x = var("x", TensorType::new([1, 8], DType::U8));
         let r = builder::reshape(x.clone(), vec![1, 8]);
-        let d = call(OpKind::QnnDequantize(DequantizeAttrs { input: qp }), vec![r]);
+        let d = call(
+            OpKind::QnnDequantize(DequantizeAttrs { input: qp }),
+            vec![r],
+        );
         let f = Function::new(vec![x], d);
         let g = convert_function(&f).unwrap();
         assert_eq!(g.tensors[g.inputs[0]].quant, Some(qp));

@@ -35,4 +35,4 @@ pub use nir::{NeuronGraph, NeuronOp, NeuronOpKind, NeuronTensor, TensorId};
 pub use oplevel::plan_op_level;
 pub use planner::{ExecutionPlan, Planner, TargetPolicy};
 pub use runtime::CompiledNetwork;
-pub use support::{neuron_supported, device_supports, NeuronSupport};
+pub use support::{device_supports, neuron_supported, NeuronSupport};

@@ -173,7 +173,10 @@ impl NeuronOpKind {
 
     /// Whether this op is MAC-dominated (for the planner's cost heuristic).
     pub fn is_mac_heavy(&self) -> bool {
-        matches!(self, NeuronOpKind::Conv2d { .. } | NeuronOpKind::FullyConnected)
+        matches!(
+            self,
+            NeuronOpKind::Conv2d { .. } | NeuronOpKind::FullyConnected
+        )
     }
 }
 
@@ -272,10 +275,18 @@ impl NeuronGraph {
 pub fn work_item(graph: &NeuronGraph, op: &NeuronOp) -> WorkItem {
     let out = &graph.tensors[op.outputs[0]];
     let out_elems = out.shape.num_elements() as u64;
-    let bytes_in: u64 = op.inputs.iter().map(|&i| graph.tensors[i].size_bytes() as u64).sum();
+    let bytes_in: u64 = op
+        .inputs
+        .iter()
+        .map(|&i| graph.tensors[i].size_bytes() as u64)
+        .sum();
     let bytes_out = out.size_bytes() as u64;
     let int8 = out.dtype.is_quantized()
-        || op.inputs.first().map(|&i| graph.tensors[i].dtype.is_quantized()).unwrap_or(false);
+        || op
+            .inputs
+            .first()
+            .map(|&i| graph.tensors[i].dtype.is_quantized())
+            .unwrap_or(false);
     let (macs, kind) = match &op.kind {
         NeuronOpKind::Conv2d { groups, .. } => {
             let w = &graph.tensors[op.inputs[1]];
@@ -289,9 +300,10 @@ pub fn work_item(graph: &NeuronGraph, op: &NeuronOp) -> WorkItem {
             let w = &graph.tensors[op.inputs[1]];
             (out_elems * w.shape.dims()[1] as u64, WorkKind::MacHeavy)
         }
-        NeuronOpKind::MaxPool2d { kernel, .. } | NeuronOpKind::AvgPool2d { kernel, .. } => {
-            (out_elems * (kernel.0 * kernel.1) as u64, WorkKind::Reduction)
-        }
+        NeuronOpKind::MaxPool2d { kernel, .. } | NeuronOpKind::AvgPool2d { kernel, .. } => (
+            out_elems * (kernel.0 * kernel.1) as u64,
+            WorkKind::Reduction,
+        ),
         NeuronOpKind::GlobalAvgPool2d => {
             let x = &graph.tensors[op.inputs[0]];
             (x.shape.num_elements() as u64, WorkKind::Reduction)
@@ -304,16 +316,27 @@ pub fn work_item(graph: &NeuronGraph, op: &NeuronOp) -> WorkItem {
         | NeuronOpKind::BatchFlatten => (0, WorkKind::DataMovement),
         _ => (out_elems, WorkKind::Elementwise),
     };
-    WorkItem { macs, bytes_in, bytes_out, int8, kind }
+    WorkItem {
+        macs,
+        bytes_in,
+        bytes_out,
+        int8,
+        kind,
+    }
 }
-
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn act(name: &str, shape: [usize; 2]) -> NeuronTensor {
-        NeuronTensor { name: name.into(), shape: shape.into(), dtype: DType::F32, quant: None, data: None }
+        NeuronTensor {
+            name: name.into(),
+            shape: shape.into(),
+            dtype: DType::F32,
+            quant: None,
+            data: None,
+        }
     }
 
     #[test]
@@ -323,7 +346,11 @@ mod tests {
         let y = g.add_tensor(act("y", [1, 4]));
         g.inputs = vec![x];
         g.outputs = vec![y];
-        g.add_op(NeuronOp { kind: NeuronOpKind::Relu, inputs: vec![x], outputs: vec![y] });
+        g.add_op(NeuronOp {
+            kind: NeuronOpKind::Relu,
+            inputs: vec![x],
+            outputs: vec![y],
+        });
         assert!(g.validate().is_ok());
         assert_eq!(g.num_ops(), 1);
     }
@@ -335,7 +362,11 @@ mod tests {
         let y = g.add_tensor(act("y", [1, 4]));
         g.inputs = vec![];
         g.outputs = vec![y];
-        g.add_op(NeuronOp { kind: NeuronOpKind::Relu, inputs: vec![x], outputs: vec![y] });
+        g.add_op(NeuronOp {
+            kind: NeuronOpKind::Relu,
+            inputs: vec![x],
+            outputs: vec![y],
+        });
         assert!(g.validate().is_err());
     }
 
@@ -351,7 +382,10 @@ mod tests {
         });
         g.inputs = vec![x];
         g.outputs = vec![x];
-        assert!(g.validate().is_err(), "tensor-oriented IR demands per-tensor params");
+        assert!(
+            g.validate().is_err(),
+            "tensor-oriented IR demands per-tensor params"
+        );
     }
 
     #[test]

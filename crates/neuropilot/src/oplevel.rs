@@ -108,7 +108,11 @@ pub fn plan_op_level(graph: &NeuronGraph, cost: &CostModel) -> Result<ExecutionP
                     // costs a dispatch; actual tensor-edge transfers are
                     // charged exactly in the reconstruction pass below, so
                     // here we add the chain edge only.
-                    let switch = if pd == d { 0.0 } else { cost.subgraph_dispatch_us(d) };
+                    let switch = if pd == d {
+                        0.0
+                    } else {
+                        cost.subgraph_dispatch_us(d)
+                    };
                     let chain_edge = {
                         // The data edge from the previous op, when it feeds us.
                         let prev_outputs = &graph.ops[i - 1].outputs;
@@ -199,13 +203,21 @@ pub fn plan_op_level(graph: &NeuronGraph, cost: &CostModel) -> Result<ExecutionP
     }
 
     // Materialize the plan structures the runtime consumes.
-    let placements: Vec<Placement> =
-        assigned.iter().map(|&device| Placement { device, fallback: false }).collect();
+    let placements: Vec<Placement> = assigned
+        .iter()
+        .map(|&device| Placement {
+            device,
+            fallback: false,
+        })
+        .collect();
     let mut segments: Vec<PlanSegment> = Vec::new();
     for (i, p) in placements.iter().enumerate() {
         match segments.last_mut() {
             Some(seg) if seg.device == p.device => seg.op_indices.push(i),
-            _ => segments.push(PlanSegment { device: p.device, op_indices: vec![i] }),
+            _ => segments.push(PlanSegment {
+                device: p.device,
+                op_indices: vec![i],
+            }),
         }
     }
     let mut crossings = Vec::new();
@@ -219,9 +231,11 @@ pub fn plan_op_level(graph: &NeuronGraph, cost: &CostModel) -> Result<ExecutionP
         }
     }
     for &t in &graph.inputs {
-        let consumed_off_cpu = graph.ops.iter().enumerate().any(|(i, op)| {
-            op.inputs.contains(&t) && placements[i].device != DeviceKind::Cpu
-        });
+        let consumed_off_cpu = graph
+            .ops
+            .iter()
+            .enumerate()
+            .any(|(i, op)| op.inputs.contains(&t) && placements[i].device != DeviceKind::Cpu);
         if consumed_off_cpu {
             crossings.push((t, graph.tensors[t].size_bytes()));
         }
@@ -234,7 +248,12 @@ pub fn plan_op_level(graph: &NeuronGraph, cost: &CostModel) -> Result<ExecutionP
         }
     }
 
-    Ok(ExecutionPlan { policy: TargetPolicy::CpuApu, placements, segments, crossings })
+    Ok(ExecutionPlan {
+        policy: TargetPolicy::CpuApu,
+        placements,
+        segments,
+        crossings,
+    })
 }
 
 #[cfg(test)]

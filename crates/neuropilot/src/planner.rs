@@ -35,8 +35,12 @@ pub enum TargetPolicy {
 
 impl TargetPolicy {
     /// All policies the experiments sweep.
-    pub const ALL: [TargetPolicy; 4] =
-        [TargetPolicy::CpuOnly, TargetPolicy::GpuPrefer, TargetPolicy::ApuPrefer, TargetPolicy::CpuApu];
+    pub const ALL: [TargetPolicy; 4] = [
+        TargetPolicy::CpuOnly,
+        TargetPolicy::GpuPrefer,
+        TargetPolicy::ApuPrefer,
+        TargetPolicy::CpuApu,
+    ];
 
     /// Short label used in tables/figures.
     pub fn label(self) -> &'static str {
@@ -126,30 +130,54 @@ impl Planner {
         let mut placements = Vec::with_capacity(graph.ops.len());
         for op in &graph.ops {
             let placement = match policy {
-                TargetPolicy::CpuOnly => Placement { device: DeviceKind::Cpu, fallback: false },
+                TargetPolicy::CpuOnly => Placement {
+                    device: DeviceKind::Cpu,
+                    fallback: false,
+                },
                 TargetPolicy::GpuPrefer => {
                     if device_supports(DeviceKind::Gpu, &op.kind) {
-                        Placement { device: DeviceKind::Gpu, fallback: false }
+                        Placement {
+                            device: DeviceKind::Gpu,
+                            fallback: false,
+                        }
                     } else {
-                        Placement { device: DeviceKind::Cpu, fallback: true }
+                        Placement {
+                            device: DeviceKind::Cpu,
+                            fallback: true,
+                        }
                     }
                 }
                 TargetPolicy::ApuPrefer => {
                     if device_supports(DeviceKind::Apu, &op.kind) {
-                        Placement { device: DeviceKind::Apu, fallback: false }
+                        Placement {
+                            device: DeviceKind::Apu,
+                            fallback: false,
+                        }
                     } else {
-                        Placement { device: DeviceKind::Cpu, fallback: true }
+                        Placement {
+                            device: DeviceKind::Cpu,
+                            fallback: true,
+                        }
                     }
                 }
                 TargetPolicy::CpuApu => {
                     let w = work_item(graph, op);
-                    let threshold =
-                        if w.int8 { APU_OFFLOAD_MIN_MACS_INT8 } else { APU_OFFLOAD_MIN_MACS_F32 };
+                    let threshold = if w.int8 {
+                        APU_OFFLOAD_MIN_MACS_INT8
+                    } else {
+                        APU_OFFLOAD_MIN_MACS_F32
+                    };
                     let big_enough = op.kind.is_mac_heavy() && w.macs >= threshold;
                     if big_enough && device_supports(DeviceKind::Apu, &op.kind) {
-                        Placement { device: DeviceKind::Apu, fallback: false }
+                        Placement {
+                            device: DeviceKind::Apu,
+                            fallback: false,
+                        }
                     } else {
-                        Placement { device: DeviceKind::Cpu, fallback: false }
+                        Placement {
+                            device: DeviceKind::Cpu,
+                            fallback: false,
+                        }
                     }
                 }
             };
@@ -167,7 +195,10 @@ impl Planner {
         for (i, p) in placements.iter().enumerate() {
             match segments.last_mut() {
                 Some(seg) if seg.device == p.device => seg.op_indices.push(i),
-                _ => segments.push(PlanSegment { device: p.device, op_indices: vec![i] }),
+                _ => segments.push(PlanSegment {
+                    device: p.device,
+                    op_indices: vec![i],
+                }),
             }
         }
 
@@ -191,9 +222,10 @@ impl Planner {
         // Host boundary: graph inputs consumed off-CPU, outputs produced
         // off-CPU (the host application lives on the CPU side).
         for &t in &graph.inputs {
-            let consumed_off_cpu = graph.ops.iter().enumerate().any(|(i, op)| {
-                op.inputs.contains(&t) && placements[i].device != DeviceKind::Cpu
-            });
+            let consumed_off_cpu =
+                graph.ops.iter().enumerate().any(|(i, op)| {
+                    op.inputs.contains(&t) && placements[i].device != DeviceKind::Cpu
+                });
             if consumed_off_cpu {
                 crossings.push((t, graph.tensors[t].size_bytes()));
             }
@@ -206,7 +238,12 @@ impl Planner {
             }
         }
 
-        Ok(ExecutionPlan { policy, placements, segments, crossings })
+        Ok(ExecutionPlan {
+            policy,
+            placements,
+            segments,
+            crossings,
+        })
     }
 }
 
@@ -249,9 +286,21 @@ mod tests {
             dilation: (1, 1),
             groups: 1,
         };
-        g.add_op(NeuronOp { kind: conv.clone(), inputs: vec![x, w1], outputs: vec![t1] });
-        g.add_op(NeuronOp { kind: NeuronOpKind::Sigmoid, inputs: vec![t1], outputs: vec![t2] });
-        g.add_op(NeuronOp { kind: conv, inputs: vec![t2, w2], outputs: vec![y] });
+        g.add_op(NeuronOp {
+            kind: conv.clone(),
+            inputs: vec![x, w1],
+            outputs: vec![t1],
+        });
+        g.add_op(NeuronOp {
+            kind: NeuronOpKind::Sigmoid,
+            inputs: vec![t1],
+            outputs: vec![t2],
+        });
+        g.add_op(NeuronOp {
+            kind: conv,
+            inputs: vec![t2, w2],
+            outputs: vec![y],
+        });
         g
     }
 
@@ -318,9 +367,17 @@ mod tests {
             inputs: vec![x, w],
             outputs: vec![y],
         });
-        g.add_op(NeuronOp { kind: NeuronOpKind::Relu, inputs: vec![y], outputs: vec![z] });
+        g.add_op(NeuronOp {
+            kind: NeuronOpKind::Relu,
+            inputs: vec![y],
+            outputs: vec![z],
+        });
         let p = Planner::plan(&g, TargetPolicy::CpuApu).unwrap();
-        assert_eq!(p.placements[0].device, DeviceKind::Apu, "150 MMACs amortize the APU");
+        assert_eq!(
+            p.placements[0].device,
+            DeviceKind::Apu,
+            "150 MMACs amortize the APU"
+        );
         assert_eq!(p.placements[1].device, DeviceKind::Cpu);
         assert_eq!(p.fallback_ops(), 0);
     }
@@ -333,8 +390,16 @@ mod tests {
         let y = g.add_tensor(act("y"));
         g.inputs = vec![x];
         g.outputs = vec![y];
-        g.add_op(NeuronOp { kind: NeuronOpKind::Relu, inputs: vec![x], outputs: vec![t] });
-        g.add_op(NeuronOp { kind: NeuronOpKind::Softmax, inputs: vec![t], outputs: vec![y] });
+        g.add_op(NeuronOp {
+            kind: NeuronOpKind::Relu,
+            inputs: vec![x],
+            outputs: vec![t],
+        });
+        g.add_op(NeuronOp {
+            kind: NeuronOpKind::Softmax,
+            inputs: vec![t],
+            outputs: vec![y],
+        });
         let p = Planner::plan(&g, TargetPolicy::ApuPrefer).unwrap();
         assert_eq!(p.segments.len(), 1);
         assert_eq!(p.segments[0].device, DeviceKind::Apu);

@@ -28,6 +28,7 @@ impl CompiledNetwork {
         policy: TargetPolicy,
         cost: CostModel,
     ) -> Result<Self, NeuronError> {
+        let _span = tvmnp_telemetry::span!("neuropilot.compile", "policy" => policy.label());
         let plan = Planner::plan(&graph, policy)?;
         Ok(CompiledNetwork { graph, plan, cost })
     }
@@ -74,7 +75,8 @@ impl CompiledNetwork {
             let p = self.plan.placements[i];
             t += if p.fallback {
                 // NNAPI-style reference fallback: untuned CPU kernel.
-                self.cost.kernel_us(&w, DeviceKind::Cpu, KernelClass::TvmUntuned)
+                self.cost
+                    .kernel_us(&w, DeviceKind::Cpu, KernelClass::TvmUntuned)
             } else {
                 self.cost.kernel_us(&w, p.device, KernelClass::VendorTuned)
             };
@@ -94,9 +96,11 @@ impl CompiledNetwork {
             let w = crate::nir::work_item(&self.graph, op);
             let p = self.plan.placements[i];
             e += if p.fallback {
-                self.cost.kernel_energy_uj(&w, DeviceKind::Cpu, KernelClass::TvmUntuned)
+                self.cost
+                    .kernel_energy_uj(&w, DeviceKind::Cpu, KernelClass::TvmUntuned)
             } else {
-                self.cost.kernel_energy_uj(&w, p.device, KernelClass::VendorTuned)
+                self.cost
+                    .kernel_energy_uj(&w, p.device, KernelClass::VendorTuned)
             };
         }
         for &(_, bytes) in &self.plan.crossings {
@@ -108,6 +112,7 @@ impl CompiledNetwork {
     /// Execute on concrete inputs (in `graph.inputs` order); returns the
     /// output tensors and the simulated time in microseconds.
     pub fn execute(&self, inputs: &[Tensor]) -> Result<(Vec<Tensor>, f64), NeuronError> {
+        let _span = tvmnp_telemetry::span!("neuropilot.execute");
         if inputs.len() != self.graph.inputs.len() {
             return Err(NeuronError::Execution(format!(
                 "expected {} inputs, got {}",
@@ -172,7 +177,12 @@ impl CompiledNetwork {
         let e = |err: kernels::KernelError| NeuronError::Execution(err.to_string());
 
         let result = match &op.kind {
-            NeuronOpKind::Conv2d { strides, padding, dilation, groups } => {
+            NeuronOpKind::Conv2d {
+                strides,
+                padding,
+                dilation,
+                groups,
+            } => {
                 let params = kernels::Conv2dParams {
                     strides: *strides,
                     padding: *padding,
@@ -181,7 +191,11 @@ impl CompiledNetwork {
                 };
                 let x = get(0)?;
                 let w = get(1)?;
-                let bias = if op.inputs.len() > 2 { Some(get(2)?) } else { None };
+                let bias = if op.inputs.len() > 2 {
+                    Some(get(2)?)
+                } else {
+                    None
+                };
                 if x.dtype().is_quantized() {
                     let q = kernels::QConvQuant {
                         input: quant(op.inputs[0])?,
@@ -197,7 +211,11 @@ impl CompiledNetwork {
             NeuronOpKind::FullyConnected => {
                 let x = get(0)?;
                 let w = get(1)?;
-                let bias = if op.inputs.len() > 2 { Some(get(2)?) } else { None };
+                let bias = if op.inputs.len() > 2 {
+                    Some(get(2)?)
+                } else {
+                    None
+                };
                 if x.dtype().is_quantized() {
                     kernels::qdense(
                         x,
@@ -214,7 +232,11 @@ impl CompiledNetwork {
                 }
             }
             NeuronOpKind::BiasAdd => kernels::bias_add(get(0)?, get(1)?).map_err(e)?,
-            NeuronOpKind::MaxPool2d { kernel, strides, padding } => {
+            NeuronOpKind::MaxPool2d {
+                kernel,
+                strides,
+                padding,
+            } => {
                 let p = kernels::Pool2dParams {
                     kernel: *kernel,
                     strides: *strides,
@@ -223,7 +245,11 @@ impl CompiledNetwork {
                 };
                 kernels::max_pool2d(get(0)?, &p).map_err(e)?
             }
-            NeuronOpKind::AvgPool2d { kernel, strides, padding } => {
+            NeuronOpKind::AvgPool2d {
+                kernel,
+                strides,
+                padding,
+            } => {
                 let p = kernels::Pool2dParams {
                     kernel: *kernel,
                     strides: *strides,
@@ -269,8 +295,11 @@ impl CompiledNetwork {
                 .map_err(|err| NeuronError::Execution(err.to_string()))?,
             NeuronOpKind::Transpose { axes } => kernels::transpose(get(0)?, axes).map_err(e)?,
             NeuronOpKind::Concat { axis } => {
-                let parts: Vec<&Tensor> =
-                    op.inputs.iter().map(|&i| slots[i].as_ref().unwrap()).collect();
+                let parts: Vec<&Tensor> = op
+                    .inputs
+                    .iter()
+                    .map(|&i| slots[i].as_ref().unwrap())
+                    .collect();
                 let c = kernels::concat(&parts, *axis).map_err(e)?;
                 match self.graph.tensors[out_slot].quant {
                     Some(q) if c.dtype().is_quantized() => c.with_quant(q),
@@ -315,10 +344,7 @@ impl CompiledNetwork {
     }
 }
 
-fn slot_mut<'a>(
-    slots: &'a mut [Option<Tensor>],
-    id: usize,
-) -> Result<&'a mut Option<Tensor>, NeuronError> {
+fn slot_mut(slots: &mut [Option<Tensor>], id: usize) -> Result<&mut Option<Tensor>, NeuronError> {
     slots
         .get_mut(id)
         .ok_or_else(|| NeuronError::Execution(format!("slot {id} out of range")))
@@ -329,14 +355,14 @@ mod tests {
     use super::*;
     use crate::convert::convert_function;
     use crate::nir::work_item;
-    use tvmnp_hwsim::WorkKind;
     use std::collections::HashMap;
+    use tvmnp_hwsim::WorkKind;
     use tvmnp_relay::builder;
     use tvmnp_relay::expr::{var, Function, Module};
     use tvmnp_relay::interp::run_module;
     use tvmnp_relay::{Conv2dAttrs, TensorType};
-    use tvmnp_tensor::DType;
     use tvmnp_tensor::rng::TensorRng;
+    use tvmnp_tensor::DType;
 
     fn small_net() -> (Function, Tensor) {
         let mut rng = TensorRng::new(21);
@@ -347,7 +373,10 @@ mod tests {
             builder::conv2d(x.clone(), w, Conv2dAttrs::same(1)),
             b,
         ))));
-        (Function::new(vec![x], body), rng.uniform_f32([1, 3, 8, 8], -1.0, 1.0))
+        (
+            Function::new(vec![x], body),
+            rng.uniform_f32([1, 3, 8, 8], -1.0, 1.0),
+        )
     }
 
     #[test]
@@ -360,7 +389,10 @@ mod tests {
         let mut ins = HashMap::new();
         ins.insert("x".to_string(), input);
         let reference = run_module(&module, &ins).unwrap();
-        assert!(outs[0].bit_eq(&reference), "Neuron path must be bit-identical to Relay");
+        assert!(
+            outs[0].bit_eq(&reference),
+            "Neuron path must be bit-identical to Relay"
+        );
         assert!(time_us > 0.0);
     }
 
@@ -371,8 +403,7 @@ mod tests {
         let mut times = Vec::new();
         let mut outputs: Vec<Tensor> = Vec::new();
         for policy in TargetPolicy::ALL {
-            let net =
-                CompiledNetwork::compile(g.clone(), policy, CostModel::default()).unwrap();
+            let net = CompiledNetwork::compile(g.clone(), policy, CostModel::default()).unwrap();
             let (outs, t) = net.execute(&[input.clone()]).unwrap();
             times.push(t);
             outputs.push(outs[0].clone());
@@ -415,7 +446,10 @@ mod tests {
         let qy = QuantParams::new(1.0 / 16.0, 128);
         let x = var("x", TensorType::f32([1, 2, 6, 6]));
         let q = call(
-            OpKind::QnnQuantize(QuantizeAttrs { out: qx, out_dtype: DType::U8 }),
+            OpKind::QnnQuantize(QuantizeAttrs {
+                out: qx,
+                out_dtype: DType::U8,
+            }),
             vec![x.clone()],
         );
         let w = rng.uniform_quantized([4, 2, 3, 3], DType::I8, qw);
@@ -429,10 +463,14 @@ mod tests {
             }),
             vec![q, tvmnp_relay::expr::constant(w)],
         );
-        let d = call(OpKind::QnnDequantize(DequantizeAttrs { input: qy }), vec![conv]);
+        let d = call(
+            OpKind::QnnDequantize(DequantizeAttrs { input: qy }),
+            vec![conv],
+        );
         let f = Function::new(vec![x.clone()], d);
         let g = convert_function(&f).unwrap();
-        let net = CompiledNetwork::compile(g, TargetPolicy::ApuPrefer, CostModel::default()).unwrap();
+        let net =
+            CompiledNetwork::compile(g, TargetPolicy::ApuPrefer, CostModel::default()).unwrap();
         let input = rng.uniform_f32([1, 2, 6, 6], -1.0, 1.0);
         let (outs, _) = net.execute(&[input.clone()]).unwrap();
         // Reference through the Relay interpreter.
@@ -467,12 +505,16 @@ mod tests {
         }
         let f = Function::new(vec![x], e);
         let g = convert_function(&f).unwrap();
-        let apu = CompiledNetwork::compile(g.clone(), TargetPolicy::ApuPrefer, CostModel::default())
-            .unwrap()
-            .estimate_time_us();
+        let apu =
+            CompiledNetwork::compile(g.clone(), TargetPolicy::ApuPrefer, CostModel::default())
+                .unwrap()
+                .estimate_time_us();
         let cpu = CompiledNetwork::compile(g, TargetPolicy::CpuOnly, CostModel::default())
             .unwrap()
             .estimate_time_us();
-        assert!(apu < cpu, "APU ({apu} us) must beat CPU ({cpu} us) on int8 convs");
+        assert!(
+            apu < cpu,
+            "APU ({apu} us) must beat CPU ({cpu} us) on int8 convs"
+        );
     }
 }

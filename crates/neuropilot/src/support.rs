@@ -121,14 +121,26 @@ mod tests {
 
     #[test]
     fn core_cnn_ops_supported() {
-        for op in ["nn.conv2d", "nn.dense", "nn.relu", "nn.softmax", "qnn.conv2d"] {
+        for op in [
+            "nn.conv2d",
+            "nn.dense",
+            "nn.relu",
+            "nn.softmax",
+            "qnn.conv2d",
+        ] {
             assert!(neuron_supported(op), "{op} must be supported");
         }
     }
 
     #[test]
     fn known_gaps_unsupported() {
-        for op in ["nn.batch_norm", "exp", "mean", "image.resize2d", "strided_slice"] {
+        for op in [
+            "nn.batch_norm",
+            "exp",
+            "mean",
+            "image.resize2d",
+            "strided_slice",
+        ] {
             assert!(!neuron_supported(op), "{op} must be unsupported");
         }
     }

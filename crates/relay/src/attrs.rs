@@ -23,14 +23,22 @@ pub struct Conv2dAttrs {
 
 impl Default for Conv2dAttrs {
     fn default() -> Self {
-        Conv2dAttrs { strides: (1, 1), padding: (0, 0, 0, 0), dilation: (1, 1), groups: 1 }
+        Conv2dAttrs {
+            strides: (1, 1),
+            padding: (0, 0, 0, 0),
+            dilation: (1, 1),
+            groups: 1,
+        }
     }
 }
 
 impl Conv2dAttrs {
     /// Symmetric "same" padding constructor.
     pub fn same(pad: usize) -> Self {
-        Conv2dAttrs { padding: (pad, pad, pad, pad), ..Default::default() }
+        Conv2dAttrs {
+            padding: (pad, pad, pad, pad),
+            ..Default::default()
+        }
     }
 
     /// Convert into the kernel-side parameter struct.
@@ -60,7 +68,12 @@ pub struct Pool2dAttrs {
 impl Pool2dAttrs {
     /// Square window with stride = window.
     pub fn square(k: usize) -> Self {
-        Pool2dAttrs { kernel: (k, k), strides: (k, k), padding: (0, 0, 0, 0), count_include_pad: false }
+        Pool2dAttrs {
+            kernel: (k, k),
+            strides: (k, k),
+            padding: (0, 0, 0, 0),
+            count_include_pad: false,
+        }
     }
 
     /// Convert into the kernel-side parameter struct.

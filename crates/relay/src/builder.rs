@@ -51,7 +51,10 @@ pub fn conv2d(x: Expr, weight: Tensor, attrs: Conv2dAttrs) -> Expr {
 
 /// `nn.conv2d(x, w) + bias`.
 pub fn conv2d_bias(x: Expr, weight: Tensor, bias: Tensor, attrs: Conv2dAttrs) -> Expr {
-    call(OpKind::Conv2d(attrs), vec![x, constant(weight), constant(bias)])
+    call(
+        OpKind::Conv2d(attrs),
+        vec![x, constant(weight), constant(bias)],
+    )
 }
 
 /// `nn.dense(x, w)`.
@@ -90,10 +93,23 @@ pub fn sigmoid(x: Expr) -> Expr {
 }
 
 /// `nn.batch_norm` with constant parameters.
-pub fn batch_norm(x: Expr, gamma: Tensor, beta: Tensor, mean: Tensor, var: Tensor, epsilon: f32) -> Expr {
+pub fn batch_norm(
+    x: Expr,
+    gamma: Tensor,
+    beta: Tensor,
+    mean: Tensor,
+    var: Tensor,
+    epsilon: f32,
+) -> Expr {
     call(
         OpKind::BatchNorm(BatchNormAttrs { epsilon }),
-        vec![x, constant(gamma), constant(beta), constant(mean), constant(var)],
+        vec![
+            x,
+            constant(gamma),
+            constant(beta),
+            constant(mean),
+            constant(var),
+        ],
     )
 }
 

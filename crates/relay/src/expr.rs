@@ -99,12 +99,18 @@ impl Drop for ExprNode {
 
 /// Allocate a fresh node around `kind`.
 pub fn mk(kind: ExprKind) -> Expr {
-    Arc::new(ExprNode { id: NEXT_ID.fetch_add(1, Ordering::Relaxed), kind })
+    Arc::new(ExprNode {
+        id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+        kind,
+    })
 }
 
 /// Build a variable node.
 pub fn var(name: impl Into<String>, ty: TensorType) -> Expr {
-    mk(ExprKind::Var(Var { name: name.into(), ty }))
+    mk(ExprKind::Var(Var {
+        name: name.into(),
+        ty,
+    }))
 }
 
 /// Build a constant node.
@@ -114,12 +120,18 @@ pub fn constant(value: Tensor) -> Expr {
 
 /// Build a primitive-op call node.
 pub fn call(op: OpKind, args: Vec<Expr>) -> Expr {
-    mk(ExprKind::Call(Call { target: CallTarget::Op(op), args }))
+    mk(ExprKind::Call(Call {
+        target: CallTarget::Op(op),
+        args,
+    }))
 }
 
 /// Build a global-function call node.
 pub fn call_global(name: impl Into<String>, args: Vec<Expr>) -> Expr {
-    mk(ExprKind::Call(Call { target: CallTarget::Global(name.into()), args }))
+    mk(ExprKind::Call(Call {
+        target: CallTarget::Global(name.into()),
+        args,
+    }))
 }
 
 /// Build a tuple node.
@@ -146,7 +158,10 @@ impl ExprNode {
     /// The primitive op kind, when this is a primitive call.
     pub fn op(&self) -> Option<&OpKind> {
         match &self.kind {
-            ExprKind::Call(Call { target: CallTarget::Op(op), .. }) => Some(op),
+            ExprKind::Call(Call {
+                target: CallTarget::Op(op),
+                ..
+            }) => Some(op),
             _ => None,
         }
     }
@@ -182,7 +197,11 @@ pub struct Function {
 impl Function {
     /// Function with no attributes.
     pub fn new(params: Vec<Expr>, body: Expr) -> Self {
-        Function { params, body, attrs: BTreeMap::new() }
+        Function {
+            params,
+            body,
+            attrs: BTreeMap::new(),
+        }
     }
 
     /// Attach an attribute (builder style).
@@ -227,7 +246,9 @@ impl Module {
 
     /// The entry function.
     pub fn main(&self) -> &Function {
-        self.functions.get("main").expect("module has no main function")
+        self.functions
+            .get("main")
+            .expect("module has no main function")
     }
 
     /// Names of functions carrying a `Compiler` attribute (external

@@ -78,9 +78,7 @@ pub fn infer_types(module: &Module) -> Result<TypeMap, TypeError> {
                         .get(*i)
                         .cloned()
                         .ok_or_else(|| terr(format!("tuple index {i} out of range")))?,
-                    Type::Tensor(_) => {
-                        return Err(terr("TupleGetItem on non-tuple".to_string()))
-                    }
+                    Type::Tensor(_) => return Err(terr("TupleGetItem on non-tuple".to_string())),
                 },
                 ExprKind::Call(c) => {
                     let arg_tys: Vec<&Type> = c.args.iter().map(|a| &types[&a.id]).collect();
@@ -98,9 +96,9 @@ pub fn infer_types(module: &Module) -> Result<TypeMap, TypeError> {
                                 )));
                             }
                             for (i, (p, a)) in params.iter().zip(&arg_tys).enumerate() {
-                                let at = a.tensor().ok_or_else(|| {
-                                    terr(format!("@{g} arg {i} is a tuple"))
-                                })?;
+                                let at = a
+                                    .tensor()
+                                    .ok_or_else(|| terr(format!("@{g} arg {i} is a tuple")))?;
                                 if at != p {
                                     return Err(terr(format!(
                                         "@{g} arg {i}: expected {p}, got {at}"
@@ -134,7 +132,10 @@ pub fn infer_op(op: &OpKind, args: &[&Type]) -> Result<Type, TypeError> {
     let name = op.name();
     let expect_args = |n: usize| -> Result<(), TypeError> {
         if args.len() != n {
-            Err(terr(format!("{name}: expected {n} args, got {}", args.len())))
+            Err(terr(format!(
+                "{name}: expected {n} args, got {}",
+                args.len()
+            )))
         } else {
             Ok(())
         }
@@ -238,22 +239,29 @@ pub fn infer_op(op: &OpKind, args: &[&Type]) -> Result<Type, TypeError> {
             let a = tensor_arg(args, 0, name)?;
             let b = tensor_arg(args, 1, name)?;
             if a.dtype != b.dtype {
-                return Err(terr(format!("{name}: dtype mismatch {} vs {}", a.dtype, b.dtype)));
+                return Err(terr(format!(
+                    "{name}: dtype mismatch {} vs {}",
+                    a.dtype, b.dtype
+                )));
             }
-            let shape = a
-                .shape
-                .broadcast(&b.shape)
-                .ok_or_else(|| terr(format!("{name}: cannot broadcast {} with {}", a.shape, b.shape)))?;
+            let shape = a.shape.broadcast(&b.shape).ok_or_else(|| {
+                terr(format!(
+                    "{name}: cannot broadcast {} with {}",
+                    a.shape, b.shape
+                ))
+            })?;
             Ok(Type::Tensor(TensorType::new(shape, a.dtype)))
         }
         OpKind::QnnAdd(a) => {
             expect_args(2)?;
             let l = tensor_arg(args, 0, name)?;
             let r = tensor_arg(args, 1, name)?;
-            let shape = l
-                .shape
-                .broadcast(&r.shape)
-                .ok_or_else(|| terr(format!("{name}: cannot broadcast {} with {}", l.shape, r.shape)))?;
+            let shape = l.shape.broadcast(&r.shape).ok_or_else(|| {
+                terr(format!(
+                    "{name}: cannot broadcast {} with {}",
+                    l.shape, r.shape
+                ))
+            })?;
             Ok(Type::Tensor(TensorType::new(shape, a.out_dtype)))
         }
         OpKind::Reshape(a) => {
@@ -301,7 +309,11 @@ pub fn infer_op(op: &OpKind, args: &[&Type]) -> Result<Type, TypeError> {
             if a.pads.len() != d.len() {
                 return Err(terr(format!("{name}: pad spec rank mismatch")));
             }
-            let out: Vec<usize> = d.iter().zip(&a.pads).map(|(&s, &(b, e))| s + b + e).collect();
+            let out: Vec<usize> = d
+                .iter()
+                .zip(&a.pads)
+                .map(|(&s, &(b, e))| s + b + e)
+                .collect();
             Ok(Type::Tensor(TensorType::new(out, x.dtype)))
         }
         OpKind::StridedSlice(a) => {
@@ -312,8 +324,8 @@ pub fn infer_op(op: &OpKind, args: &[&Type]) -> Result<Type, TypeError> {
                 return Err(terr(format!("{name}: begin/end rank mismatch")));
             }
             let mut out = Vec::with_capacity(d.len());
-            for i in 0..d.len() {
-                if a.begin[i] >= a.end[i] || a.end[i] > d[i] {
+            for (i, &dim) in d.iter().enumerate() {
+                if a.begin[i] >= a.end[i] || a.end[i] > dim {
                     return Err(terr(format!("{name}: invalid range on dim {i}")));
                 }
                 out.push(a.end[i] - a.begin[i]);
@@ -327,7 +339,10 @@ pub fn infer_op(op: &OpKind, args: &[&Type]) -> Result<Type, TypeError> {
             if d.is_empty() {
                 return Err(terr(format!("{name}: rank must be >= 1")));
             }
-            Ok(Type::Tensor(TensorType::new([d[0], d[1..].iter().product()], x.dtype)))
+            Ok(Type::Tensor(TensorType::new(
+                [d[0], d[1..].iter().product()],
+                x.dtype,
+            )))
         }
         OpKind::Resize2d(a) => {
             expect_args(1)?;
@@ -336,7 +351,10 @@ pub fn infer_op(op: &OpKind, args: &[&Type]) -> Result<Type, TypeError> {
             if d.len() != 4 {
                 return Err(terr(format!("{name}: expects rank-4 input")));
             }
-            Ok(Type::Tensor(TensorType::new([d[0], d[1], a.out_h, a.out_w], x.dtype)))
+            Ok(Type::Tensor(TensorType::new(
+                [d[0], d[1], a.out_h, a.out_w],
+                x.dtype,
+            )))
         }
         OpKind::Mean(a) => {
             expect_args(1)?;
@@ -394,7 +412,11 @@ fn conv_out(
     if xd.len() != 4 || wd.len() != 4 {
         return Err(terr(format!("{name}: expects rank-4 input/weight")));
     }
-    if p.groups == 0 || xd[1] % p.groups != 0 || wd[0] % p.groups != 0 || wd[1] != xd[1] / p.groups {
+    if p.groups == 0
+        || !xd[1].is_multiple_of(p.groups)
+        || !wd[0].is_multiple_of(p.groups)
+        || wd[1] != xd[1] / p.groups
+    {
         return Err(terr(format!(
             "{name}: channel/group mismatch C={}, O={}, groups={}, w_ic={}",
             xd[1], wd[0], p.groups, wd[1]
@@ -403,17 +425,28 @@ fn conv_out(
     let (oh, ow) = p
         .out_hw(xd[2], xd[3], wd[2], wd[3])
         .map_err(|e| terr(format!("{name}: {e}")))?;
-    Ok(Type::Tensor(TensorType::new([xd[0], wd[0], oh, ow], out_dtype)))
+    Ok(Type::Tensor(TensorType::new(
+        [xd[0], wd[0], oh, ow],
+        out_dtype,
+    )))
 }
 
-fn dense_out(x: &TensorType, w: &TensorType, out_dtype: DType, name: &str) -> Result<Type, TypeError> {
+fn dense_out(
+    x: &TensorType,
+    w: &TensorType,
+    out_dtype: DType,
+    name: &str,
+) -> Result<Type, TypeError> {
     let xd = x.shape.dims();
     let wd = w.shape.dims();
     if xd.len() != 2 || wd.len() != 2 {
         return Err(terr(format!("{name}: expects rank-2 operands")));
     }
     if xd[1] != wd[1] {
-        return Err(terr(format!("{name}: reduction mismatch {} vs {}", xd[1], wd[1])));
+        return Err(terr(format!(
+            "{name}: reduction mismatch {} vs {}",
+            xd[1], wd[1]
+        )));
     }
     Ok(Type::Tensor(TensorType::new([xd[0], wd[0]], out_dtype)))
 }
@@ -434,12 +467,7 @@ fn pool_out(x: &TensorType, p: &Pool2dParams, name: &str) -> Result<Type, TypeEr
     Ok(Type::Tensor(TensorType::new([d[0], d[1], oh, ow], x.dtype)))
 }
 
-fn concat_out(
-    args: &[&Type],
-    axis: usize,
-    _qs: Option<()>,
-    name: &str,
-) -> Result<Type, TypeError> {
+fn concat_out(args: &[&Type], axis: usize, _qs: Option<()>, name: &str) -> Result<Type, TypeError> {
     if args.is_empty() {
         return Err(terr(format!("{name}: no inputs")));
     }

@@ -170,7 +170,8 @@ pub fn eval_op(op: &OpKind, args: &[Value]) -> Result<Value, RunError> {
             .tensor()
     };
     let ok = |r: Result<Tensor, kernels::KernelError>| -> Result<Value, RunError> {
-        r.map(Value::Tensor).map_err(|e| rerr(format!("{}: {e}", op.name())))
+        r.map(Value::Tensor)
+            .map_err(|e| rerr(format!("{}: {e}", op.name())))
     };
     match op {
         OpKind::Conv2d(a) => {
@@ -185,7 +186,13 @@ pub fn eval_op(op: &OpKind, args: &[Value]) -> Result<Value, RunError> {
                 output: a.output_q,
                 out_dtype: a.out_dtype,
             };
-            ok(kernels::qconv2d(t(0)?, t(1)?, bias, &a.conv.to_kernel(), &q))
+            ok(kernels::qconv2d(
+                t(0)?,
+                t(1)?,
+                bias,
+                &a.conv.to_kernel(),
+                &q,
+            ))
         }
         OpKind::Dense => {
             let bias = if args.len() > 2 { Some(t(2)?) } else { None };
@@ -193,7 +200,15 @@ pub fn eval_op(op: &OpKind, args: &[Value]) -> Result<Value, RunError> {
         }
         OpKind::QnnDense(a) => {
             let bias = if args.len() > 2 { Some(t(2)?) } else { None };
-            ok(kernels::qdense(t(0)?, t(1)?, bias, a.input_q, a.weight_q, a.output_q, a.out_dtype))
+            ok(kernels::qdense(
+                t(0)?,
+                t(1)?,
+                bias,
+                a.input_q,
+                a.weight_q,
+                a.output_q,
+                a.out_dtype,
+            ))
         }
         OpKind::BiasAdd => ok(kernels::bias_add(t(0)?, t(1)?)),
         OpKind::BatchNorm(a) => {
@@ -225,24 +240,27 @@ pub fn eval_op(op: &OpKind, args: &[Value]) -> Result<Value, RunError> {
         OpKind::Divide => ok(kernels::binary_f32(t(0)?, t(1)?, BinaryOp::Div)),
         OpKind::Maximum => ok(kernels::binary_f32(t(0)?, t(1)?, BinaryOp::Maximum)),
         OpKind::Minimum => ok(kernels::binary_f32(t(0)?, t(1)?, BinaryOp::Minimum)),
-        OpKind::QnnAdd(a) => {
-            ok(kernels::qadd(t(0)?, t(1)?, a.lhs_q, a.rhs_q, a.output_q, a.out_dtype))
-        }
-        OpKind::Reshape(a) => {
-            ok(t(0)?.reshaped(a.new_shape.clone()).map_err(|e| kernels::kerr(e.to_string())))
-        }
+        OpKind::QnnAdd(a) => ok(kernels::qadd(
+            t(0)?,
+            t(1)?,
+            a.lhs_q,
+            a.rhs_q,
+            a.output_q,
+            a.out_dtype,
+        )),
+        OpKind::Reshape(a) => ok(t(0)?
+            .reshaped(a.new_shape.clone())
+            .map_err(|e| kernels::kerr(e.to_string()))),
         OpKind::Transpose(a) => ok(kernels::transpose(t(0)?, &a.axes)),
         OpKind::Concatenate(a) => {
-            let parts: Vec<&Tensor> =
-                args.iter().map(|v| v.tensor()).collect::<Result<_, _>>()?;
+            let parts: Vec<&Tensor> = args.iter().map(|v| v.tensor()).collect::<Result<_, _>>()?;
             ok(kernels::concat(&parts, a.axis))
         }
         OpKind::QnnConcatenate(a) => {
             // Inputs were pre-aligned to the output scale by the frontend;
             // the data-movement concat keeps the first input's params, then
             // we stamp the declared output params.
-            let parts: Vec<&Tensor> =
-                args.iter().map(|v| v.tensor()).collect::<Result<_, _>>()?;
+            let parts: Vec<&Tensor> = args.iter().map(|v| v.tensor()).collect::<Result<_, _>>()?;
             let c = kernels::concat(&parts, a.axis).map_err(|e| rerr(e.to_string()))?;
             Ok(Value::Tensor(c.with_quant(a.output_q)))
         }
@@ -250,14 +268,18 @@ pub fn eval_op(op: &OpKind, args: &[Value]) -> Result<Value, RunError> {
         OpKind::StridedSlice(a) => ok(kernels::slice(t(0)?, &a.begin, &a.end)),
         OpKind::BatchFlatten => ok(kernels::batch_flatten(t(0)?)),
         OpKind::Resize2d(a) => {
-            let m = if a.bilinear { ResizeMethod::Bilinear } else { ResizeMethod::Nearest };
+            let m = if a.bilinear {
+                ResizeMethod::Bilinear
+            } else {
+                ResizeMethod::Nearest
+            };
             ok(kernels::resize2d(t(0)?, a.out_h, a.out_w, m))
         }
         OpKind::Mean(a) => ok(kernels::mean_f32(t(0)?, &a.axes)),
         OpKind::Dropout => Ok(Value::Tensor(t(0)?.clone())),
-        OpKind::QnnQuantize(a) => {
-            ok(t(0)?.quantize(a.out, a.out_dtype).map_err(|e| kernels::kerr(e.to_string())))
-        }
+        OpKind::QnnQuantize(a) => ok(t(0)?
+            .quantize(a.out, a.out_dtype)
+            .map_err(|e| kernels::kerr(e.to_string()))),
         OpKind::QnnDequantize(a) => {
             let x = t(0)?;
             // Use the declared (operator-oriented) params, not whatever the
@@ -281,8 +303,10 @@ pub fn eval_op(op: &OpKind, args: &[Value]) -> Result<Value, RunError> {
                     )
                 })
                 .collect();
-            ok(Tensor::from_int_values(x.shape().clone(), &vals, a.out_dtype, Some(a.output))
-                .map_err(|e| kernels::kerr(e.to_string())))
+            ok(
+                Tensor::from_int_values(x.shape().clone(), &vals, a.out_dtype, Some(a.output))
+                    .map_err(|e| kernels::kerr(e.to_string())),
+            )
         }
     }
 }
@@ -311,9 +335,14 @@ mod tests {
         let x = var("x", TensorType::f32([4]));
         let y = call(OpKind::Relu, vec![x.clone()]);
         let m = Module::from_main(Function::new(vec![x], y));
-        let out =
-            run_module(&m, &inputs("x", Tensor::from_f32([4], vec![-1.0, 2.0, -3.0, 4.0]).unwrap()))
-                .unwrap();
+        let out = run_module(
+            &m,
+            &inputs(
+                "x",
+                Tensor::from_f32([4], vec![-1.0, 2.0, -3.0, 4.0]).unwrap(),
+            ),
+        )
+        .unwrap();
         assert_eq!(out.as_f32().unwrap(), &[0.0, 2.0, 0.0, 4.0]);
     }
 
@@ -344,8 +373,11 @@ mod tests {
         let y = call_global("nir_0", vec![x.clone()]);
         let mut m = Module::from_main(Function::new(vec![x], y));
         m.functions.insert("nir_0".into(), ext);
-        let out = run_module(&m, &inputs("x", Tensor::from_f32([2], vec![1.0, -2.0]).unwrap()))
-            .unwrap();
+        let out = run_module(
+            &m,
+            &inputs("x", Tensor::from_f32([2], vec![1.0, -2.0]).unwrap()),
+        )
+        .unwrap();
         assert_eq!(out.as_f32().unwrap(), &[-1.0, 2.0]);
     }
 
@@ -365,8 +397,11 @@ mod tests {
         ]);
         let g = crate::expr::tuple_get(t, 1);
         let m = Module::from_main(Function::new(vec![x], g));
-        let out =
-            run_module(&m, &inputs("x", Tensor::from_f32([2], vec![3.0, -4.0]).unwrap())).unwrap();
+        let out = run_module(
+            &m,
+            &inputs("x", Tensor::from_f32([2], vec![3.0, -4.0]).unwrap()),
+        )
+        .unwrap();
         assert_eq!(out.as_f32().unwrap(), &[-3.0, 4.0]);
     }
 
@@ -375,8 +410,17 @@ mod tests {
         use tvmnp_tensor::QuantParams;
         let qp = QuantParams::new(0.1, 0);
         let x = var("x", TensorType::f32([3]));
-        let q = call(OpKind::QnnQuantize(QuantizeAttrs { out: qp, out_dtype: DType::I8 }), vec![x.clone()]);
-        let d = call(OpKind::QnnDequantize(DequantizeAttrs { input: qp }), vec![q]);
+        let q = call(
+            OpKind::QnnQuantize(QuantizeAttrs {
+                out: qp,
+                out_dtype: DType::I8,
+            }),
+            vec![x.clone()],
+        );
+        let d = call(
+            OpKind::QnnDequantize(DequantizeAttrs { input: qp }),
+            vec![q],
+        );
         let m = Module::from_main(Function::new(vec![x], d));
         let input = Tensor::from_f32([3], vec![0.5, -0.5, 1.2]).unwrap();
         let out = run_module(&m, &inputs("x", input.clone())).unwrap();

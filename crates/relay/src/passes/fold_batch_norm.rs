@@ -44,9 +44,17 @@ fn bn_scale_shift(
     if g.len() != b.len() || g.len() != m.len() || g.len() != v.len() {
         return None;
     }
-    let scale: Vec<f32> = g.iter().zip(v).map(|(&gi, &vi)| gi / (vi + epsilon).sqrt()).collect();
-    let shift: Vec<f32> =
-        b.iter().zip(m).zip(&scale).map(|((&bi, &mi), &si)| bi - mi * si).collect();
+    let scale: Vec<f32> = g
+        .iter()
+        .zip(v)
+        .map(|(&gi, &vi)| gi / (vi + epsilon).sqrt())
+        .collect();
+    let shift: Vec<f32> = b
+        .iter()
+        .zip(m)
+        .zip(&scale)
+        .map(|((&bi, &mi), &si)| bi - mi * si)
+        .collect();
     Some((scale, shift))
 }
 
@@ -76,6 +84,7 @@ fn scale_weights(w: &Tensor, scale: &[f32]) -> Option<Tensor> {
 /// Fold batch norms in every function of `module`. Returns the rewritten
 /// module; no `nn.batch_norm` node survives.
 pub fn fold_batch_norm(module: &Module) -> Module {
+    let _span = tvmnp_telemetry::span!("relay.pass", "pass" => "fold_batch_norm");
     let mut out = Module::default();
     for (name, f) in &module.functions {
         out.functions.insert(name.clone(), fold_function(f));
@@ -112,7 +121,11 @@ fn fold_function(f: &Function) -> Function {
         map.insert(e.id, rebuilt);
     }
     let body = map[&f.body.id].clone();
-    Function { params: f.params.clone(), body, attrs: f.attrs.clone() }
+    Function {
+        params: f.params.clone(),
+        body,
+        attrs: f.attrs.clone(),
+    }
 }
 
 /// Rebuild a node with rewritten children (identity when unchanged).
@@ -124,7 +137,10 @@ fn rebuild(e: &Expr, map: &HashMap<usize, Expr>) -> Expr {
             if args.iter().zip(&c.args).all(|(n, o)| n.id == o.id) {
                 e.clone()
             } else {
-                crate::expr::mk(ExprKind::Call(Call { target: c.target.clone(), args }))
+                crate::expr::mk(ExprKind::Call(Call {
+                    target: c.target.clone(),
+                    args,
+                }))
             }
         }
         ExprKind::Tuple(fs) => {
@@ -186,8 +202,12 @@ fn fold_into_conv(
     map: &HashMap<usize, Expr>,
     fanout: &impl Fn(&Expr) -> usize,
 ) -> Option<Expr> {
-    let ExprKind::Call(c) = &x.kind else { return None };
-    let CallTarget::Op(op) = &c.target else { return None };
+    let ExprKind::Call(c) = &x.kind else {
+        return None;
+    };
+    let CallTarget::Op(op) = &c.target else {
+        return None;
+    };
     if fanout(x) > 1 {
         return None;
     }
@@ -199,8 +219,12 @@ fn fold_into_conv(
             let bias = if c.args.len() > 2 {
                 let b = const_of(&c.args[2])?;
                 let bv = b.as_f32().ok()?;
-                let folded: Vec<f32> =
-                    bv.iter().zip(scale).zip(shift).map(|((&b, &s), &t)| b * s + t).collect();
+                let folded: Vec<f32> = bv
+                    .iter()
+                    .zip(scale)
+                    .zip(shift)
+                    .map(|((&b, &s), &t)| b * s + t)
+                    .collect();
                 Tensor::from_f32([scale.len()], folded).ok()?
             } else {
                 Tensor::from_f32([shift.len()], shift.to_vec()).ok()?
@@ -220,8 +244,12 @@ fn fold_into_conv(
             if bv.len() != scale.len() {
                 return None;
             }
-            let merged_shift: Vec<f32> =
-                shift.iter().zip(bv).zip(scale).map(|((&t, &b), &s)| t + b * s).collect();
+            let merged_shift: Vec<f32> = shift
+                .iter()
+                .zip(bv)
+                .zip(scale)
+                .map(|((&t, &b), &s)| t + b * s)
+                .collect();
             fold_into_conv(inner, scale, &merged_shift, map, fanout)
         }
         _ => None,
@@ -242,7 +270,14 @@ pub fn count_batch_norms(module: &Module) -> usize {
 }
 
 /// Evaluate `batch_norm` semantics directly (reference for tests).
-pub fn reference_bn(x: &Tensor, gamma: &Tensor, beta: &Tensor, mean: &Tensor, var: &Tensor, eps: f32) -> Tensor {
+pub fn reference_bn(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    mean: &Tensor,
+    var: &Tensor,
+    eps: f32,
+) -> Tensor {
     let p = kernels::BatchNormParams {
         gamma: gamma.clone(),
         beta: beta.clone(),
@@ -281,7 +316,12 @@ mod tests {
         let x = var("x", TensorType::f32([1, 3, 8, 8]));
         let w = rng.uniform_f32([4, 3, 3, 3], -0.5, 0.5);
         let conv = if with_bias {
-            builder::conv2d_bias(x.clone(), w, rng.uniform_f32([4], -0.2, 0.2), Conv2dAttrs::same(1))
+            builder::conv2d_bias(
+                x.clone(),
+                w,
+                rng.uniform_f32([4], -0.2, 0.2),
+                Conv2dAttrs::same(1),
+            )
         } else {
             builder::conv2d(x.clone(), w, Conv2dAttrs::same(1))
         };
@@ -369,7 +409,9 @@ mod tests {
         assert_eq!(count_batch_norms(&folded), 0);
         let mut ins = Map::new();
         ins.insert("x".to_string(), rng.uniform_f32([1, 2, 4, 4], -1.0, 1.0));
-        assert!(run_module(&m, &ins).unwrap().approx_eq(&run_module(&folded, &ins).unwrap(), 1e-5));
+        assert!(run_module(&m, &ins)
+            .unwrap()
+            .approx_eq(&run_module(&folded, &ins).unwrap(), 1e-5));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::visit::ExprMutator;
 
 /// Fold constant subgraphs in every function of the module.
 pub fn fold_constants(module: &Module) -> Module {
+    let _span = tvmnp_telemetry::span!("relay.pass", "pass" => "fold_constants");
     let mut out = Module::default();
     for (name, f) in &module.functions {
         out.functions.insert(name.clone(), fold_function(f));
@@ -16,10 +17,17 @@ pub fn fold_constants(module: &Module) -> Module {
 
 fn fold_function(f: &Function) -> Function {
     let mut m = ExprMutator::new(|e: &Expr| {
-        let ExprKind::Call(c) = &e.kind else { return None };
-        let CallTarget::Op(op) = &c.target else { return None };
+        let ExprKind::Call(c) = &e.kind else {
+            return None;
+        };
+        let CallTarget::Op(op) = &c.target else {
+            return None;
+        };
         // Dropout folds to its argument even when not constant.
-        let all_const = c.args.iter().all(|a| matches!(a.kind, ExprKind::Constant(_)));
+        let all_const = c
+            .args
+            .iter()
+            .all(|a| matches!(a.kind, ExprKind::Constant(_)));
         if !all_const {
             return None;
         }
@@ -37,7 +45,11 @@ fn fold_function(f: &Function) -> Function {
         }
     });
     let body = m.mutate(&f.body);
-    Function { params: f.params.clone(), body, attrs: f.attrs.clone() }
+    Function {
+        params: f.params.clone(),
+        body,
+        attrs: f.attrs.clone(),
+    }
 }
 
 #[cfg(test)]

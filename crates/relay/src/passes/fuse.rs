@@ -54,6 +54,7 @@ fn is_fusable_follower(op: &OpKind) -> bool {
 ///   producer's *only* consumer (no duplication of work across branches);
 /// * every other call node forms its own singleton group.
 pub fn fuse_analysis(root: &Expr) -> Vec<FusionGroup> {
+    let _span = tvmnp_telemetry::span!("relay.pass", "pass" => "fuse_analysis");
     let order = topo_order(root);
     let cons = consumers(root);
     // node id -> group index
@@ -67,7 +68,10 @@ pub fn fuse_analysis(root: &Expr) -> Vec<FusionGroup> {
             // Calls to globals (already-partitioned externals) dispatch once.
             crate::expr::CallTarget::Global(_) => {
                 let gi = groups.len();
-                groups.push(FusionGroup { anchor: e.id, members: vec![e.id] });
+                groups.push(FusionGroup {
+                    anchor: e.id,
+                    members: vec![e.id],
+                });
                 group_of.insert(e.id, gi);
                 continue;
             }
@@ -79,7 +83,10 @@ pub fn fuse_analysis(root: &Expr) -> Vec<FusionGroup> {
             for a in &c.args {
                 if let Some(&gi) = group_of.get(&a.id) {
                     let producer_consumers = cons.get(&a.id).map(|v| v.len()).unwrap_or(0);
-                    let anchor_op = order.iter().find(|n| n.id == groups[gi].anchor).and_then(|n| n.op().cloned());
+                    let anchor_op = order
+                        .iter()
+                        .find(|n| n.id == groups[gi].anchor)
+                        .and_then(|n| n.op().cloned());
                     let anchor_ok = anchor_op.map(|o| is_anchor(&o)).unwrap_or(false);
                     if producer_consumers == 1 && anchor_ok {
                         joined = Some(gi);
@@ -95,7 +102,10 @@ pub fn fuse_analysis(root: &Expr) -> Vec<FusionGroup> {
             }
             None => {
                 let gi = groups.len();
-                groups.push(FusionGroup { anchor: e.id, members: vec![e.id] });
+                groups.push(FusionGroup {
+                    anchor: e.id,
+                    members: vec![e.id],
+                });
                 group_of.insert(e.id, gi);
             }
         }

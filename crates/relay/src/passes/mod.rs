@@ -26,6 +26,8 @@ pub mod simplify;
 pub use fold_batch_norm::{count_batch_norms, fold_batch_norm};
 pub use fold_constants::fold_constants;
 pub use fuse::{fuse_analysis, FusionGroup};
-pub use partition::{partition_graph, CompilerSupport, PartitionError, PartitionReport, SupportAll, SupportByName};
+pub use partition::{
+    partition_graph, CompilerSupport, PartitionError, PartitionReport, SupportAll, SupportByName,
+};
 pub use quantize::{calibrate, quantize_module, quantize_with_calibration, QuantizeError};
 pub use simplify::{remove_unused_functions, simplify};

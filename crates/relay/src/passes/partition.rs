@@ -18,8 +18,7 @@
 //! overhead, which is exactly the Fig. 4 anti-spoofing observation.
 
 use crate::expr::{
-    call_global, mk, tuple, tuple_get, var, Call, CallTarget, Expr, ExprKind, Function,
-    Module,
+    call_global, mk, tuple, tuple_get, var, Call, CallTarget, Expr, ExprKind, Function, Module,
 };
 use crate::infer::{infer_types, TypeMap};
 use crate::op::OpKind;
@@ -121,6 +120,7 @@ pub fn partition_graph(
     module: &Module,
     support: &dyn CompilerSupport,
 ) -> Result<(Module, PartitionReport), PartitionError> {
+    let _span = tvmnp_telemetry::span!("relay.pass", "pass" => "partition_graph");
     let types = infer_types(module).map_err(PartitionError::Type)?;
     let main = module.main();
     let order = topo_order(&main.body);
@@ -149,7 +149,10 @@ pub fn partition_graph(
         }
 
         let is_supported_call = match &e.kind {
-            ExprKind::Call(Call { target: CallTarget::Op(op), args: cargs }) => {
+            ExprKind::Call(Call {
+                target: CallTarget::Op(op),
+                args: cargs,
+            }) => {
                 let argt: Vec<&Type> = cargs.iter().map(|a| &types[&a.id]).collect();
                 support.supported(op, &argt)
             }
@@ -169,8 +172,11 @@ pub fn partition_graph(
                 }
             }
             // Eligible: not reachable through an outside path.
-            let eligible: Vec<usize> =
-                candidates.iter().copied().filter(|r| !my_ext.contains(r)).collect();
+            let eligible: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|r| !my_ext.contains(r))
+                .collect();
             let region = if eligible.is_empty() {
                 uf.make()
             } else {
@@ -192,7 +198,13 @@ pub fn partition_graph(
                 }
             }
         } else {
-            if matches!(&e.kind, ExprKind::Call(Call { target: CallTarget::Op(_), .. })) {
+            if matches!(
+                &e.kind,
+                ExprKind::Call(Call {
+                    target: CallTarget::Op(_),
+                    ..
+                })
+            ) {
                 host_calls += 1;
             }
             // Outside any region: every producing region is exited here.
@@ -221,7 +233,10 @@ pub fn partition_graph(
     // ---- partition -----------------------------------------------------
     let cons = consumers(&main.body);
     let in_region = |uf: &mut UnionFind, id: usize, r: usize| -> bool {
-        region_of.get(&id).map(|&x| uf.find(x) == r).unwrap_or(false)
+        region_of
+            .get(&id)
+            .map(|&x| uf.find(x) == r)
+            .unwrap_or(false)
     };
 
     // Region outputs: nodes consumed outside their region (or the body root).
@@ -273,31 +288,35 @@ pub fn partition_graph(
             }
             if let Some(&r) = self.region_root.get(&id) {
                 self.emit_region(r)?;
-                return self
-                    .main_map
-                    .get(&id)
-                    .cloned()
-                    .ok_or_else(|| {
-                        PartitionError::Internal(format!(
-                            "node {id} demanded from region {r} but is not one of its outputs"
-                        ))
-                    });
+                return self.main_map.get(&id).cloned().ok_or_else(|| {
+                    PartitionError::Internal(format!(
+                        "node {id} demanded from region {r} but is not one of its outputs"
+                    ))
+                });
             }
             let e = self.by_id[&id].clone();
             let rebuilt = match &e.kind {
                 ExprKind::Var(_) | ExprKind::Constant(_) => e.clone(),
                 ExprKind::Call(c) => {
-                    let new_args: Vec<Expr> =
-                        c.args.iter().map(|a| self.resolve(a.id)).collect::<Result<_, _>>()?;
+                    let new_args: Vec<Expr> = c
+                        .args
+                        .iter()
+                        .map(|a| self.resolve(a.id))
+                        .collect::<Result<_, _>>()?;
                     if new_args.iter().zip(&c.args).all(|(n, o)| n.id == o.id) {
                         e.clone()
                     } else {
-                        mk(ExprKind::Call(Call { target: c.target.clone(), args: new_args }))
+                        mk(ExprKind::Call(Call {
+                            target: c.target.clone(),
+                            args: new_args,
+                        }))
                     }
                 }
                 ExprKind::Tuple(fs) => {
-                    let new_fs: Vec<Expr> =
-                        fs.iter().map(|a| self.resolve(a.id)).collect::<Result<_, _>>()?;
+                    let new_fs: Vec<Expr> = fs
+                        .iter()
+                        .map(|a| self.resolve(a.id))
+                        .collect::<Result<_, _>>()?;
                     if new_fs.iter().zip(fs).all(|(n, o)| n.id == o.id) {
                         e.clone()
                     } else {
@@ -356,7 +375,10 @@ pub fn partition_graph(
                 }
                 inner.insert(
                     n.id,
-                    mk(ExprKind::Call(Call { target: c.target.clone(), args: new_args })),
+                    mk(ExprKind::Call(Call {
+                        target: c.target.clone(),
+                        args: new_args,
+                    })),
                 );
             }
 
@@ -397,7 +419,11 @@ pub fn partition_graph(
     };
     let new_body = rewriter.resolve(main.body.id)?;
     let new_functions = rewriter.new_functions;
-    let new_main = Function { params: main.params.clone(), body: new_body, attrs: main.attrs.clone() };
+    let new_main = Function {
+        params: main.params.clone(),
+        body: new_body,
+        attrs: main.attrs.clone(),
+    };
 
     let mut out = Module::default();
     for (name, f) in &module.functions {
@@ -445,7 +471,10 @@ pub struct SupportByName {
 impl SupportByName {
     /// New oracle for `name` supporting the given op-name list.
     pub fn new(name: impl Into<String>, ops: impl IntoIterator<Item = &'static str>) -> Self {
-        SupportByName { name: name.into(), ops: ops.into_iter().collect() }
+        SupportByName {
+            name: name.into(),
+            ops: ops.into_iter().collect(),
+        }
     }
 }
 
@@ -586,7 +615,11 @@ mod tests {
 
     #[test]
     fn report_offload_fraction() {
-        let r = PartitionReport { num_subgraphs: 2, offloaded_calls: 3, host_calls: 1 };
+        let r = PartitionReport {
+            num_subgraphs: 2,
+            offloaded_calls: 3,
+            host_calls: 1,
+        };
         assert!((r.offload_fraction() - 0.75).abs() < 1e-9);
     }
 }

@@ -9,6 +9,7 @@ use std::collections::HashSet;
 /// * `TupleGetItem(Tuple(f0..fn), i)` → `fi`
 /// * `nn.dropout(x)` → `x` (inference identity)
 pub fn simplify(module: &Module) -> Module {
+    let _span = tvmnp_telemetry::span!("relay.pass", "pass" => "simplify");
     let mut out = Module::default();
     for (name, f) in &module.functions {
         let mut m = ExprMutator::new(|e: &Expr| match &e.kind {
@@ -23,8 +24,14 @@ pub fn simplify(module: &Module) -> Module {
             _ => None,
         });
         let body = m.mutate(&f.body);
-        out.functions
-            .insert(name.clone(), Function { params: f.params.clone(), body, attrs: f.attrs.clone() });
+        out.functions.insert(
+            name.clone(),
+            Function {
+                params: f.params.clone(),
+                body,
+                attrs: f.attrs.clone(),
+            },
+        );
     }
     out
 }
@@ -93,8 +100,10 @@ mod tests {
         let x = v("x");
         let main = Function::new(vec![x.clone()], call_global("used", vec![x.clone()]));
         let mut m = Module::from_main(main);
-        m.functions.insert("used".into(), Function::new(vec![v("p")], v("p")));
-        m.functions.insert("dead".into(), Function::new(vec![v("q")], v("q")));
+        m.functions
+            .insert("used".into(), Function::new(vec![v("p")], v("p")));
+        m.functions
+            .insert("dead".into(), Function::new(vec![v("q")], v("q")));
         let swept = remove_unused_functions(&m);
         assert!(swept.functions.contains_key("used"));
         assert!(!swept.functions.contains_key("dead"));

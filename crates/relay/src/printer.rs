@@ -18,7 +18,10 @@ fn print_function(
     out: &mut String,
 ) {
     let ty_of = |id: usize| {
-        types.get(&id).map(|t| format!(" /* {t} */")).unwrap_or_default()
+        types
+            .get(&id)
+            .map(|t| format!(" /* {t} */"))
+            .unwrap_or_default()
     };
     write!(out, "def @{name}(").unwrap();
     for (i, p) in f.params.iter().enumerate() {
@@ -29,13 +32,12 @@ fn print_function(
             write!(out, "%{}: {}", v.name, v.ty).unwrap();
         }
     }
-    let mut attrs: Vec<String> =
-        f.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    let mut attrs: Vec<String> = f.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
     attrs.sort();
     if attrs.is_empty() {
         out.push_str(") {\n");
     } else {
-        write!(out, "), attrs=[{}] {{\n", attrs.join(", ")).unwrap();
+        writeln!(out, "), attrs=[{}] {{", attrs.join(", ")).unwrap();
     }
 
     // SSA numbering in topo order.
@@ -64,8 +66,7 @@ fn print_function(
             ExprKind::Call(c) => {
                 let id = format!("%{n}");
                 n += 1;
-                let args: Vec<String> =
-                    c.args.iter().map(|a| name_of(a.id, &ssa)).collect();
+                let args: Vec<String> = c.args.iter().map(|a| name_of(a.id, &ssa)).collect();
                 let target = match &c.target {
                     CallTarget::Op(op) => op.name().to_string(),
                     CallTarget::Global(g) => format!("@{g}"),
@@ -88,7 +89,12 @@ fn print_function(
             }
         }
     }
-    writeln!(out, "  {}", ssa.get(&f.body.id).cloned().unwrap_or_default()).unwrap();
+    writeln!(
+        out,
+        "  {}",
+        ssa.get(&f.body.id).cloned().unwrap_or_default()
+    )
+    .unwrap();
     out.push_str("}\n");
 }
 
@@ -139,7 +145,11 @@ mod tests {
         let mut rng = TensorRng::new(2);
         let x = var("x", TensorType::f32([1, 3, 8, 8]));
         let w = rng.uniform_f32([4, 3, 3, 3], -0.5, 0.5);
-        let y = builder::sigmoid(builder::relu(builder::conv2d(x.clone(), w, Conv2dAttrs::same(1))));
+        let y = builder::sigmoid(builder::relu(builder::conv2d(
+            x.clone(),
+            w,
+            Conv2dAttrs::same(1),
+        )));
         let m = Module::from_main(Function::new(vec![x], y));
         let support = SupportByName::new("neuropilot", ["nn.conv2d", "nn.relu"]);
         let (p, _) = partition_graph(&m, &support).unwrap();

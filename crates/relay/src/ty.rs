@@ -17,7 +17,10 @@ pub struct TensorType {
 impl TensorType {
     /// Convenience constructor.
     pub fn new(shape: impl Into<Shape>, dtype: DType) -> Self {
-        TensorType { shape: shape.into(), dtype }
+        TensorType {
+            shape: shape.into(),
+            dtype,
+        }
     }
 
     /// Float32 tensor type.
@@ -105,7 +108,10 @@ mod tests {
     fn sizes() {
         let t = TensorType::f32([1, 3, 8, 8]);
         assert_eq!(t.size_bytes(), 3 * 64 * 4);
-        let tup = Type::Tuple(vec![t.clone().into(), TensorType::new([2], DType::I8).into()]);
+        let tup = Type::Tuple(vec![
+            t.clone().into(),
+            TensorType::new([2], DType::I8).into(),
+        ]);
         assert_eq!(tup.size_bytes(), 3 * 64 * 4 + 2);
     }
 

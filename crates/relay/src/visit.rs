@@ -42,15 +42,21 @@ pub fn topo_order(root: &Expr) -> Vec<Expr> {
 /// already rewritten and may return a replacement; returning `None` keeps
 /// the (child-rewritten) node. Sharing is preserved: a node reached twice
 /// is rewritten once.
+/// Boxed rewrite rule: maps a node to an optional replacement.
+type RewriteFn<'a> = Box<dyn FnMut(&Expr) -> Option<Expr> + 'a>;
+
 pub struct ExprMutator<'a> {
     memo: HashMap<usize, Expr>,
-    rewrite: Box<dyn FnMut(&Expr) -> Option<Expr> + 'a>,
+    rewrite: RewriteFn<'a>,
 }
 
 impl<'a> ExprMutator<'a> {
     /// New mutator with the given rewrite rule.
     pub fn new(rewrite: impl FnMut(&Expr) -> Option<Expr> + 'a) -> Self {
-        ExprMutator { memo: HashMap::new(), rewrite: Box::new(rewrite) }
+        ExprMutator {
+            memo: HashMap::new(),
+            rewrite: Box::new(rewrite),
+        }
     }
 
     /// Rewrite the graph rooted at `root` (iterative, safe on deep graphs).
@@ -67,7 +73,10 @@ impl<'a> ExprMutator<'a> {
                     if new_args.iter().zip(&c.args).all(|(n, o)| n.id == o.id) {
                         e.clone()
                     } else {
-                        mk(ExprKind::Call(Call { target: c.target.clone(), args: new_args }))
+                        mk(ExprKind::Call(Call {
+                            target: c.target.clone(),
+                            args: new_args,
+                        }))
                     }
                 }
                 ExprKind::Tuple(fs) => {

@@ -47,7 +47,11 @@ impl Artifact {
                 payload: m.serialize(),
             })
             .collect();
-        Artifact { version: 1, graph: graph.clone(), externals }
+        Artifact {
+            version: 1,
+            graph: graph.clone(),
+            externals,
+        }
     }
 
     /// Write to disk (the `export_library` call of Listing 6).
@@ -118,12 +122,16 @@ pub struct AndroidDevice {
 impl AndroidDevice {
     /// New device with the given runtime loaders.
     pub fn new(name: impl Into<String>, loaders: LoaderRegistry, cost: CostModel) -> Self {
-        AndroidDevice { name: name.into(), loaders, cost }
+        AndroidDevice {
+            name: name.into(),
+            loaders,
+            cost,
+        }
     }
 
     /// Load a pushed artifact into a ready executor.
     pub fn load(&self, artifact: &Artifact) -> Result<GraphExecutor, ExecError> {
-        let modules = self.loaders.load_all(artifact).map_err(ExecError)?;
+        let modules = self.loaders.load_all(artifact).map_err(ExecError::new)?;
         GraphExecutor::new(artifact.graph.clone(), modules, self.cost.clone())
     }
 }
@@ -152,7 +160,10 @@ mod tests {
         l.register(
             "fake",
             Box::new(|_sym, payload| {
-                let symbol = payload["symbol"].as_str().ok_or("missing symbol")?.to_string();
+                let symbol = payload["symbol"]
+                    .as_str()
+                    .ok_or("missing symbol")?
+                    .to_string();
                 let time_us = payload["time_us"].as_f64().ok_or("missing time")?;
                 Ok(Box::new(NegateModule { symbol, time_us }) as Box<dyn ExternalModule>)
             }),
@@ -164,7 +175,10 @@ mod tests {
     fn export_load_run_roundtrip() {
         let m = partitioned_module();
         let graph = ExecutorGraph::build(&m).unwrap();
-        let module = NegateModule { symbol: "nir_0".into(), time_us: 7.0 };
+        let module = NegateModule {
+            symbol: "nir_0".into(),
+            time_us: 7.0,
+        };
         let artifact = Artifact::export(&graph, &[&module]);
 
         let dir = std::env::temp_dir().join("tvmnp_artifact_test");
@@ -177,7 +191,8 @@ mod tests {
 
         let phone = AndroidDevice::new("oppo-reno4z", fake_loaders(), CostModel::default());
         let mut ex = phone.load(&loaded).unwrap();
-        ex.set_input("x", Tensor::from_f32([2], vec![3.0, -4.0]).unwrap()).unwrap();
+        ex.set_input("x", Tensor::from_f32([2], vec![3.0, -4.0]).unwrap())
+            .unwrap();
         ex.run().unwrap();
         assert_eq!(ex.get_output(0).unwrap().as_f32().unwrap(), &[-3.0, 4.0]);
     }
@@ -186,7 +201,10 @@ mod tests {
     fn missing_loader_fails() {
         let m = partitioned_module();
         let graph = ExecutorGraph::build(&m).unwrap();
-        let module = NegateModule { symbol: "nir_0".into(), time_us: 7.0 };
+        let module = NegateModule {
+            symbol: "nir_0".into(),
+            time_us: 7.0,
+        };
         let artifact = Artifact::export(&graph, &[&module]);
         let phone = AndroidDevice::new("bare", LoaderRegistry::new(), CostModel::default());
         assert!(phone.load(&artifact).is_err());

@@ -11,17 +11,103 @@ use tvmnp_relay::interp::{eval_op, Value};
 use tvmnp_relay::TensorType;
 use tvmnp_tensor::Tensor;
 
-/// Executor failure.
+/// Where in the graph an executor failure happened.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExecContext {
+    /// Graph node identifier (e.g. `node#3`) or input/output name.
+    pub node: Option<String>,
+    /// Relay operator or external symbol being evaluated.
+    pub op: Option<String>,
+    /// Device the node was charged to (`cpu`, `gpu`, `apu`).
+    pub device: Option<String>,
+}
+
+/// Executor failure: a message plus structured context identifying the
+/// failing node, so callers can report *where* a run died instead of
+/// just why.
 #[derive(Debug, Clone, PartialEq)]
-pub struct ExecError(pub String);
+pub struct ExecError {
+    message: String,
+    context: ExecContext,
+}
+
+impl ExecError {
+    /// An error with no node context.
+    pub fn new(message: impl Into<String>) -> ExecError {
+        ExecError {
+            message: message.into(),
+            context: ExecContext::default(),
+        }
+    }
+
+    /// Attach the failing node's identifier.
+    pub fn with_node(mut self, node: impl Into<String>) -> ExecError {
+        self.context.node = Some(node.into());
+        self
+    }
+
+    /// Attach the operator or external symbol being evaluated.
+    pub fn with_op(mut self, op: impl Into<String>) -> ExecError {
+        self.context.op = Some(op.into());
+        self
+    }
+
+    /// Attach the device the node was charged to.
+    pub fn with_device(mut self, device: impl Into<String>) -> ExecError {
+        self.context.device = Some(device.into());
+        self
+    }
+
+    /// The bare failure message (without context).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Structured location of the failure.
+    pub fn context(&self) -> &ExecContext {
+        &self.context
+    }
+}
 
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "executor error: {}", self.0)
+        // Keep the historical "executor error: <message>" prefix intact;
+        // context renders as an optional suffix.
+        write!(f, "executor error: {}", self.message)?;
+        let ExecContext { node, op, device } = &self.context;
+        if node.is_some() || op.is_some() || device.is_some() {
+            let mut parts = Vec::new();
+            if let Some(n) = node {
+                parts.push(format!("node {n}"));
+            }
+            if let Some(o) = op {
+                parts.push(format!("op {o}"));
+            }
+            if let Some(d) = device {
+                parts.push(format!("device {d}"));
+            }
+            write!(f, " ({})", parts.join(", "))?;
+        }
+        Ok(())
     }
 }
 
 impl std::error::Error for ExecError {}
+
+fn kernel_class_label(class: KernelClass) -> &'static str {
+    match class {
+        KernelClass::TvmUntuned => "tvm_untuned",
+        KernelClass::VendorTuned => "vendor_tuned",
+    }
+}
+
+/// Device label for an external module, keyed by its BYOC compiler name.
+fn external_device_label(compiler: &str) -> &str {
+    match compiler {
+        "neuropilot" => "apu",
+        other => other,
+    }
+}
 
 /// The graph executor: owns the graph, linked external modules, bound
 /// inputs and computed outputs.
@@ -46,7 +132,9 @@ impl GraphExecutor {
     ) -> Result<Self, ExecError> {
         for sym in graph.external_symbols() {
             if modules.get(sym).is_none() {
-                return Err(ExecError(format!("external symbol '{sym}' is not linked")));
+                return Err(
+                    ExecError::new(format!("external symbol '{sym}' is not linked")).with_op(sym),
+                );
             }
         }
         Ok(GraphExecutor {
@@ -65,16 +153,17 @@ impl GraphExecutor {
             .graph
             .input_index
             .get(name)
-            .ok_or_else(|| ExecError(format!("unknown input '{name}'")))?;
+            .ok_or_else(|| ExecError::new(format!("unknown input '{name}'")).with_node(name))?;
         let expect = &self.graph.nodes[idx].out_types[0];
         if value.shape() != &expect.shape || value.dtype() != expect.dtype {
-            return Err(ExecError(format!(
+            return Err(ExecError::new(format!(
                 "input '{name}' expects {} {}, got {} {}",
                 expect.shape,
                 expect.dtype,
                 value.shape(),
                 value.dtype()
-            )));
+            ))
+            .with_node(name));
         }
         self.inputs.insert(name.to_string(), value);
         Ok(())
@@ -83,6 +172,7 @@ impl GraphExecutor {
     /// Execute the graph (TVM `m.run`). Returns the simulated time in
     /// microseconds.
     pub fn run(&mut self) -> Result<f64, ExecError> {
+        let _run_span = tvmnp_telemetry::span!("executor.run");
         self.values.clear();
         let mut time_us = 0.0;
         let mut groups_dispatched: HashSet<usize> = HashSet::new();
@@ -91,19 +181,34 @@ impl GraphExecutor {
         for (idx, node) in self.graph.nodes.iter().enumerate() {
             match &node.kind {
                 NodeKind::Input { name } => {
-                    let v = self
-                        .inputs
-                        .get(name)
-                        .ok_or_else(|| ExecError(format!("input '{name}' not set")))?;
-                    self.values.insert(NodeRef { node: idx, output: 0 }, v.clone());
+                    let v = self.inputs.get(name).ok_or_else(|| {
+                        ExecError::new(format!("input '{name}' not set"))
+                            .with_node(format!("node#{idx}"))
+                    })?;
+                    self.values.insert(
+                        NodeRef {
+                            node: idx,
+                            output: 0,
+                        },
+                        v.clone(),
+                    );
                 }
                 NodeKind::Param { index } => {
                     self.values.insert(
-                        NodeRef { node: idx, output: 0 },
+                        NodeRef {
+                            node: idx,
+                            output: 0,
+                        },
                         self.graph.params[*index].clone(),
                     );
                 }
                 NodeKind::Op { op, inputs, group } => {
+                    let err_here = |msg: String| {
+                        ExecError::new(msg)
+                            .with_node(format!("node#{idx}"))
+                            .with_op(op.name())
+                            .with_device(DeviceKind::Cpu.name())
+                    };
                     let args: Vec<Value> = inputs
                         .iter()
                         .map(|r| {
@@ -111,13 +216,13 @@ impl GraphExecutor {
                                 .get(r)
                                 .cloned()
                                 .map(Value::Tensor)
-                                .ok_or_else(|| ExecError(format!("value for {r:?} missing")))
+                                .ok_or_else(|| err_here(format!("value for {r:?} missing")))
                         })
                         .collect::<Result<_, _>>()?;
                     let out = eval_op(op, &args)
-                        .map_err(|e| ExecError(e.to_string()))?
+                        .map_err(|e| err_here(e.to_string()))?
                         .into_tensor()
-                        .map_err(|e| ExecError(e.to_string()))?;
+                        .map_err(|e| err_here(e.to_string()))?;
                     // Time: one launch per fusion group + roofline body.
                     let arg_types: Vec<TensorType> = inputs
                         .iter()
@@ -125,33 +230,55 @@ impl GraphExecutor {
                         .collect();
                     let arg_refs: Vec<&TensorType> = arg_types.iter().collect();
                     let w = relay_work_item(op, &arg_refs, &node.out_types[0]);
+                    let node_start_us = time_us;
                     time_us +=
-                        self.cost.kernel_body_us(&w, DeviceKind::Cpu, KernelClass::TvmUntuned);
+                        self.cost
+                            .kernel_body_us(&w, DeviceKind::Cpu, KernelClass::TvmUntuned);
                     if groups_dispatched.insert(*group) {
                         time_us += cpu_launch;
                     }
-                    self.values.insert(NodeRef { node: idx, output: 0 }, out);
+                    self.record_node(
+                        node_start_us,
+                        time_us - node_start_us,
+                        op.name(),
+                        DeviceKind::Cpu.name(),
+                        KernelClass::TvmUntuned,
+                    );
+                    self.values.insert(
+                        NodeRef {
+                            node: idx,
+                            output: 0,
+                        },
+                        out,
+                    );
                 }
                 NodeKind::External { symbol, inputs } => {
                     let module = self.modules.get(symbol).expect("checked at construction");
+                    let device = external_device_label(module.compiler()).to_string();
+                    let err_here = |msg: String| {
+                        ExecError::new(msg)
+                            .with_node(format!("node#{idx}"))
+                            .with_op(symbol.clone())
+                            .with_device(device.clone())
+                    };
                     let args: Vec<Tensor> = inputs
                         .iter()
                         .map(|r| {
                             self.values
                                 .get(r)
                                 .cloned()
-                                .ok_or_else(|| ExecError(format!("value for {r:?} missing")))
+                                .ok_or_else(|| err_here(format!("value for {r:?} missing")))
                         })
                         .collect::<Result<_, _>>()?;
+                    let node_start_us = time_us;
                     // Host → external transfer for each argument.
                     for a in &args {
                         time_us += self.cost.transfer_us(a.size_bytes());
                     }
-                    let (outs, ext_us) =
-                        module.run(&args).map_err(|e| ExecError(e.to_string()))?;
+                    let (outs, ext_us) = module.run(&args).map_err(|e| err_here(e.to_string()))?;
                     time_us += ext_us;
                     if outs.len() != node.out_types.len() {
-                        return Err(ExecError(format!(
+                        return Err(err_here(format!(
                             "'{symbol}' returned {} outputs, expected {}",
                             outs.len(),
                             node.out_types.len()
@@ -160,13 +287,51 @@ impl GraphExecutor {
                     // External → host transfer for each result.
                     for (k, o) in outs.into_iter().enumerate() {
                         time_us += self.cost.transfer_us(o.size_bytes());
-                        self.values.insert(NodeRef { node: idx, output: k }, o);
+                        self.values.insert(
+                            NodeRef {
+                                node: idx,
+                                output: k,
+                            },
+                            o,
+                        );
                     }
+                    self.record_node(
+                        node_start_us,
+                        time_us - node_start_us,
+                        symbol,
+                        &device,
+                        KernelClass::VendorTuned,
+                    );
                 }
             }
         }
         self.last_run_us = Some(time_us);
         Ok(time_us)
+    }
+
+    /// Record one node's simulated interval (span + histogram + counter);
+    /// no-op while telemetry is disabled.
+    fn record_node(&self, start_us: f64, dur_us: f64, op: &str, device: &str, class: KernelClass) {
+        if !tvmnp_telemetry::is_enabled() {
+            return;
+        }
+        let class = kernel_class_label(class);
+        tvmnp_telemetry::record_sim_span(
+            "executor.node",
+            start_us,
+            dur_us,
+            vec![
+                ("op".to_string(), op.to_string()),
+                ("device".to_string(), device.to_string()),
+                ("class".to_string(), class.to_string()),
+            ],
+        );
+        tvmnp_telemetry::histogram_observe(
+            "executor.node_us",
+            &[("device", device), ("kernel", op), ("class", class)],
+            dur_us,
+        );
+        tvmnp_telemetry::counter_add("executor.nodes", &[("device", device)], 1);
     }
 
     /// Simulated time of one inference, computed analytically from shapes
@@ -188,7 +353,8 @@ impl GraphExecutor {
                     let arg_refs: Vec<&TensorType> = arg_types.iter().collect();
                     let w = relay_work_item(op, &arg_refs, &node.out_types[0]);
                     time_us +=
-                        self.cost.kernel_body_us(&w, DeviceKind::Cpu, KernelClass::TvmUntuned);
+                        self.cost
+                            .kernel_body_us(&w, DeviceKind::Cpu, KernelClass::TvmUntuned);
                     if groups_dispatched.insert(*group) {
                         time_us += cpu_launch;
                     }
@@ -223,7 +389,9 @@ impl GraphExecutor {
                         .collect();
                     let arg_refs: Vec<&TensorType> = arg_types.iter().collect();
                     let w = relay_work_item(op, &arg_refs, &node.out_types[0]);
-                    e += self.cost.kernel_energy_uj(&w, DeviceKind::Cpu, KernelClass::TvmUntuned);
+                    e += self
+                        .cost
+                        .kernel_energy_uj(&w, DeviceKind::Cpu, KernelClass::TvmUntuned);
                 }
                 NodeKind::External { symbol, inputs } => {
                     let module = self.modules.get(symbol).expect("checked at construction");
@@ -247,11 +415,11 @@ impl GraphExecutor {
             .graph
             .outputs
             .get(i)
-            .ok_or_else(|| ExecError(format!("output index {i} out of range")))?;
+            .ok_or_else(|| ExecError::new(format!("output index {i} out of range")))?;
         self.values
             .get(r)
             .cloned()
-            .ok_or_else(|| ExecError("run() has not produced outputs yet".into()))
+            .ok_or_else(|| ExecError::new("run() has not produced outputs yet"))
     }
 
     /// Number of outputs.
@@ -289,7 +457,8 @@ mod tests {
         let m = Module::from_main(Function::new(vec![x], y));
         let g = ExecutorGraph::build(&m).unwrap();
         let mut ex = GraphExecutor::new(g, ModuleRegistry::new(), CostModel::default()).unwrap();
-        ex.set_input("x", rng.uniform_f32([1, 3, 8, 8], -1.0, 1.0)).unwrap();
+        ex.set_input("x", rng.uniform_f32([1, 3, 8, 8], -1.0, 1.0))
+            .unwrap();
         let t = ex.run().unwrap();
         assert!(t > 0.0);
         let out = ex.get_output(0).unwrap();
@@ -302,8 +471,8 @@ mod tests {
         let x = var("x", tvmnp_relay::TensorType::f32([2]));
         let y = call_global("nir_0", vec![x.clone()]);
         let px = var("p", tvmnp_relay::TensorType::f32([2]));
-        let ext = Function::new(vec![px.clone()], builder::relu(px))
-            .with_attr("Compiler", "neuropilot");
+        let ext =
+            Function::new(vec![px.clone()], builder::relu(px)).with_attr("Compiler", "neuropilot");
         let mut m = Module::from_main(Function::new(vec![x], y));
         m.functions.insert("nir_0".into(), ext);
         let g = ExecutorGraph::build(&m).unwrap();
@@ -317,20 +486,26 @@ mod tests {
         let px = var("p", tvmnp_relay::TensorType::f32([2]));
         // Body irrelevant to numerics (fake module negates), but types must
         // line up.
-        let ext = Function::new(vec![px.clone()], builder::relu(px))
-            .with_attr("Compiler", "fake");
+        let ext = Function::new(vec![px.clone()], builder::relu(px)).with_attr("Compiler", "fake");
         let mut m = Module::from_main(Function::new(vec![x], y));
         m.functions.insert("nir_0".into(), ext);
         let g = ExecutorGraph::build(&m).unwrap();
         let mut reg = ModuleRegistry::new();
-        reg.register(Box::new(NegateModule { symbol: "nir_0".into(), time_us: 42.0 }));
+        reg.register(Box::new(NegateModule {
+            symbol: "nir_0".into(),
+            time_us: 42.0,
+        }));
         let cost = CostModel::default();
         let min_transfer = 2.0 * cost.transfer_us(8);
         let mut ex = GraphExecutor::new(g, reg, cost).unwrap();
-        ex.set_input("x", Tensor::from_f32([2], vec![1.0, -2.0]).unwrap()).unwrap();
+        ex.set_input("x", Tensor::from_f32([2], vec![1.0, -2.0]).unwrap())
+            .unwrap();
         let t = ex.run().unwrap();
         assert_eq!(ex.get_output(0).unwrap().as_f32().unwrap(), &[-1.0, 2.0]);
-        assert!(t >= 42.0 + min_transfer, "time {t} must include module + transfers");
+        assert!(
+            t >= 42.0 + min_transfer,
+            "time {t} must include module + transfers"
+        );
     }
 
     #[test]
@@ -352,6 +527,82 @@ mod tests {
         let mut ex = GraphExecutor::new(g, ModuleRegistry::new(), CostModel::default()).unwrap();
         assert!(ex.set_input("x", Tensor::zeros_f32([3])).is_err());
         assert!(ex.set_input("y", Tensor::zeros_f32([2])).is_err());
+    }
+
+    #[test]
+    fn exec_error_display_is_superset_of_message() {
+        let bare = ExecError::new("input 'x' not set");
+        assert_eq!(bare.to_string(), "executor error: input 'x' not set");
+        let rich = ExecError::new("input 'x' not set")
+            .with_node("node#0")
+            .with_op("nn.conv2d")
+            .with_device("cpu");
+        let shown = rich.to_string();
+        assert!(
+            shown.starts_with("executor error: input 'x' not set"),
+            "{shown}"
+        );
+        assert!(shown.contains("node node#0"), "{shown}");
+        assert!(shown.contains("op nn.conv2d"), "{shown}");
+        assert!(shown.contains("device cpu"), "{shown}");
+        assert_eq!(rich.message(), "input 'x' not set");
+        assert_eq!(rich.context().device.as_deref(), Some("cpu"));
+    }
+
+    #[test]
+    fn run_failure_carries_node_context() {
+        let x = var("x", tvmnp_relay::TensorType::f32([2]));
+        let y = builder::relu(x.clone());
+        let m = Module::from_main(Function::new(vec![x], y));
+        let g = ExecutorGraph::build(&m).unwrap();
+        let mut ex = GraphExecutor::new(g, ModuleRegistry::new(), CostModel::default()).unwrap();
+        let err = ex.run().unwrap_err();
+        assert!(
+            err.context().node.is_some(),
+            "failure must locate the node: {err}"
+        );
+    }
+
+    #[test]
+    fn per_node_sim_spans_cover_run_time() {
+        let mut rng = TensorRng::new(7);
+        let x = var("x", tvmnp_relay::TensorType::f32([1, 3, 8, 8]));
+        let w = rng.uniform_f32([4, 3, 3, 3], -0.5, 0.5);
+        let y = builder::relu(builder::conv2d(x.clone(), w, Conv2dAttrs::same(1)));
+        let m = Module::from_main(Function::new(vec![x], y));
+        let g = ExecutorGraph::build(&m).unwrap();
+        let mut ex = GraphExecutor::new(g, ModuleRegistry::new(), CostModel::default()).unwrap();
+        ex.set_input("x", rng.uniform_f32([1, 3, 8, 8], -1.0, 1.0))
+            .unwrap();
+        tvmnp_telemetry::enable();
+        tvmnp_telemetry::reset();
+        // Sentinel pins down this thread's dense tid, so spans recorded by
+        // concurrently running tests (same process-global collector) can
+        // be filtered out.
+        tvmnp_telemetry::record_sim_span("test.sentinel", 0.0, 0.0, vec![]);
+        let total = ex.run().unwrap();
+        tvmnp_telemetry::disable();
+        let snap = tvmnp_telemetry::snapshot();
+        let my_tid = snap
+            .events
+            .iter()
+            .find(|e| e.name == "test.sentinel")
+            .expect("sentinel recorded")
+            .tid;
+        let node_us: f64 = snap
+            .events
+            .iter()
+            .filter(|e| e.name == "executor.node" && e.tid == my_tid)
+            .map(|e| e.dur_us)
+            .sum();
+        assert!(
+            (node_us - total).abs() <= 1e-9 * total.max(1.0),
+            "per-node spans ({node_us}) must account for the whole run ({total})"
+        );
+        assert!(snap
+            .metrics
+            .iter()
+            .any(|(k, _)| k.to_string().starts_with("executor.node_us{")));
     }
 
     #[test]

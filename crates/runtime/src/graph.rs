@@ -113,11 +113,19 @@ impl ExecutorGraph {
             if let ExprKind::Var(v) = &p.kind {
                 let idx = add_node(
                     &mut g,
-                    NodeKind::Input { name: v.name.clone() },
+                    NodeKind::Input {
+                        name: v.name.clone(),
+                    },
                     vec![v.ty.clone()],
                 );
                 g.input_index.insert(v.name.clone(), idx);
-                refs.insert(p.id, vec![NodeRef { node: idx, output: 0 }]);
+                refs.insert(
+                    p.id,
+                    vec![NodeRef {
+                        node: idx,
+                        output: 0,
+                    }],
+                );
             } else {
                 return Err(BuildError("main parameter is not a Var".into()));
             }
@@ -136,7 +144,10 @@ impl ExecutorGraph {
                     let param_index = g.params.len() - 1;
                     let tt = TensorType::new(c.value.shape().clone(), c.value.dtype());
                     let idx = add_node(&mut g, NodeKind::Param { index: param_index }, vec![tt]);
-                    vec![NodeRef { node: idx, output: 0 }]
+                    vec![NodeRef {
+                        node: idx,
+                        output: 0,
+                    }]
                 }
                 ExprKind::Tuple(fields) => {
                     let mut rs = Vec::new();
@@ -147,9 +158,9 @@ impl ExecutorGraph {
                 }
                 ExprKind::TupleGetItem(t, i) => {
                     let rs = &refs[&t.id];
-                    vec![*rs.get(*i).ok_or_else(|| {
-                        BuildError(format!("tuple index {i} out of range"))
-                    })?]
+                    vec![*rs
+                        .get(*i)
+                        .ok_or_else(|| BuildError(format!("tuple index {i} out of range")))?]
                 }
                 ExprKind::Call(c) => {
                     let mut inputs = Vec::with_capacity(c.args.len());
@@ -169,10 +180,17 @@ impl ExecutorGraph {
                             let group = group_of.get(&e.id).copied().unwrap_or(usize::MAX);
                             let idx = add_node(
                                 &mut g,
-                                NodeKind::Op { op: op.clone(), inputs, group },
+                                NodeKind::Op {
+                                    op: op.clone(),
+                                    inputs,
+                                    group,
+                                },
                                 vec![tt],
                             );
-                            vec![NodeRef { node: idx, output: 0 }]
+                            vec![NodeRef {
+                                node: idx,
+                                output: 0,
+                            }]
                         }
                         CallTarget::Global(symbol) => {
                             let out_types: Vec<TensorType> = match &types[&e.id] {
@@ -189,10 +207,18 @@ impl ExecutorGraph {
                             let n = out_types.len();
                             let idx = add_node(
                                 &mut g,
-                                NodeKind::External { symbol: symbol.clone(), inputs },
+                                NodeKind::External {
+                                    symbol: symbol.clone(),
+                                    inputs,
+                                },
                                 out_types,
                             );
-                            (0..n).map(|k| NodeRef { node: idx, output: k }).collect()
+                            (0..n)
+                                .map(|k| NodeRef {
+                                    node: idx,
+                                    output: k,
+                                })
+                                .collect()
                         }
                     }
                 }
@@ -217,7 +243,10 @@ impl ExecutorGraph {
 
     /// Number of host-side op nodes.
     pub fn num_host_ops(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n.kind, NodeKind::Op { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Op { .. }))
+            .count()
     }
 
     /// Total parameter bytes.
@@ -261,8 +290,8 @@ mod tests {
     #[test]
     fn lowers_external_call() {
         let px = var("p", TensorType::f32([1, 4]));
-        let ext = Function::new(vec![px.clone()], builder::relu(px))
-            .with_attr("Compiler", "neuropilot");
+        let ext =
+            Function::new(vec![px.clone()], builder::relu(px)).with_attr("Compiler", "neuropilot");
         let x = var("x", TensorType::f32([1, 4]));
         let y = call_global("neuropilot_0", vec![x.clone()]);
         let mut m = Module::from_main(Function::new(vec![x], y));

@@ -28,7 +28,7 @@ pub mod memory;
 pub mod module;
 pub mod work;
 
-pub use artifact::{Artifact, AndroidDevice, LoaderRegistry};
+pub use artifact::{AndroidDevice, Artifact, LoaderRegistry};
 pub use executor::GraphExecutor;
 pub use graph::{ExecutorGraph, GraphNode, NodeKind, NodeRef};
 pub use memory::{plan_memory, MemoryPlan};

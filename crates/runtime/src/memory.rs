@@ -50,7 +50,10 @@ pub fn plan_memory(graph: &ExecutorGraph) -> MemoryPlan {
         };
         // Allocate outputs: best-fit from the free list, else a new slot.
         for k in 0..produces {
-            let r = NodeRef { node: idx, output: k };
+            let r = NodeRef {
+                node: idx,
+                output: k,
+            };
             let need = node.out_types[k].size_bytes();
             let fit = free
                 .iter()
@@ -86,7 +89,11 @@ pub fn plan_memory(graph: &ExecutorGraph) -> MemoryPlan {
     }
 
     let peak_bytes = slot_bytes.iter().sum();
-    MemoryPlan { slot_of, slot_bytes, peak_bytes }
+    MemoryPlan {
+        slot_of,
+        slot_bytes,
+        peak_bytes,
+    }
 }
 
 impl MemoryPlan {
@@ -150,7 +157,11 @@ mod tests {
         let g = chain(10);
         let plan = plan_memory(&g);
         // Ping-pong between two buffers regardless of depth.
-        assert!(plan.slot_bytes.len() <= 2, "got {} slots", plan.slot_bytes.len());
+        assert!(
+            plan.slot_bytes.len() <= 2,
+            "got {} slots",
+            plan.slot_bytes.len()
+        );
         assert!(plan.check_no_alias(&g).is_none());
     }
 

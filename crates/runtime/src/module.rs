@@ -86,7 +86,9 @@ impl ModuleRegistry {
 
 impl fmt::Debug for ModuleRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ModuleRegistry").field("symbols", &self.symbols()).finish()
+        f.debug_struct("ModuleRegistry")
+            .field("symbols", &self.symbols())
+            .finish()
     }
 }
 
@@ -136,11 +138,16 @@ mod tests {
     fn registry_roundtrip() {
         let mut r = ModuleRegistry::new();
         assert!(r.is_empty());
-        r.register(Box::new(NegateModule { symbol: "nir_0".into(), time_us: 5.0 }));
+        r.register(Box::new(NegateModule {
+            symbol: "nir_0".into(),
+            time_us: 5.0,
+        }));
         assert_eq!(r.len(), 1);
         let m = r.get("nir_0").unwrap();
         assert_eq!(m.compiler(), "fake");
-        let (outs, t) = m.run(&[Tensor::from_f32([2], vec![1.0, -2.0]).unwrap()]).unwrap();
+        let (outs, t) = m
+            .run(&[Tensor::from_f32([2], vec![1.0, -2.0]).unwrap()])
+            .unwrap();
         assert_eq!(outs[0].as_f32().unwrap(), &[-1.0, 2.0]);
         assert_eq!(t, 5.0);
         assert!(r.get("missing").is_none());

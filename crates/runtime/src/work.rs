@@ -11,20 +11,27 @@ pub fn relay_work_item(op: &OpKind, args: &[&TensorType], out: &TensorType) -> W
     let bytes_in: u64 = args.iter().map(|t| t.size_bytes() as u64).sum();
     let bytes_out = out.size_bytes() as u64;
     let int8 = out.dtype.is_quantized()
-        || args.first().map(|t| t.dtype.is_quantized()).unwrap_or(false);
+        || args
+            .first()
+            .map(|t| t.dtype.is_quantized())
+            .unwrap_or(false);
     let (macs, kind) = match op {
         OpKind::Conv2d(_) | OpKind::QnnConv2d(_) => {
             let w = args.get(1).expect("conv has a weight argument");
             let wd = w.shape.dims();
-            (out_elems * (wd[1] * wd[2] * wd[3]) as u64, WorkKind::MacHeavy)
+            (
+                out_elems * (wd[1] * wd[2] * wd[3]) as u64,
+                WorkKind::MacHeavy,
+            )
         }
         OpKind::Dense | OpKind::QnnDense(_) => {
             let w = args.get(1).expect("dense has a weight argument");
             (out_elems * w.shape.dims()[1] as u64, WorkKind::MacHeavy)
         }
-        OpKind::MaxPool2d(a) | OpKind::AvgPool2d(a) => {
-            (out_elems * (a.kernel.0 * a.kernel.1) as u64, WorkKind::Reduction)
-        }
+        OpKind::MaxPool2d(a) | OpKind::AvgPool2d(a) => (
+            out_elems * (a.kernel.0 * a.kernel.1) as u64,
+            WorkKind::Reduction,
+        ),
         OpKind::GlobalAvgPool2d | OpKind::Mean(_) => {
             let x = args.first().expect("reduction has an input");
             (x.shape.num_elements() as u64, WorkKind::Reduction)
@@ -45,7 +52,13 @@ pub fn relay_work_item(op: &OpKind, args: &[&TensorType], out: &TensorType) -> W
         }
         _ => (out_elems, WorkKind::Elementwise),
     };
-    WorkItem { macs, bytes_in, bytes_out, int8, kind }
+    WorkItem {
+        macs,
+        bytes_in,
+        bytes_out,
+        int8,
+        kind,
+    }
 }
 
 #[cfg(test)]
@@ -78,7 +91,9 @@ mod tests {
         let x = TensorType::f32([2, 8]);
         let out = TensorType::f32([4, 4]);
         let wi = relay_work_item(
-            &OpKind::Reshape(tvmnp_relay::ReshapeAttrs { new_shape: vec![4, 4] }),
+            &OpKind::Reshape(tvmnp_relay::ReshapeAttrs {
+                new_shape: vec![4, 4],
+            }),
             &[&x],
             &out,
         );

@@ -30,12 +30,16 @@ impl ModelProfile {
 
     /// Time under a specific permutation (None = missing bar).
     pub fn time_ms(&self, p: Permutation) -> Option<f64> {
-        self.measurements.iter().find(|m| m.permutation == p).and_then(|m| m.time_ms)
+        self.measurements
+            .iter()
+            .find(|m| m.permutation == p)
+            .and_then(|m| m.time_ms)
     }
 }
 
 /// Assign each model to its fastest permutation.
 pub fn best_assignment(profiles: &[ModelProfile]) -> HashMap<String, Permutation> {
+    let _span = tvmnp_telemetry::span!("scheduler.computation", "models" => profiles.len());
     profiles
         .iter()
         .filter_map(|p| p.best().map(|(perm, _)| (p.name.clone(), perm)))
@@ -51,7 +55,11 @@ mod tests {
             name: name.into(),
             measurements: times
                 .iter()
-                .map(|&(p, t)| Measurement { permutation: p, time_ms: t, subgraphs: 0 })
+                .map(|&(p, t)| Measurement {
+                    permutation: p,
+                    time_ms: t,
+                    subgraphs: 0,
+                })
                 .collect(),
         }
     }
@@ -73,7 +81,10 @@ mod tests {
     fn missing_bars_never_win() {
         let p = profile(
             "anti-spoof",
-            &[(Permutation::NpApu, None), (Permutation::ByocCpuApu, Some(9.0))],
+            &[
+                (Permutation::NpApu, None),
+                (Permutation::ByocCpuApu, Some(9.0)),
+            ],
         );
         assert_eq!(p.best(), Some((Permutation::ByocCpuApu, 9.0)));
     }
@@ -82,7 +93,13 @@ mod tests {
     fn assignment_covers_all_models() {
         let ps = vec![
             profile("a", &[(Permutation::TvmOnly, Some(5.0))]),
-            profile("b", &[(Permutation::ByocCpu, Some(4.0)), (Permutation::ByocApu, Some(2.0))]),
+            profile(
+                "b",
+                &[
+                    (Permutation::ByocCpu, Some(4.0)),
+                    (Permutation::ByocApu, Some(2.0)),
+                ],
+            ),
         ];
         let a = best_assignment(&ps);
         assert_eq!(a["a"], Permutation::TvmOnly);

@@ -26,7 +26,11 @@ pub struct PipelineStage {
 impl PipelineStage {
     /// Convenience constructor.
     pub fn new(name: &str, resources: &[DeviceKind], duration_us: f64) -> Self {
-        PipelineStage { name: name.into(), resources: resources.to_vec(), duration_us }
+        PipelineStage {
+            name: name.into(),
+            resources: resources.to_vec(),
+            duration_us,
+        }
     }
 }
 
@@ -48,6 +52,36 @@ impl ScheduleResult {
     }
 }
 
+/// Record one scheduled stage reservation on the simulated timeline.
+fn record_stage_span(
+    schedule: &str,
+    stage: &str,
+    frame: usize,
+    start_us: f64,
+    end_us: f64,
+    resources: &[DeviceKind],
+) {
+    if !tvmnp_telemetry::is_enabled() {
+        return;
+    }
+    let devices = resources
+        .iter()
+        .map(|d| d.name())
+        .collect::<Vec<_>>()
+        .join("+");
+    tvmnp_telemetry::record_sim_span(
+        "scheduler.stage",
+        start_us,
+        end_us - start_us,
+        vec![
+            ("schedule".to_string(), schedule.to_string()),
+            ("stage".to_string(), stage.to_string()),
+            ("frame".to_string(), frame.to_string()),
+            ("device".to_string(), devices),
+        ],
+    );
+}
+
 /// Sequential baseline: stages of each frame run back-to-back and frames
 /// never overlap (the pre-pipelining execution of §4.4).
 pub fn simulate_sequential(stages: &[PipelineStage], frames: usize) -> ScheduleResult {
@@ -55,12 +89,17 @@ pub fn simulate_sequential(stages: &[PipelineStage], frames: usize) -> ScheduleR
     let mut t = 0.0f64;
     for f in 0..frames {
         for s in stages {
-            let (_, end) =
+            let (start, end) =
                 tl.reserve_joint(&s.resources, t, s.duration_us, format!("{} f{}", s.name, f));
+            record_stage_span("sequential", &s.name, f, start, end, &s.resources);
             t = end;
         }
     }
-    ScheduleResult { makespan_us: tl.makespan_us(), timeline: tl, frames }
+    ScheduleResult {
+        makespan_us: tl.makespan_us(),
+        timeline: tl,
+        frames,
+    }
 }
 
 /// Pipelined schedule: greedy list scheduling honoring intra-frame
@@ -77,13 +116,22 @@ pub fn simulate_pipelined(stages: &[PipelineStage], frames: usize) -> ScheduleRe
             // this stage finished the previous frame (stages are
             // single-instance — one compiled network each).
             let earliest = dep_ready.max(prev_frame_finish[si]);
-            let (_, end) =
-                tl.reserve_joint(&s.resources, earliest, s.duration_us, format!("{} f{}", s.name, f));
+            let (start, end) = tl.reserve_joint(
+                &s.resources,
+                earliest,
+                s.duration_us,
+                format!("{} f{}", s.name, f),
+            );
+            record_stage_span("pipelined", &s.name, f, start, end, &s.resources);
             prev_frame_finish[si] = end;
             dep_ready = end;
         }
     }
-    ScheduleResult { makespan_us: tl.makespan_us(), timeline: tl, frames }
+    ScheduleResult {
+        makespan_us: tl.makespan_us(),
+        timeline: tl,
+        frames,
+    }
 }
 
 /// The assignment of the paper's Fig. 5 prototype:
@@ -97,7 +145,11 @@ pub fn paper_prototype_stages(
 ) -> Vec<PipelineStage> {
     vec![
         PipelineStage::new("obj-det", &[DeviceKind::Cpu], obj_det_us),
-        PipelineStage::new("anti-spoof", &[DeviceKind::Cpu, DeviceKind::Apu], anti_spoof_us),
+        PipelineStage::new(
+            "anti-spoof",
+            &[DeviceKind::Cpu, DeviceKind::Apu],
+            anti_spoof_us,
+        ),
         PipelineStage::new("emotion", &[DeviceKind::Apu], emotion_us),
     ]
 }
@@ -208,12 +260,18 @@ mod tests {
         let r = simulate_pipelined(&s, 4);
         let segs = r.timeline.segments();
         for f in 0..4 {
-            let obj = segs.iter().find(|x| x.label == format!("obj-det f{f}")).unwrap();
+            let obj = segs
+                .iter()
+                .find(|x| x.label == format!("obj-det f{f}"))
+                .unwrap();
             let spoof_segs: Vec<_> = segs
                 .iter()
                 .filter(|x| x.label == format!("anti-spoof f{f}"))
                 .collect();
-            let emo = segs.iter().find(|x| x.label == format!("emotion f{f}")).unwrap();
+            let emo = segs
+                .iter()
+                .find(|x| x.label == format!("emotion f{f}"))
+                .unwrap();
             for sp in &spoof_segs {
                 assert!(sp.start_us >= obj.end_us - 1e-9);
                 assert!(emo.start_us >= sp.end_us - 1e-9);
@@ -243,10 +301,7 @@ mod tests {
         // The paper's insight falls out of the search: obj-det CPU-only
         // wins despite being slower in isolation.
         assert_eq!(chosen[0].resources, vec![DeviceKind::Cpu]);
-        let manual = simulate_pipelined(
-            &paper_prototype_stages(3000.0, 6000.0, 2000.0),
-            8,
-        );
+        let manual = simulate_pipelined(&paper_prototype_stages(3000.0, 6000.0, 2000.0), 8);
         assert!(result.makespan_us <= manual.makespan_us + 1e-6);
     }
 

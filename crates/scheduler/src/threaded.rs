@@ -31,7 +31,11 @@ impl<T> StageSpec<T> {
         resources: &[DeviceKind],
         work: impl Fn(T) -> T + Send + 'static,
     ) -> Self {
-        StageSpec { name: name.into(), resources: resources.to_vec(), work: Box::new(work) }
+        StageSpec {
+            name: name.into(),
+            resources: resources.to_vec(),
+            work: Box::new(work),
+        }
     }
 }
 
@@ -81,13 +85,19 @@ impl PipelineExecutor {
 
         // Channel chain: source -> s0 -> s1 -> ... -> sink. Items carry a
         // sequence number so order is restored at the end.
-        let (src_tx, mut prev_rx): (Sender<(usize, T)>, Receiver<(usize, T)>) = bounded(cap);
+        type Link<T> = (Sender<(usize, T)>, Receiver<(usize, T)>);
+        let (src_tx, mut prev_rx): Link<T> = bounded(cap);
         let mut handles = Vec::new();
         for stage in stages {
             let (tx, rx) = bounded::<(usize, T)>(cap);
             let locks = locks.clone();
             let handle = thread::spawn(move || {
                 while let Ok((seq, item)) = prev_rx.recv() {
+                    let _span = tvmnp_telemetry::span!(
+                        "scheduler.stage",
+                        "stage" => stage.name,
+                        "frame" => seq,
+                    );
                     let out = locks.with_resources(&stage.resources, || (stage.work)(item));
                     if tx.send((seq, out)).is_err() {
                         break;
@@ -112,7 +122,9 @@ impl PipelineExecutor {
         for h in handles {
             h.join().expect("pipeline worker join");
         }
-        out.into_iter().map(|o| o.expect("every frame accounted for")).collect()
+        out.into_iter()
+            .map(|o| o.expect("every frame accounted for"))
+            .collect()
     }
 }
 

@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 use tvmnp_hwsim::DeviceKind;
-use tvmnp_scheduler::pipeline::{auto_schedule, simulate_pipelined, simulate_sequential, PipelineStage};
+use tvmnp_scheduler::pipeline::{
+    auto_schedule, simulate_pipelined, simulate_sequential, PipelineStage,
+};
 
 fn stage_strategy() -> impl Strategy<Value = PipelineStage> {
     (0u8..7, 1.0f64..10_000.0).prop_map(|(mask, dur)| {
@@ -18,7 +20,11 @@ fn stage_strategy() -> impl Strategy<Value = PipelineStage> {
         if mask & 4 != 0 {
             resources.push(DeviceKind::Gpu);
         }
-        PipelineStage { name: "s".into(), resources, duration_us: dur }
+        PipelineStage {
+            name: "s".into(),
+            resources,
+            duration_us: dur,
+        }
     })
 }
 

@@ -1,0 +1,304 @@
+//! Exporters: per-op profile table, Chrome trace-event JSON, and JSONL.
+
+use crate::{Snapshot, SpanEvent, TimeDomain};
+use serde_json::{json, Map, Value};
+use std::collections::BTreeMap;
+
+/// How [`profile_table`] aggregates spans.
+#[derive(Debug, Clone)]
+pub struct ProfileOptions {
+    /// Only aggregate spans with this name (`None` = every span). Rows
+    /// are keyed by the span's `op` attribute (falling back to the span
+    /// name) and its `device` attribute.
+    pub span_name: Option<String>,
+    /// Denominator for the "% of run" column; `None` uses the sum of all
+    /// aggregated rows.
+    pub total_us: Option<f64>,
+}
+
+impl Default for ProfileOptions {
+    fn default() -> Self {
+        ProfileOptions {
+            span_name: Some("executor.node".to_string()),
+            total_us: None,
+        }
+    }
+}
+
+fn arg<'e>(event: &'e SpanEvent, key: &str) -> Option<&'e str> {
+    event
+        .args
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Render the per-op profile table: op name, device, call count, total
+/// microseconds, and share of the run.
+pub fn profile_table(snapshot: &Snapshot, opts: &ProfileOptions) -> String {
+    // (op, device) -> (calls, total_us)
+    let mut rows: BTreeMap<(String, String), (u64, f64)> = BTreeMap::new();
+    for event in &snapshot.events {
+        if let Some(name) = &opts.span_name {
+            if &event.name != name {
+                continue;
+            }
+        }
+        let op = arg(event, "op")
+            .or_else(|| arg(event, "stage"))
+            .unwrap_or(&event.name)
+            .to_string();
+        let device = arg(event, "device").unwrap_or("-").to_string();
+        let entry = rows.entry((op, device)).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 += event.dur_us;
+    }
+    let sum_us: f64 = rows.values().map(|(_, us)| us).sum();
+    let total_us = opts.total_us.unwrap_or(sum_us).max(f64::MIN_POSITIVE);
+
+    let mut sorted: Vec<((String, String), (u64, f64))> = rows.into_iter().collect();
+    // Heaviest ops first; key order breaks exact ties deterministically.
+    sorted.sort_by(|a, b| {
+        b.1 .1
+            .partial_cmp(&a.1 .1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let op_width = sorted
+        .iter()
+        .map(|((op, _), _)| op.len())
+        .chain(["op".len(), "total".len()])
+        .max()
+        .unwrap_or(2)
+        .max(2);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<op_width$}  {:<8}  {:>7}  {:>12}  {:>8}\n",
+        "op", "device", "calls", "total_us", "% of run"
+    ));
+    for ((op, device), (calls, us)) in &sorted {
+        out.push_str(&format!(
+            "{:<op_width$}  {:<8}  {:>7}  {:>12.2}  {:>7.1}%\n",
+            op,
+            device,
+            calls,
+            us,
+            100.0 * us / total_us
+        ));
+    }
+    out.push_str(&format!(
+        "{:<op_width$}  {:<8}  {:>7}  {:>12.2}  {:>7.1}%\n",
+        "total",
+        "",
+        sorted.iter().map(|(_, (c, _))| c).sum::<u64>(),
+        sum_us,
+        100.0 * sum_us / total_us
+    ));
+    out
+}
+
+fn domain_pid(domain: TimeDomain) -> u64 {
+    match domain {
+        TimeDomain::Wall => 1,
+        TimeDomain::Sim => 2,
+    }
+}
+
+/// Render the snapshot as a Chrome trace-event JSON document, loadable in
+/// Perfetto or `chrome://tracing`.
+///
+/// Wall-clock spans appear under the `wall-clock` process (pid 1) and
+/// simulated-time spans under `simulated-time` (pid 2), so both timelines
+/// coexist in one trace without mixing clocks. Output is deterministic:
+/// events are sorted by (pid, tid, ts, name) and all objects use sorted
+/// keys.
+pub fn chrome_trace(snapshot: &Snapshot) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+    let mut pids: Vec<u64> = snapshot
+        .events
+        .iter()
+        .map(|e| domain_pid(e.domain))
+        .collect();
+    pids.sort_unstable();
+    pids.dedup();
+    for pid in &pids {
+        let process = if *pid == 1 {
+            "wall-clock"
+        } else {
+            "simulated-time"
+        };
+        events.push(json!({
+            "args": json!({ "name": process }),
+            "cat": "__metadata",
+            "name": "process_name",
+            "ph": "M",
+            "pid": *pid,
+            "tid": 0u64,
+            "ts": 0.0
+        }));
+    }
+
+    let mut spans: Vec<&SpanEvent> = snapshot.events.iter().collect();
+    spans.sort_by(|a, b| {
+        (domain_pid(a.domain), a.tid)
+            .cmp(&(domain_pid(b.domain), b.tid))
+            .then(
+                a.ts_us
+                    .partial_cmp(&b.ts_us)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    for span in spans {
+        let mut args = Map::new();
+        for (k, v) in &span.args {
+            args.insert(k.clone(), Value::String(v.clone()));
+        }
+        // Category = dotted-name prefix, so Perfetto can filter per layer.
+        let cat = span.name.split('.').next().unwrap_or("span");
+        events.push(json!({
+            "args": Value::Object(args),
+            "cat": cat,
+            "dur": span.dur_us,
+            "name": span.name.clone(),
+            "ph": "X",
+            "pid": domain_pid(span.domain),
+            "tid": span.tid,
+            "ts": span.ts_us
+        }));
+    }
+    json!({ "displayTimeUnit": "ms", "traceEvents": Value::Array(events) })
+}
+
+/// Serialize the snapshot's Chrome trace to `path`.
+pub fn write_chrome_trace(snapshot: &Snapshot, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace(snapshot).to_string())
+}
+
+/// Render the snapshot as JSON Lines: one `{"type":"span",...}` object
+/// per span, then one `{"type":"metric",...}` object per metric.
+pub fn jsonl(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for event in &snapshot.events {
+        let mut obj = match serde_json::to_value(event).expect("span serializes") {
+            Value::Object(m) => m,
+            _ => unreachable!("SpanEvent serializes to an object"),
+        };
+        obj.insert("type".to_string(), Value::String("span".to_string()));
+        out.push_str(&Value::Object(obj).to_string());
+        out.push('\n');
+    }
+    for (key, value) in &snapshot.metrics {
+        let line = json!({
+            "type": "metric",
+            "key": key.to_string(),
+            "value": serde_json::to_value(value).expect("metric serializes")
+        });
+        out.push_str(&line.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricKey;
+    use crate::MetricValue;
+
+    fn sim_event(name: &str, ts: f64, dur: f64, args: &[(&str, &str)]) -> SpanEvent {
+        SpanEvent {
+            name: name.to_string(),
+            ts_us: ts,
+            dur_us: dur,
+            tid: 0,
+            domain: TimeDomain::Sim,
+            args: args
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            events: vec![
+                sim_event(
+                    "executor.node",
+                    0.0,
+                    30.0,
+                    &[("op", "conv2d"), ("device", "apu")],
+                ),
+                sim_event(
+                    "executor.node",
+                    30.0,
+                    30.0,
+                    &[("op", "conv2d"), ("device", "apu")],
+                ),
+                sim_event(
+                    "executor.node",
+                    60.0,
+                    40.0,
+                    &[("op", "softmax"), ("device", "cpu")],
+                ),
+                sim_event("executor.run", 0.0, 100.0, &[]),
+            ],
+            metrics: vec![(
+                MetricKey::new("executor.nodes", &[("device", "apu")]),
+                MetricValue::Counter(2),
+            )],
+        }
+    }
+
+    #[test]
+    fn profile_table_aggregates_and_ranks() {
+        let table = profile_table(
+            &sample_snapshot(),
+            &ProfileOptions {
+                total_us: Some(100.0),
+                ..Default::default()
+            },
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4, "header + 2 rows + total:\n{table}");
+        assert!(lines[0].contains("op") && lines[0].contains("% of run"));
+        // conv2d (60 µs) outranks softmax (40 µs); executor.run filtered out.
+        assert!(lines[1].starts_with("conv2d"), "{table}");
+        assert!(lines[1].contains("apu") && lines[1].contains('2') && lines[1].contains("60.0"));
+        assert!(lines[2].starts_with("softmax"), "{table}");
+        assert!(
+            lines[3].starts_with("total") && lines[3].contains("100.0"),
+            "{table}"
+        );
+    }
+
+    #[test]
+    fn jsonl_one_object_per_line() {
+        let text = jsonl(&sample_snapshot());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for line in &lines[..4] {
+            let v: Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v["type"].as_str(), Some("span"));
+            assert!(v["dur_us"].as_f64().is_some());
+        }
+        let metric: Value = serde_json::from_str(lines[4]).unwrap();
+        assert_eq!(metric["type"].as_str(), Some("metric"));
+        assert_eq!(metric["key"].as_str(), Some("executor.nodes{device=apu}"));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let doc = chrome_trace(&sample_snapshot());
+        let events = doc["traceEvents"].as_array().unwrap();
+        // 1 process_name metadata (sim only) + 4 spans.
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0]["ph"].as_str(), Some("M"));
+        for e in &events[1..] {
+            assert_eq!(e["ph"].as_str(), Some("X"));
+            assert_eq!(e["pid"].as_u64(), Some(2));
+            assert!(e["ts"].as_f64().is_some() && e["dur"].as_f64().is_some());
+            assert!(e["tid"].as_u64().is_some());
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Lightweight observability for the TVM + NeuroPilot reproduction.
+//!
+//! Three pieces, all reachable through a process-global collector:
+//!
+//! * **Spans** — [`span!`] opens an RAII guard that records a named,
+//!   attribute-tagged interval when dropped. Wall-clock spans time real
+//!   work (pass pipelines, codegen, imports); *simulated-time* spans are
+//!   recorded explicitly via [`record_sim_span`] with timestamps taken
+//!   from the hwsim cost model, so a trace of a simulated run lines up on
+//!   the simulated timeline rather than host wall time.
+//! * **Metrics** — counters, gauges, and fixed-bucket histograms keyed by
+//!   name plus sorted labels, e.g. `executor.node_us{device=apu,kernel=conv2d}`
+//!   (see [`metrics`]).
+//! * **Exporters** — a per-op profile table, Chrome trace-event JSON
+//!   (loadable in Perfetto / `chrome://tracing`), and JSONL (see
+//!   [`export`]).
+//!
+//! Collection is disabled by default: every instrumentation point first
+//! checks an atomic flag, so the instrumented hot paths cost one relaxed
+//! load when telemetry is off. Bench binaries flip it on for `--profile`
+//! / `--trace-out`.
+
+pub mod export;
+pub mod metrics;
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+pub use export::{chrome_trace, jsonl, profile_table, write_chrome_trace, ProfileOptions};
+pub use metrics::{counter_add, gauge_set, histogram_observe, MetricKey, MetricValue};
+
+/// Which clock a span's timestamps come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TimeDomain {
+    /// Host wall clock, microseconds since [`reset`] (or first use).
+    Wall,
+    /// Simulated time from the hwsim cost model, microseconds since the
+    /// start of the simulated run.
+    Sim,
+}
+
+/// One recorded span interval.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpanEvent {
+    /// Dotted span name, e.g. `byoc.partition` or `executor.node`.
+    pub name: String,
+    /// Start timestamp in microseconds within `domain`.
+    pub ts_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Dense per-process thread index (0 = first thread seen).
+    pub tid: u64,
+    /// Clock the timestamps belong to.
+    pub domain: TimeDomain,
+    /// Attribute key/value pairs, in the order given at the span site.
+    pub args: Vec<(String, String)>,
+}
+
+struct Collector {
+    events: Vec<SpanEvent>,
+    /// Dense thread ids, assigned in order of each thread's first event.
+    thread_ids: HashMap<ThreadId, u64>,
+    epoch: Instant,
+}
+
+impl Collector {
+    fn tid(&mut self) -> u64 {
+        let next = self.thread_ids.len() as u64;
+        *self
+            .thread_ids
+            .entry(std::thread::current().id())
+            .or_insert(next)
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn collector() -> &'static Mutex<Collector> {
+    static COLLECTOR: std::sync::OnceLock<Mutex<Collector>> = std::sync::OnceLock::new();
+    COLLECTOR.get_or_init(|| {
+        Mutex::new(Collector {
+            events: Vec::new(),
+            thread_ids: HashMap::new(),
+            epoch: Instant::now(),
+        })
+    })
+}
+
+/// Turn collection on. Spans and metrics recorded while disabled are
+/// dropped at the instrumentation site.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Turn collection off.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Whether collection is currently on (one relaxed atomic load).
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clear all recorded spans and metrics and re-anchor the wall-clock
+/// epoch at "now". Does not change the enabled flag.
+pub fn reset() {
+    let mut c = collector().lock();
+    c.events.clear();
+    c.thread_ids.clear();
+    c.epoch = Instant::now();
+    metrics::reset();
+}
+
+/// Everything recorded so far, for handing to the exporters.
+#[derive(Debug, Clone, Serialize)]
+pub struct Snapshot {
+    /// Recorded spans, in completion order.
+    pub events: Vec<SpanEvent>,
+    /// Metrics, sorted by key.
+    pub metrics: Vec<(MetricKey, MetricValue)>,
+}
+
+/// Copy out the recorded spans and metrics.
+pub fn snapshot() -> Snapshot {
+    let events = collector().lock().events.clone();
+    Snapshot {
+        events,
+        metrics: metrics::snapshot(),
+    }
+}
+
+/// Record a span on the simulated timeline with explicit timestamps
+/// (microseconds of simulated time). No-op while disabled.
+pub fn record_sim_span(name: &str, ts_us: f64, dur_us: f64, args: Vec<(String, String)>) {
+    if !is_enabled() {
+        return;
+    }
+    let mut c = collector().lock();
+    let tid = c.tid();
+    c.events.push(SpanEvent {
+        name: name.to_string(),
+        ts_us,
+        dur_us,
+        tid,
+        domain: TimeDomain::Sim,
+        args,
+    });
+}
+
+/// RAII wall-clock span; records an event when dropped. Construct through
+/// the [`span!`] macro, which skips argument formatting while disabled.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    name: String,
+    args: Vec<(String, String)>,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Open a live span (collection was enabled at entry).
+    pub fn enter(name: &str, args: Vec<(String, String)>) -> SpanGuard {
+        SpanGuard {
+            active: Some(ActiveSpan {
+                name: name.to_string(),
+                args,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// A guard that records nothing.
+    pub fn disabled() -> SpanGuard {
+        SpanGuard { active: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(span) = self.active.take() else {
+            return;
+        };
+        // Still record if telemetry was disabled mid-span: the guard was
+        // opened under an enabled collector, so the interval is wanted.
+        let dur_us = span.start.elapsed().as_secs_f64() * 1e6;
+        let mut c = collector().lock();
+        let ts_us = span.start.duration_since(c.epoch).as_secs_f64() * 1e6;
+        let tid = c.tid();
+        c.events.push(SpanEvent {
+            name: span.name,
+            ts_us,
+            dur_us,
+            tid,
+            domain: TimeDomain::Wall,
+            args: span.args,
+        });
+    }
+}
+
+/// Open a wall-clock span guard for the enclosing scope.
+///
+/// ```
+/// let _g = tvmnp_telemetry::span!("byoc.partition");
+/// let _g = tvmnp_telemetry::span!("executor.node", "op" => "conv2d", "device" => "apu");
+/// ```
+///
+/// Attribute values are formatted with `Display` only when collection is
+/// enabled; otherwise the macro costs one atomic load.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $k:literal => $v:expr)* $(,)?) => {
+        if $crate::is_enabled() {
+            $crate::SpanGuard::enter(
+                $name,
+                ::std::vec![$((::std::string::String::from($k), ::std::format!("{}", $v))),*],
+            )
+        } else {
+            $crate::SpanGuard::disabled()
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tests share the process-global collector, so serialize them.
+    pub(crate) fn lock_global() -> parking_lot::MutexGuard<'static, ()> {
+        static TEST_LOCK: Mutex<()> = Mutex::new(());
+        TEST_LOCK.lock()
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _l = lock_global();
+        disable();
+        reset();
+        {
+            let _g = span!("unseen", "k" => 1);
+        }
+        record_sim_span("unseen.sim", 0.0, 1.0, vec![]);
+        assert!(snapshot().events.is_empty());
+    }
+
+    #[test]
+    fn span_nesting_orders_by_completion() {
+        let _l = lock_global();
+        enable();
+        reset();
+        {
+            let _outer = span!("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span!("inner", "depth" => 2);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        disable();
+        let snap = snapshot();
+        assert_eq!(snap.events.len(), 2);
+        // Inner drops first; outer must fully contain it on the timeline.
+        let inner = &snap.events[0];
+        let outer = &snap.events[1];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(outer.name, "outer");
+        assert!(outer.ts_us <= inner.ts_us);
+        assert!(outer.ts_us + outer.dur_us >= inner.ts_us + inner.dur_us);
+        assert_eq!(inner.args, vec![("depth".to_string(), "2".to_string())]);
+    }
+
+    #[test]
+    fn spans_are_thread_safe_and_tids_dense() {
+        let _l = lock_global();
+        enable();
+        reset();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                s.spawn(move || {
+                    for i in 0..8 {
+                        let _g = span!("worker", "t" => t, "i" => i);
+                    }
+                });
+            }
+        });
+        disable();
+        let snap = snapshot();
+        assert_eq!(snap.events.len(), 32);
+        let mut tids: Vec<u64> = snap.events.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 4, "one dense tid per thread");
+        assert!(*tids.iter().max().unwrap() < 4);
+    }
+
+    #[test]
+    fn sim_spans_keep_explicit_timestamps() {
+        let _l = lock_global();
+        enable();
+        reset();
+        record_sim_span(
+            "executor.node",
+            10.0,
+            5.5,
+            vec![("op".into(), "conv2d".into())],
+        );
+        disable();
+        let snap = snapshot();
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].domain, TimeDomain::Sim);
+        assert_eq!(snap.events[0].ts_us, 10.0);
+        assert_eq!(snap.events[0].dur_us, 5.5);
+    }
+}

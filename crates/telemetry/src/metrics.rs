@@ -1,0 +1,234 @@
+//! Metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! Every metric is keyed by a name plus a sorted label set and renders as
+//! `name{k=v,...}`, e.g. `executor.node_us{device=apu,kernel=conv2d}`.
+//! Recording is a no-op while the collector is disabled.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Default histogram buckets for microsecond timings (upper bounds; an
+/// implicit +Inf overflow bucket follows the last).
+pub const DEFAULT_US_BUCKETS: &[f64] = &[
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0, 10_000.0,
+    20_000.0, 50_000.0, 100_000.0,
+];
+
+/// Metric identity: name plus sorted labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub struct MetricKey {
+    /// Metric name, e.g. `executor.node_us`.
+    pub name: String,
+    /// Label set, sorted by key.
+    pub labels: BTreeMap<String, String>,
+}
+
+impl MetricKey {
+    /// Build a key from a label slice (order-insensitive).
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        MetricKey {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for MetricKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)?;
+        if !self.labels.is_empty() {
+            f.write_str("{")?;
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write!(f, "{k}={v}")?;
+            }
+            f.write_str("}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Current value of one metric.
+#[derive(Debug, Clone, Serialize)]
+pub enum MetricValue {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Last-set gauge.
+    Gauge(f64),
+    /// Fixed-bucket histogram.
+    Histogram(Histogram),
+}
+
+/// Fixed-bucket histogram state.
+#[derive(Debug, Clone, Serialize)]
+pub struct Histogram {
+    /// Bucket upper bounds (inclusive).
+    pub buckets: Vec<f64>,
+    /// Per-bucket counts; one extra trailing slot counts overflow (+Inf).
+    pub counts: Vec<u64>,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl Histogram {
+    fn new(buckets: &[f64]) -> Histogram {
+        Histogram {
+            buckets: buckets.to_vec(),
+            counts: vec![0; buckets.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self
+            .buckets
+            .iter()
+            .position(|&ub| value <= ub)
+            .unwrap_or(self.buckets.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Mean of observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+static REGISTRY: Mutex<BTreeMap<MetricKey, MetricValue>> = Mutex::new(BTreeMap::new());
+
+/// Add `delta` to a counter (created at 0 on first use). No-op while
+/// collection is disabled.
+pub fn counter_add(name: &str, labels: &[(&str, &str)], delta: u64) {
+    if !crate::is_enabled() {
+        return;
+    }
+    let key = MetricKey::new(name, labels);
+    let mut reg = REGISTRY.lock();
+    match reg.entry(key).or_insert(MetricValue::Counter(0)) {
+        MetricValue::Counter(c) => *c += delta,
+        other => *other = MetricValue::Counter(delta),
+    }
+}
+
+/// Set a gauge to `value`. No-op while collection is disabled.
+pub fn gauge_set(name: &str, labels: &[(&str, &str)], value: f64) {
+    if !crate::is_enabled() {
+        return;
+    }
+    let key = MetricKey::new(name, labels);
+    REGISTRY.lock().insert(key, MetricValue::Gauge(value));
+}
+
+/// Observe `value` in a histogram with [`DEFAULT_US_BUCKETS`]. No-op
+/// while collection is disabled.
+pub fn histogram_observe(name: &str, labels: &[(&str, &str)], value: f64) {
+    histogram_observe_with_buckets(name, labels, value, DEFAULT_US_BUCKETS);
+}
+
+/// Observe `value` in a histogram with caller-chosen fixed buckets
+/// (used on first creation; later observations reuse the existing
+/// buckets). No-op while collection is disabled.
+pub fn histogram_observe_with_buckets(
+    name: &str,
+    labels: &[(&str, &str)],
+    value: f64,
+    buckets: &[f64],
+) {
+    if !crate::is_enabled() {
+        return;
+    }
+    let key = MetricKey::new(name, labels);
+    let mut reg = REGISTRY.lock();
+    let entry = reg
+        .entry(key)
+        .or_insert_with(|| MetricValue::Histogram(Histogram::new(buckets)));
+    match entry {
+        MetricValue::Histogram(h) => h.observe(value),
+        other => {
+            let mut h = Histogram::new(buckets);
+            h.observe(value);
+            *other = MetricValue::Histogram(h);
+        }
+    }
+}
+
+/// All metrics, sorted by key.
+pub fn snapshot() -> Vec<(MetricKey, MetricValue)> {
+    REGISTRY
+        .lock()
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect()
+}
+
+pub(crate) fn reset() {
+    REGISTRY.lock().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucketing() {
+        let _l = crate::tests::lock_global();
+        crate::enable();
+        crate::reset();
+        let buckets = [1.0, 10.0, 100.0];
+        for v in [0.5, 1.0, 3.0, 10.0, 99.0, 100.5, 1e6] {
+            histogram_observe_with_buckets("t_us", &[("k", "v")], v, &buckets);
+        }
+        crate::disable();
+        let snap = snapshot();
+        let (key, value) = &snap[0];
+        assert_eq!(key.to_string(), "t_us{k=v}");
+        let MetricValue::Histogram(h) = value else {
+            panic!("expected histogram")
+        };
+        // <=1: {0.5, 1.0}; <=10: {3.0, 10.0}; <=100: {99.0}; overflow: {100.5, 1e6}.
+        assert_eq!(h.counts, vec![2, 2, 1, 2]);
+        assert_eq!(h.count, 7);
+        assert!((h.sum - (0.5 + 1.0 + 3.0 + 10.0 + 99.0 + 100.5 + 1e6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_and_gauges() {
+        let _l = crate::tests::lock_global();
+        crate::enable();
+        crate::reset();
+        counter_add("runs", &[], 1);
+        counter_add("runs", &[], 2);
+        gauge_set("util", &[("device", "apu")], 0.75);
+        crate::disable();
+        // Disabled: must not record.
+        counter_add("runs", &[], 100);
+        let snap = snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(matches!(snap[0].1, MetricValue::Counter(3)));
+        assert_eq!(snap[1].0.to_string(), "util{device=apu}");
+        assert!(matches!(snap[1].1, MetricValue::Gauge(v) if v == 0.75));
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let a = MetricKey::new("m", &[("b", "2"), ("a", "1")]);
+        let b = MetricKey::new("m", &[("a", "1"), ("b", "2")]);
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "m{a=1,b=2}");
+    }
+}

@@ -20,18 +20,32 @@ pub struct Conv2dParams {
 
 impl Default for Conv2dParams {
     fn default() -> Self {
-        Conv2dParams { strides: (1, 1), padding: (0, 0, 0, 0), dilation: (1, 1), groups: 1 }
+        Conv2dParams {
+            strides: (1, 1),
+            padding: (0, 0, 0, 0),
+            dilation: (1, 1),
+            groups: 1,
+        }
     }
 }
 
 impl Conv2dParams {
     /// Unit-stride convolution with symmetric "same"-style padding.
     pub fn same(pad: usize) -> Self {
-        Conv2dParams { padding: (pad, pad, pad, pad), ..Default::default() }
+        Conv2dParams {
+            padding: (pad, pad, pad, pad),
+            ..Default::default()
+        }
     }
 
     /// Output spatial size for an input `(h, w)` and kernel `(kh, kw)`.
-    pub fn out_hw(&self, h: usize, w: usize, kh: usize, kw: usize) -> Result<(usize, usize), KernelError> {
+    pub fn out_hw(
+        &self,
+        h: usize,
+        w: usize,
+        kh: usize,
+        kw: usize,
+    ) -> Result<(usize, usize), KernelError> {
         let (pt, pl, pb, pr) = self.padding;
         let eff_kh = (kh - 1) * self.dilation.0 + 1;
         let eff_kw = (kw - 1) * self.dilation.1 + 1;
@@ -42,7 +56,10 @@ impl Conv2dParams {
                 "conv2d kernel {eff_kh}x{eff_kw} larger than padded input {ih}x{iw}"
             )));
         }
-        Ok(((ih - eff_kh) / self.strides.0 + 1, (iw - eff_kw) / self.strides.1 + 1))
+        Ok((
+            (ih - eff_kh) / self.strides.0 + 1,
+            (iw - eff_kw) / self.strides.1 + 1,
+        ))
     }
 }
 
@@ -68,7 +85,9 @@ pub fn conv2d_f32(
     let (oc, wic, kh, kw) = (wshape[0], wshape[1], wshape[2], wshape[3]);
     let groups = params.groups;
     if groups == 0 || c % groups != 0 || oc % groups != 0 {
-        return Err(kerr(format!("conv2d groups {groups} incompatible with C={c}, O={oc}")));
+        return Err(kerr(format!(
+            "conv2d groups {groups} incompatible with C={c}, O={oc}"
+        )));
     }
     if wic != c / groups {
         return Err(kerr(format!(
@@ -85,7 +104,10 @@ pub fn conv2d_f32(
     };
     if let Some(b) = b {
         if b.len() != oc {
-            return Err(kerr(format!("conv2d bias length {} != out channels {oc}", b.len())));
+            return Err(kerr(format!(
+                "conv2d bias length {} != out channels {oc}",
+                b.len()
+            )));
         }
     }
 
@@ -97,37 +119,39 @@ pub fn conv2d_f32(
 
     let mut out = vec![0.0f32; n * oc * oh * ow];
     // One output image plane (fixed n, fixed oc) per parallel task.
-    out.par_chunks_mut(oh * ow).enumerate().for_each(|(plane, out_plane)| {
-        let ni = plane / oc;
-        let o = plane % oc;
-        let g = o / og;
-        let bias_v = b.map(|b| b[o]).unwrap_or(0.0);
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc = bias_v;
-                for ic in 0..cg {
-                    let in_c = g * cg + ic;
-                    let x_base = ((ni * c + in_c) * h) * w;
-                    let w_base = ((o * cg + ic) * kh) * kw;
-                    for ky in 0..kh {
-                        let iy = (oy * sh + ky * dh) as isize - pt as isize;
-                        if iy < 0 || iy as usize >= h {
-                            continue;
-                        }
-                        for kx in 0..kw {
-                            let ix = (ox * sw + kx * dw) as isize - pl as isize;
-                            if ix < 0 || ix as usize >= w {
+    out.par_chunks_mut(oh * ow)
+        .enumerate()
+        .for_each(|(plane, out_plane)| {
+            let ni = plane / oc;
+            let o = plane % oc;
+            let g = o / og;
+            let bias_v = b.map(|b| b[o]).unwrap_or(0.0);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias_v;
+                    for ic in 0..cg {
+                        let in_c = g * cg + ic;
+                        let x_base = ((ni * c + in_c) * h) * w;
+                        let w_base = ((o * cg + ic) * kh) * kw;
+                        for ky in 0..kh {
+                            let iy = (oy * sh + ky * dh) as isize - pt as isize;
+                            if iy < 0 || iy as usize >= h {
                                 continue;
                             }
-                            acc += x[x_base + iy as usize * w + ix as usize]
-                                * wt[w_base + ky * kw + kx];
+                            for kx in 0..kw {
+                                let ix = (ox * sw + kx * dw) as isize - pl as isize;
+                                if ix < 0 || ix as usize >= w {
+                                    continue;
+                                }
+                                acc += x[x_base + iy as usize * w + ix as usize]
+                                    * wt[w_base + ky * kw + kx];
+                            }
                         }
                     }
+                    out_plane[oy * ow + ox] = acc;
                 }
-                out_plane[oy * ow + ox] = acc;
             }
-        }
-    });
+        });
 
     Tensor::from_f32([n, oc, oh, ow], out).map_err(|e| kerr(e.to_string()))
 }
@@ -171,7 +195,10 @@ mod tests {
     fn stride_two() {
         let x = t4([1, 1, 4, 4], (0..16).map(|v| v as f32).collect());
         let w = t4([1, 1, 1, 1], vec![1.0]);
-        let p = Conv2dParams { strides: (2, 2), ..Default::default() };
+        let p = Conv2dParams {
+            strides: (2, 2),
+            ..Default::default()
+        };
         let y = conv2d_f32(&x, &w, None, &p).unwrap();
         assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
         assert_eq!(y.as_f32().unwrap(), &[0.0, 2.0, 8.0, 10.0]);
@@ -193,7 +220,10 @@ mod tests {
         // groups = C: each channel convolved independently.
         let x = t4([1, 2, 2, 2], vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
         let w = t4([2, 1, 2, 2], vec![1.0; 8]);
-        let p = Conv2dParams { groups: 2, ..Default::default() };
+        let p = Conv2dParams {
+            groups: 2,
+            ..Default::default()
+        };
         let y = conv2d_f32(&x, &w, None, &p).unwrap();
         assert_eq!(y.as_f32().unwrap(), &[4.0, 8.0]);
     }
@@ -203,7 +233,10 @@ mod tests {
         // Dilated 2x2 kernel with d=2 covers a 3x3 receptive field.
         let x = t4([1, 1, 3, 3], (1..=9).map(|v| v as f32).collect());
         let w = t4([1, 1, 2, 2], vec![1.0; 4]);
-        let p = Conv2dParams { dilation: (2, 2), ..Default::default() };
+        let p = Conv2dParams {
+            dilation: (2, 2),
+            ..Default::default()
+        };
         let y = conv2d_f32(&x, &w, None, &p).unwrap();
         // Corners of the 3x3 image: 1 + 3 + 7 + 9 = 20.
         assert_eq!(y.as_f32().unwrap(), &[20.0]);
@@ -213,7 +246,10 @@ mod tests {
     fn rejects_bad_groups() {
         let x = t4([1, 3, 2, 2], vec![0.0; 12]);
         let w = t4([4, 1, 1, 1], vec![0.0; 4]);
-        let p = Conv2dParams { groups: 2, ..Default::default() };
+        let p = Conv2dParams {
+            groups: 2,
+            ..Default::default()
+        };
         assert!(conv2d_f32(&x, &w, None, &p).is_err());
     }
 

@@ -7,16 +7,24 @@ use crate::tensor::Tensor;
 use rayon::prelude::*;
 
 /// Float dense: `input [n, k] × weight [units, k] (+ bias [units]) → [n, units]`.
-pub fn dense_f32(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Tensor, KernelError> {
+pub fn dense_f32(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+) -> Result<Tensor, KernelError> {
     let ishape = input.shape().dims();
     let wshape = weight.shape().dims();
     if ishape.len() != 2 || wshape.len() != 2 {
-        return Err(kerr(format!("dense expects rank-2 operands, got {ishape:?} / {wshape:?}")));
+        return Err(kerr(format!(
+            "dense expects rank-2 operands, got {ishape:?} / {wshape:?}"
+        )));
     }
     let (n, k) = (ishape[0], ishape[1]);
     let (units, wk) = (wshape[0], wshape[1]);
     if k != wk {
-        return Err(kerr(format!("dense reduction mismatch: input k={k}, weight k={wk}")));
+        return Err(kerr(format!(
+            "dense reduction mismatch: input k={k}, weight k={wk}"
+        )));
     }
     let x = input.as_f32().map_err(|e| kerr(e.to_string()))?;
     let wt = weight.as_f32().map_err(|e| kerr(e.to_string()))?;
@@ -24,24 +32,29 @@ pub fn dense_f32(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Resu
         Some(t) => {
             let b = t.as_f32().map_err(|e| kerr(e.to_string()))?;
             if b.len() != units {
-                return Err(kerr(format!("dense bias length {} != units {units}", b.len())));
+                return Err(kerr(format!(
+                    "dense bias length {} != units {units}",
+                    b.len()
+                )));
             }
             Some(b)
         }
         None => None,
     };
     let mut out = vec![0.0f32; n * units];
-    out.par_chunks_mut(units).enumerate().for_each(|(row, out_row)| {
-        let x_row = &x[row * k..(row + 1) * k];
-        for (u, o) in out_row.iter_mut().enumerate() {
-            let w_row = &wt[u * k..(u + 1) * k];
-            let mut acc = b.map(|b| b[u]).unwrap_or(0.0);
-            for i in 0..k {
-                acc += x_row[i] * w_row[i];
+    out.par_chunks_mut(units)
+        .enumerate()
+        .for_each(|(row, out_row)| {
+            let x_row = &x[row * k..(row + 1) * k];
+            for (u, o) in out_row.iter_mut().enumerate() {
+                let w_row = &wt[u * k..(u + 1) * k];
+                let mut acc = b.map(|b| b[u]).unwrap_or(0.0);
+                for i in 0..k {
+                    acc += x_row[i] * w_row[i];
+                }
+                *o = acc;
             }
-            *o = acc;
-        }
-    });
+        });
     Tensor::from_f32([n, units], out).map_err(|e| kerr(e.to_string()))
 }
 
@@ -81,18 +94,20 @@ pub fn qdense(
     );
     let zo = output_q.zero_point;
     let mut out = vec![0i32; n * units];
-    out.par_chunks_mut(units).enumerate().for_each(|(row, out_row)| {
-        let x_row = &x[row * k..(row + 1) * k];
-        for (u, o) in out_row.iter_mut().enumerate() {
-            let w_row = &wt[u * k..(u + 1) * k];
-            let mut acc: i64 = b.map(|b| b[u]).unwrap_or(0) as i64;
-            for i in 0..k {
-                acc += (x_row[i] - zx) as i64 * (w_row[i] - zw) as i64;
+    out.par_chunks_mut(units)
+        .enumerate()
+        .for_each(|(row, out_row)| {
+            let x_row = &x[row * k..(row + 1) * k];
+            for (u, o) in out_row.iter_mut().enumerate() {
+                let w_row = &wt[u * k..(u + 1) * k];
+                let mut acc: i64 = b.map(|b| b[u]).unwrap_or(0) as i64;
+                for i in 0..k {
+                    acc += (x_row[i] - zx) as i64 * (w_row[i] - zw) as i64;
+                }
+                let acc32 = acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+                *o = requantize_value(acc32, fpm, zo, out_dtype);
             }
-            let acc32 = acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
-            *o = requantize_value(acc32, fpm, zo, out_dtype);
-        }
-    });
+        });
     Tensor::from_int_values([n, units], &out, out_dtype, Some(output_q))
         .map_err(|e| kerr(e.to_string()))
 }
@@ -136,7 +151,11 @@ mod tests {
         let xq = xf.quantize(qx, DType::U8).unwrap();
         let wq = wf.quantize(qw, DType::I8).unwrap();
         let yref = dense_f32(&xq.to_f32(), &wq.to_f32(), None).unwrap();
-        let absmax = yref.as_f32().unwrap().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let absmax = yref
+            .as_f32()
+            .unwrap()
+            .iter()
+            .fold(0.0f32, |m, v| m.max(v.abs()));
         let qy = QuantParams::from_range(-absmax, absmax, DType::I8);
         let yq = qdense(&xq, &wq, None, qx, qw, qy, DType::I8).unwrap();
         assert!(yq.to_f32().max_abs_diff(&yref) <= qy.scale * 1.01);
@@ -146,8 +165,9 @@ mod tests {
     fn qdense_zero_maps_to_zero_point() {
         let q = QuantParams::new(0.1, 7);
         let x = Tensor::from_int_values([1, 4], &[7; 4], DType::I8, Some(q)).unwrap();
-        let w = Tensor::from_int_values([3, 4], &[5; 12], DType::I8, Some(QuantParams::new(0.1, 0)))
-            .unwrap();
+        let w =
+            Tensor::from_int_values([3, 4], &[5; 12], DType::I8, Some(QuantParams::new(0.1, 0)))
+                .unwrap();
         let qy = QuantParams::new(0.2, -3);
         let y = qdense(&x, &w, None, q, QuantParams::new(0.1, 0), qy, DType::I8).unwrap();
         assert!(y.iter_int().all(|v| v == -3));

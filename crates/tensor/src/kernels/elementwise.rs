@@ -60,7 +60,12 @@ impl UnaryOp {
 /// activations); other ops go through dequantize → op → requantize.
 pub fn unary(input: &Tensor, op: UnaryOp) -> Result<Tensor, KernelError> {
     if input.dtype().is_float() {
-        let v: Vec<f32> = input.as_f32().unwrap().iter().map(|&x| op.eval(x)).collect();
+        let v: Vec<f32> = input
+            .as_f32()
+            .unwrap()
+            .iter()
+            .map(|&x| op.eval(x))
+            .collect();
         return Tensor::from_f32(input.shape().clone(), v).map_err(|e| kerr(e.to_string()));
     }
     let qp = input
@@ -180,7 +185,8 @@ pub fn qadd(
         let q = ((ra + rb) / out_q.scale).round() as i64 + out_q.zero_point as i64;
         *o = q.clamp(lo as i64, hi as i64) as i32;
     }
-    Tensor::from_int_values(out_shape, &out, out_dtype, Some(out_q)).map_err(|e| kerr(e.to_string()))
+    Tensor::from_int_values(out_shape, &out, out_dtype, Some(out_q))
+        .map_err(|e| kerr(e.to_string()))
 }
 
 /// Maps a flat output index back to a flat input index under broadcasting.
@@ -222,9 +228,15 @@ mod tests {
     #[test]
     fn relu6_and_clip() {
         let x = Tensor::from_f32([3], vec![-1.0, 3.0, 9.0]).unwrap();
-        assert_eq!(unary(&x, UnaryOp::Relu6).unwrap().as_f32().unwrap(), &[0.0, 3.0, 6.0]);
         assert_eq!(
-            unary(&x, UnaryOp::Clip(-0.5, 4.0)).unwrap().as_f32().unwrap(),
+            unary(&x, UnaryOp::Relu6).unwrap().as_f32().unwrap(),
+            &[0.0, 3.0, 6.0]
+        );
+        assert_eq!(
+            unary(&x, UnaryOp::Clip(-0.5, 4.0))
+                .unwrap()
+                .as_f32()
+                .unwrap(),
             &[-0.5, 3.0, 4.0]
         );
     }

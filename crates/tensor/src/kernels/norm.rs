@@ -63,10 +63,10 @@ pub fn bias_add(input: &Tensor, bias: &Tensor) -> Result<Tensor, KernelError> {
     let inner: usize = dims[2..].iter().product();
     let mut out = vec![0.0f32; x.len()];
     for ni in 0..dims[0] {
-        for ci in 0..c {
+        for (ci, bias) in b.iter().enumerate() {
             let base = (ni * c + ci) * inner;
             for i in 0..inner {
-                out[base + i] = x[base + i] + b[ci];
+                out[base + i] = x[base + i] + bias;
             }
         }
     }
@@ -88,7 +88,13 @@ mod tests {
     #[test]
     fn identity_batch_norm() {
         let x = Tensor::from_f32([1, 2, 1, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
-        let p = BatchNormParams { gamma: ones(2), beta: zeros(2), mean: zeros(2), var: ones(2), epsilon: 0.0 };
+        let p = BatchNormParams {
+            gamma: ones(2),
+            beta: zeros(2),
+            mean: zeros(2),
+            var: ones(2),
+            epsilon: 0.0,
+        };
         let y = batch_norm_f32(&x, &p).unwrap();
         assert!(y.approx_eq(&x, 1e-6));
     }

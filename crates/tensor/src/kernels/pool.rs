@@ -20,7 +20,12 @@ pub struct Pool2dParams {
 impl Pool2dParams {
     /// Square window, stride = window, no padding (the common CNN reduction).
     pub fn square(k: usize) -> Self {
-        Pool2dParams { kernel: (k, k), strides: (k, k), padding: (0, 0, 0, 0), count_include_pad: false }
+        Pool2dParams {
+            kernel: (k, k),
+            strides: (k, k),
+            padding: (0, 0, 0, 0),
+            count_include_pad: false,
+        }
     }
 
     fn out_hw(&self, h: usize, w: usize) -> Result<(usize, usize), KernelError> {
@@ -33,11 +38,17 @@ impl Pool2dParams {
                 self.kernel
             )));
         }
-        Ok(((ih - self.kernel.0) / self.strides.0 + 1, (iw - self.kernel.1) / self.strides.1 + 1))
+        Ok((
+            (ih - self.kernel.0) / self.strides.0 + 1,
+            (iw - self.kernel.1) / self.strides.1 + 1,
+        ))
     }
 }
 
-fn pool_shape(input: &Tensor, params: &Pool2dParams) -> Result<(usize, usize, usize, usize, usize, usize), KernelError> {
+fn pool_shape(
+    input: &Tensor,
+    params: &Pool2dParams,
+) -> Result<(usize, usize, usize, usize, usize, usize), KernelError> {
     let d = input.shape().dims();
     if d.len() != 4 {
         return Err(kerr(format!("pool2d expects rank-4 input, got {d:?}")));
@@ -57,16 +68,47 @@ pub fn max_pool2d(input: &Tensor, params: &Pool2dParams) -> Result<Tensor, Kerne
     if input.dtype().is_float() {
         let x = input.as_f32().unwrap();
         let mut out = vec![0.0f32; n * c * oh * ow];
-        pool_loop(n, c, h, w, oh, ow, kh, kw, sh, sw, pt, pl, |plane_base, taps, oi| {
-            out[oi] = taps.iter().map(|&t| x[plane_base + t]).fold(f32::NEG_INFINITY, f32::max);
-        });
+        pool_loop(
+            n,
+            c,
+            h,
+            w,
+            oh,
+            ow,
+            kh,
+            kw,
+            sh,
+            sw,
+            pt,
+            pl,
+            |plane_base, taps, oi| {
+                out[oi] = taps
+                    .iter()
+                    .map(|&t| x[plane_base + t])
+                    .fold(f32::NEG_INFINITY, f32::max);
+            },
+        );
         Tensor::from_f32([n, c, oh, ow], out).map_err(|e| kerr(e.to_string()))
     } else {
         let x: Vec<i32> = input.iter_int().collect();
         let mut out = vec![0i32; n * c * oh * ow];
-        pool_loop(n, c, h, w, oh, ow, kh, kw, sh, sw, pt, pl, |plane_base, taps, oi| {
-            out[oi] = taps.iter().map(|&t| x[plane_base + t]).max().unwrap_or(0);
-        });
+        pool_loop(
+            n,
+            c,
+            h,
+            w,
+            oh,
+            ow,
+            kh,
+            kw,
+            sh,
+            sw,
+            pt,
+            pl,
+            |plane_base, taps, oi| {
+                out[oi] = taps.iter().map(|&t| x[plane_base + t]).max().unwrap_or(0);
+            },
+        );
         Tensor::from_int_values([n, c, oh, ow], &out, input.dtype(), input.quant())
             .map_err(|e| kerr(e.to_string()))
     }
@@ -84,22 +126,62 @@ pub fn avg_pool2d(input: &Tensor, params: &Pool2dParams) -> Result<Tensor, Kerne
     if input.dtype().is_float() {
         let x = input.as_f32().unwrap();
         let mut out = vec![0.0f32; n * c * oh * ow];
-        pool_loop(n, c, h, w, oh, ow, kh, kw, sh, sw, pt, pl, |plane_base, taps, oi| {
-            let sum: f32 = taps.iter().map(|&t| x[plane_base + t]).sum();
-            let denom = if params.count_include_pad { full } else { taps.len() as f32 };
-            out[oi] = sum / denom;
-        });
+        pool_loop(
+            n,
+            c,
+            h,
+            w,
+            oh,
+            ow,
+            kh,
+            kw,
+            sh,
+            sw,
+            pt,
+            pl,
+            |plane_base, taps, oi| {
+                let sum: f32 = taps.iter().map(|&t| x[plane_base + t]).sum();
+                let denom = if params.count_include_pad {
+                    full
+                } else {
+                    taps.len() as f32
+                };
+                out[oi] = sum / denom;
+            },
+        );
         Tensor::from_f32([n, c, oh, ow], out).map_err(|e| kerr(e.to_string()))
     } else {
         let x: Vec<i32> = input.iter_int().collect();
         let mut out = vec![0i32; n * c * oh * ow];
-        pool_loop(n, c, h, w, oh, ow, kh, kw, sh, sw, pt, pl, |plane_base, taps, oi| {
-            let sum: i64 = taps.iter().map(|&t| x[plane_base + t] as i64).sum();
-            let denom = if params.count_include_pad { (kh * kw) as i64 } else { taps.len() as i64 };
-            // round-half-away-from-zero
-            let v = if sum >= 0 { (sum + denom / 2) / denom } else { (sum - denom / 2) / denom };
-            out[oi] = v as i32;
-        });
+        pool_loop(
+            n,
+            c,
+            h,
+            w,
+            oh,
+            ow,
+            kh,
+            kw,
+            sh,
+            sw,
+            pt,
+            pl,
+            |plane_base, taps, oi| {
+                let sum: i64 = taps.iter().map(|&t| x[plane_base + t] as i64).sum();
+                let denom = if params.count_include_pad {
+                    (kh * kw) as i64
+                } else {
+                    taps.len() as i64
+                };
+                // round-half-away-from-zero
+                let v = if sum >= 0 {
+                    (sum + denom / 2) / denom
+                } else {
+                    (sum - denom / 2) / denom
+                };
+                out[oi] = v as i32;
+            },
+        );
         Tensor::from_int_values([n, c, oh, ow], &out, input.dtype(), input.quant())
             .map_err(|e| kerr(e.to_string()))
     }
@@ -109,7 +191,9 @@ pub fn avg_pool2d(input: &Tensor, params: &Pool2dParams) -> Result<Tensor, Kerne
 pub fn global_avg_pool2d(input: &Tensor) -> Result<Tensor, KernelError> {
     let d = input.shape().dims();
     if d.len() != 4 {
-        return Err(kerr(format!("global_avg_pool2d expects rank-4 input, got {d:?}")));
+        return Err(kerr(format!(
+            "global_avg_pool2d expects rank-4 input, got {d:?}"
+        )));
     }
     let params = Pool2dParams {
         kernel: (d[2], d[3]),
@@ -198,8 +282,11 @@ mod tests {
 
     #[test]
     fn global_avg() {
-        let x = Tensor::from_f32([1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0])
-            .unwrap();
+        let x = Tensor::from_f32(
+            [1, 2, 2, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0],
+        )
+        .unwrap();
         let y = global_avg_pool2d(&x).unwrap();
         assert_eq!(y.shape().dims(), &[1, 2, 1, 1]);
         assert_eq!(y.as_f32().unwrap(), &[2.5, 10.0]);

@@ -70,7 +70,10 @@ pub fn qconv2d(
     };
     if let Some(b) = b {
         if b.len() != oc {
-            return Err(kerr(format!("qconv2d bias length {} != out channels {oc}", b.len())));
+            return Err(kerr(format!(
+                "qconv2d bias length {} != out channels {oc}",
+                b.len()
+            )));
         }
     }
 
@@ -87,39 +90,42 @@ pub fn qconv2d(
     let og = oc / groups;
 
     let mut out = vec![0i32; n * oc * oh * ow];
-    out.par_chunks_mut(oh * ow).enumerate().for_each(|(plane, out_plane)| {
-        let ni = plane / oc;
-        let o = plane % oc;
-        let g = o / og;
-        let bias_v = b.map(|b| b[o]).unwrap_or(0);
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc: i64 = bias_v as i64;
-                for ic in 0..cg {
-                    let in_c = g * cg + ic;
-                    let x_base = ((ni * c + in_c) * h) * w;
-                    let w_base = ((o * cg + ic) * kh) * kw;
-                    for ky in 0..kh {
-                        let iy = (oy * sh + ky * dh) as isize - pt as isize;
-                        for kx in 0..kw {
-                            let ix = (ox * sw + kx * dw) as isize - pl as isize;
-                            // Out-of-bounds taps read the input zero point,
-                            // i.e. real value 0 (TFLite padding semantics).
-                            let xv = if iy < 0 || iy as usize >= h || ix < 0 || ix as usize >= w {
-                                0i64
-                            } else {
-                                (x[x_base + iy as usize * w + ix as usize] - zx) as i64
-                            };
-                            let wv = (wt[w_base + ky * kw + kx] - zw) as i64;
-                            acc += xv * wv;
+    out.par_chunks_mut(oh * ow)
+        .enumerate()
+        .for_each(|(plane, out_plane)| {
+            let ni = plane / oc;
+            let o = plane % oc;
+            let g = o / og;
+            let bias_v = b.map(|b| b[o]).unwrap_or(0);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc: i64 = bias_v as i64;
+                    for ic in 0..cg {
+                        let in_c = g * cg + ic;
+                        let x_base = ((ni * c + in_c) * h) * w;
+                        let w_base = ((o * cg + ic) * kh) * kw;
+                        for ky in 0..kh {
+                            let iy = (oy * sh + ky * dh) as isize - pt as isize;
+                            for kx in 0..kw {
+                                let ix = (ox * sw + kx * dw) as isize - pl as isize;
+                                // Out-of-bounds taps read the input zero point,
+                                // i.e. real value 0 (TFLite padding semantics).
+                                let xv = if iy < 0 || iy as usize >= h || ix < 0 || ix as usize >= w
+                                {
+                                    0i64
+                                } else {
+                                    (x[x_base + iy as usize * w + ix as usize] - zx) as i64
+                                };
+                                let wv = (wt[w_base + ky * kw + kx] - zw) as i64;
+                                acc += xv * wv;
+                            }
                         }
                     }
+                    let acc32 = acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+                    out_plane[oy * ow + ox] = requantize_value(acc32, fpm, zo, out_dtype);
                 }
-                let acc32 = acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
-                out_plane[oy * ow + ox] = requantize_value(acc32, fpm, zo, out_dtype);
             }
-        }
-    });
+        });
 
     Tensor::from_int_values([n, oc, oh, ow], &out, out_dtype, Some(quant.output))
         .map_err(|e| kerr(e.to_string()))
@@ -143,12 +149,25 @@ mod tests {
         let wq = wf.quantize(qp_w, DType::I8).unwrap();
         // Dequantized operands give the exact reference the int path targets.
         let yf = conv2d_f32(&xq.to_f32(), &wq.to_f32(), None, &Conv2dParams::same(1)).unwrap();
-        let absmax = yf.as_f32().unwrap().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let absmax = yf
+            .as_f32()
+            .unwrap()
+            .iter()
+            .fold(0.0f32, |m, v| m.max(v.abs()));
         let qp_y = QuantParams::from_range(-absmax, absmax, DType::U8);
-        let quant = QConvQuant { input: qp_x, weight: qp_w, output: qp_y, out_dtype: DType::U8 };
+        let quant = QConvQuant {
+            input: qp_x,
+            weight: qp_w,
+            output: qp_y,
+            out_dtype: DType::U8,
+        };
         let yq = qconv2d(&xq, &wq, None, &Conv2dParams::same(1), &quant).unwrap();
         let diff = yq.to_f32().max_abs_diff(&yf);
-        assert!(diff <= qp_y.scale * 1.01, "diff {diff} > 1 LSB {}", qp_y.scale);
+        assert!(
+            diff <= qp_y.scale * 1.01,
+            "diff {diff} > 1 LSB {}",
+            qp_y.scale
+        );
     }
 
     #[test]
@@ -158,7 +177,12 @@ mod tests {
         let qp_y = QuantParams::new(0.1, 100);
         let x = Tensor::from_int_values([1, 1, 2, 2], &[128; 4], DType::U8, Some(qp_x)).unwrap();
         let w = Tensor::from_int_values([1, 1, 1, 1], &[37], DType::I8, Some(qp_w)).unwrap();
-        let quant = QConvQuant { input: qp_x, weight: qp_w, output: qp_y, out_dtype: DType::U8 };
+        let quant = QConvQuant {
+            input: qp_x,
+            weight: qp_w,
+            output: qp_y,
+            out_dtype: DType::U8,
+        };
         let y = qconv2d(&x, &w, None, &Conv2dParams::default(), &quant).unwrap();
         assert!(y.iter_int().all(|v| v == 100));
     }
@@ -172,7 +196,12 @@ mod tests {
         let x = Tensor::from_int_values([1, 1, 1, 1], &[0], DType::I8, Some(qp_x)).unwrap();
         let w = Tensor::from_int_values([1, 1, 1, 1], &[0], DType::I8, Some(qp_w)).unwrap();
         let b = Tensor::from_i32([1], vec![100], None).unwrap();
-        let quant = QConvQuant { input: qp_x, weight: qp_w, output: qp_y, out_dtype: DType::I8 };
+        let quant = QConvQuant {
+            input: qp_x,
+            weight: qp_w,
+            output: qp_y,
+            out_dtype: DType::I8,
+        };
         let y = qconv2d(&x, &w, Some(&b), &Conv2dParams::default(), &quant).unwrap();
         // acc 100 * (0.1*0.1/0.01 = 1.0) = 100 quanta = 1.0 real.
         assert_eq!(y.int_at(0), 100);
@@ -187,7 +216,12 @@ mod tests {
         let qp_y = QuantParams::new(1.0, 0);
         let x = Tensor::from_int_values([1, 1, 1, 1], &[10], DType::U8, Some(qp_x)).unwrap();
         let w = Tensor::from_int_values([1, 1, 3, 3], &[1; 9], DType::I8, Some(qp_w)).unwrap();
-        let quant = QConvQuant { input: qp_x, weight: qp_w, output: qp_y, out_dtype: DType::I8 };
+        let quant = QConvQuant {
+            input: qp_x,
+            weight: qp_w,
+            output: qp_y,
+            out_dtype: DType::I8,
+        };
         let y = qconv2d(&x, &w, None, &Conv2dParams::same(1), &quant).unwrap();
         assert!(y.iter_int().all(|v| v == 0));
     }

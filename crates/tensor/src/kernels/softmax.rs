@@ -29,7 +29,12 @@ pub fn softmax_f32(input: &Tensor) -> Result<Tensor, KernelError> {
 /// `log(softmax(x))` along the last axis.
 pub fn log_softmax_f32(input: &Tensor) -> Result<Tensor, KernelError> {
     let s = softmax_f32(input)?;
-    let v: Vec<f32> = s.as_f32().unwrap().iter().map(|&p| p.max(f32::MIN_POSITIVE).ln()).collect();
+    let v: Vec<f32> = s
+        .as_f32()
+        .unwrap()
+        .iter()
+        .map(|&p| p.max(f32::MIN_POSITIVE).ln())
+        .collect();
     Tensor::from_f32(input.shape().clone(), v).map_err(|e| kerr(e.to_string()))
 }
 

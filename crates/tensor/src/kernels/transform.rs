@@ -9,7 +9,11 @@ use crate::tensor::Tensor;
 
 /// Gather elements of `input` at flat source offsets into a new tensor of
 /// `out_shape`, preserving dtype and quant params.
-fn gather_by_offsets(input: &Tensor, out_shape: Shape, offsets: &[usize]) -> Result<Tensor, KernelError> {
+fn gather_by_offsets(
+    input: &Tensor,
+    out_shape: Shape,
+    offsets: &[usize],
+) -> Result<Tensor, KernelError> {
     debug_assert_eq!(out_shape.num_elements(), offsets.len());
     if input.dtype().is_float() {
         let x = input.as_f32().unwrap();
@@ -27,7 +31,9 @@ fn gather_by_offsets(input: &Tensor, out_shape: Shape, offsets: &[usize]) -> Res
 pub fn transpose(input: &Tensor, axes: &[usize]) -> Result<Tensor, KernelError> {
     let dims = input.shape().dims();
     if axes.len() != dims.len() {
-        return Err(kerr(format!("transpose axes {axes:?} wrong rank for {dims:?}")));
+        return Err(kerr(format!(
+            "transpose axes {axes:?} wrong rank for {dims:?}"
+        )));
     }
     let mut seen = vec![false; dims.len()];
     for &a in axes {
@@ -43,7 +49,11 @@ pub fn transpose(input: &Tensor, axes: &[usize]) -> Result<Tensor, KernelError> 
     let mut offsets = Vec::with_capacity(n);
     for flat in 0..n {
         let oidx = out_shape.unravel(flat);
-        let src: usize = oidx.iter().zip(axes).map(|(&i, &a)| i * in_strides[a]).sum();
+        let src: usize = oidx
+            .iter()
+            .zip(axes)
+            .map(|(&i, &a)| i * in_strides[a])
+            .sum();
         offsets.push(src);
     }
     gather_by_offsets(input, out_shape, &offsets)
@@ -59,7 +69,9 @@ pub fn concat(inputs: &[&Tensor], axis: usize) -> Result<Tensor, KernelError> {
     let first = inputs[0];
     let rank = first.shape().rank();
     if axis >= rank {
-        return Err(kerr(format!("concat axis {axis} out of range for rank {rank}")));
+        return Err(kerr(format!(
+            "concat axis {axis} out of range for rank {rank}"
+        )));
     }
     let mut out_dims = first.shape().dims().to_vec();
     let mut axis_total = 0usize;
@@ -67,9 +79,17 @@ pub fn concat(inputs: &[&Tensor], axis: usize) -> Result<Tensor, KernelError> {
         if t.dtype() != first.dtype() || t.shape().rank() != rank {
             return Err(kerr("concat dtype/rank mismatch".to_string()));
         }
-        for (d, (&a, &b)) in t.shape().dims().iter().zip(first.shape().dims()).enumerate() {
+        for (d, (&a, &b)) in t
+            .shape()
+            .dims()
+            .iter()
+            .zip(first.shape().dims())
+            .enumerate()
+        {
             if d != axis && a != b {
-                return Err(kerr(format!("concat non-axis dim {d} mismatch: {a} vs {b}")));
+                return Err(kerr(format!(
+                    "concat non-axis dim {d} mismatch: {a} vs {b}"
+                )));
             }
         }
         axis_total += t.shape().dims()[axis];
@@ -109,10 +129,17 @@ pub fn concat(inputs: &[&Tensor], axis: usize) -> Result<Tensor, KernelError> {
 pub fn pad(input: &Tensor, pads: &[(usize, usize)], value: f32) -> Result<Tensor, KernelError> {
     let dims = input.shape().dims();
     if pads.len() != dims.len() {
-        return Err(kerr(format!("pad spec rank {} != tensor rank {}", pads.len(), dims.len())));
+        return Err(kerr(format!(
+            "pad spec rank {} != tensor rank {}",
+            pads.len(),
+            dims.len()
+        )));
     }
-    let out_dims: Vec<usize> =
-        dims.iter().zip(pads).map(|(&d, &(b, a))| d + b + a).collect();
+    let out_dims: Vec<usize> = dims
+        .iter()
+        .zip(pads)
+        .map(|(&d, &(b, a))| d + b + a)
+        .collect();
     let out_shape = Shape::new(out_dims);
     let n = out_shape.num_elements();
 
@@ -212,7 +239,12 @@ pub enum ResizeMethod {
 }
 
 /// Resize `NCHW` activations to `(out_h, out_w)`.
-pub fn resize2d(input: &Tensor, out_h: usize, out_w: usize, method: ResizeMethod) -> Result<Tensor, KernelError> {
+pub fn resize2d(
+    input: &Tensor,
+    out_h: usize,
+    out_w: usize,
+    method: ResizeMethod,
+) -> Result<Tensor, KernelError> {
     let dims = input.shape().dims();
     if dims.len() != 4 {
         return Err(kerr("resize2d expects rank-4 input".to_string()));
@@ -269,7 +301,9 @@ pub fn resize2d(input: &Tensor, out_h: usize, out_w: usize, method: ResizeMethod
         // Requantize back into the source parameters to stay in the integer
         // domain end-to-end.
         let qp = input.quant().expect("quantized tensor has params");
-        result.quantize(qp, input.dtype()).map_err(|e| kerr(e.to_string()))
+        result
+            .quantize(qp, input.dtype())
+            .map_err(|e| kerr(e.to_string()))
     }
 }
 
@@ -299,7 +333,11 @@ pub fn mean_f32(input: &Tensor, axes: &[usize]) -> Result<Tensor, KernelError> {
             .filter(|(d, _)| !axes.contains(d))
             .map(|(_, &i)| i)
             .collect();
-        let o = if out_idx.is_empty() { 0 } else { out_shape.offset(&out_idx) };
+        let o = if out_idx.is_empty() {
+            0
+        } else {
+            out_shape.offset(&out_idx)
+        };
         sums[o] += v;
         counts[o] += 1;
     }
@@ -426,8 +464,8 @@ mod tests {
 
     #[test]
     fn mean_over_spatial_axes() {
-        let x = Tensor::from_f32([1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 5.0, 5.0, 5.0])
-            .unwrap();
+        let x =
+            Tensor::from_f32([1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 5.0, 5.0, 5.0]).unwrap();
         let y = mean_f32(&x, &[2, 3]).unwrap();
         assert_eq!(y.shape().dims(), &[1, 2]);
         assert_eq!(y.as_f32().unwrap(), &[2.5, 5.0]);

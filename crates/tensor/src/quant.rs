@@ -25,12 +25,17 @@ impl QuantParams {
 
     /// The identity mapping for already-real values (`scale=1, zp=0`).
     pub fn identity() -> Self {
-        QuantParams { scale: 1.0, zero_point: 0 }
+        QuantParams {
+            scale: 1.0,
+            zero_point: 0,
+        }
     }
 
     /// Quantize one real value into the given integer dtype with saturation.
     pub fn quantize(&self, real: f32, dtype: DType) -> i32 {
-        let (lo, hi) = dtype.int_range().expect("quantize target must be an integer type");
+        let (lo, hi) = dtype
+            .int_range()
+            .expect("quantize target must be an integer type");
         let q = (real / self.scale).round() as i64 + self.zero_point as i64;
         q.clamp(lo as i64, hi as i64) as i32
     }
@@ -48,18 +53,27 @@ impl QuantParams {
         }
         min = min.min(0.0);
         max = max.max(0.0);
-        let (qlo, qhi) = dtype.int_range().expect("from_range target must be an integer type");
+        let (qlo, qhi) = dtype
+            .int_range()
+            .expect("from_range target must be an integer type");
         let span = (max - min).max(f32::EPSILON);
         let scale = span / (qhi - qlo) as f32;
-        let zero_point = (qlo as f32 - min / scale).round().clamp(qlo as f32, qhi as f32) as i32;
+        let zero_point = (qlo as f32 - min / scale)
+            .round()
+            .clamp(qlo as f32, qhi as f32) as i32;
         QuantParams { scale, zero_point }
     }
 
     /// Symmetric per-tensor parameters for weights (`zero_point = 0`).
     pub fn symmetric_from_absmax(absmax: f32, dtype: DType) -> Self {
-        let (_, qhi) = dtype.int_range().expect("symmetric target must be an integer type");
+        let (_, qhi) = dtype
+            .int_range()
+            .expect("symmetric target must be an integer type");
         let scale = (absmax.max(f32::EPSILON)) / qhi as f32;
-        QuantParams { scale, zero_point: 0 }
+        QuantParams {
+            scale,
+            zero_point: 0,
+        }
     }
 }
 
@@ -79,7 +93,10 @@ impl FixedPointMultiplier {
     pub fn from_real(real: f64) -> Self {
         assert!(real >= 0.0, "requantize multiplier must be non-negative");
         if real == 0.0 {
-            return FixedPointMultiplier { multiplier: 0, shift: 0 };
+            return FixedPointMultiplier {
+                multiplier: 0,
+                shift: 0,
+            };
         }
         let mut shift = 0i32;
         let mut m = real;
@@ -96,7 +113,10 @@ impl FixedPointMultiplier {
             q /= 2;
             shift += 1;
         }
-        FixedPointMultiplier { multiplier: q as i32, shift }
+        FixedPointMultiplier {
+            multiplier: q as i32,
+            shift,
+        }
     }
 
     /// Saturating rounding doubling high multiply followed by
@@ -118,7 +138,11 @@ fn saturating_rounding_doubling_high_mul(a: i32, b: i32) -> i32 {
         return i32::MAX;
     }
     let ab = a as i64 * b as i64;
-    let nudge = if ab >= 0 { 1i64 << 30 } else { 1 - (1i64 << 30) };
+    let nudge = if ab >= 0 {
+        1i64 << 30
+    } else {
+        1 - (1i64 << 30)
+    };
     ((ab + nudge) >> 31) as i32
 }
 
@@ -126,7 +150,11 @@ fn saturating_rounding_doubling_high_mul(a: i32, b: i32) -> i32 {
 fn rounding_divide_by_pot(x: i32, exponent: i32) -> i32 {
     if exponent <= 0 {
         // A negative exponent means a left shift (multiplier >= 1).
-        return x.checked_shl((-exponent) as u32).unwrap_or(if x >= 0 { i32::MAX } else { i32::MIN });
+        return x.checked_shl((-exponent) as u32).unwrap_or(if x >= 0 {
+            i32::MAX
+        } else {
+            i32::MIN
+        });
     }
     let mask = (1i64 << exponent) - 1;
     let remainder = (x as i64) & mask;
@@ -146,7 +174,9 @@ pub fn requantize_value(
     out_zero_point: i32,
     out_dtype: DType,
 ) -> i32 {
-    let (lo, hi) = out_dtype.int_range().expect("requantize target must be integer");
+    let (lo, hi) = out_dtype
+        .int_range()
+        .expect("requantize target must be integer");
     let v = real_multiplier.apply(acc) as i64 + out_zero_point as i64;
     v.clamp(lo as i64, hi as i64) as i32
 }

@@ -19,7 +19,9 @@ pub struct TensorRng {
 impl TensorRng {
     /// New generator from a seed.
     pub fn new(seed: u64) -> Self {
-        TensorRng { rng: SmallRng::seed_from_u64(seed) }
+        TensorRng {
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Uniform float tensor in `[lo, hi)`.

@@ -77,10 +77,18 @@ impl Shape {
     pub fn broadcast(&self, other: &Shape) -> Option<Shape> {
         let rank = self.rank().max(other.rank());
         let mut out = vec![0usize; rank];
-        for i in 0..rank {
-            let a = if i < rank - self.rank() { 1 } else { self.0[i - (rank - self.rank())] };
-            let b = if i < rank - other.rank() { 1 } else { other.0[i - (rank - other.rank())] };
-            out[i] = if a == b {
+        for (i, slot) in out.iter_mut().enumerate() {
+            let a = if i < rank - self.rank() {
+                1
+            } else {
+                self.0[i - (rank - self.rank())]
+            };
+            let b = if i < rank - other.rank() {
+                1
+            } else {
+                other.0[i - (rank - other.rank())]
+            };
+            *slot = if a == b {
                 a
             } else if a == 1 {
                 b
@@ -169,6 +177,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(Shape::from([1, 3, 224, 224]).to_string(), "(1, 3, 224, 224)");
+        assert_eq!(
+            Shape::from([1, 3, 224, 224]).to_string(),
+            "(1, 3, 224, 224)"
+        );
     }
 }

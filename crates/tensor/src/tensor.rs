@@ -21,7 +21,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, got } => {
-                write!(f, "data length {got} does not match shape element count {expected}")
+                write!(
+                    f,
+                    "data length {got} does not match shape element count {expected}"
+                )
             }
             TensorError::DTypeMismatch { expected, got } => {
                 write!(f, "expected dtype {expected}, got {got}")
@@ -86,53 +89,105 @@ impl Tensor {
     pub fn from_f32(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self, TensorError> {
         let shape = shape.into();
         if shape.num_elements() != data.len() {
-            return Err(TensorError::LengthMismatch { expected: shape.num_elements(), got: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.num_elements(),
+                got: data.len(),
+            });
         }
-        Ok(Tensor { shape, data: Data::F32(data), quant: None })
+        Ok(Tensor {
+            shape,
+            data: Data::F32(data),
+            quant: None,
+        })
     }
 
     /// Construct an int8 tensor with quantization parameters.
-    pub fn from_i8(shape: impl Into<Shape>, data: Vec<i8>, quant: QuantParams) -> Result<Self, TensorError> {
+    pub fn from_i8(
+        shape: impl Into<Shape>,
+        data: Vec<i8>,
+        quant: QuantParams,
+    ) -> Result<Self, TensorError> {
         let shape = shape.into();
         if shape.num_elements() != data.len() {
-            return Err(TensorError::LengthMismatch { expected: shape.num_elements(), got: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.num_elements(),
+                got: data.len(),
+            });
         }
-        Ok(Tensor { shape, data: Data::I8(data), quant: Some(quant) })
+        Ok(Tensor {
+            shape,
+            data: Data::I8(data),
+            quant: Some(quant),
+        })
     }
 
     /// Construct a uint8 tensor with quantization parameters.
-    pub fn from_u8(shape: impl Into<Shape>, data: Vec<u8>, quant: QuantParams) -> Result<Self, TensorError> {
+    pub fn from_u8(
+        shape: impl Into<Shape>,
+        data: Vec<u8>,
+        quant: QuantParams,
+    ) -> Result<Self, TensorError> {
         let shape = shape.into();
         if shape.num_elements() != data.len() {
-            return Err(TensorError::LengthMismatch { expected: shape.num_elements(), got: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.num_elements(),
+                got: data.len(),
+            });
         }
-        Ok(Tensor { shape, data: Data::U8(data), quant: Some(quant) })
+        Ok(Tensor {
+            shape,
+            data: Data::U8(data),
+            quant: Some(quant),
+        })
     }
 
     /// Construct an int32 tensor (bias/accumulator/index).
-    pub fn from_i32(shape: impl Into<Shape>, data: Vec<i32>, quant: Option<QuantParams>) -> Result<Self, TensorError> {
+    pub fn from_i32(
+        shape: impl Into<Shape>,
+        data: Vec<i32>,
+        quant: Option<QuantParams>,
+    ) -> Result<Self, TensorError> {
         let shape = shape.into();
         if shape.num_elements() != data.len() {
-            return Err(TensorError::LengthMismatch { expected: shape.num_elements(), got: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.num_elements(),
+                got: data.len(),
+            });
         }
-        Ok(Tensor { shape, data: Data::I32(data), quant })
+        Ok(Tensor {
+            shape,
+            data: Data::I32(data),
+            quant,
+        })
     }
 
     /// A float tensor of zeros.
     pub fn zeros_f32(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = shape.num_elements();
-        Tensor { shape, data: Data::F32(vec![0.0; n]), quant: None }
+        Tensor {
+            shape,
+            data: Data::F32(vec![0.0; n]),
+            quant: None,
+        }
     }
 
     /// A float scalar.
     pub fn scalar_f32(v: f32) -> Self {
-        Tensor { shape: Shape::scalar(), data: Data::F32(vec![v]), quant: None }
+        Tensor {
+            shape: Shape::scalar(),
+            data: Data::F32(vec![v]),
+            quant: None,
+        }
     }
 
     /// An int32 scalar.
     pub fn scalar_i32(v: i32) -> Self {
-        Tensor { shape: Shape::scalar(), data: Data::I32(vec![v]), quant: None }
+        Tensor {
+            shape: Shape::scalar(),
+            data: Data::I32(vec![v]),
+            quant: None,
+        }
     }
 
     /// Shape accessor.
@@ -170,7 +225,10 @@ impl Tensor {
     pub fn as_f32(&self) -> Result<&[f32], TensorError> {
         match &self.data {
             Data::F32(v) => Ok(v),
-            other => Err(TensorError::DTypeMismatch { expected: DType::F32, got: other.dtype() }),
+            other => Err(TensorError::DTypeMismatch {
+                expected: DType::F32,
+                got: other.dtype(),
+            }),
         }
     }
 
@@ -178,7 +236,10 @@ impl Tensor {
     pub fn as_f32_mut(&mut self) -> Result<&mut [f32], TensorError> {
         match &mut self.data {
             Data::F32(v) => Ok(v),
-            other => Err(TensorError::DTypeMismatch { expected: DType::F32, got: other.dtype() }),
+            other => Err(TensorError::DTypeMismatch {
+                expected: DType::F32,
+                got: other.dtype(),
+            }),
         }
     }
 
@@ -186,7 +247,10 @@ impl Tensor {
     pub fn as_i8(&self) -> Result<&[i8], TensorError> {
         match &self.data {
             Data::I8(v) => Ok(v),
-            other => Err(TensorError::DTypeMismatch { expected: DType::I8, got: other.dtype() }),
+            other => Err(TensorError::DTypeMismatch {
+                expected: DType::I8,
+                got: other.dtype(),
+            }),
         }
     }
 
@@ -194,7 +258,10 @@ impl Tensor {
     pub fn as_u8(&self) -> Result<&[u8], TensorError> {
         match &self.data {
             Data::U8(v) => Ok(v),
-            other => Err(TensorError::DTypeMismatch { expected: DType::U8, got: other.dtype() }),
+            other => Err(TensorError::DTypeMismatch {
+                expected: DType::U8,
+                got: other.dtype(),
+            }),
         }
     }
 
@@ -202,7 +269,10 @@ impl Tensor {
     pub fn as_i32(&self) -> Result<&[i32], TensorError> {
         match &self.data {
             Data::I32(v) => Ok(v),
-            other => Err(TensorError::DTypeMismatch { expected: DType::I32, got: other.dtype() }),
+            other => Err(TensorError::DTypeMismatch {
+                expected: DType::I32,
+                got: other.dtype(),
+            }),
         }
     }
 
@@ -235,14 +305,20 @@ impl Tensor {
     ) -> Result<Self, TensorError> {
         let shape = shape.into();
         if shape.num_elements() != values.len() {
-            return Err(TensorError::LengthMismatch { expected: shape.num_elements(), got: values.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.num_elements(),
+                got: values.len(),
+            });
         }
         let data = match dtype {
             DType::I8 => Data::I8(values.iter().map(|&v| v.clamp(-128, 127) as i8).collect()),
             DType::U8 => Data::U8(values.iter().map(|&v| v.clamp(0, 255) as u8).collect()),
             DType::I32 => Data::I32(values.to_vec()),
             DType::F32 => {
-                return Err(TensorError::DTypeMismatch { expected: DType::I32, got: DType::F32 })
+                return Err(TensorError::DTypeMismatch {
+                    expected: DType::I32,
+                    got: DType::F32,
+                })
             }
         };
         Ok(Tensor { shape, data, quant })
@@ -255,7 +331,11 @@ impl Tensor {
             _ => {
                 let qp = self.quant.unwrap_or(QuantParams::identity());
                 let vals: Vec<f32> = self.iter_int().map(|q| qp.dequantize(q)).collect();
-                Tensor { shape: self.shape.clone(), data: Data::F32(vals), quant: None }
+                Tensor {
+                    shape: self.shape.clone(),
+                    data: Data::F32(vals),
+                    quant: None,
+                }
             }
         }
     }
@@ -271,7 +351,10 @@ impl Tensor {
     pub fn reshaped(&self, shape: impl Into<Shape>) -> Result<Tensor, TensorError> {
         let shape = shape.into();
         if !self.shape.reshape_compatible(&shape) {
-            return Err(TensorError::ShapeMismatch { left: self.shape.clone(), right: shape });
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.clone(),
+                right: shape,
+            });
         }
         let mut t = self.clone();
         t.shape = shape;
@@ -331,7 +414,10 @@ mod tests {
     fn length_mismatch_rejected() {
         assert!(matches!(
             Tensor::from_f32([2, 2], vec![1.0]),
-            Err(TensorError::LengthMismatch { expected: 4, got: 1 })
+            Err(TensorError::LengthMismatch {
+                expected: 4,
+                got: 1
+            })
         ));
     }
 

@@ -129,7 +129,11 @@ pub struct Showcase {
 fn compile(model: Model, mode: TargetMode, cost: &CostModel) -> Arc<CompiledStage> {
     let compiled = relay_build(&model.module, mode, cost.clone())
         .unwrap_or_else(|e| panic!("{} fails to build for {mode}: {e}", model.name));
-    Arc::new(CompiledStage { model, compiled: Mutex::new(compiled), mode })
+    Arc::new(CompiledStage {
+        model,
+        compiled: Mutex::new(compiled),
+        mode,
+    })
 }
 
 impl Showcase {
@@ -138,10 +142,23 @@ impl Showcase {
     /// ground-truth calibration clip.
     pub fn new(seed: u64, assignment: ShowcaseAssignment, cost: &CostModel) -> Self {
         let obj = compile(mobilenet_ssd_model(seed), assignment.obj, cost);
-        let spoof = compile(anti_spoofing_model(seed.wrapping_add(1)), assignment.spoof, cost);
-        let emotion = compile(emotion_model(seed.wrapping_add(2)), assignment.emotion, cost);
+        let spoof = compile(
+            anti_spoofing_model(seed.wrapping_add(1)),
+            assignment.spoof,
+            cost,
+        );
+        let emotion = compile(
+            emotion_model(seed.wrapping_add(2)),
+            assignment.emotion,
+            cost,
+        );
         let liveness_threshold = calibrate_liveness(seed.wrapping_add(3));
-        Showcase { obj, spoof, emotion, liveness_threshold }
+        Showcase {
+            obj,
+            spoof,
+            emotion,
+            liveness_threshold,
+        }
     }
 
     /// Process one frame through the Fig. 1 flow.
@@ -199,10 +216,19 @@ impl Showcase {
             } else {
                 None
             };
-            faces.push(FaceResult { bbox, real, emotion });
+            faces.push(FaceResult {
+                bbox,
+                real,
+                emotion,
+            });
         }
 
-        FrameResult { frame_index: frame.index, objects, faces, times }
+        FrameResult {
+            frame_index: frame.index,
+            objects,
+            faces,
+            times,
+        }
     }
 
     /// Sequential per-frame processing (the §4.4 baseline).
@@ -231,8 +257,11 @@ impl Showcase {
 
         let stage1 = StageSpec::new("obj-det", &resources_of(obj.mode), move |mut it: Item| {
             let input = prepare_ssd_input(&it.frame);
-            let (_, t) =
-                obj.compiled.lock().run(&obj.model.inputs_from(input)).expect("obj runs");
+            let (_, t) = obj
+                .compiled
+                .lock()
+                .run(&obj.model.inputs_from(input))
+                .expect("obj runs");
             it.times.obj_us += t;
             it.objects = luminance_saliency(&it.frame, 4, 1.8);
             let face_boxes = match_faces(&it.frame, 0.6);
@@ -242,39 +271,53 @@ impl Showcase {
                 .collect();
             it
         });
-        let stage2 = StageSpec::new("anti-spoof", &resources_of(spoof.mode), move |mut it: Item| {
-            for bbox in it.candidates.clone() {
-                let crop = it.frame.crop_resized(bbox.tuple(), 32, 32);
-                let (_, t) = spoof
-                    .compiled
-                    .lock()
-                    .run(&spoof.model.inputs_from(crop))
-                    .expect("spoof runs");
-                it.times.spoof_us += t;
-                let gray = it.frame.gray_crop_resized(bbox.tuple(), crate::frame::FACE_SIZE);
-                it.real_flags.push(texture_energy(&gray) > threshold);
-            }
-            it
-        });
-        let stage3 = StageSpec::new("emotion", &resources_of(emotion.mode), move |mut it: Item| {
-            for (k, bbox) in it.candidates.clone().into_iter().enumerate() {
-                let real = it.real_flags[k];
-                let label = if real {
-                    let e_in = it.frame.gray_crop_resized(bbox.tuple(), 48);
-                    let (out, t) = emotion
+        let stage2 = StageSpec::new(
+            "anti-spoof",
+            &resources_of(spoof.mode),
+            move |mut it: Item| {
+                for bbox in it.candidates.clone() {
+                    let crop = it.frame.crop_resized(bbox.tuple(), 32, 32);
+                    let (_, t) = spoof
                         .compiled
                         .lock()
-                        .run(&emotion.model.inputs_from(e_in))
-                        .expect("emotion runs");
-                    it.times.emotion_us += t;
-                    Some(EMOTIONS[out[0].argmax()])
-                } else {
-                    None
-                };
-                it.faces.push(FaceResult { bbox, real, emotion: label });
-            }
-            it
-        });
+                        .run(&spoof.model.inputs_from(crop))
+                        .expect("spoof runs");
+                    it.times.spoof_us += t;
+                    let gray = it
+                        .frame
+                        .gray_crop_resized(bbox.tuple(), crate::frame::FACE_SIZE);
+                    it.real_flags.push(texture_energy(&gray) > threshold);
+                }
+                it
+            },
+        );
+        let stage3 = StageSpec::new(
+            "emotion",
+            &resources_of(emotion.mode),
+            move |mut it: Item| {
+                for (k, bbox) in it.candidates.clone().into_iter().enumerate() {
+                    let real = it.real_flags[k];
+                    let label = if real {
+                        let e_in = it.frame.gray_crop_resized(bbox.tuple(), 48);
+                        let (out, t) = emotion
+                            .compiled
+                            .lock()
+                            .run(&emotion.model.inputs_from(e_in))
+                            .expect("emotion runs");
+                        it.times.emotion_us += t;
+                        Some(EMOTIONS[out[0].argmax()])
+                    } else {
+                        None
+                    };
+                    it.faces.push(FaceResult {
+                        bbox,
+                        real,
+                        emotion: label,
+                    });
+                }
+                it
+            },
+        );
 
         let items: Vec<Item> = frames
             .into_iter()
@@ -328,7 +371,9 @@ impl Showcase {
 /// Resize + quantize a frame for the SSD input.
 fn prepare_ssd_input(frame: &Frame) -> Tensor {
     let resized = frame.crop_resized((0, 0, frame.width(), frame.height()), 64, 64);
-    resized.quantize(ssd_input_quant(), DType::U8).expect("quantize frame")
+    resized
+        .quantize(ssd_input_quant(), DType::U8)
+        .expect("quantize frame")
 }
 
 /// Calibrate the liveness threshold on a labelled calibration clip:
@@ -358,7 +403,11 @@ mod tests {
     use super::*;
 
     fn showcase() -> Showcase {
-        Showcase::new(1000, ShowcaseAssignment::paper_prototype(), &CostModel::default())
+        Showcase::new(
+            1000,
+            ShowcaseAssignment::paper_prototype(),
+            &CostModel::default(),
+        )
     }
 
     #[test]
@@ -429,7 +478,17 @@ mod tests {
         let sc = showcase();
         let stages = sc.stage_profile(2000);
         let spoof = stages[1].duration_us;
-        assert!(spoof > stages[0].duration_us, "spoof {} vs obj {}", spoof, stages[0].duration_us);
-        assert!(spoof > stages[2].duration_us, "spoof {} vs emo {}", spoof, stages[2].duration_us);
+        assert!(
+            spoof > stages[0].duration_us,
+            "spoof {} vs obj {}",
+            spoof,
+            stages[0].duration_us
+        );
+        assert!(
+            spoof > stages[2].duration_us,
+            "spoof {} vs emo {}",
+            spoof,
+            stages[2].duration_us
+        );
     }
 }

@@ -30,7 +30,12 @@ impl BBox {
 
     /// From a ground-truth tuple.
     pub fn from_tuple(t: (usize, usize, usize, usize)) -> Self {
-        BBox { x: t.0, y: t.1, w: t.2, h: t.3 }
+        BBox {
+            x: t.0,
+            y: t.1,
+            w: t.2,
+            h: t.3,
+        }
     }
 
     /// As a tuple.
@@ -106,7 +111,11 @@ pub fn match_faces(frame: &Frame, threshold: f32) -> Vec<BBox> {
                     norm += v * v;
                 }
             }
-            let ncc = if norm > 1e-9 { dot / (norm.sqrt() * t_norm) } else { 0.0 };
+            let ncc = if norm > 1e-9 {
+                dot / (norm.sqrt() * t_norm)
+            } else {
+                0.0
+            };
             if ncc >= threshold {
                 scores.push((ncc, BBox::new(x, y, FACE_SIZE, FACE_SIZE)));
             }
@@ -259,7 +268,10 @@ mod tests {
         let boxes = luminance_saliency(&frames[1], 4, 1.8);
         assert!(!boxes.is_empty());
         let gt = BBox::from_tuple(frames[1].objects[0].bbox);
-        assert!(boxes.iter().any(|b| iou(b, &gt) > 0.4), "boxes {boxes:?} vs gt {gt:?}");
+        assert!(
+            boxes.iter().any(|b| iou(b, &gt) > 0.4),
+            "boxes {boxes:?} vs gt {gt:?}"
+        );
     }
 
     #[test]

@@ -67,18 +67,33 @@ impl Frame {
     }
 
     /// Crop `(x, y, w, h)` and bilinear-resize to `(out_h, out_w)` RGB.
-    pub fn crop_resized(&self, bbox: (usize, usize, usize, usize), out_h: usize, out_w: usize) -> Tensor {
+    pub fn crop_resized(
+        &self,
+        bbox: (usize, usize, usize, usize),
+        out_h: usize,
+        out_w: usize,
+    ) -> Tensor {
         let (x, y, w, h) = bbox;
         let x1 = (x + w).min(self.width());
         let y1 = (y + h).min(self.height());
         let crop = tvmnp_tensor::kernels::slice(
             &self.pixels,
-            &[0, 0, y.min(y1.saturating_sub(1)), x.min(x1.saturating_sub(1))],
+            &[
+                0,
+                0,
+                y.min(y1.saturating_sub(1)),
+                x.min(x1.saturating_sub(1)),
+            ],
             &[1, 3, y1.max(y + 1), x1.max(x + 1)],
         )
         .expect("crop in range");
-        tvmnp_tensor::kernels::resize2d(&crop, out_h, out_w, tvmnp_tensor::kernels::ResizeMethod::Bilinear)
-            .expect("resize")
+        tvmnp_tensor::kernels::resize2d(
+            &crop,
+            out_h,
+            out_w,
+            tvmnp_tensor::kernels::ResizeMethod::Bilinear,
+        )
+        .expect("resize")
     }
 
     /// Grayscale crop resized, `[1, 1, out, out]`.
@@ -99,7 +114,14 @@ pub const FACE_SIZE: usize = 16;
 
 /// Render the canonical face pattern into `gray` (h×w) at `(fx, fy)`.
 /// Real faces get per-pixel texture noise; spoofs are flat.
-fn draw_face(gray: &mut [f32], w: usize, fx: usize, fy: usize, kind: FaceKind, rng: &mut TensorRng) {
+fn draw_face(
+    gray: &mut [f32],
+    w: usize,
+    fx: usize,
+    fy: usize,
+    kind: FaceKind,
+    rng: &mut TensorRng,
+) {
     let noise = rng.uniform_f32([FACE_SIZE * FACE_SIZE], -0.22, 0.22);
     let nv = noise.as_f32().unwrap();
     let c = (FACE_SIZE / 2) as f32 - 0.5;
@@ -141,8 +163,16 @@ pub struct SyntheticVideo {
 impl SyntheticVideo {
     /// New generator for `width`×`height` frames.
     pub fn new(seed: u64, width: usize, height: usize) -> Self {
-        assert!(width >= 48 && height >= 48, "frames must fit a person + face");
-        SyntheticVideo { rng: TensorRng::new(seed), width, height, next_index: 0 }
+        assert!(
+            width >= 48 && height >= 48,
+            "frames must fit a person + face"
+        );
+        SyntheticVideo {
+            rng: TensorRng::new(seed),
+            width,
+            height,
+            next_index: 0,
+        }
     }
 
     /// Generate the next frame. Cycle of scenes: empty → person without
@@ -170,7 +200,11 @@ impl SyntheticVideo {
                 }
             }
             let face = if scene >= 2 {
-                let kind = if scene == 2 { FaceKind::Real } else { FaceKind::Spoof };
+                let kind = if scene == 2 {
+                    FaceKind::Real
+                } else {
+                    FaceKind::Spoof
+                };
                 let fx = px + (pw - FACE_SIZE) / 2;
                 let fy = py + 2;
                 draw_face(&mut gray, w, fx, fy, kind, &mut self.rng);
@@ -178,7 +212,10 @@ impl SyntheticVideo {
             } else {
                 None
             };
-            objects.push(GtObject { bbox: (px, py, pw, ph), face });
+            objects.push(GtObject {
+                bbox: (px, py, pw, ph),
+                face,
+            });
         }
 
         // Grayscale → RGB with small channel offsets.
@@ -262,7 +299,12 @@ mod tests {
     fn pixels_in_unit_range() {
         let mut v = SyntheticVideo::new(5, 64, 64);
         for f in v.frames(4) {
-            assert!(f.pixels.as_f32().unwrap().iter().all(|&p| (0.0..=1.0).contains(&p)));
+            assert!(f
+                .pixels
+                .as_f32()
+                .unwrap()
+                .iter()
+                .all(|&p| (0.0..=1.0).contains(&p)));
         }
     }
 }

@@ -109,7 +109,11 @@ fn application_decisions_match_ground_truth_over_long_video() {
                     }
                     FaceKind::Spoof => {
                         assert!(!face.real, "frame {}: spoof passed", f.index);
-                        assert!(face.emotion.is_none(), "frame {}: emotion on spoof", f.index);
+                        assert!(
+                            face.emotion.is_none(),
+                            "frame {}: emotion on spoof",
+                            f.index
+                        );
                     }
                 }
             }
@@ -117,7 +121,10 @@ fn application_decisions_match_ground_truth_over_long_video() {
     }
     // Deterministic emotion: the same (untrained) model must assign the
     // same label to every identical real-face crop pattern class.
-    let labels: Vec<&str> =
-        results.iter().flat_map(|r| &r.faces).filter_map(|f| f.emotion).collect();
+    let labels: Vec<&str> = results
+        .iter()
+        .flat_map(|r| &r.faces)
+        .filter_map(|f| f.emotion)
+        .collect();
     assert!(!labels.is_empty());
 }

@@ -46,14 +46,22 @@ fn main() {
     for (a, b) in results.iter().zip(&pipelined) {
         assert_eq!(a.faces, b.faces, "pipelining must not change results");
     }
-    println!("\npipelined run produced identical results on all {} frames", pipelined.len());
+    println!(
+        "\npipelined run produced identical results on all {} frames",
+        pipelined.len()
+    );
 
     // The Fig. 5 schedule, from measured stage latencies.
     let stages = showcase.stage_profile(2000);
     println!("\n== measured stage profile ==");
     for s in &stages {
         let res: Vec<&str> = s.resources.iter().map(|d| d.name()).collect();
-        println!("{:<12} {:>8.2} ms on {}", s.name, s.duration_us / 1000.0, res.join("+"));
+        println!(
+            "{:<12} {:>8.2} ms on {}",
+            s.name,
+            s.duration_us / 1000.0,
+            res.join("+")
+        );
     }
 
     let n = 8;
@@ -62,7 +70,10 @@ fn main() {
     println!("\n== Fig. 5: pipeline schedule over {n} frames ==");
     println!("sequential makespan : {:9.2} ms", seq.makespan_us / 1000.0);
     println!("pipelined  makespan : {:9.2} ms", pipe.makespan_us / 1000.0);
-    println!("throughput gain     : {:9.2}x", seq.makespan_us / pipe.makespan_us);
+    println!(
+        "throughput gain     : {:9.2}x",
+        seq.makespan_us / pipe.makespan_us
+    );
     println!("\nGantt (o = obj-det CPU, a = anti-spoof CPU+APU, e = emotion APU):");
     print!("{}", pipe.timeline.ascii_gantt(72));
     assert!(pipe.makespan_us <= seq.makespan_us);

@@ -52,13 +52,22 @@ fn main() {
     let mut executor = phone.load(&loaded).unwrap();
 
     // set_input / run / get_output on the device.
-    executor.set_input(&model.input_name, inputs[&model.input_name].clone()).unwrap();
+    executor
+        .set_input(&model.input_name, inputs[&model.input_name].clone())
+        .unwrap();
     let t = executor.run().unwrap();
-    println!("phone : inference in {:.2} ms (simulated on {})", t / 1000.0, phone.name);
+    println!(
+        "phone : inference in {:.2} ms (simulated on {})",
+        t / 1000.0,
+        phone.name
+    );
 
     for i in 0..executor.num_outputs() {
         let out = executor.get_output(i).unwrap();
-        assert!(out.bit_eq(&server_out[i]), "device output {i} must match the server");
+        assert!(
+            out.bit_eq(&server_out[i]),
+            "device output {i} must match the server"
+        );
         println!("phone : output {i} = {} {}", out.shape(), out.dtype());
     }
     println!("deployment round-trip verified: server and device outputs are bit-identical");

@@ -33,7 +33,10 @@ fn onnx_classifier() -> Module {
             OnnxNode::new("Gemm", &["f", "fc"], &["l"]),
             OnnxNode::new("Softmax", &["l"], &["p"]),
         ],
-        inputs: vec![ValueInfo { name: "x".into(), shape: vec![1, 3, 16, 16] }],
+        inputs: vec![ValueInfo {
+            name: "x".into(),
+            shape: vec![1, 3, 16, 16],
+        }],
         outputs: vec!["p".into()],
         initializers,
     };
@@ -42,14 +45,33 @@ fn onnx_classifier() -> Module {
 
 fn main() {
     let entries: Vec<(&str, &str, Module)> = vec![
-        ("PyTorch", "DeePixBiS anti-spoofing", anti_spoofing::anti_spoofing_model(1).module),
-        ("Keras", "emotion detection", emotion::emotion_model(2).module),
-        ("TFLite", "MobileNet-SSD (quant)", object_detection::mobilenet_ssd_model(3).module),
-        ("Darknet", "YOLOv3-tiny", object_detection::yolo_model(4).module),
+        (
+            "PyTorch",
+            "DeePixBiS anti-spoofing",
+            anti_spoofing::anti_spoofing_model(1).module,
+        ),
+        (
+            "Keras",
+            "emotion detection",
+            emotion::emotion_model(2).module,
+        ),
+        (
+            "TFLite",
+            "MobileNet-SSD (quant)",
+            object_detection::mobilenet_ssd_model(3).module,
+        ),
+        (
+            "Darknet",
+            "YOLOv3-tiny",
+            object_detection::yolo_model(4).module,
+        ),
         ("ONNX", "small classifier", onnx_classifier()),
     ];
 
-    println!("{:<10} {:<26} {:>5} {:>10} {:>9}", "framework", "model", "ops", "subgraphs", "offload");
+    println!(
+        "{:<10} {:<26} {:>5} {:>10} {:>9}",
+        "framework", "model", "ops", "subgraphs", "offload"
+    );
     for (fw, name, module) in entries {
         let calls = module.main().num_calls();
         let (_p, report) = nir::partition_for_nir(&module).unwrap();

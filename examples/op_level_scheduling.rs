@@ -15,9 +15,16 @@ fn main() {
     let graph = convert_function(prepared.main()).expect("emotion model converts");
 
     println!("model: {} ({} Neuron ops)\n", model.name, graph.num_ops());
-    println!("{:<18} {:>10} {:>10} {:>10}", "planner", "time (ms)", "segments", "crossings");
+    println!(
+        "{:<18} {:>10} {:>10} {:>10}",
+        "planner", "time (ms)", "segments", "crossings"
+    );
 
-    for policy in [TargetPolicy::CpuOnly, TargetPolicy::ApuPrefer, TargetPolicy::CpuApu] {
+    for policy in [
+        TargetPolicy::CpuOnly,
+        TargetPolicy::ApuPrefer,
+        TargetPolicy::CpuApu,
+    ] {
         let net = CompiledNetwork::compile(graph.clone(), policy, cost.clone()).unwrap();
         println!(
             "{:<18} {:>10.3} {:>10} {:>10}",
@@ -49,5 +56,8 @@ fn main() {
     let cpu = CompiledNetwork::compile(graph, TargetPolicy::CpuOnly, cost).unwrap();
     let (b, _) = cpu.execute(&[input]).unwrap();
     assert!(a[0].bit_eq(&b[0]), "placement must not change results");
-    println!("\nverified: op-level plan is bit-identical to CPU-only, {:.3} ms simulated", t / 1000.0);
+    println!(
+        "\nverified: op-level plan is bit-identical to CPU-only, {:.3} ms simulated",
+        t / 1000.0
+    );
 }

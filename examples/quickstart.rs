@@ -32,12 +32,19 @@ fn main() {
     let mut tvm_only = relay_build(&model.module, TargetMode::TvmOnly, cost.clone()).unwrap();
     let (out_tvm, t_tvm) = tvm_only.run(&input).unwrap();
 
-    let mut byoc =
-        relay_build(&model.module, TargetMode::Byoc(TargetPolicy::ApuPrefer), cost).unwrap();
+    let mut byoc = relay_build(
+        &model.module,
+        TargetMode::Byoc(TargetPolicy::ApuPrefer),
+        cost,
+    )
+    .unwrap();
     let (out_byoc, t_byoc) = byoc.run(&input).unwrap();
 
     // 4. Same numerics, different simulated time.
-    assert!(out_tvm[0].bit_eq(&out_byoc[0]), "BYOC must not change results");
+    assert!(
+        out_tvm[0].bit_eq(&out_byoc[0]),
+        "BYOC must not change results"
+    );
     let label = EMOTIONS[out_byoc[0].argmax()];
     println!("predicted emotion: {label}");
     println!("TVM-only    : {:8.2} ms (simulated)", t_tvm / 1000.0);

@@ -1,0 +1,118 @@
+//! Minimal rayon shim (see `shims/README.md`).
+//!
+//! Implements the one pattern the kernel crates use —
+//! `slice.par_chunks_mut(n).enumerate().for_each(|(i, chunk)| ...)` —
+//! with real parallelism: chunks are distributed round-robin over
+//! `std::thread::scope` workers sized to the host's parallelism. Small
+//! inputs (fewer chunks than would amortize a thread spawn) run inline.
+
+/// Prelude mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+/// Chunked parallel iteration over mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into mutable chunks of `chunk_size` (last may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Parallel mutable-chunk iterator.
+pub struct ParChunksMut<'a, T: Send> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> ParEnumerate<'a, T> {
+        ParEnumerate {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Apply `f` to every chunk, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated parallel mutable-chunk iterator.
+pub struct ParEnumerate<'a, T: Send> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParEnumerate<'a, T> {
+    /// Apply `f` to every `(index, chunk)` pair, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        let items: Vec<(usize, &'a mut [T])> = self.chunks.into_iter().enumerate().collect();
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let workers = workers.min(items.len()).max(1);
+        if workers <= 1 || items.len() <= 1 {
+            for item in items {
+                f(item);
+            }
+            return;
+        }
+        // Round-robin buckets: consecutive chunks land on different
+        // workers, which balances the typical uniform-cost kernels.
+        let mut buckets: Vec<Vec<(usize, &'a mut [T])>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (k, item) in items.into_iter().enumerate() {
+            buckets[k % workers].push(item);
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            for bucket in buckets {
+                scope.spawn(move || {
+                    for item in bucket {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut data = vec![0u64; 1024];
+        data.par_chunks_mut(16).enumerate().for_each(|(i, chunk)| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (i * 16 + j) as u64;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+
+    #[test]
+    fn uneven_tail_chunk() {
+        let mut data = vec![1u8; 10];
+        data.par_chunks_mut(4).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i as u8;
+            }
+        });
+        assert_eq!(data, [0, 0, 0, 0, 1, 1, 1, 1, 2, 2]);
+    }
+}

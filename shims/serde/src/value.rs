@@ -1,0 +1,242 @@
+//! The JSON-style value tree shared by the `serde` and `serde_json` shims.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Object representation. A `BTreeMap` keeps key order deterministic,
+/// which the telemetry golden tests rely on.
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON number: signed, unsigned, or float — mirroring
+/// `serde_json::Number`'s three internal arms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Signed integer.
+    I(i64),
+    /// Unsigned integer (only needed above `i64::MAX`).
+    U(u64),
+    /// Float.
+    F(f64),
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (deterministically ordered).
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Object field lookup (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value widened to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::I(n)) => Some(*n as f64),
+            Value::Number(Number::U(n)) => Some(*n as f64),
+            Value::Number(Number::F(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Integer value as `i64` (floats only when exactly integral).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I(n)) => Some(*n),
+            Value::Number(Number::U(n)) => i64::try_from(*n).ok(),
+            Value::Number(Number::F(n)) if n.fract() == 0.0 && n.abs() < 2f64.powi(63) => {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Integer value as `u64` (floats only when exactly integral).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::I(n)) => u64::try_from(*n).ok(),
+            Value::Number(Number::U(n)) => Some(*n),
+            Value::Number(Number::F(n)) if n.fract() == 0.0 && *n >= 0.0 && *n < 2f64.powi(64) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_json(self, f)
+    }
+}
+
+fn write_json(v: &Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match v {
+        Value::Null => f.write_str("null"),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::Number(Number::I(n)) => write!(f, "{n}"),
+        Value::Number(Number::U(n)) => write!(f, "{n}"),
+        Value::Number(Number::F(n)) => {
+            if n.is_finite() {
+                // `{:?}` keeps a decimal point / exponent so the value
+                // re-parses as a float, and round-trips exactly.
+                write!(f, "{n:?}")
+            } else {
+                // Like serde_json's default behavior for non-finite floats.
+                f.write_str("null")
+            }
+        }
+        Value::String(s) => write_escaped(s, f),
+        Value::Array(a) => {
+            f.write_str("[")?;
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write_json(item, f)?;
+            }
+            f.write_str("]")
+        }
+        Value::Object(m) => {
+            f.write_str("{")?;
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write_escaped(k, f)?;
+                f.write_str(":")?;
+                write_json(val, f)?;
+            }
+            f.write_str("}")
+        }
+    }
+}
+
+fn write_escaped(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\u{08}' => f.write_str("\\b")?,
+            '\u{0c}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Number(Number::F(n))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::Number(Number::I(n))
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::Number(Number::U(n))
+    }
+}

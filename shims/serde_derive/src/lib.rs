@@ -1,0 +1,478 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! Dependency-free: the item is parsed directly from the
+//! `proc_macro::TokenStream` (no `syn`/`quote`) and the impls are emitted
+//! as source text. Supports concrete (non-generic) structs — named,
+//! tuple, and unit — and enums with unit/tuple/struct variants, plus the
+//! `#[serde(default)]` field attribute. Representations follow serde's
+//! defaults: structs → objects, one-element tuple structs are transparent
+//! newtypes, enums are externally tagged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive the shim `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derive the shim `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg)
+        .parse()
+        .expect("compile_error parses")
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+/// Skip attributes (`#[...]`), returning whether any was `#[serde(default)]`.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut has_default = false;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if let Some(TokenTree::Ident(id)) = inner.first() {
+                            if id.to_string() == "serde" {
+                                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                    if args.stream().to_string().contains("default") {
+                                        has_default = true;
+                                    }
+                                }
+                            }
+                        }
+                        i += 2;
+                        continue;
+                    }
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    (i, has_default)
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advance past a type (or any token run) until a top-level comma.
+/// Returns the index of the comma (or `toks.len()`).
+fn skip_to_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (j, default) = skip_attrs(&toks, i);
+        let j = skip_vis(&toks, j);
+        let name = match toks.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match toks.get(j + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected ':' after field '{name}', found {other:?}"
+                ))
+            }
+        }
+        fields.push(Field { name, default });
+        i = skip_to_comma(&toks, j + 2) + 1;
+    }
+    Ok(fields)
+}
+
+fn tuple_arity(group: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut arity = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        arity += 1;
+        i = skip_to_comma(&toks, i) + 1;
+    }
+    arity
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (j, _) = skip_attrs(&toks, i);
+        let name = match toks.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let (shape, next) = match toks.get(j + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                (VariantShape::Tuple(tuple_arity(g)), j + 2)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (VariantShape::Struct(parse_named_fields(g)?), j + 2)
+            }
+            _ => (VariantShape::Unit, j + 1),
+        };
+        variants.push(Variant { name, shape });
+        // Skip optional discriminant and trailing comma.
+        i = skip_to_comma(&toks, next) + 1;
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&toks, 0);
+    i = skip_vis(&toks, i);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected 'struct' or 'enum', found {other:?}")),
+    };
+    let name = match toks.get(i + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.get(i + 2) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic type '{name}'"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match toks.get(i + 2) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g)?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: tuple_arity(g),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unsupported struct body for '{name}': {other:?}")),
+        },
+        "enum" => match toks.get(i + 2) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g)?,
+            }),
+            other => Err(format!("unsupported enum body for '{name}': {other:?}")),
+        },
+        other => Err(format!("cannot derive for item kind '{other}'")),
+    }
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "m.insert(::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::to_value(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            body.push_str("::serde::Value::Object(m)");
+            impl_serialize(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            impl_serialize(name, &body)
+        }
+        Item::UnitStruct { name } => impl_serialize(name, "::serde::Value::Null"),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => \
+                         ::serde::Value::String(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|k| format!("f{k}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(::std::string::String::from(\"{vn}\"), {payload});\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut payload = String::from("let mut inner = ::serde::Map::new();\n");
+                        for f in fields {
+                            payload.push_str(&format!(
+                                "inner.insert(::std::string::String::from(\"{0}\"), \
+                                 ::serde::Serialize::to_value({0}));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n{payload}\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Object(inner));\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn named_fields_from_map(ty: &str, map_expr: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.default {
+            inits.push_str(&format!(
+                "{0}: match {map_expr}.get(\"{0}\") {{\n\
+                 Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                 None => ::std::default::Default::default(),\n}},\n",
+                f.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{0}: ::serde::Deserialize::from_value({map_expr}.get(\"{0}\")\
+                 .ok_or_else(|| ::serde::Error::missing_field(\"{0}\", \"{ty}\"))?)?,\n",
+                f.name
+            ));
+        }
+    }
+    inits
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits = named_fields_from_map(name, "m", fields);
+            let body = format!(
+                "let m = v.as_object()\
+                 .ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            );
+            impl_deserialize(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|k| {
+                        format!(
+                            "::serde::Deserialize::from_value(a.get({k})\
+                             .ok_or_else(|| ::serde::Error::expected(\"element {k}\", \"{name}\"))?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let a = v.as_array()\
+                     .ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}\"))?;\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            };
+            impl_deserialize(name, &body)
+        }
+        Item::UnitStruct { name } => {
+            impl_deserialize(name, &format!("::std::result::Result::Ok({name})"))
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(arity) => {
+                        let build = if *arity == 1 {
+                            format!("{name}::{vn}(::serde::Deserialize::from_value(payload)?)")
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|k| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(a.get({k})\
+                                         .ok_or_else(|| ::serde::Error::expected(\
+                                         \"element {k}\", \"{name}::{vn}\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{{ let a = payload.as_array()\
+                                 .ok_or_else(|| ::serde::Error::expected(\
+                                 \"array\", \"{name}::{vn}\"))?;\n\
+                                 {name}::{vn}({}) }}",
+                                items.join(", ")
+                            )
+                        };
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({build}),\n"
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let inits =
+                            named_fields_from_map(&format!("{name}::{vn}"), "inner", fields);
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let inner = payload.as_object()\
+                             .ok_or_else(|| ::serde::Error::expected(\
+                             \"object\", \"{name}::{vn}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(\
+                 ::serde::Error::unknown_variant(other, \"{name}\")),\n}},\n\
+                 ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (k, payload) = m.iter().next().expect(\"len checked\");\n\
+                 match k.as_str() {{\n{keyed_arms}\
+                 other => ::std::result::Result::Err(\
+                 ::serde::Error::unknown_variant(other, \"{name}\")),\n}}\n}}\n\
+                 _ => ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"enum representation\", \"{name}\")),\n}}"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

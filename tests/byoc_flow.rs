@@ -32,7 +32,10 @@ fn subgraph_counts_tell_the_fig4_story() {
     let emo = emotion::emotion_model(33);
     let (_, spoof_report) = partition_for_nir(&spoof.module).unwrap();
     let (_, emo_report) = partition_for_nir(&emo.module).unwrap();
-    assert_eq!(emo_report.num_subgraphs, 1, "emotion model is fully supported");
+    assert_eq!(
+        emo_report.num_subgraphs, 1,
+        "emotion model is fully supported"
+    );
     assert!(
         spoof_report.num_subgraphs >= 3 * emo_report.num_subgraphs,
         "anti-spoofing must fragment ({} vs {})",
@@ -89,7 +92,8 @@ fn artifact_deploys_to_runtime_only_device() {
         loaders.register("neuropilot", NeuronModule::loader(cost.clone()));
         let phone = AndroidDevice::new("test-phone", loaders, cost.clone());
         let mut ex = phone.load(&loaded).unwrap();
-        ex.set_input(&model.input_name, inputs[&model.input_name].clone()).unwrap();
+        ex.set_input(&model.input_name, inputs[&model.input_name].clone())
+            .unwrap();
         ex.run().unwrap();
         assert!(
             ex.get_output(0).unwrap().bit_eq(&reference[0]),
@@ -104,7 +108,10 @@ fn artifact_deploys_to_runtime_only_device() {
 #[test]
 fn missing_bars_have_named_causes() {
     let cases = [
-        (anti_spoofing::anti_spoofing_model(50).module, "nn.batch_norm"),
+        (
+            anti_spoofing::anti_spoofing_model(50).module,
+            "nn.batch_norm",
+        ),
         (zoo::nasnet(51).module, "mean"),
         (zoo::densenet(52).module, "nn.batch_norm"),
     ];
@@ -117,7 +124,10 @@ fn missing_bars_have_named_causes() {
             Err(tvm_neuropilot::byoc::build::BuildError::Unsupported(op)) => {
                 assert_eq!(op, expected_op)
             }
-            other => panic!("expected Unsupported({expected_op}), got ok={}", other.is_ok()),
+            other => panic!(
+                "expected Unsupported({expected_op}), got ok={}",
+                other.is_ok()
+            ),
         }
     }
 }
@@ -126,7 +136,11 @@ fn missing_bars_have_named_causes() {
 #[test]
 fn storage_planning_is_sound_on_real_models() {
     use tvm_neuropilot::runtime::{plan_memory, ExecutorGraph};
-    for model in [emotion::emotion_model(60), zoo::mobilenet_v2(61), zoo::densenet(62)] {
+    for model in [
+        emotion::emotion_model(60),
+        zoo::mobilenet_v2(61),
+        zoo::densenet(62),
+    ] {
         let (partitioned, _) = partition_for_nir(&model.module).unwrap();
         let graph = ExecutorGraph::build(&partitioned).unwrap();
         let plan = plan_memory(&graph);

@@ -53,7 +53,11 @@ fn tvm_only_always_slowest() {
 #[test]
 fn numerics_identical_across_backends() {
     let cost = CostModel::default();
-    for model in [zoo::mobilenet_v1(7), zoo::inception_v3(8), zoo::mobilenet_v2_quant(9)] {
+    for model in [
+        zoo::mobilenet_v1(7),
+        zoo::inception_v3(8),
+        zoo::mobilenet_v2_quant(9),
+    ] {
         let inputs = model.sample_inputs(12);
         let reference = run_module(&model.module, &inputs).unwrap();
         for p in Permutation::ALL {
@@ -81,11 +85,18 @@ fn numerics_identical_across_backends() {
 fn quantized_variant_wins_on_the_apu() {
     let cost = CostModel::default();
     let t = |model: &tvm_neuropilot::models::Model, p: Permutation| {
-        measure_one(&model.module, p, &cost).unwrap().time_ms.unwrap()
+        measure_one(&model.module, p, &cost)
+            .unwrap()
+            .time_ms
+            .unwrap()
     };
     let float_net = zoo::mobilenet_v1(20);
     let quant_net = zoo::mobilenet_v1_quant(20);
-    for p in [Permutation::ByocCpu, Permutation::ByocApu, Permutation::ByocCpuApu] {
+    for p in [
+        Permutation::ByocCpu,
+        Permutation::ByocApu,
+        Permutation::ByocCpuApu,
+    ] {
         assert!(t(&quant_net, p) <= t(&float_net, p) * 1.05, "{p}");
     }
     assert!(
@@ -105,7 +116,11 @@ fn application_video_roundtrip() {
     let seq = showcase.process_video(&frames);
     // Two real-face frames and two spoof-face frames in 8.
     let real_faces: usize = seq.iter().flat_map(|r| &r.faces).filter(|f| f.real).count();
-    let spoof_faces: usize = seq.iter().flat_map(|r| &r.faces).filter(|f| !f.real).count();
+    let spoof_faces: usize = seq
+        .iter()
+        .flat_map(|r| &r.faces)
+        .filter(|f| !f.real)
+        .count();
     assert_eq!(real_faces, 2);
     assert_eq!(spoof_faces, 2);
     let pipe = showcase.process_video_pipelined(frames);

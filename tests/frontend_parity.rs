@@ -100,7 +100,10 @@ fn via_onnx(w: &Weights) -> Module {
             OnnxNode::new("Gemm", &["f", "FC", "FCB"], &["l"]),
             OnnxNode::new("Softmax", &["l"], &["s"]),
         ],
-        inputs: vec![ValueInfo { name: "x".into(), shape: vec![1, 1, 28, 28] }],
+        inputs: vec![ValueInfo {
+            name: "x".into(),
+            shape: vec![1, 1, 28, 28],
+        }],
         outputs: vec!["s".into()],
         initializers,
     };
@@ -196,7 +199,11 @@ fn all_permutations_agree_across_frontends() {
     let reference = run(&via_pytorch(&w), &input);
 
     for module in [via_keras(&w), via_onnx(&w), via_mxnet(&w)] {
-        for p in [Permutation::TvmOnly, Permutation::ByocCpuApu, Permutation::NpApu] {
+        for p in [
+            Permutation::TvmOnly,
+            Permutation::ByocCpuApu,
+            Permutation::NpApu,
+        ] {
             let mut compiled = relay_build(&module, p.mode(), cost.clone()).unwrap();
             let name = match &module.main().params[0].kind {
                 tvm_neuropilot::relay::ExprKind::Var(v) => v.name.clone(),

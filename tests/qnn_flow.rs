@@ -40,7 +40,11 @@ fn neuron_ir_is_tensor_oriented() {
 /// the Relay interpreter agree bit-exactly on quantized models.
 #[test]
 fn quantized_roundtrip_bit_exact() {
-    for model in [zoo::mobilenet_v1_quant(71), zoo::mobilenet_v2_quant(72), zoo::inception_v3_quant(73)] {
+    for model in [
+        zoo::mobilenet_v1_quant(71),
+        zoo::mobilenet_v2_quant(72),
+        zoo::inception_v3_quant(73),
+    ] {
         let inputs = model.sample_inputs(74);
         let reference = run_module(&model.module, &inputs).unwrap();
         let simplified = simplify(&model.module);
@@ -68,7 +72,10 @@ fn propagation_covers_non_qnn_ops() {
         // Find quant-transparent ops and check their outputs carry params
         // whenever the tensor is quantized.
         for op in &graph.ops {
-            if matches!(op.kind, NeuronOpKind::Reshape { .. } | NeuronOpKind::Clip { .. }) {
+            if matches!(
+                op.kind,
+                NeuronOpKind::Reshape { .. } | NeuronOpKind::Clip { .. }
+            ) {
                 for &o in &op.outputs {
                     let t = &graph.tensors[o];
                     if t.dtype.is_quantized() {
@@ -116,7 +123,11 @@ fn qnn_flow_performance_not_worse() {
     let cost = CostModel::default();
     let fm = zoo::mobilenet_v2(77);
     let qm = zoo::mobilenet_v2_quant(77);
-    for p in [Permutation::ByocCpu, Permutation::ByocApu, Permutation::ByocCpuApu] {
+    for p in [
+        Permutation::ByocCpu,
+        Permutation::ByocApu,
+        Permutation::ByocCpuApu,
+    ] {
         let tf = measure_one(&fm.module, p, &cost).unwrap().time_ms.unwrap();
         let tq = measure_one(&qm.module, p, &cost).unwrap().time_ms.unwrap();
         assert!(tq <= tf * 1.05, "{p}: quant {tq:.3} ms vs float {tf:.3} ms");

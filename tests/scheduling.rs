@@ -33,7 +33,12 @@ fn computation_scheduling_assigns_fastest_targets() {
     assert_eq!(assignment.len(), 3, "every model gets a target");
     for p in &ps {
         let (best, t_best) = p.best().unwrap();
-        assert_ne!(best, Permutation::TvmOnly, "{}: TVM-only can never win", p.name);
+        assert_ne!(
+            best,
+            Permutation::TvmOnly,
+            "{}: TVM-only can never win",
+            p.name
+        );
         let t_tvm = p.time_ms(Permutation::TvmOnly).unwrap();
         assert!(t_best < t_tvm);
     }
@@ -50,7 +55,12 @@ fn computation_scheduling_assigns_fastest_targets() {
 fn anti_spoofing_slowest_on_best_targets() {
     let ps = profiles();
     let best_time = |name: &str| {
-        ps.iter().find(|p| p.name == name).unwrap().best().unwrap().1
+        ps.iter()
+            .find(|p| p.name == name)
+            .unwrap()
+            .best()
+            .unwrap()
+            .1
     };
     let spoof = best_time("anti-spoofing");
     assert!(spoof > best_time("mobilenet-ssd-quant"));
