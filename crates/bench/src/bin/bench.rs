@@ -1,0 +1,360 @@
+//! Benchmark baseline/regression harness.
+//!
+//! Runs one of the figure workloads N times, records median/p95/min/max
+//! simulated latency plus report aggregates in a stable JSON schema, and
+//! optionally gates against a checked-in baseline:
+//!
+//! ```text
+//! cargo run --release -p tvmnp-bench --bin bench -- \
+//!     --workload fig6 --runs 5 --bench-out BENCH_fig6.json
+//! cargo run --release -p tvmnp-bench --bin bench -- \
+//!     --workload fig6 --check-against BENCH_fig6.json [--threshold 0.05] [--warn-only]
+//! ```
+//!
+//! The simulation is fully deterministic, so recording twice on the same
+//! commit produces byte-identical `BENCH_*.json` files; `--check-against`
+//! exits nonzero when any latency metric's median regresses beyond the
+//! noise threshold (default 5%). `--inject-slowdown <kind>=<factor>`
+//! scales one hwsim work kind (`mac`, `elementwise`, `data-movement`,
+//! `reduction`) — the hook the regression-detection test uses.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tvm_neuropilot::models::{anti_spoofing, emotion, object_detection, zoo, Model};
+use tvm_neuropilot::prelude::*;
+use tvm_neuropilot::report::{self, BenchRecord};
+use tvmnp_hwsim::WorkKind;
+
+const WORKLOADS: &[&str] = &["fig4", "fig5", "fig6", "sched"];
+
+struct Args {
+    workload: String,
+    runs: usize,
+    bench_out: Option<PathBuf>,
+    check_against: Option<PathBuf>,
+    threshold: f64,
+    warn_only: bool,
+    inject: Option<(WorkKind, f64)>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench --workload <fig4|fig5|fig6|sched> [--runs N] \
+         [--bench-out <path>] [--check-against <baseline>] \
+         [--threshold F] [--warn-only] [--inject-slowdown <kind>=<factor>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut workload = None;
+    let mut runs = 5usize;
+    let mut bench_out = None;
+    let mut check_against = None;
+    let mut threshold = 0.05f64;
+    let mut warn_only = false;
+    let mut inject = None;
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("error: {flag} requires a value");
+            usage();
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workload" => workload = Some(value(&mut args, "--workload")),
+            "--runs" => {
+                let v = value(&mut args, "--runs");
+                runs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --runs expects a positive integer, got '{v}'");
+                    usage();
+                });
+                if runs == 0 {
+                    eprintln!("error: --runs must be at least 1");
+                    usage();
+                }
+            }
+            "--bench-out" => bench_out = Some(PathBuf::from(value(&mut args, "--bench-out"))),
+            "--check-against" => {
+                check_against = Some(PathBuf::from(value(&mut args, "--check-against")))
+            }
+            "--threshold" => {
+                let v = value(&mut args, "--threshold");
+                threshold = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --threshold expects a float, got '{v}'");
+                    usage();
+                });
+            }
+            "--warn-only" => warn_only = true,
+            "--inject-slowdown" => {
+                let v = value(&mut args, "--inject-slowdown");
+                let Some((kind, factor)) = v.split_once('=') else {
+                    eprintln!("error: --inject-slowdown expects <kind>=<factor>, got '{v}'");
+                    usage();
+                };
+                let Some(kind) = WorkKind::parse(kind) else {
+                    eprintln!(
+                        "error: unknown work kind '{kind}' (expected one of: {})",
+                        WorkKind::ALL.map(WorkKind::name).join(", ")
+                    );
+                    usage();
+                };
+                let factor: f64 = factor.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --inject-slowdown factor must be a float, got '{factor}'");
+                    usage();
+                });
+                inject = Some((kind, factor));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    let Some(workload) = workload else {
+        eprintln!("error: --workload is required");
+        usage();
+    };
+    if !WORKLOADS.contains(&workload.as_str()) {
+        eprintln!(
+            "error: unknown workload '{workload}' (expected one of: {})",
+            WORKLOADS.join(", ")
+        );
+        usage();
+    }
+    if bench_out.is_none() && check_against.is_none() {
+        eprintln!("error: nothing to do — pass --bench-out and/or --check-against");
+        usage();
+    }
+    Args {
+        workload,
+        runs,
+        bench_out,
+        check_against,
+        threshold,
+        warn_only,
+        inject,
+    }
+}
+
+/// Lowercase a label into a dotted-metric-safe key part.
+fn key_part(s: &str) -> String {
+    s.to_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect::<String>()
+        .split('-')
+        .filter(|p| !p.is_empty())
+        .collect::<Vec<_>>()
+        .join("-")
+}
+
+/// One repetition of a workload: `(metric key, sample)` pairs. Keys
+/// ending in `.ms`/`.us` are latency metrics and gate regressions.
+fn run_workload(workload: &str, cost: &CostModel) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    match workload {
+        "fig4" | "sched" => {
+            let seeds: [u64; 3] = if workload == "fig4" {
+                [101, 102, 103]
+            } else {
+                [80, 81, 82]
+            };
+            let models = [
+                anti_spoofing::anti_spoofing_model(seeds[0]),
+                object_detection::mobilenet_ssd_model(seeds[1]),
+                emotion::emotion_model(seeds[2]),
+            ];
+            for model in &models {
+                let ms = measure_all(&model.module, cost).expect("measure");
+                if workload == "sched" {
+                    // §5.1 assignment quality: only the best target gates.
+                    let best = ms
+                        .iter()
+                        .filter_map(|m| m.time_ms)
+                        .fold(f64::INFINITY, f64::min);
+                    out.push((format!("sched.{}.best.ms", key_part(&model.name)), best));
+                } else {
+                    permutation_metrics(&mut out, workload, model, &ms);
+                }
+            }
+        }
+        "fig6" => {
+            for model in zoo::zoo(600) {
+                let ms = measure_all(&model.module, cost).expect("measure");
+                permutation_metrics(&mut out, workload, &model, &ms);
+            }
+        }
+        "fig5" => {
+            let showcase = Showcase::new(900, ShowcaseAssignment::paper_prototype(), cost);
+            let stages = showcase.stage_profile(901);
+            let frames = 8;
+            let seq = simulate_sequential(&stages, frames);
+            let pipe = simulate_pipelined(&stages, frames);
+            out.push(("fig5.sequential.makespan.ms".into(), seq.makespan_us / 1e3));
+            out.push(("fig5.pipelined.makespan.ms".into(), pipe.makespan_us / 1e3));
+            out.push(("fig5.pipelined.period.ms".into(), pipe.period_us() / 1e3));
+            let sched_report = report::analyze_schedule(&pipe);
+            for d in &sched_report.utilization.devices {
+                out.push((format!("fig5.util.{}", d.device), d.utilization()));
+            }
+            out.push((
+                "fig5.overlap_frac".into(),
+                sched_report.utilization.overlap_us / sched_report.makespan_us,
+            ));
+            out.push((
+                "fig5.critical_path.steps".into(),
+                sched_report.critical_path.len() as f64,
+            ));
+        }
+        other => unreachable!("workload '{other}' validated in parse_args"),
+    }
+    out
+}
+
+fn permutation_metrics(
+    out: &mut Vec<(String, f64)>,
+    workload: &str,
+    model: &Model,
+    ms: &[Measurement],
+) {
+    let model_key = key_part(&model.name);
+    for m in ms {
+        if let Some(t) = m.time_ms {
+            out.push((
+                format!(
+                    "{workload}.{model_key}.{}.ms",
+                    key_part(m.permutation.label())
+                ),
+                t,
+            ));
+        }
+    }
+    let subgraphs = ms.iter().map(|m| m.subgraphs).max().unwrap_or(0);
+    out.push((
+        format!("{workload}.{model_key}.subgraphs"),
+        subgraphs as f64,
+    ));
+}
+
+/// Report-layer aggregates for one representative model: partition
+/// coverage plus device utilization from a traced BYOC CPU+APU run.
+/// Computed once per record (deterministic, so repetition buys nothing).
+fn report_aggregates(workload: &str, cost: &CostModel) -> Vec<(String, f64)> {
+    let representative = match workload {
+        "fig4" => anti_spoofing::anti_spoofing_model(101),
+        "sched" => anti_spoofing::anti_spoofing_model(80),
+        "fig6" => zoo::mobilenet_v2(600),
+        _ => return Vec::new(), // fig5 aggregates come from the schedule
+    };
+    let mut out = Vec::new();
+    let prefix = format!("{workload}.report");
+    let (partitioned, _) =
+        nir::partition_for_nir(&representative.module).expect("partition representative");
+    let cov = report::coverage(&partitioned);
+    out.push((format!("{prefix}.offload_frac"), cov.offload_fraction()));
+    out.push((format!("{prefix}.subgraphs"), cov.num_subgraphs as f64));
+    out.push((
+        format!("{prefix}.offloaded_calls"),
+        cov.offloaded_calls as f64,
+    ));
+    out.push((format!("{prefix}.host_calls"), cov.host_calls as f64));
+
+    tvm_neuropilot::telemetry::enable();
+    tvm_neuropilot::telemetry::reset();
+    let mut compiled = relay_build(
+        &representative.module,
+        TargetMode::Byoc(TargetPolicy::CpuApu),
+        cost.clone(),
+    )
+    .expect("build representative");
+    compiled
+        .run(&representative.sample_inputs(7))
+        .expect("run representative");
+    tvm_neuropilot::telemetry::disable();
+    let snap = tvm_neuropilot::telemetry::snapshot();
+    let util = report::utilization_from_snapshot(&snap);
+    for d in &util.devices {
+        out.push((format!("{prefix}.util.{}", d.device), d.utilization()));
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut cost = CostModel::default();
+    if let Some((kind, factor)) = args.inject {
+        eprintln!(
+            "note: injecting {factor}x slowdown into '{}' work",
+            kind.name()
+        );
+        cost = cost.with_kind_scale(kind, factor);
+    }
+
+    let mut samples: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for _ in 0..args.runs {
+        for (key, v) in run_workload(&args.workload, &cost) {
+            samples.entry(key).or_default().push(v);
+        }
+    }
+    for (key, v) in report_aggregates(&args.workload, &cost) {
+        samples.entry(key).or_default().push(v);
+    }
+
+    let mut record = BenchRecord::new(args.workload.clone(), args.runs);
+    for (key, vals) in &samples {
+        record.insert(key.clone(), vals);
+    }
+    println!(
+        "workload '{}': {} metrics over {} run(s)",
+        args.workload,
+        record.metrics.len(),
+        args.runs
+    );
+
+    if let Some(path) = &args.bench_out {
+        if let Err(e) = record.write(path) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("bench record written to {}", path.display());
+    }
+
+    if let Some(path) = &args.check_against {
+        let baseline = match BenchRecord::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let cmp = report::compare(&baseline, &record, args.threshold);
+        print!("{}", cmp.render());
+        if !cmp.ok() {
+            if args.warn_only {
+                println!(
+                    "WARN: regressions beyond {:.1}% vs {} (ignored: --warn-only)",
+                    args.threshold * 100.0,
+                    path.display()
+                );
+            } else {
+                eprintln!(
+                    "error: regression beyond {:.1}% vs {}",
+                    args.threshold * 100.0,
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        } else {
+            println!(
+                "OK: within {:.1}% of {}",
+                args.threshold * 100.0,
+                path.display()
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

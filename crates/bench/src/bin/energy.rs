@@ -9,12 +9,14 @@
 //! every model the APU permutation is the most frugal; int8 variants burn
 //! less than their float32 twins.
 //!
-//! `cargo run --release -p tvmnp-bench --bin energy`
+//! `cargo run --release -p tvmnp-bench --bin energy [--profile] [--trace-out <path>]`
 
 use tvm_neuropilot::models::zoo;
 use tvm_neuropilot::prelude::*;
+use tvmnp_bench::profiling::TelemetryCli;
 
 fn main() {
+    let mut telem = TelemetryCli::from_env();
     let cost = CostModel::default();
     println!("== Extension: simulated inference energy (microjoules) ==\n");
     println!(
@@ -30,6 +32,7 @@ fn main() {
         zoo::mobilenet_v2_quant(614),
     ];
     for model in &models {
+        telem.trace_model(model, &cost);
         let e = |mode: TargetMode| {
             relay_build(&model.module, mode, cost.clone())
                 .unwrap()
@@ -83,4 +86,5 @@ fn main() {
         assert!(eq < ef, "int8 must save energy");
     }
     println!("\nenergy checks passed: the power argument behind NeuroPilot holds.");
+    telem.finish();
 }

@@ -6,12 +6,14 @@
 //! GPU lands between the vendor CPU and the APU; quantized models skip
 //! the GPU entirely (the APU's int8 advantage is too large).
 //!
-//! `cargo run --release -p tvmnp-bench --bin gpu_ext`
+//! `cargo run --release -p tvmnp-bench --bin gpu_ext [--profile] [--trace-out <path>]`
 
 use tvm_neuropilot::models::zoo;
 use tvm_neuropilot::prelude::*;
+use tvmnp_bench::profiling::TelemetryCli;
 
 fn main() {
+    let mut telem = TelemetryCli::from_env();
     let cost = CostModel::default();
     println!("== Extension: BYOC with the mobile GPU back-end (simulated ms) ==\n");
     println!(
@@ -26,6 +28,7 @@ fn main() {
         zoo::mobilenet_v2(603),
         zoo::densenet(604),
     ] {
+        telem.trace_model(&model, &cost);
         let t = |mode: TargetMode| {
             relay_build(&model.module, mode, cost.clone())
                 .unwrap()
@@ -43,4 +46,5 @@ fn main() {
         );
     }
     println!("\nfloat models: APU < GPU < vendor CPU, as the device peaks predict.");
+    telem.finish();
 }

@@ -5,14 +5,16 @@
 //! Expected (asserted): NeuroPilot-direct offloads at least as much and
 //! is never slower — the introduction's motivation for the new flow.
 //!
-//! `cargo run --release -p tvmnp-bench --bin nnapi`
+//! `cargo run --release -p tvmnp-bench --bin nnapi [--profile] [--trace-out <path>]`
 
 use tvm_neuropilot::byoc::nnapi::relay_build_nnapi;
 use tvm_neuropilot::byoc::partition_for_nir;
 use tvm_neuropilot::models::{anti_spoofing, emotion, object_detection};
 use tvm_neuropilot::prelude::*;
+use tvmnp_bench::profiling::TelemetryCli;
 
 fn main() {
+    let mut telem = TelemetryCli::from_env();
     let cost = CostModel::default();
     println!("== NNAPI flow (prior work [11]) vs NeuroPilot-direct (this paper) ==\n");
     println!(
@@ -29,6 +31,7 @@ fn main() {
         object_detection::yolo_model(704),
     ];
     for model in &models {
+        telem.trace_model(model, &cost);
         let (nnapi_compiled, nnapi_report) =
             relay_build_nnapi(&model.module, TargetPolicy::CpuApu, cost.clone()).unwrap();
         let (_, nir_report) = partition_for_nir(&model.module).unwrap();
@@ -57,4 +60,5 @@ fn main() {
     }
     println!("\nNeuroPilot-direct offloads >= NNAPI and never runs slower — the");
     println!("win the paper's introduction claims over the prior NNAPI flow.");
+    telem.finish();
 }

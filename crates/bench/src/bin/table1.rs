@@ -1,14 +1,23 @@
 //! Table 1: models used for testing and their data types.
 //!
-//! `cargo run --release -p tvmnp-bench --bin table1`
+//! `cargo run --release -p tvmnp-bench --bin table1 [--profile] [--trace-out <path>]`
 
 use tvm_neuropilot::models::zoo;
+use tvmnp_bench::profiling::TelemetryCli;
 
 fn main() {
+    let mut telem = TelemetryCli::from_env();
     println!("== Table 1: models used for testing and their data types ==\n");
     println!("{:<22} | Data Type", "Model");
     println!("{:-<22}-+-{:-<9}", "", "");
     for (name, dtype) in zoo::table1(600) {
         println!("{name:<22} | {dtype}");
     }
+    // The table itself runs nothing; trace one zoo model so --profile /
+    // --trace-out show where its simulated time goes.
+    if telem.active() {
+        let cost = tvm_neuropilot::prelude::CostModel::default();
+        telem.trace_model(&zoo::mobilenet_v2(600), &cost);
+    }
+    telem.finish();
 }

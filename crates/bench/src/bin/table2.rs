@@ -1,11 +1,13 @@
 //! Table 2: specifications of the experiment environment (OPPO Reno4 Z
 //! 5G / MediaTek Dimensity 800), as modelled by the simulator.
 //!
-//! `cargo run --release -p tvmnp-bench --bin table2`
+//! `cargo run --release -p tvmnp-bench --bin table2 [--profile] [--trace-out <path>]`
 
 use tvm_neuropilot::hwsim::{KernelClass, SocSpec};
+use tvmnp_bench::profiling::TelemetryCli;
 
 fn main() {
+    let mut telem = TelemetryCli::from_env();
     let soc = SocSpec::dimensity_800();
     println!("== Table 2: experiment environment ==\n");
     for (label, value) in soc.table2_rows() {
@@ -30,4 +32,11 @@ fn main() {
         "\ntransfer: {:.0} us latency + {:.0} GB/s",
         soc.transfer.latency_us, soc.transfer.bandwidth_gbps
     );
+    // The spec dump runs nothing; trace one model against this SoC so
+    // --profile / --trace-out have an execute phase to show.
+    if telem.active() {
+        let cost = tvm_neuropilot::prelude::CostModel::default();
+        telem.trace_model(&tvm_neuropilot::models::zoo::mobilenet_v2(600), &cost);
+    }
+    telem.finish();
 }

@@ -36,13 +36,18 @@ impl TelemetryCli {
             match a.as_str() {
                 "--profile" => profile = true,
                 "--trace-out" => {
-                    let path = args
-                        .next()
-                        .unwrap_or_else(|| panic!("--trace-out requires a path argument"));
+                    let Some(path) = args.next() else {
+                        eprintln!("error: --trace-out requires a path argument");
+                        std::process::exit(2);
+                    };
                     trace_out = Some(PathBuf::from(path));
                 }
                 other => {
-                    panic!("unknown argument '{other}' (supported: --profile, --trace-out <path>)")
+                    eprintln!(
+                        "error: unknown argument '{other}' \
+                         (supported: --profile, --trace-out <path>)"
+                    );
+                    std::process::exit(2);
                 }
             }
         }
@@ -100,7 +105,13 @@ impl TelemetryCli {
             print!("{}", profile_table(&snap, &opts));
         }
         if let Some(path) = &self.trace_out {
-            write_chrome_trace(&snap, path).expect("write chrome trace");
+            if let Err(e) = write_chrome_trace(&snap, path) {
+                eprintln!(
+                    "error: {}: failed to write chrome trace: {e}",
+                    path.display()
+                );
+                std::process::exit(1);
+            }
             println!(
                 "\nchrome trace written to {} (open in Perfetto)",
                 path.display()

@@ -167,6 +167,38 @@ impl CompiledModel {
         }
     }
 
+    /// Per-node analytic cost attribution (device + simulated µs per
+    /// node), summing exactly to [`CompiledModel::estimate_us`]. TVM-side
+    /// modes report one entry per graph node; NP-only modes map the
+    /// planned Neuron ops and their dispatch/staging/transfer overheads
+    /// into the same shape.
+    pub fn estimate_breakdown(&self) -> Vec<tvmnp_runtime::NodeCost> {
+        match self {
+            CompiledModel::Tvm { executor, .. } => executor.estimate_breakdown(),
+            CompiledModel::Neuron { network, .. } => network
+                .estimate_breakdown()
+                .into_iter()
+                .enumerate()
+                .map(|(i, e)| tvmnp_runtime::NodeCost {
+                    index: i,
+                    op: e.label,
+                    device: e.device.name().to_string(),
+                    us: e.us,
+                    external: true,
+                })
+                .collect(),
+        }
+    }
+
+    /// The partition report (`None` for NP-only modes, which never
+    /// partition).
+    pub fn partition_report(&self) -> Option<&PartitionReport> {
+        match self {
+            CompiledModel::Tvm { report, .. } => Some(report),
+            CompiledModel::Neuron { .. } => None,
+        }
+    }
+
     /// Number of external subgraphs (0 for TVM-only and NP-only modes).
     pub fn num_subgraphs(&self) -> usize {
         match self {

@@ -53,6 +53,7 @@ pub use tvmnp_hwsim as hwsim;
 pub use tvmnp_models as models;
 pub use tvmnp_neuropilot as neuropilot;
 pub use tvmnp_relay as relay;
+pub use tvmnp_report as report;
 pub use tvmnp_runtime as runtime;
 pub use tvmnp_scheduler as scheduler;
 pub use tvmnp_telemetry as telemetry;

@@ -17,6 +17,35 @@ pub enum WorkKind {
     Reduction,
 }
 
+impl WorkKind {
+    /// All kinds, in a stable order (the [`CostModel`] scale-table order).
+    pub const ALL: [WorkKind; 4] = [
+        WorkKind::MacHeavy,
+        WorkKind::Elementwise,
+        WorkKind::DataMovement,
+        WorkKind::Reduction,
+    ];
+
+    /// Short display name (also accepted by [`WorkKind::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkKind::MacHeavy => "mac",
+            WorkKind::Elementwise => "elementwise",
+            WorkKind::DataMovement => "data-movement",
+            WorkKind::Reduction => "reduction",
+        }
+    }
+
+    /// Parse a kind from its [`WorkKind::name`].
+    pub fn parse(s: &str) -> Option<WorkKind> {
+        WorkKind::ALL.iter().copied().find(|k| k.name() == s)
+    }
+
+    fn index(self) -> usize {
+        WorkKind::ALL.iter().position(|&k| k == self).unwrap()
+    }
+}
+
 /// One kernel's worth of work, in device-neutral units.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct WorkItem {
@@ -54,17 +83,38 @@ impl WorkItem {
 #[derive(Debug, Clone)]
 pub struct CostModel {
     soc: SocSpec,
+    /// Per-[`WorkKind`] time multipliers (indexed by `WorkKind::index`).
+    /// All 1.0 by default; the bench harness injects synthetic slowdowns
+    /// here to validate regression detection end to end.
+    kind_scale: [f64; 4],
 }
 
 impl CostModel {
     /// Model over the given SoC.
     pub fn new(soc: SocSpec) -> Self {
-        CostModel { soc }
+        CostModel {
+            soc,
+            kind_scale: [1.0; 4],
+        }
     }
 
     /// Borrow the SoC description.
     pub fn soc(&self) -> &SocSpec {
         &self.soc
+    }
+
+    /// Scale the body time of every kernel of `kind` by `factor` (> 1.0 =
+    /// slower). Used to inject controlled slowdowns when exercising the
+    /// benchmark regression harness.
+    pub fn with_kind_scale(mut self, kind: WorkKind, factor: f64) -> Self {
+        debug_assert!(factor > 0.0, "scale factor must be positive");
+        self.kind_scale[kind.index()] *= factor;
+        self
+    }
+
+    /// Current time multiplier for `kind` (1.0 unless injected).
+    pub fn kind_scale(&self, kind: WorkKind) -> f64 {
+        self.kind_scale[kind.index()]
     }
 
     /// Time for one kernel on one device, **excluding** launch overhead:
@@ -83,7 +133,7 @@ impl CostModel {
         let ops = 2.0 * w.macs as f64;
         let compute_us = ops / (gops * kind_derate * 1e3);
         let memory_us = w.bytes() as f64 / (spec.mem_bw_gbps * 1e3);
-        compute_us.max(memory_us)
+        compute_us.max(memory_us) * self.kind_scale[w.kind.index()]
     }
 
     /// Time for one kernel including the per-kernel launch overhead.
@@ -189,6 +239,29 @@ mod tests {
         let apu = m.kernel_energy_uj(&w, DeviceKind::Apu, KernelClass::VendorTuned);
         let cpu = m.kernel_energy_uj(&w, DeviceKind::Cpu, KernelClass::VendorTuned);
         assert!(apu < cpu / 3.0, "apu {apu} uJ vs cpu {cpu} uJ");
+    }
+
+    #[test]
+    fn kind_scale_slows_only_that_kind() {
+        let base = CostModel::default();
+        let scaled = CostModel::default().with_kind_scale(WorkKind::MacHeavy, 2.0);
+        let conv = conv_item(50_000_000, false);
+        let t0 = base.kernel_body_us(&conv, DeviceKind::Cpu, KernelClass::VendorTuned);
+        let t1 = scaled.kernel_body_us(&conv, DeviceKind::Cpu, KernelClass::VendorTuned);
+        assert!((t1 - 2.0 * t0).abs() < 1e-9, "{t1} != 2*{t0}");
+        let ew = WorkItem {
+            macs: 1_000_000,
+            bytes_in: 1 << 10,
+            bytes_out: 1 << 10,
+            int8: false,
+            kind: WorkKind::Elementwise,
+        };
+        let e0 = base.kernel_body_us(&ew, DeviceKind::Cpu, KernelClass::VendorTuned);
+        let e1 = scaled.kernel_body_us(&ew, DeviceKind::Cpu, KernelClass::VendorTuned);
+        assert_eq!(e0, e1, "other kinds untouched");
+        assert_eq!(scaled.kind_scale(WorkKind::MacHeavy), 2.0);
+        assert_eq!(WorkKind::parse("mac"), Some(WorkKind::MacHeavy));
+        assert_eq!(WorkKind::parse("bogus"), None);
     }
 
     #[test]

@@ -129,6 +129,46 @@ impl Timeline {
         self.segments.iter().map(|s| s.end_us).fold(0.0, f64::max)
     }
 
+    /// Total time `device` is occupied. Per-device segments never overlap
+    /// (the exclusivity invariant), so this is a plain duration sum.
+    pub fn busy_us(&self, device: DeviceKind) -> f64 {
+        self.segments
+            .iter()
+            .filter(|s| s.device == device)
+            .map(Segment::duration_us)
+            .sum()
+    }
+
+    /// Idle time of `device` within the timeline's makespan.
+    pub fn idle_us(&self, device: DeviceKind) -> f64 {
+        (self.makespan_us() - self.busy_us(device)).max(0.0)
+    }
+
+    /// Idle gaps of `device` as `(start, end)` intervals: the leading gap
+    /// from t=0, every hole between consecutive reservations, and the
+    /// trailing gap up to the makespan. Zero-width gaps are dropped.
+    pub fn gaps(&self, device: DeviceKind) -> Vec<(f64, f64)> {
+        let mut segs: Vec<&Segment> = self
+            .segments
+            .iter()
+            .filter(|s| s.device == device)
+            .collect();
+        segs.sort_by(|a, b| a.start_us.partial_cmp(&b.start_us).unwrap());
+        let mut gaps = Vec::new();
+        let mut cursor = 0.0f64;
+        for s in segs {
+            if s.start_us > cursor + 1e-9 {
+                gaps.push((cursor, s.start_us));
+            }
+            cursor = cursor.max(s.end_us);
+        }
+        let span = self.makespan_us();
+        if span > cursor + 1e-9 {
+            gaps.push((cursor, span));
+        }
+        gaps
+    }
+
     /// Verify the exclusivity invariant: no two segments on the same
     /// device overlap. Returns the first violating pair if any.
     pub fn check_exclusive(&self) -> Option<(Segment, Segment)> {
@@ -226,6 +266,30 @@ mod tests {
         let mut t = Timeline::new();
         let (s, _) = t.reserve(DeviceKind::Gpu, 500.0, 10.0, "x");
         assert_eq!(s, 500.0);
+    }
+
+    #[test]
+    fn busy_idle_and_gaps_partition_the_makespan() {
+        let mut t = Timeline::new();
+        t.reserve(DeviceKind::Cpu, 0.0, 50.0, "a");
+        t.reserve(DeviceKind::Cpu, 80.0, 20.0, "b");
+        t.reserve(DeviceKind::Apu, 0.0, 200.0, "c");
+        assert!((t.busy_us(DeviceKind::Cpu) - 70.0).abs() < 1e-9);
+        assert!((t.idle_us(DeviceKind::Cpu) - 130.0).abs() < 1e-9);
+        assert!(
+            (t.busy_us(DeviceKind::Cpu) + t.idle_us(DeviceKind::Cpu) - t.makespan_us()).abs()
+                < 1e-9
+        );
+        // CPU gaps: (50, 80) between reservations, (100, 200) trailing.
+        let gaps = t.gaps(DeviceKind::Cpu);
+        assert_eq!(gaps.len(), 2);
+        assert!((gaps[0].0 - 50.0).abs() < 1e-9 && (gaps[0].1 - 80.0).abs() < 1e-9);
+        assert!((gaps[1].0 - 100.0).abs() < 1e-9 && (gaps[1].1 - 200.0).abs() < 1e-9);
+        // The APU is saturated: no gaps, zero idle.
+        assert!(t.gaps(DeviceKind::Apu).is_empty());
+        assert!(t.idle_us(DeviceKind::Apu) < 1e-9);
+        // A never-used device is one whole-span gap.
+        assert_eq!(t.gaps(DeviceKind::Gpu), vec![(0.0, 200.0)]);
     }
 
     #[test]

@@ -14,6 +14,21 @@ use tvmnp_hwsim::{CostModel, DeviceKind, KernelClass};
 use tvmnp_tensor::kernels::{self, BinaryOp, UnaryOp};
 use tvmnp_tensor::{QuantParams, Tensor};
 
+/// One entry of [`CompiledNetwork::estimate_breakdown`]: a planned op or
+/// an overhead item (`dispatch`, `staging`, `transfer`) with the device it
+/// is charged to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostEntry {
+    /// Neuron op name, or `dispatch` / `staging` / `transfer`.
+    pub label: String,
+    /// Device the time is charged to.
+    pub device: DeviceKind,
+    /// Simulated microseconds.
+    pub us: f64,
+    /// Whether this is a reference-implementation fallback kernel.
+    pub fallback: bool,
+}
+
 /// A compiled, planned, executable Neuron network.
 pub struct CompiledNetwork {
     graph: NeuronGraph,
@@ -52,9 +67,22 @@ impl CompiledNetwork {
     /// Simulated inference time in microseconds (input-independent: static
     /// shapes, static plan).
     pub fn estimate_time_us(&self) -> f64 {
-        let mut t = 0.0;
+        self.estimate_breakdown().iter().map(|e| e.us).sum()
+    }
+
+    /// Analytic cost attribution: one entry per planned op (labelled by
+    /// its Neuron op name) plus explicit `dispatch` / `staging` /
+    /// `transfer` overhead entries. Entries sum exactly to
+    /// [`CompiledNetwork::estimate_time_us`].
+    pub fn estimate_breakdown(&self) -> Vec<CostEntry> {
+        let mut out = Vec::new();
         for seg in &self.plan.segments {
-            t += self.cost.subgraph_dispatch_us(seg.device);
+            out.push(CostEntry {
+                label: "dispatch".to_string(),
+                device: seg.device,
+                us: self.cost.subgraph_dispatch_us(seg.device),
+                fallback: false,
+            });
             // Off-CPU segments stage their weights through the driver each
             // dispatch (the prototype runtime does not cache them).
             if seg.device != DeviceKind::Cpu {
@@ -66,25 +94,47 @@ impl CompiledNetwork {
                     .map(|&tid| self.graph.tensors[tid].size_bytes())
                     .sum();
                 if const_bytes > 0 {
-                    t += self.cost.transfer_us(const_bytes);
+                    out.push(CostEntry {
+                        label: "staging".to_string(),
+                        device: seg.device,
+                        us: self.cost.transfer_us(const_bytes),
+                        fallback: false,
+                    });
                 }
             }
         }
         for (i, op) in self.graph.ops.iter().enumerate() {
             let w = crate::nir::work_item(&self.graph, op);
             let p = self.plan.placements[i];
-            t += if p.fallback {
+            let (device, us) = if p.fallback {
                 // NNAPI-style reference fallback: untuned CPU kernel.
-                self.cost
-                    .kernel_us(&w, DeviceKind::Cpu, KernelClass::TvmUntuned)
+                (
+                    DeviceKind::Cpu,
+                    self.cost
+                        .kernel_us(&w, DeviceKind::Cpu, KernelClass::TvmUntuned),
+                )
             } else {
-                self.cost.kernel_us(&w, p.device, KernelClass::VendorTuned)
+                (
+                    p.device,
+                    self.cost.kernel_us(&w, p.device, KernelClass::VendorTuned),
+                )
             };
+            out.push(CostEntry {
+                label: op.kind.name().to_string(),
+                device,
+                us,
+                fallback: p.fallback,
+            });
         }
         for &(_, bytes) in &self.plan.crossings {
-            t += self.cost.transfer_us(bytes);
+            out.push(CostEntry {
+                label: "transfer".to_string(),
+                device: DeviceKind::Cpu,
+                us: self.cost.transfer_us(bytes),
+                fallback: false,
+            });
         }
-        t
+        out
     }
 
     /// Simulated inference energy in microjoules: per-op kernel energy on

@@ -1,0 +1,192 @@
+//! Partition coverage: which ops the BYOC flow offloaded to Neuron IR and
+//! which stayed on the TVM fallback, per op kind.
+//!
+//! The paper's Fig. 4 analysis hinges on this split — NeuroPilot's op
+//! support is narrower than TVM's, so `batch_norm`-style ops pin host
+//! subgraphs around the offloaded regions. This module walks a
+//! *partitioned* Relay [`Module`] (main + `nir_*` external functions) and
+//! counts call sites on each side.
+
+use std::collections::BTreeMap;
+use tvmnp_relay::expr::{CallTarget, ExprKind, Module};
+use tvmnp_relay::visit::post_order;
+
+/// Offloaded/host call-site counts for one op kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpCoverage {
+    /// Relay op name (`nn.conv2d`, `nn.batch_norm`, ...).
+    pub op: String,
+    /// Call sites inside external (`nir_*`) subgraphs.
+    pub offloaded: usize,
+    /// Call sites left in the host (TVM fallback) function.
+    pub host: usize,
+}
+
+/// Coverage stats of one partitioned module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageReport {
+    /// Number of external subgraphs.
+    pub num_subgraphs: usize,
+    /// Total op call sites offloaded to Neuron IR.
+    pub offloaded_calls: usize,
+    /// Total op call sites on the TVM fallback path.
+    pub host_calls: usize,
+    /// Per-op-kind split, sorted by op name.
+    pub per_op: Vec<OpCoverage>,
+}
+
+impl CoverageReport {
+    /// Fraction of op call sites offloaded, in `[0, 1]`.
+    pub fn offload_fraction(&self) -> f64 {
+        let total = self.offloaded_calls + self.host_calls;
+        if total == 0 {
+            0.0
+        } else {
+            self.offloaded_calls as f64 / total as f64
+        }
+    }
+
+    /// The entry for `op`, if it appears in the module.
+    pub fn op(&self, op: &str) -> Option<&OpCoverage> {
+        self.per_op.iter().find(|c| c.op == op)
+    }
+
+    /// Render as an aligned text table.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("{:<24} {:>10} {:>6}\n", "op", "offloaded", "host");
+        for c in &self.per_op {
+            out.push_str(&format!("{:<24} {:>10} {:>6}\n", c.op, c.offloaded, c.host));
+        }
+        out.push_str(&format!(
+            "{} subgraphs, {}/{} calls offloaded ({:.1}%)\n",
+            self.num_subgraphs,
+            self.offloaded_calls,
+            self.offloaded_calls + self.host_calls,
+            self.offload_fraction() * 100.0
+        ));
+        out
+    }
+}
+
+/// Count op call sites in one function body into `acc`.
+fn count_ops(body: &tvmnp_relay::expr::Expr, acc: &mut BTreeMap<String, usize>) {
+    post_order(body, |e| {
+        if let ExprKind::Call(call) = &e.kind {
+            if let CallTarget::Op(op) = &call.target {
+                *acc.entry(op.name().to_string()).or_default() += 1;
+            }
+        }
+    });
+}
+
+/// Coverage of a partitioned module: op calls inside external functions
+/// count as offloaded; op calls in the remaining host functions (`main`
+/// and any non-external helper) count as host. Calls *to* the external
+/// subgraphs themselves are structural and not counted either way.
+pub fn coverage(partitioned: &Module) -> CoverageReport {
+    let external: Vec<&str> = partitioned.external_functions();
+    let mut offloaded: BTreeMap<String, usize> = BTreeMap::new();
+    let mut host: BTreeMap<String, usize> = BTreeMap::new();
+    for (name, func) in &partitioned.functions {
+        let acc = if external.contains(&name.as_str()) {
+            &mut offloaded
+        } else {
+            &mut host
+        };
+        count_ops(&func.body, acc);
+    }
+    let mut ops: Vec<String> = offloaded.keys().chain(host.keys()).cloned().collect();
+    ops.sort();
+    ops.dedup();
+    let per_op: Vec<OpCoverage> = ops
+        .into_iter()
+        .map(|op| OpCoverage {
+            offloaded: offloaded.get(&op).copied().unwrap_or(0),
+            host: host.get(&op).copied().unwrap_or(0),
+            op,
+        })
+        .collect();
+    CoverageReport {
+        num_subgraphs: external.len(),
+        offloaded_calls: per_op.iter().map(|c| c.offloaded).sum(),
+        host_calls: per_op.iter().map(|c| c.host).sum(),
+        per_op,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvmnp_relay::builder;
+    use tvmnp_relay::expr::{var, Function};
+    use tvmnp_relay::passes::{fold_constants, partition_graph, simplify};
+    use tvmnp_relay::{Conv2dAttrs, TensorType};
+    use tvmnp_tensor::rng::TensorRng;
+
+    /// conv → relu → batch_norm (NP-unsupported) → conv → softmax: the
+    /// batch_norm splits the graph into two offloaded regions.
+    fn mixed_module() -> Module {
+        let mut rng = TensorRng::new(11);
+        let x = var("x", TensorType::f32([1, 4, 8, 8]));
+        let w1 = rng.uniform_f32([4, 4, 3, 3], -0.4, 0.4);
+        let c1 = builder::relu(builder::conv2d(x.clone(), w1, Conv2dAttrs::same(1)));
+        let bn = builder::batch_norm(
+            c1,
+            rng.uniform_f32([4], 0.9, 1.1),
+            rng.uniform_f32([4], -0.1, 0.1),
+            rng.uniform_f32([4], -0.1, 0.1),
+            rng.uniform_f32([4], 0.9, 1.1),
+            1e-5,
+        );
+        let w2 = rng.uniform_f32([4, 4, 3, 3], -0.4, 0.4);
+        let c2 = builder::conv2d(bn, w2, Conv2dAttrs::same(1));
+        let y = builder::softmax(builder::batch_flatten(c2));
+        Module::from_main(Function::new(vec![x], y))
+    }
+
+    // The report crate deliberately does not depend on tvmnp-neuropilot;
+    // its tests re-declare the support oracle through the passes API.
+    struct AllButBatchNorm;
+    impl tvmnp_relay::passes::CompilerSupport for AllButBatchNorm {
+        fn name(&self) -> &str {
+            "neuropilot"
+        }
+        fn supported(
+            &self,
+            op: &tvmnp_relay::op::OpKind,
+            _arg_types: &[&tvmnp_relay::ty::Type],
+        ) -> bool {
+            op.name() != "nn.batch_norm"
+        }
+    }
+
+    #[test]
+    fn partitioned_module_splits_supported_from_unsupported() {
+        let m = mixed_module();
+        let prepared = fold_constants(&simplify(&m));
+        let (partitioned, report) = partition_graph(&prepared, &AllButBatchNorm).unwrap();
+        let cov = coverage(&partitioned);
+        assert_eq!(cov.num_subgraphs, report.num_subgraphs);
+        assert!(cov.num_subgraphs >= 2, "batch_norm must split the graph");
+        // batch_norm is the unsupported op: all its calls stay on host.
+        let bn = cov.op("nn.batch_norm").unwrap();
+        assert_eq!(bn.offloaded, 0);
+        assert!(bn.host >= 1);
+        // Both convs offload.
+        let conv = cov.op("nn.conv2d").unwrap();
+        assert_eq!(conv.offloaded, 2);
+        assert_eq!(conv.host, 0);
+        assert!(cov.offload_fraction() > 0.5);
+        assert_eq!(cov.offloaded_calls, report.offloaded_calls);
+        assert_eq!(cov.host_calls, report.host_calls);
+    }
+
+    #[test]
+    fn unpartitioned_module_is_all_host() {
+        let cov = coverage(&mixed_module());
+        assert_eq!(cov.num_subgraphs, 0);
+        assert_eq!(cov.offloaded_calls, 0);
+        assert!(cov.host_calls > 0);
+        assert_eq!(cov.offload_fraction(), 0.0);
+    }
+}

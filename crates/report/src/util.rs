@@ -1,0 +1,286 @@
+//! Per-device utilization and occupancy on the simulated timeline.
+//!
+//! Two sources feed the same report shape: telemetry [`Snapshot`]s (sim
+//! spans carry a `device` attribute, `cpu+apu` for joint reservations) and
+//! hwsim [`Timeline`]s (one [`Segment`] per device per reservation).
+
+use std::collections::BTreeMap;
+use tvmnp_hwsim::{DeviceKind, Timeline};
+use tvmnp_telemetry::Snapshot;
+
+/// Busy/idle accounting for one device over a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceUtil {
+    /// Device name (`cpu`, `gpu`, `apu`).
+    pub device: String,
+    /// Total occupied time, microseconds (overlapping intervals merged).
+    pub busy_us: f64,
+    /// `span - busy`, microseconds.
+    pub idle_us: f64,
+    /// Number of merged busy intervals.
+    pub intervals: usize,
+}
+
+impl DeviceUtil {
+    /// Busy fraction of the run span, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let span = self.busy_us + self.idle_us;
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.busy_us / span
+        }
+    }
+}
+
+/// Utilization of every device that appears in a run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UtilizationReport {
+    /// Run span: latest busy-interval end, microseconds from t = 0.
+    pub span_us: f64,
+    /// Time during which two or more devices are busy simultaneously —
+    /// the overlap that pipelining and CPU+APU co-runs buy.
+    pub overlap_us: f64,
+    /// Per-device accounting, sorted by device name.
+    pub devices: Vec<DeviceUtil>,
+}
+
+impl UtilizationReport {
+    /// The entry for `device`, if it appeared in the run.
+    pub fn device(&self, device: &str) -> Option<&DeviceUtil> {
+        self.devices.iter().find(|d| d.device == device)
+    }
+
+    /// Sum of busy time across devices (counts co-runs once per device).
+    pub fn total_busy_us(&self) -> f64 {
+        self.devices.iter().map(|d| d.busy_us).sum()
+    }
+
+    /// Render as an aligned text table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<8} {:>12} {:>12} {:>8} {:>10}\n",
+            "device", "busy us", "idle us", "util %", "intervals"
+        ));
+        for d in &self.devices {
+            out.push_str(&format!(
+                "{:<8} {:>12.1} {:>12.1} {:>8.1} {:>10}\n",
+                d.device,
+                d.busy_us,
+                d.idle_us,
+                d.utilization() * 100.0,
+                d.intervals
+            ));
+        }
+        out.push_str(&format!(
+            "span {:.1} us, device overlap {:.1} us\n",
+            self.span_us, self.overlap_us
+        ));
+        out
+    }
+}
+
+const EPS: f64 = 1e-9;
+
+/// Merge sorted-by-start intervals; touching intervals coalesce.
+fn merge(mut intervals: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let mut merged: Vec<(f64, f64)> = Vec::new();
+    for (s, e) in intervals {
+        if e <= s + EPS {
+            continue; // zero-width
+        }
+        match merged.last_mut() {
+            Some(last) if s <= last.1 + EPS => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    merged
+}
+
+/// Core: build the report from per-device raw busy intervals.
+pub fn utilization_from_intervals(
+    per_device: BTreeMap<String, Vec<(f64, f64)>>,
+) -> UtilizationReport {
+    let merged: BTreeMap<String, Vec<(f64, f64)>> = per_device
+        .into_iter()
+        .map(|(d, iv)| (d, merge(iv)))
+        .collect();
+    let span_us = merged
+        .values()
+        .flatten()
+        .map(|&(_, e)| e)
+        .fold(0.0, f64::max);
+    let devices = merged
+        .iter()
+        .map(|(name, iv)| {
+            let busy_us: f64 = iv.iter().map(|(s, e)| e - s).sum();
+            DeviceUtil {
+                device: name.clone(),
+                busy_us,
+                idle_us: (span_us - busy_us).max(0.0),
+                intervals: iv.len(),
+            }
+        })
+        .collect();
+    // Sweep all merged intervals: overlap is the time >= 2 devices busy.
+    let mut events: Vec<(f64, i32)> = Vec::new();
+    for iv in merged.values() {
+        for &(s, e) in iv {
+            events.push((s, 1));
+            events.push((e, -1));
+        }
+    }
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(b.1.cmp(&a.1)));
+    let mut overlap_us = 0.0;
+    let mut active = 0;
+    let mut prev = 0.0;
+    for (t, d) in events {
+        if active >= 2 {
+            overlap_us += t - prev;
+        }
+        active += d;
+        prev = t;
+    }
+    UtilizationReport {
+        span_us,
+        overlap_us,
+        devices,
+    }
+}
+
+/// Utilization from a telemetry snapshot: every sim-domain span carrying a
+/// `device` attribute contributes a busy interval; `cpu+apu`-style joint
+/// values occupy each named device.
+pub fn utilization_from_snapshot(snap: &Snapshot) -> UtilizationReport {
+    let mut per_device: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for e in snap.sim_spans() {
+        let Some((_, devices)) = e.args.iter().find(|(k, _)| k == "device") else {
+            continue;
+        };
+        for d in devices.split('+').filter(|d| !d.is_empty()) {
+            per_device
+                .entry(d.to_string())
+                .or_default()
+                .push((e.ts_us, e.ts_us + e.dur_us));
+        }
+    }
+    utilization_from_intervals(per_device)
+}
+
+/// Utilization straight from an hwsim timeline's Gantt segments.
+pub fn utilization_from_timeline(timeline: &Timeline) -> UtilizationReport {
+    let mut per_device: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for s in timeline.segments() {
+        per_device
+            .entry(s.device.name().to_string())
+            .or_default()
+            .push((s.start_us, s.end_us));
+    }
+    utilization_from_intervals(per_device)
+}
+
+/// The devices a timeline actually used, in [`DeviceKind::ALL`] order.
+pub fn devices_used(timeline: &Timeline) -> Vec<DeviceKind> {
+    DeviceKind::ALL
+        .into_iter()
+        .filter(|&d| timeline.segments().iter().any(|s| s.device == d))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn intervals(v: &[(&str, &[(f64, f64)])]) -> BTreeMap<String, Vec<(f64, f64)>> {
+        v.iter()
+            .map(|(d, iv)| (d.to_string(), iv.to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn busy_plus_idle_equals_span_per_device() {
+        let r = utilization_from_intervals(intervals(&[
+            ("cpu", &[(0.0, 50.0), (80.0, 100.0)]),
+            ("apu", &[(0.0, 200.0)]),
+        ]));
+        assert!((r.span_us - 200.0).abs() < 1e-9);
+        for d in &r.devices {
+            assert!(
+                (d.busy_us + d.idle_us - r.span_us).abs() < 1e-9,
+                "{}",
+                d.device
+            );
+        }
+        let cpu = r.device("cpu").unwrap();
+        assert!((cpu.busy_us - 70.0).abs() < 1e-9);
+        assert_eq!(cpu.intervals, 2);
+        assert!((r.device("apu").unwrap().utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapping_intervals_merge_before_summing() {
+        // Per-op spans can nest/touch (e.g. a dispatch span inside a
+        // segment span); busy time must not double-count.
+        let r = utilization_from_intervals(intervals(&[(
+            "cpu",
+            &[(0.0, 10.0), (5.0, 20.0), (20.0, 30.0)],
+        )]));
+        let cpu = r.device("cpu").unwrap();
+        assert!((cpu.busy_us - 30.0).abs() < 1e-9);
+        assert_eq!(cpu.intervals, 1, "touching intervals coalesce");
+    }
+
+    #[test]
+    fn overlap_counts_multi_device_time_once() {
+        let r = utilization_from_intervals(intervals(&[
+            ("cpu", &[(0.0, 100.0)]),
+            ("apu", &[(50.0, 150.0)]),
+            ("gpu", &[(60.0, 90.0)]),
+        ]));
+        // [50,100] has >= 2 devices active (gpu's [60,90] lies inside it).
+        assert!((r.overlap_us - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_joint_device_spans_split() {
+        let _l = crate::testutil::lock();
+        tvmnp_telemetry::enable();
+        tvmnp_telemetry::reset();
+        tvmnp_telemetry::record_sim_span(
+            "scheduler.stage",
+            0.0,
+            40.0,
+            vec![("device".into(), "cpu+apu".into())],
+        );
+        tvmnp_telemetry::record_sim_span(
+            "scheduler.stage",
+            40.0,
+            10.0,
+            vec![("device".into(), "apu".into())],
+        );
+        tvmnp_telemetry::disable();
+        let r = utilization_from_snapshot(&tvmnp_telemetry::snapshot());
+        assert!((r.span_us - 50.0).abs() < 1e-9);
+        assert!((r.device("cpu").unwrap().busy_us - 40.0).abs() < 1e-9);
+        assert!((r.device("apu").unwrap().busy_us - 50.0).abs() < 1e-9);
+        assert!((r.overlap_us - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeline_report_matches_timeline_accessors() {
+        let mut t = Timeline::new();
+        t.reserve(DeviceKind::Cpu, 0.0, 50.0, "a");
+        t.reserve(DeviceKind::Apu, 0.0, 200.0, "b");
+        t.reserve(DeviceKind::Cpu, 80.0, 20.0, "c");
+        let r = utilization_from_timeline(&t);
+        assert!((r.span_us - t.makespan_us()).abs() < 1e-9);
+        for d in [DeviceKind::Cpu, DeviceKind::Apu] {
+            let u = r.device(d.name()).unwrap();
+            assert!((u.busy_us - t.busy_us(d)).abs() < 1e-9);
+            assert!((u.idle_us - t.idle_us(d)).abs() < 1e-9);
+        }
+        assert_eq!(devices_used(&t), vec![DeviceKind::Cpu, DeviceKind::Apu]);
+    }
+}

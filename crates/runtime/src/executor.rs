@@ -109,6 +109,23 @@ fn external_device_label(compiler: &str) -> &str {
     }
 }
 
+/// One graph node's analytic cost share (see
+/// [`GraphExecutor::estimate_breakdown`]). External nodes charge their
+/// boundary transfers plus the module's own estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeCost {
+    /// Index into the executor graph's node list.
+    pub index: usize,
+    /// Relay operator name, or the external symbol for offloaded nodes.
+    pub op: String,
+    /// Device label the node is charged to (`cpu`, `gpu`, `apu`).
+    pub device: String,
+    /// Simulated microseconds attributed to this node.
+    pub us: f64,
+    /// Whether the node dispatches to an external (BYOC) module.
+    pub external: bool,
+}
+
 /// The graph executor: owns the graph, linked external modules, bound
 /// inputs and computed outputs.
 pub struct GraphExecutor {
@@ -339,10 +356,18 @@ impl GraphExecutor {
     /// make the time input-independent, like the paper's per-model
     /// measurements).
     pub fn estimate_time_us(&self) -> f64 {
-        let mut time_us = 0.0;
+        self.estimate_breakdown().iter().map(|n| n.us).sum()
+    }
+
+    /// Per-node analytic cost attribution: one entry per graph node that
+    /// costs simulated time, in execution order. Durations sum exactly to
+    /// [`GraphExecutor::estimate_time_us`] — the report layer relies on
+    /// this reconciliation.
+    pub fn estimate_breakdown(&self) -> Vec<NodeCost> {
+        let mut out = Vec::new();
         let mut groups_dispatched: HashSet<usize> = HashSet::new();
         let cpu_launch = self.cost.soc().device(DeviceKind::Cpu).kernel_launch_us;
-        for node in &self.graph.nodes {
+        for (idx, node) in self.graph.nodes.iter().enumerate() {
             match &node.kind {
                 NodeKind::Input { .. } | NodeKind::Param { .. } => {}
                 NodeKind::Op { op, inputs, group } => {
@@ -352,27 +377,42 @@ impl GraphExecutor {
                         .collect();
                     let arg_refs: Vec<&TensorType> = arg_types.iter().collect();
                     let w = relay_work_item(op, &arg_refs, &node.out_types[0]);
-                    time_us +=
+                    let mut us =
                         self.cost
                             .kernel_body_us(&w, DeviceKind::Cpu, KernelClass::TvmUntuned);
                     if groups_dispatched.insert(*group) {
-                        time_us += cpu_launch;
+                        us += cpu_launch;
                     }
+                    out.push(NodeCost {
+                        index: idx,
+                        op: op.name().to_string(),
+                        device: DeviceKind::Cpu.name().to_string(),
+                        us,
+                        external: false,
+                    });
                 }
                 NodeKind::External { symbol, inputs } => {
                     let module = self.modules.get(symbol).expect("checked at construction");
+                    let mut us = 0.0;
                     for r in inputs {
                         let t = &self.graph.nodes[r.node].out_types[r.output];
-                        time_us += self.cost.transfer_us(t.size_bytes());
+                        us += self.cost.transfer_us(t.size_bytes());
                     }
-                    time_us += module.estimate_time_us();
+                    us += module.estimate_time_us();
                     for t in &node.out_types {
-                        time_us += self.cost.transfer_us(t.size_bytes());
+                        us += self.cost.transfer_us(t.size_bytes());
                     }
+                    out.push(NodeCost {
+                        index: idx,
+                        op: symbol.clone(),
+                        device: external_device_label(module.compiler()).to_string(),
+                        us,
+                        external: true,
+                    });
                 }
             }
         }
-        time_us
+        out
     }
 
     /// Simulated inference energy in microjoules (host ops burn untuned
@@ -603,6 +643,28 @@ mod tests {
             .metrics
             .iter()
             .any(|(k, _)| k.to_string().starts_with("executor.node_us{")));
+    }
+
+    #[test]
+    fn breakdown_sums_to_estimate() {
+        let mut rng = TensorRng::new(11);
+        let x = var("x", tvmnp_relay::TensorType::f32([1, 3, 8, 8]));
+        let w = rng.uniform_f32([4, 3, 3, 3], -0.5, 0.5);
+        let y = builder::softmax(builder::batch_flatten(builder::relu(builder::conv2d(
+            x.clone(),
+            w,
+            Conv2dAttrs::same(1),
+        ))));
+        let m = Module::from_main(Function::new(vec![x], y));
+        let g = ExecutorGraph::build(&m).unwrap();
+        let ex = GraphExecutor::new(g, ModuleRegistry::new(), CostModel::default()).unwrap();
+        let breakdown = ex.estimate_breakdown();
+        assert!(!breakdown.is_empty());
+        let sum: f64 = breakdown.iter().map(|n| n.us).sum();
+        let est = ex.estimate_time_us();
+        assert!((sum - est).abs() <= 1e-9 * est.max(1.0), "{sum} vs {est}");
+        assert!(breakdown.iter().any(|n| n.op == "nn.conv2d"));
+        assert!(breakdown.iter().all(|n| n.device == "cpu" && !n.external));
     }
 
     #[test]

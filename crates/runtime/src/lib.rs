@@ -29,7 +29,7 @@ pub mod module;
 pub mod work;
 
 pub use artifact::{AndroidDevice, Artifact, LoaderRegistry};
-pub use executor::GraphExecutor;
+pub use executor::{ExecContext, ExecError, GraphExecutor, NodeCost};
 pub use graph::{ExecutorGraph, GraphNode, NodeKind, NodeRef};
 pub use memory::{plan_memory, MemoryPlan};
 pub use module::{ExternalModule, ModuleRegistry};

@@ -22,6 +22,6 @@ pub mod threaded;
 
 pub use computation::{best_assignment, ModelProfile};
 pub use pipeline::{
-    auto_schedule, simulate_pipelined, simulate_sequential, PipelineStage, ScheduleResult,
+    auto_schedule, simulate_pipelined, simulate_sequential, PipelineStage, ScheduleResult, StageRun,
 };
 pub use threaded::{PipelineExecutor, StageSpec};

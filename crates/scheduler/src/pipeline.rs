@@ -34,6 +34,25 @@ impl PipelineStage {
     }
 }
 
+/// One scheduled execution of a stage for one frame — the structured
+/// record behind a Gantt segment, kept with explicit stage/frame indices
+/// so analysis layers (idle gaps, critical paths) need not parse labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageRun {
+    /// Index into the stage list handed to the simulator.
+    pub stage_index: usize,
+    /// Stage name.
+    pub name: String,
+    /// Frame number.
+    pub frame: usize,
+    /// Start time, microseconds.
+    pub start_us: f64,
+    /// End time, microseconds.
+    pub end_us: f64,
+    /// Devices held for the whole interval.
+    pub resources: Vec<DeviceKind>,
+}
+
 /// Outcome of a schedule simulation.
 #[derive(Debug, Clone)]
 pub struct ScheduleResult {
@@ -43,6 +62,8 @@ pub struct ScheduleResult {
     pub makespan_us: f64,
     /// Frames processed.
     pub frames: usize,
+    /// Every scheduled (stage, frame) interval, in schedule order.
+    pub stage_runs: Vec<StageRun>,
 }
 
 impl ScheduleResult {
@@ -86,12 +107,21 @@ fn record_stage_span(
 /// never overlap (the pre-pipelining execution of §4.4).
 pub fn simulate_sequential(stages: &[PipelineStage], frames: usize) -> ScheduleResult {
     let mut tl = Timeline::new();
+    let mut runs = Vec::with_capacity(stages.len() * frames);
     let mut t = 0.0f64;
     for f in 0..frames {
-        for s in stages {
+        for (si, s) in stages.iter().enumerate() {
             let (start, end) =
                 tl.reserve_joint(&s.resources, t, s.duration_us, format!("{} f{}", s.name, f));
             record_stage_span("sequential", &s.name, f, start, end, &s.resources);
+            runs.push(StageRun {
+                stage_index: si,
+                name: s.name.clone(),
+                frame: f,
+                start_us: start,
+                end_us: end,
+                resources: s.resources.clone(),
+            });
             t = end;
         }
     }
@@ -99,6 +129,7 @@ pub fn simulate_sequential(stages: &[PipelineStage], frames: usize) -> ScheduleR
         makespan_us: tl.makespan_us(),
         timeline: tl,
         frames,
+        stage_runs: runs,
     }
 }
 
@@ -107,6 +138,7 @@ pub fn simulate_sequential(stages: &[PipelineStage], frames: usize) -> ScheduleR
 /// device reservations.
 pub fn simulate_pipelined(stages: &[PipelineStage], frames: usize) -> ScheduleResult {
     let mut tl = Timeline::new();
+    let mut runs = Vec::with_capacity(stages.len() * frames);
     // finish[s] = completion time of stage s for the previous frame.
     let mut prev_frame_finish = vec![0.0f64; stages.len()];
     for f in 0..frames {
@@ -123,6 +155,14 @@ pub fn simulate_pipelined(stages: &[PipelineStage], frames: usize) -> ScheduleRe
                 format!("{} f{}", s.name, f),
             );
             record_stage_span("pipelined", &s.name, f, start, end, &s.resources);
+            runs.push(StageRun {
+                stage_index: si,
+                name: s.name.clone(),
+                frame: f,
+                start_us: start,
+                end_us: end,
+                resources: s.resources.clone(),
+            });
             prev_frame_finish[si] = end;
             dep_ready = end;
         }
@@ -131,6 +171,7 @@ pub fn simulate_pipelined(stages: &[PipelineStage], frames: usize) -> ScheduleRe
         makespan_us: tl.makespan_us(),
         timeline: tl,
         frames,
+        stage_runs: runs,
     }
 }
 
@@ -303,6 +344,33 @@ mod tests {
         assert_eq!(chosen[0].resources, vec![DeviceKind::Cpu]);
         let manual = simulate_pipelined(&paper_prototype_stages(3000.0, 6000.0, 2000.0), 8);
         assert!(result.makespan_us <= manual.makespan_us + 1e-6);
+    }
+
+    #[test]
+    fn stage_runs_mirror_timeline_segments() {
+        let s = stages();
+        for result in [simulate_sequential(&s, 3), simulate_pipelined(&s, 3)] {
+            assert_eq!(result.stage_runs.len(), s.len() * 3);
+            for run in &result.stage_runs {
+                assert_eq!(run.name, s[run.stage_index].name);
+                assert_eq!(run.resources, s[run.stage_index].resources);
+                // Each run is backed by a reservation on every resource.
+                let label = format!("{} f{}", run.name, run.frame);
+                let matching = result
+                    .timeline
+                    .segments()
+                    .iter()
+                    .filter(|seg| seg.label == label)
+                    .count();
+                assert_eq!(matching, run.resources.len(), "{label}");
+            }
+            let max_end = result
+                .stage_runs
+                .iter()
+                .map(|r| r.end_us)
+                .fold(0.0, f64::max);
+            assert!((max_end - result.makespan_us).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ use std::thread::ThreadId;
 use std::time::Instant;
 
 pub use export::{chrome_trace, jsonl, profile_table, write_chrome_trace, ProfileOptions};
-pub use metrics::{counter_add, gauge_set, histogram_observe, MetricKey, MetricValue};
+pub use metrics::{counter_add, gauge_set, histogram_observe, Histogram, MetricKey, MetricValue};
 
 /// Which clock a span's timestamps come from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -124,6 +124,23 @@ pub struct Snapshot {
     pub events: Vec<SpanEvent>,
     /// Metrics, sorted by key.
     pub metrics: Vec<(MetricKey, MetricValue)>,
+}
+
+impl Snapshot {
+    /// Spans with the given name, in recorded order.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanEvent> {
+        self.events.iter().filter(move |e| e.name == name)
+    }
+
+    /// Spans on the simulated timeline only.
+    pub fn sim_spans(&self) -> impl Iterator<Item = &SpanEvent> {
+        self.events.iter().filter(|e| e.domain == TimeDomain::Sim)
+    }
+
+    /// Sum of durations of all spans with the given name.
+    pub fn total_us(&self, name: &str) -> f64 {
+        self.spans_named(name).map(|e| e.dur_us).sum()
+    }
 }
 
 /// Copy out the recorded spans and metrics.

@@ -79,7 +79,9 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn new(buckets: &[f64]) -> Histogram {
+    /// An empty histogram over `buckets` (upper bounds, ascending); an
+    /// implicit +Inf overflow bucket is appended.
+    pub fn new(buckets: &[f64]) -> Histogram {
         Histogram {
             buckets: buckets.to_vec(),
             counts: vec![0; buckets.len() + 1],
@@ -88,7 +90,8 @@ impl Histogram {
         }
     }
 
-    fn observe(&mut self, value: f64) {
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
         let idx = self
             .buckets
             .iter()
@@ -230,5 +233,66 @@ mod tests {
         let b = MetricKey::new("m", &[("a", "1"), ("b", "2")]);
         assert_eq!(a, b);
         assert_eq!(a.to_string(), "m{a=1,b=2}");
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero() {
+        let h = Histogram::new(DEFAULT_US_BUCKETS);
+        assert_eq!(h.count, 0);
+        assert_eq!(h.sum, 0.0);
+        assert_eq!(h.mean(), 0.0, "empty mean must not divide by zero");
+        assert!(h.counts.iter().all(|&c| c == 0));
+        assert_eq!(h.counts.len(), DEFAULT_US_BUCKETS.len() + 1);
+    }
+
+    #[test]
+    fn single_observation_histogram() {
+        let mut h = Histogram::new(&[10.0, 100.0]);
+        h.observe(42.0);
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 42.0);
+        assert_eq!(h.mean(), 42.0);
+        // 42 lands in the (10, 100] bucket; boundary is inclusive.
+        assert_eq!(h.counts, vec![0, 1, 0]);
+        let mut boundary = Histogram::new(&[10.0, 100.0]);
+        boundary.observe(10.0);
+        assert_eq!(boundary.counts, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_out_of_range() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.observe(f64::MAX);
+        h.observe(3.0);
+        assert_eq!(h.counts, vec![0, 0, 2], "both land in the +Inf bucket");
+        assert_eq!(h.count, 2);
+        assert!(h.mean() > 1.0);
+    }
+
+    #[test]
+    fn metric_key_label_sort_is_stable_under_permutation_and_ordering() {
+        // Every permutation of the same label set is the same key with
+        // the same canonical rendering.
+        let perms: [&[(&str, &str)]; 3] = [
+            &[("z", "3"), ("a", "1"), ("m", "2")],
+            &[("m", "2"), ("z", "3"), ("a", "1")],
+            &[("a", "1"), ("m", "2"), ("z", "3")],
+        ];
+        let canonical = MetricKey::new("k", perms[0]);
+        for p in perms {
+            let key = MetricKey::new("k", p);
+            assert_eq!(key, canonical);
+            assert_eq!(key.to_string(), "k{a=1,m=2,z=3}");
+        }
+        // Keys sort by name first, then by label map — deterministic
+        // ordering for snapshot output regardless of insertion order.
+        let mut keys = vec![
+            MetricKey::new("b", &[]),
+            MetricKey::new("a", &[("x", "2")]),
+            MetricKey::new("a", &[("x", "1")]),
+        ];
+        keys.sort();
+        let shown: Vec<String> = keys.iter().map(|k| k.to_string()).collect();
+        assert_eq!(shown, vec!["a{x=1}", "a{x=2}", "b"]);
     }
 }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Record (or refresh) the benchmark baselines: one BENCH_<workload>.json
+# per figure workload, written at the repo root. The simulation is
+# deterministic, so re-running on the same commit reproduces the files
+# byte-for-byte — commit the diffs only when a change is intentional.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS="${RUNS:-5}"
+
+for workload in fig4 fig5 fig6 sched; do
+    cargo run --release -q -p tvmnp-bench --bin bench -- \
+        --workload "$workload" --runs "$RUNS" \
+        --bench-out "BENCH_${workload}.json"
+done

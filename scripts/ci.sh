@@ -7,3 +7,9 @@ cargo build --release
 cargo test -q
 cargo fmt --check
 cargo clippy -- -D warnings
+
+# Bench smoke: one workload against the checked-in baseline. Warn-only —
+# the hard gate is scripts/bench_baseline.sh + a reviewed diff; this step
+# only proves the harness runs and surfaces drift in the CI log.
+cargo run --release -q -p tvmnp-bench --bin bench -- \
+    --workload fig6 --runs 2 --check-against BENCH_fig6.json --warn-only
