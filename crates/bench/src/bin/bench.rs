@@ -21,9 +21,11 @@
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use tvm_neuropilot::models::{anti_spoofing, emotion, object_detection, zoo, Model};
 use tvm_neuropilot::prelude::*;
 use tvm_neuropilot::report::{self, BenchRecord};
+use tvmnp_bench::profiling::build_fault_plan;
 use tvmnp_hwsim::WorkKind;
 
 const WORKLOADS: &[&str] = &["fig4", "fig5", "fig6", "sched"];
@@ -36,13 +38,15 @@ struct Args {
     threshold: f64,
     warn_only: bool,
     inject: Option<(WorkKind, f64)>,
+    fault_plan: Option<FaultPlan>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench --workload <fig4|fig5|fig6|sched> [--runs N] \
          [--bench-out <path>] [--check-against <baseline>] \
-         [--threshold F] [--warn-only] [--inject-slowdown <kind>=<factor>]"
+         [--threshold F] [--warn-only] [--inject-slowdown <kind>=<factor>] \
+         [--inject-fault <spec>]... [--fault-seed <n>]"
     );
     std::process::exit(2);
 }
@@ -55,6 +59,8 @@ fn parse_args() -> Args {
     let mut threshold = 0.05f64;
     let mut warn_only = false;
     let mut inject = None;
+    let mut fault_specs: Vec<String> = Vec::new();
+    let mut fault_seed = 0u64;
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().unwrap_or_else(|| {
@@ -107,6 +113,14 @@ fn parse_args() -> Args {
                 });
                 inject = Some((kind, factor));
             }
+            "--inject-fault" => fault_specs.push(value(&mut args, "--inject-fault")),
+            "--fault-seed" => {
+                let v = value(&mut args, "--fault-seed");
+                fault_seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --fault-seed expects an integer, got '{v}'");
+                    usage();
+                });
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown argument '{other}'");
@@ -137,6 +151,7 @@ fn parse_args() -> Args {
         threshold,
         warn_only,
         inject,
+        fault_plan: build_fault_plan(&fault_specs, fault_seed),
     }
 }
 
@@ -283,6 +298,60 @@ fn report_aggregates(workload: &str, cost: &CostModel) -> Vec<(String, f64)> {
     out
 }
 
+/// Deterministic resilience metrics: run the showcase models through
+/// shared-injector resilient sessions under the fault plan and record the
+/// outcome (final latency, fallback depth, injected faults). Computed
+/// once per record — the plan is seeded, so repetition buys nothing and
+/// re-running with the same seed is byte-identical.
+fn resilience_metrics(plan: &FaultPlan, cost: &CostModel) -> Vec<(String, f64)> {
+    let injector = Arc::new(FaultInjector::new(plan.clone()));
+    let policy = ResiliencePolicy {
+        retry: RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        },
+        ..ResiliencePolicy::default()
+    };
+    let mut out = Vec::new();
+    let models = [
+        anti_spoofing::anti_spoofing_model(80),
+        object_detection::mobilenet_ssd_model(81),
+        emotion::emotion_model(82),
+    ];
+    let mut recovered = 0u64;
+    for model in &models {
+        let mut session = ResilientSession::with_injector(
+            model.module.clone(),
+            cost.clone(),
+            injector.clone(),
+            policy,
+        );
+        match session.run(&model.name, Permutation::NpApu, &model.sample_inputs(7)) {
+            Ok(outcome) => {
+                let key = key_part(&model.name);
+                out.push((format!("resilience.{key}.final.us"), outcome.time_us));
+                out.push((
+                    format!("resilience.{key}.fallbacks"),
+                    outcome.fallbacks.len() as f64,
+                ));
+                if outcome.degraded() {
+                    recovered += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: resilience run of '{}' failed: {e}", model.name);
+                std::process::exit(1);
+            }
+        }
+    }
+    out.push((
+        "resilience.faults_injected".into(),
+        injector.faults_injected() as f64,
+    ));
+    out.push(("resilience.recovered_models".into(), recovered as f64));
+    out
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     let mut cost = CostModel::default();
@@ -302,6 +371,15 @@ fn main() -> ExitCode {
     }
     for (key, v) in report_aggregates(&args.workload, &cost) {
         samples.entry(key).or_default().push(v);
+    }
+    if let Some(plan) = &args.fault_plan {
+        eprintln!(
+            "note: injecting seeded faults ({} rule(s))",
+            plan.rules.len()
+        );
+        for (key, v) in resilience_metrics(plan, &cost) {
+            samples.entry(key).or_default().push(v);
+        }
     }
 
     let mut record = BenchRecord::new(args.workload.clone(), args.runs);

@@ -2,9 +2,18 @@
 //! all permutations and print the fastest-target assignment.
 //!
 //! `cargo run --release -p tvmnp-bench --bin sched [--profile] [--trace-out <path>]`
+//!
+//! With `--inject-fault <spec>` (plus `--fault-seed <n>`) the binary also
+//! runs the three models through a [`ResilientSession`] sharing one fault
+//! injector, starting each at NP-only APU and degrading down the fallback
+//! chain as the injected faults demand, then prints the resilience
+//! report. Exit code 0 means every model was served (possibly degraded);
+//! an exhausted fallback chain exits nonzero.
 
-use tvm_neuropilot::models::{anti_spoofing, emotion, object_detection};
+use std::sync::Arc;
+use tvm_neuropilot::models::{anti_spoofing, emotion, object_detection, Model};
 use tvm_neuropilot::prelude::*;
+use tvm_neuropilot::report::ResilienceReport;
 use tvm_neuropilot::scheduler::computation::{best_assignment, ModelProfile};
 use tvmnp_bench::profiling::TelemetryCli;
 
@@ -36,8 +45,62 @@ fn main() {
     for p in &profiles {
         assert_ne!(assignment[&p.name], Permutation::TvmOnly);
     }
+
+    if let Some(plan) = telem.fault_plan.clone() {
+        run_resilient_showcase(&plan, &models, &cost);
+    }
+
     for model in &models {
         telem.trace_model(model, &cost);
     }
     telem.finish();
+}
+
+/// Run the showcase models through shared-injector resilient sessions and
+/// print the resilience report. The injector is shared so fault history
+/// carries across models: a device that died serving model 1 is known
+/// dead when models 2 and 3 plan.
+fn run_resilient_showcase(plan: &FaultPlan, models: &[Model], cost: &CostModel) {
+    println!("\n== Resilient showcase under injected faults ==\n");
+    let injector = Arc::new(FaultInjector::new(plan.clone()));
+    // Two dispatch attempts per segment: a single transient fault is
+    // retried and absorbed, a burst exhausts the budget and degrades the
+    // model down the fallback chain instead of failing the run.
+    let policy = ResiliencePolicy {
+        retry: RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        },
+        ..ResiliencePolicy::default()
+    };
+    for model in models {
+        let mut session = ResilientSession::with_injector(
+            model.module.clone(),
+            cost.clone(),
+            injector.clone(),
+            policy,
+        );
+        match session.run(&model.name, Permutation::NpApu, &model.sample_inputs(7)) {
+            Ok(out) => {
+                let via = if out.degraded() {
+                    format!(" via {} fallback step(s)", out.fallbacks.len())
+                } else {
+                    String::new()
+                };
+                println!(
+                    "{:<22} served by {:<16} in {:>10.1} us{via}",
+                    model.name,
+                    out.permutation.label(),
+                    out.time_us
+                );
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let report = ResilienceReport::from_snapshot(&tvm_neuropilot::telemetry::snapshot());
+    println!();
+    print!("{}", report.render_text());
 }

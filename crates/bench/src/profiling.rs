@@ -1,4 +1,5 @@
-//! `--profile` / `--trace-out <path>` support for the bench binaries.
+//! `--profile` / `--trace-out <path>` / fault-injection support for the
+//! bench binaries.
 //!
 //! Every figure/table binary accepts:
 //!
@@ -6,7 +7,12 @@
 //!   µs, % of run) after the figure output;
 //! * `--trace-out <path>` — write a Chrome trace-event JSON file
 //!   (loadable in Perfetto / `chrome://tracing`) covering the compile,
-//!   partition, and execute phases of the run.
+//!   partition, and execute phases of the run;
+//! * `--inject-fault <spec>` (repeatable) — add one deterministic fault
+//!   rule, `<device>:<site>:<kind>[=<value>][@<work>]`, e.g.
+//!   `apu:dispatch:transient` or `apu:kernel:throttle=2.5@mac`;
+//! * `--fault-seed <n>` — seed for the fault plan's deterministic draws
+//!   (default 0).
 
 use std::path::PathBuf;
 use tvm_neuropilot::models::Model;
@@ -19,6 +25,9 @@ pub struct TelemetryCli {
     pub profile: bool,
     /// Write a Chrome trace to this path at the end.
     pub trace_out: Option<PathBuf>,
+    /// Seeded fault plan from `--inject-fault`/`--fault-seed`; `None`
+    /// when no fault was requested.
+    pub fault_plan: Option<FaultPlan>,
     /// Span name the profile table aggregates (bins that execute no graph
     /// override this, e.g. `scheduler.stage` for fig5).
     pub profile_span: &'static str,
@@ -26,11 +35,15 @@ pub struct TelemetryCli {
 }
 
 impl TelemetryCli {
-    /// Parse `--profile` / `--trace-out <path>` from the process args and
-    /// enable the telemetry collector if either is present.
+    /// Parse `--profile` / `--trace-out <path>` / `--inject-fault <spec>`
+    /// / `--fault-seed <n>` from the process args and enable the
+    /// telemetry collector if any is present (fault-injected runs are
+    /// always traced so the resilience report has data).
     pub fn from_env() -> TelemetryCli {
         let mut profile = false;
         let mut trace_out = None;
+        let mut fault_specs: Vec<String> = Vec::new();
+        let mut fault_seed = 0u64;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -42,22 +55,42 @@ impl TelemetryCli {
                     };
                     trace_out = Some(PathBuf::from(path));
                 }
+                "--inject-fault" => {
+                    let Some(spec) = args.next() else {
+                        eprintln!("error: --inject-fault requires a spec argument");
+                        std::process::exit(2);
+                    };
+                    fault_specs.push(spec);
+                }
+                "--fault-seed" => {
+                    let Some(v) = args.next() else {
+                        eprintln!("error: --fault-seed requires an integer argument");
+                        std::process::exit(2);
+                    };
+                    fault_seed = v.parse().unwrap_or_else(|_| {
+                        eprintln!("error: --fault-seed expects an integer, got '{v}'");
+                        std::process::exit(2);
+                    });
+                }
                 other => {
                     eprintln!(
                         "error: unknown argument '{other}' \
-                         (supported: --profile, --trace-out <path>)"
+                         (supported: --profile, --trace-out <path>, \
+                         --inject-fault <spec>, --fault-seed <n>)"
                     );
                     std::process::exit(2);
                 }
             }
         }
+        let fault_plan = build_fault_plan(&fault_specs, fault_seed);
         let cli = TelemetryCli {
             profile,
             trace_out,
+            fault_plan,
             profile_span: "executor.node",
             total_run_us: 0.0,
         };
-        if cli.active() {
+        if cli.active() || cli.fault_plan.is_some() {
             tvmnp_telemetry::enable();
             tvmnp_telemetry::reset();
         }
@@ -92,6 +125,9 @@ impl TelemetryCli {
     /// Emit the requested outputs and disable collection.
     pub fn finish(self) {
         if !self.active() {
+            if self.fault_plan.is_some() {
+                tvmnp_telemetry::disable();
+            }
             return;
         }
         tvmnp_telemetry::disable();
@@ -118,4 +154,21 @@ impl TelemetryCli {
             );
         }
     }
+}
+
+/// Fold `--inject-fault` specs into a seeded [`FaultPlan`]; `None` when
+/// no spec was given. Exits with a usage error on a malformed spec (same
+/// contract as the binaries' other flag errors).
+pub fn build_fault_plan(specs: &[String], seed: u64) -> Option<FaultPlan> {
+    if specs.is_empty() {
+        return None;
+    }
+    let mut plan = FaultPlan::seeded(seed);
+    for spec in specs {
+        plan = plan.with_spec(spec).unwrap_or_else(|e| {
+            eprintln!("error: --inject-fault: {e}");
+            std::process::exit(2);
+        });
+    }
+    Some(plan)
 }

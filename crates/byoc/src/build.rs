@@ -6,12 +6,15 @@ use crate::codegen::NeuronModule;
 use std::collections::HashMap;
 use std::fmt;
 use tvmnp_hwsim::CostModel;
+use tvmnp_hwsim::{FaultInjector, RetryPolicy};
 use tvmnp_neuropilot::support::{first_unsupported, NeuronSupport};
 use tvmnp_neuropilot::{CompiledNetwork, NeuronError, TargetPolicy};
 use tvmnp_relay::expr::{ExprKind, Module};
 use tvmnp_relay::passes::{fold_constants, partition_graph, simplify, PartitionReport};
 use tvmnp_runtime::module::ExternalModule;
-use tvmnp_runtime::{Artifact, ExecutorGraph, GraphExecutor, ModuleRegistry};
+use tvmnp_runtime::{
+    Artifact, ExecError, ExecutorGraph, GraphExecutor, ModuleRegistry, RunOptions,
+};
 use tvmnp_tensor::Tensor;
 
 /// How the model is compiled and where it runs — the axis of the paper's
@@ -56,6 +59,9 @@ pub enum BuildError {
     Neuron(NeuronError),
     /// Graph lowering/linking failed.
     Runtime(String),
+    /// Typed executor failure (device fault / deadline, with node context
+    /// and fault cause chain).
+    Exec(ExecError),
 }
 
 impl fmt::Display for BuildError {
@@ -67,6 +73,7 @@ impl fmt::Display for BuildError {
             BuildError::Partition(m) => write!(f, "partition failed: {m}"),
             BuildError::Neuron(e) => write!(f, "neuron codegen failed: {e}"),
             BuildError::Runtime(m) => write!(f, "runtime build failed: {m}"),
+            BuildError::Exec(e) => write!(f, "{e}"),
         }
     }
 }
@@ -145,6 +152,65 @@ impl CompiledModel {
                     })
                     .collect::<Result<_, _>>()?;
                 network.execute(&ordered).map_err(BuildError::Neuron)
+            }
+        }
+    }
+
+    /// Run inference under fault injection: dispatches consult `injector`
+    /// with retries per `retry` (backoff charged in simulated µs) and the
+    /// whole run bounded by `deadline_us` of simulated time. Device-fault
+    /// and deadline failures surface as [`BuildError::Exec`] /
+    /// [`BuildError::Neuron`] with typed context; numerics are identical
+    /// to [`CompiledModel::run`].
+    pub fn run_resilient(
+        &mut self,
+        inputs: &HashMap<String, Tensor>,
+        injector: &FaultInjector,
+        retry: &RetryPolicy,
+        deadline_us: f64,
+    ) -> Result<(Vec<Tensor>, f64), BuildError> {
+        match self {
+            CompiledModel::Tvm {
+                executor,
+                input_names,
+                ..
+            } => {
+                for name in input_names.iter() {
+                    let v = inputs
+                        .get(name)
+                        .ok_or_else(|| BuildError::Runtime(format!("missing input '{name}'")))?;
+                    executor
+                        .set_input(name, v.clone())
+                        .map_err(BuildError::Exec)?;
+                }
+                let opts = RunOptions {
+                    injector: Some(injector),
+                    retry: *retry,
+                    deadline_us,
+                };
+                let t = executor.run_with(&opts).map_err(BuildError::Exec)?;
+                let outs = (0..executor.num_outputs())
+                    .map(|i| executor.get_output(i))
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(BuildError::Exec)?;
+                Ok((outs, t))
+            }
+            CompiledModel::Neuron {
+                network,
+                input_names,
+            } => {
+                let ordered: Vec<Tensor> = input_names
+                    .iter()
+                    .map(|n| {
+                        inputs
+                            .get(n)
+                            .cloned()
+                            .ok_or_else(|| BuildError::Runtime(format!("missing input '{n}'")))
+                    })
+                    .collect::<Result<_, _>>()?;
+                network
+                    .execute_resilient(&ordered, injector, retry, deadline_us)
+                    .map_err(BuildError::Neuron)
             }
         }
     }

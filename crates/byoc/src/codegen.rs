@@ -78,6 +78,18 @@ impl ExternalModule for NeuronModule {
         "neuropilot"
     }
 
+    fn dispatch_device(&self) -> tvmnp_hwsim::DeviceKind {
+        // Fault routing: the device whose driver a dispatch enters
+        // through. CPU-only plans never touch the APU driver, so an APU
+        // fault plan must not take them down.
+        use tvmnp_hwsim::DeviceKind;
+        match self.policy {
+            TargetPolicy::CpuOnly => DeviceKind::Cpu,
+            TargetPolicy::GpuPrefer => DeviceKind::Gpu,
+            TargetPolicy::ApuPrefer | TargetPolicy::CpuApu => DeviceKind::Apu,
+        }
+    }
+
     fn run(&self, inputs: &[Tensor]) -> Result<(Vec<Tensor>, f64), ModuleError> {
         self.network
             .execute(inputs)

@@ -15,14 +15,20 @@
 //!   paper's figures have missing bars;
 //! * [`nnapi`] — the team's *previous* NNAPI BYOC flow (paper Fig. 3 /
 //!   ref \[11\]): a second external compiler over the same framework,
-//!   demonstrating BYOC generality and why NeuroPilot-direct replaced it.
+//!   demonstrating BYOC generality and why NeuroPilot-direct replaced it;
+//! * [`resilient`] — retries, deadlines, circuit breakers, and graceful
+//!   fallback down the permutation chain under (injected) device faults.
 
 pub mod build;
 pub mod codegen;
 pub mod nnapi;
 pub mod permutations;
+pub mod resilient;
 
 pub use build::{partition_for_nir, relay_build, BuildError, CompiledModel, TargetMode};
 pub use codegen::NeuronModule;
 pub use nnapi::{nnapi_supported, relay_build_nnapi, NnapiModule, NnapiSupport};
 pub use permutations::{measure_all, measure_one, Measurement, Permutation};
+pub use resilient::{
+    FaultCause, ResilienceError, ResiliencePolicy, ResilienceStats, ResilientSession, RunOutcome,
+};

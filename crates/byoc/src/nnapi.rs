@@ -114,6 +114,10 @@ impl ExternalModule for NnapiModule {
         "nnapi"
     }
 
+    fn dispatch_device(&self) -> tvmnp_hwsim::DeviceKind {
+        self.inner.dispatch_device()
+    }
+
     fn run(&self, inputs: &[Tensor]) -> Result<(Vec<Tensor>, f64), ModuleError> {
         let (outs, t) = self.inner.run(inputs)?;
         Ok((outs, t + NNAPI_HAL_OVERHEAD_US))

@@ -52,6 +52,32 @@ impl Permutation {
         }
     }
 
+    /// The paper-ordered degradation chain a resilient session walks when
+    /// devices fail: NeuroPilot-APU → NeuroPilot-CPU+APU → BYOC-CPU →
+    /// TVM-only. Each step needs strictly less accelerator trust than the
+    /// one before; TVM-only is the last resort (pure host codegen).
+    pub const FALLBACK_CHAIN: [Permutation; 4] = [
+        Permutation::NpApu,
+        Permutation::NpCpuApu,
+        Permutation::ByocCpu,
+        Permutation::TvmOnly,
+    ];
+
+    /// The degradation chain starting at `start`: the suffix of
+    /// [`Permutation::FALLBACK_CHAIN`] from `start` when it is on the
+    /// chain, otherwise `start` followed by the whole chain (any
+    /// permutation can degrade into it).
+    pub fn fallback_chain(start: Permutation) -> Vec<Permutation> {
+        match Permutation::FALLBACK_CHAIN.iter().position(|&p| p == start) {
+            Some(i) => Permutation::FALLBACK_CHAIN[i..].to_vec(),
+            None => {
+                let mut chain = vec![start];
+                chain.extend(Permutation::FALLBACK_CHAIN);
+                chain
+            }
+        }
+    }
+
     /// The build mode realizing this permutation.
     pub fn mode(self) -> TargetMode {
         match self {
@@ -198,5 +224,18 @@ mod tests {
     fn labels_in_paper_order() {
         assert_eq!(Permutation::ALL[0].label(), "TVM-only");
         assert_eq!(Permutation::ALL[6].label(), "NP-only CPU+APU");
+    }
+
+    #[test]
+    fn fallback_chain_degrades_to_tvm_only() {
+        let full = Permutation::fallback_chain(Permutation::NpApu);
+        assert_eq!(full, Permutation::FALLBACK_CHAIN.to_vec());
+        let mid = Permutation::fallback_chain(Permutation::ByocCpu);
+        assert_eq!(mid, vec![Permutation::ByocCpu, Permutation::TvmOnly]);
+        // Off-chain starts prepend themselves, then walk the whole chain.
+        let off = Permutation::fallback_chain(Permutation::ByocApu);
+        assert_eq!(off[0], Permutation::ByocApu);
+        assert_eq!(off.last(), Some(&Permutation::TvmOnly));
+        assert_eq!(off.len(), 5);
     }
 }

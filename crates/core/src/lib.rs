@@ -70,9 +70,10 @@ pub mod nir {
 pub mod prelude {
     pub use crate::nir;
     pub use tvmnp_byoc::{
-        measure_all, measure_one, relay_build, Measurement, Permutation, TargetMode,
+        measure_all, measure_one, relay_build, Measurement, Permutation, ResilienceError,
+        ResiliencePolicy, ResilientSession, RunOutcome, TargetMode,
     };
-    pub use tvmnp_hwsim::{CostModel, DeviceKind, SocSpec};
+    pub use tvmnp_hwsim::{CostModel, DeviceKind, FaultInjector, FaultPlan, RetryPolicy, SocSpec};
     pub use tvmnp_neuropilot::TargetPolicy;
     pub use tvmnp_relay::expr::Module;
     pub use tvmnp_relay::interp::run_module;

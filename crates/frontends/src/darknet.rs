@@ -251,7 +251,9 @@ pub fn from_darknet(net: &DarknetNet) -> Result<Module, ImportError> {
 
     let body = match yolo_outputs.len() {
         0 => cur,
-        1 => yolo_outputs.into_iter().next().unwrap(),
+        1 => yolo_outputs
+            .pop()
+            .ok_or_else(|| ierr("yolo head vanished while assembling outputs"))?,
         _ => tvmnp_relay::expr::tuple(yolo_outputs),
     };
     let module = Module::from_main(Function::new(vec![input], body));

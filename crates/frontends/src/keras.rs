@@ -121,6 +121,12 @@ pub fn from_keras(model: &KerasModel) -> Result<Module, ImportError> {
                         kd
                     )));
                 }
+                let bd = bias.shape().dims();
+                if bd != [*filters] {
+                    return Err(ierr(format!(
+                        "layer {i}: Conv2D bias shape {bd:?} must be [{filters}] (one per filter)"
+                    )));
+                }
                 // HWIO -> OIHW.
                 let w_oihw = transpose(kernel, &[3, 2, 0, 1]).map_err(|e| ierr(e.to_string()))?;
                 let pad = if *same_padding { kernel_size.0 / 2 } else { 0 };
@@ -153,6 +159,12 @@ pub fn from_keras(model: &KerasModel) -> Result<Module, ImportError> {
                     return Err(ierr(format!(
                         "layer {i}: Dense kernel shape {:?} inconsistent with units {units}",
                         kd
+                    )));
+                }
+                let bd = bias.shape().dims();
+                if bd != [*units] {
+                    return Err(ierr(format!(
+                        "layer {i}: Dense bias shape {bd:?} must be [{units}] (one per unit)"
                     )));
                 }
                 // [in, units] -> [units, in].
@@ -251,6 +263,27 @@ mod tests {
             *kernel = Tensor::zeros_f32([3, 3, 1, 5]);
         }
         assert!(from_keras(&model).is_err());
+    }
+
+    #[test]
+    fn bad_bias_shape_rejected_with_field_in_message() {
+        let mut model = tiny_keras();
+        if let KerasLayer::Conv2D { bias, .. } = &mut model.layers[0] {
+            *bias = Tensor::zeros_f32([5]); // 4 filters expect [4]
+        }
+        let err = from_keras(&model).unwrap_err();
+        assert!(
+            err.to_string().contains("Conv2D bias shape"),
+            "error must name the offending field: {err}"
+        );
+        assert!(err.to_string().contains("layer 0"));
+
+        let mut model = tiny_keras();
+        if let KerasLayer::Dense { bias, .. } = &mut model.layers[4] {
+            *bias = Tensor::zeros_f32([8]); // 7 units expect [7]
+        }
+        let err = from_keras(&model).unwrap_err();
+        assert!(err.to_string().contains("Dense bias shape"), "{err}");
     }
 
     #[test]

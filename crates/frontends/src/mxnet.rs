@@ -263,7 +263,7 @@ pub fn from_mxnet(
         }
     }
 
-    let outs = symbol
+    let mut outs = symbol
         .heads
         .iter()
         .map(|h| {
@@ -272,10 +272,12 @@ pub fn from_mxnet(
                 .ok_or_else(|| ierr(format!("head {} missing", h[0])))
         })
         .collect::<Result<Vec<_>, _>>()?;
-    let body = if outs.len() == 1 {
-        outs.into_iter().next().unwrap()
-    } else {
-        tvmnp_relay::expr::tuple(outs)
+    let body = match outs.len() {
+        0 => return Err(ierr("MXNet symbol lists no heads (field 'heads' is empty)")),
+        1 => outs
+            .pop()
+            .ok_or_else(|| ierr("MXNet head vanished while assembling outputs"))?,
+        _ => tvmnp_relay::expr::tuple(outs),
     };
     let module = Module::from_main(Function::new(fn_params, body));
     tvmnp_relay::infer_types(&module)

@@ -79,6 +79,13 @@ impl WorkItem {
     }
 }
 
+fn device_index(device: DeviceKind) -> usize {
+    DeviceKind::ALL
+        .iter()
+        .position(|&d| d == device)
+        .unwrap_or(0)
+}
+
 /// The analytic time model over a [`SocSpec`].
 #[derive(Debug, Clone)]
 pub struct CostModel {
@@ -87,6 +94,10 @@ pub struct CostModel {
     /// All 1.0 by default; the bench harness injects synthetic slowdowns
     /// here to validate regression detection end to end.
     kind_scale: [f64; 4],
+    /// Per-(device, kind) time multipliers (`[device][kind]`), all 1.0 by
+    /// default. Thermal-throttle fault rules scale individual cells here
+    /// so a fault plan can slow one device without touching the others.
+    device_kind_scale: [[f64; 4]; 3],
 }
 
 impl CostModel {
@@ -95,6 +106,7 @@ impl CostModel {
         CostModel {
             soc,
             kind_scale: [1.0; 4],
+            device_kind_scale: [[1.0; 4]; 3],
         }
     }
 
@@ -117,6 +129,25 @@ impl CostModel {
         self.kind_scale[kind.index()]
     }
 
+    /// Scale the body time of kernels of `kind` **on `device` only** by
+    /// `factor` (> 1.0 = slower). Thermal-throttle fault rules apply here
+    /// (see `fault::FaultPlan::throttled_cost`).
+    pub fn with_device_kind_scale(
+        mut self,
+        device: DeviceKind,
+        kind: WorkKind,
+        factor: f64,
+    ) -> Self {
+        debug_assert!(factor > 0.0, "scale factor must be positive");
+        self.device_kind_scale[device_index(device)][kind.index()] *= factor;
+        self
+    }
+
+    /// Current (device, kind) multiplier (1.0 unless a throttle applied).
+    pub fn device_kind_scale(&self, device: DeviceKind, kind: WorkKind) -> f64 {
+        self.device_kind_scale[device_index(device)][kind.index()]
+    }
+
     /// Time for one kernel on one device, **excluding** launch overhead:
     /// roofline-style `max(compute, memory)`.
     pub fn kernel_body_us(&self, w: &WorkItem, device: DeviceKind, class: KernelClass) -> f64 {
@@ -133,7 +164,9 @@ impl CostModel {
         let ops = 2.0 * w.macs as f64;
         let compute_us = ops / (gops * kind_derate * 1e3);
         let memory_us = w.bytes() as f64 / (spec.mem_bw_gbps * 1e3);
-        compute_us.max(memory_us) * self.kind_scale[w.kind.index()]
+        compute_us.max(memory_us)
+            * self.kind_scale[w.kind.index()]
+            * self.device_kind_scale[device_index(device)][w.kind.index()]
     }
 
     /// Time for one kernel including the per-kernel launch overhead.

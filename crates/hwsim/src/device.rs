@@ -18,13 +18,18 @@ impl DeviceKind {
     /// All devices, in a stable order.
     pub const ALL: [DeviceKind; 3] = [DeviceKind::Cpu, DeviceKind::Gpu, DeviceKind::Apu];
 
-    /// Short display name.
+    /// Short display name (also accepted by [`DeviceKind::parse`]).
     pub fn name(self) -> &'static str {
         match self {
             DeviceKind::Cpu => "cpu",
             DeviceKind::Gpu => "gpu",
             DeviceKind::Apu => "apu",
         }
+    }
+
+    /// Parse a device from its [`DeviceKind::name`].
+    pub fn parse(s: &str) -> Option<DeviceKind> {
+        DeviceKind::ALL.iter().copied().find(|d| d.name() == s)
     }
 }
 
@@ -181,5 +186,9 @@ mod tests {
     fn names() {
         assert_eq!(DeviceKind::Apu.to_string(), "apu");
         assert_eq!(DeviceKind::ALL.len(), 3);
+        for d in DeviceKind::ALL {
+            assert_eq!(DeviceKind::parse(d.name()), Some(d));
+        }
+        assert_eq!(DeviceKind::parse("npu"), None);
     }
 }

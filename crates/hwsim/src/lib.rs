@@ -22,14 +22,22 @@
 //! * [`soc`] — the Dimensity 800 SoC descriptor (Table 2) and transfer model;
 //! * [`cost`] — work items and the time model;
 //! * [`timeline`] — simulated clock, resource reservations, Gantt segments
-//!   (consumed by the pipeline scheduler, paper Fig. 5).
+//!   (consumed by the pipeline scheduler, paper Fig. 5);
+//! * [`fault`] — deterministic fault injection (seeded [`FaultPlan`]s,
+//!   retry/backoff policy, per-device circuit breaker) so the resilience
+//!   layers above can be exercised reproducibly.
 
 pub mod cost;
 pub mod device;
+pub mod fault;
 pub mod soc;
 pub mod timeline;
 
 pub use cost::{CostModel, WorkItem, WorkKind};
 pub use device::{DeviceKind, DeviceSpec, KernelClass};
+pub use fault::{
+    CircuitBreaker, Fault, FaultInjector, FaultKind, FaultPlan, FaultRule, FaultSite,
+    FaultSpecError, RetryPolicy,
+};
 pub use soc::{SocSpec, TransferModel};
 pub use timeline::{Segment, SimClock, Timeline};

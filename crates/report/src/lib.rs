@@ -19,11 +19,15 @@
 //! * [`bench`] — benchmark baselines: a stable, byte-deterministic JSON
 //!   record of a workload's metrics plus threshold-gated regression
 //!   comparison (`--bench-out` / `--check-against` in the bench binary).
+//! * [`resilience`] — aggregation of the `resilience.*` telemetry from
+//!   fault-injected runs: retries, fallbacks, breaker trips, dropped
+//!   frames, and post-degradation latency.
 
 pub mod attribution;
 pub mod bench;
 pub mod coverage;
 pub mod dot;
+pub mod resilience;
 pub mod schedule;
 pub mod util;
 
@@ -31,6 +35,7 @@ pub use attribution::{attribute_breakdown, attribute_spans, OpCost};
 pub use bench::{compare, BenchIoError, BenchRecord, Comparison, MetricStats, SCHEMA_VERSION};
 pub use coverage::{coverage, CoverageReport, OpCoverage};
 pub use dot::dot_graph;
+pub use resilience::{FallbackEdge, ResilienceReport};
 pub use schedule::{analyze_schedule, critical_path, PathStep, ScheduleReport, WaitReason};
 pub use util::{
     utilization_from_snapshot, utilization_from_timeline, DeviceUtil, UtilizationReport,

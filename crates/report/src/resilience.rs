@@ -1,0 +1,240 @@
+//! Resilience report: aggregate the `resilience.*` telemetry emitted by
+//! fault-injected runs (retries, fallbacks, breaker trips, dropped
+//! frames) into a table the bench binaries print next to the figures.
+//!
+//! The numbers come straight from the metrics registry plus the
+//! simulated-time `resilience.retry` / `resilience.fallback` spans, so a
+//! run with fault injection disabled yields an all-zero report.
+
+#![deny(clippy::unwrap_used)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use tvmnp_telemetry::{MetricValue, Snapshot};
+
+/// One observed degradation step, `from → to`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FallbackEdge {
+    /// Permutation that failed.
+    pub from: String,
+    /// Permutation tried next (`"<exhausted>"` on the last chain step).
+    pub to: String,
+    /// How many times this edge was taken.
+    pub count: u64,
+}
+
+/// Aggregated resilience telemetry for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResilienceReport {
+    /// Retries per device (`resilience.retries{device=}`).
+    pub retries: BTreeMap<String, u64>,
+    /// Degradation edges taken (`resilience.fallback{from=,to=}`).
+    pub fallbacks: Vec<FallbackEdge>,
+    /// Circuit-breaker trips per device (`resilience.breaker_trips{device=}`).
+    pub breaker_trips: BTreeMap<String, u64>,
+    /// Runs that completed after at least one fault (`resilience.recovered`).
+    pub recovered: u64,
+    /// Runs that exhausted the whole fallback chain (`resilience.failed`).
+    pub failed: u64,
+    /// Vision frames with dropped stages, per stage
+    /// (`vision.frames_dropped{stage=}`).
+    pub frames_dropped: BTreeMap<String, u64>,
+    /// Frames a real-time consumer would drop from the schedule
+    /// (`scheduler.frames_dropped`).
+    pub sched_frames_dropped: u64,
+    /// Final simulated latency per `model @ permutation`
+    /// (`resilience.final_us{model=,permutation=}`).
+    pub final_us: BTreeMap<String, f64>,
+    /// Number of `resilience.retry` simulated-time spans in the trace.
+    pub retry_spans: usize,
+    /// Number of `resilience.fallback` simulated-time spans in the trace.
+    pub fallback_spans: usize,
+}
+
+impl ResilienceReport {
+    /// Aggregate a traced run's snapshot.
+    pub fn from_snapshot(snap: &Snapshot) -> ResilienceReport {
+        let mut report = ResilienceReport::default();
+        for (key, value) in &snap.metrics {
+            match (key.name.as_str(), value) {
+                ("resilience.retries", MetricValue::Counter(c)) => {
+                    let device = label(key, "device");
+                    *report.retries.entry(device).or_insert(0) += c;
+                }
+                ("resilience.fallback", MetricValue::Counter(c)) => {
+                    report.fallbacks.push(FallbackEdge {
+                        from: label(key, "from"),
+                        to: label(key, "to"),
+                        count: *c,
+                    });
+                }
+                ("resilience.breaker_trips", MetricValue::Counter(c)) => {
+                    let device = label(key, "device");
+                    *report.breaker_trips.entry(device).or_insert(0) += c;
+                }
+                ("resilience.recovered", MetricValue::Counter(c)) => report.recovered += c,
+                ("resilience.failed", MetricValue::Counter(c)) => report.failed += c,
+                ("vision.frames_dropped", MetricValue::Counter(c)) => {
+                    let stage = label(key, "stage");
+                    *report.frames_dropped.entry(stage).or_insert(0) += c;
+                }
+                ("scheduler.frames_dropped", MetricValue::Counter(c)) => {
+                    report.sched_frames_dropped += c;
+                }
+                ("resilience.final_us", MetricValue::Gauge(v)) => {
+                    let key = format!("{} @ {}", label(key, "model"), label(key, "permutation"));
+                    report.final_us.insert(key, *v);
+                }
+                _ => {}
+            }
+        }
+        for e in &snap.events {
+            match e.name.as_str() {
+                "resilience.retry" => report.retry_spans += 1,
+                "resilience.fallback" => report.fallback_spans += 1,
+                _ => {}
+            }
+        }
+        report
+    }
+
+    /// Total retries across devices.
+    pub fn total_retries(&self) -> u64 {
+        self.retries.values().sum()
+    }
+
+    /// Total degradation edges taken.
+    pub fn total_fallbacks(&self) -> u64 {
+        self.fallbacks.iter().map(|f| f.count).sum()
+    }
+
+    /// Whether any resilience machinery fired at all.
+    pub fn is_quiet(&self) -> bool {
+        self == &ResilienceReport::default()
+    }
+
+    /// Render the report as human-readable text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::from("== resilience report ==\n");
+        if self.is_quiet() {
+            out.push_str("no faults injected, no retries, no fallbacks\n");
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "recovered runs: {}    exhausted runs: {}",
+            self.recovered, self.failed
+        );
+        if !self.retries.is_empty() {
+            let _ = writeln!(out, "retries ({} total):", self.total_retries());
+            for (device, n) in &self.retries {
+                let _ = writeln!(out, "  {device:<8} {n}");
+            }
+        }
+        if !self.fallbacks.is_empty() {
+            let _ = writeln!(out, "fallbacks ({} total):", self.total_fallbacks());
+            for f in &self.fallbacks {
+                let _ = writeln!(out, "  {} -> {}  x{}", f.from, f.to, f.count);
+            }
+        }
+        if !self.breaker_trips.is_empty() {
+            out.push_str("breaker trips:\n");
+            for (device, n) in &self.breaker_trips {
+                let _ = writeln!(out, "  {device:<8} {n}");
+            }
+        }
+        if !self.frames_dropped.is_empty() {
+            out.push_str("vision stages dropped:\n");
+            for (stage, n) in &self.frames_dropped {
+                let _ = writeln!(out, "  {stage:<12} {n}");
+            }
+        }
+        if self.sched_frames_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "schedule frames dropped: {}",
+                self.sched_frames_dropped
+            );
+        }
+        if !self.final_us.is_empty() {
+            out.push_str("final latency after degradation:\n");
+            for (key, us) in &self.final_us {
+                let _ = writeln!(out, "  {key:<40} {:.1} us", us);
+            }
+        }
+        out
+    }
+}
+
+/// Read one label off a metric key (empty string when absent).
+fn label(key: &tvmnp_telemetry::MetricKey, name: &str) -> String {
+    key.labels.get(name).cloned().unwrap_or_default()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_resilience_metrics_and_spans() {
+        let _l = crate::testutil::lock();
+        tvmnp_telemetry::enable();
+        tvmnp_telemetry::reset();
+        tvmnp_telemetry::counter_add("resilience.retries", &[("device", "apu")], 2);
+        tvmnp_telemetry::counter_add("resilience.retries", &[("device", "cpu")], 1);
+        tvmnp_telemetry::counter_add(
+            "resilience.fallback",
+            &[("from", "NP-only APU"), ("to", "BYOC CPU")],
+            1,
+        );
+        tvmnp_telemetry::counter_add("resilience.breaker_trips", &[("device", "apu")], 1);
+        tvmnp_telemetry::counter_add("resilience.recovered", &[], 1);
+        tvmnp_telemetry::counter_add("vision.frames_dropped", &[("stage", "emotion")], 3);
+        tvmnp_telemetry::counter_add("scheduler.frames_dropped", &[("frame", "over-deadline")], 2);
+        tvmnp_telemetry::gauge_set(
+            "resilience.final_us",
+            &[("model", "anti-spoofing"), ("permutation", "BYOC CPU")],
+            123.5,
+        );
+        tvmnp_telemetry::record_sim_span(
+            "resilience.retry",
+            0.0,
+            40.0,
+            vec![("device".into(), "apu".into())],
+        );
+        tvmnp_telemetry::record_sim_span("resilience.fallback", 1.0, 0.0, vec![]);
+        tvmnp_telemetry::disable();
+
+        let report = ResilienceReport::from_snapshot(&tvmnp_telemetry::snapshot());
+        assert_eq!(report.total_retries(), 3);
+        assert_eq!(report.retries["apu"], 2);
+        assert_eq!(report.total_fallbacks(), 1);
+        assert_eq!(report.fallbacks[0].from, "NP-only APU");
+        assert_eq!(report.breaker_trips["apu"], 1);
+        assert_eq!(report.recovered, 1);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.frames_dropped["emotion"], 3);
+        assert_eq!(report.sched_frames_dropped, 2);
+        assert_eq!(report.retry_spans, 1);
+        assert_eq!(report.fallback_spans, 1);
+        assert!(!report.is_quiet());
+
+        let text = report.render_text();
+        assert!(text.contains("resilience report"));
+        assert!(text.contains("NP-only APU -> BYOC CPU"));
+        assert!(text.contains("anti-spoofing @ BYOC CPU"));
+        assert!(text.contains("recovered runs: 1"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_quiet() {
+        let _l = crate::testutil::lock();
+        tvmnp_telemetry::enable();
+        tvmnp_telemetry::reset();
+        tvmnp_telemetry::disable();
+        let report = ResilienceReport::from_snapshot(&tvmnp_telemetry::snapshot());
+        assert!(report.is_quiet());
+        assert!(report.render_text().contains("no faults injected"));
+    }
+}

@@ -11,8 +11,66 @@ use crate::graph::ExecutorGraph;
 use crate::module::{ExternalModule, ModuleRegistry};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use tvmnp_hwsim::CostModel;
+
+/// What went wrong exporting or loading an artifact, naming the file
+/// involved so deployment scripts can report actionable errors.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// The artifact could not be serialized to JSON.
+    Serialize {
+        /// Destination file.
+        path: PathBuf,
+        /// Underlying serde error.
+        source: serde_json::Error,
+    },
+    /// Reading or writing the artifact file failed.
+    Io {
+        /// File involved.
+        path: PathBuf,
+        /// Underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The file exists but does not parse as an artifact.
+    Parse {
+        /// Source file.
+        path: PathBuf,
+        /// Underlying serde error.
+        source: serde_json::Error,
+    },
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Serialize { path, source } => {
+                write!(
+                    f,
+                    "{}: artifact does not serialize: {source}",
+                    path.display()
+                )
+            }
+            ArtifactError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            ArtifactError::Parse { path, source } => {
+                write!(f, "{}: not a valid artifact: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Serialize { source, .. } | ArtifactError::Parse { source, .. } => {
+                Some(source)
+            }
+            ArtifactError::Io { source, .. } => Some(source),
+        }
+    }
+}
 
 /// One serialized external module inside an artifact.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -55,16 +113,29 @@ impl Artifact {
     }
 
     /// Write to disk (the `export_library` call of Listing 6).
-    pub fn export_library(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        let json = serde_json::to_string(self).expect("artifact serializes");
-        std::fs::write(path, json)
+    pub fn export_library(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        let path = path.as_ref();
+        let json = serde_json::to_string(self).map_err(|source| ArtifactError::Serialize {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        std::fs::write(path, json).map_err(|source| ArtifactError::Io {
+            path: path.to_path_buf(),
+            source,
+        })
     }
 
     /// Read back from disk.
-    pub fn load_library(path: impl AsRef<Path>) -> std::io::Result<Artifact> {
-        let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    pub fn load_library(path: impl AsRef<Path>) -> Result<Artifact, ArtifactError> {
+        let path = path.as_ref();
+        let json = std::fs::read_to_string(path).map_err(|source| ArtifactError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        serde_json::from_str(&json).map_err(|source| ArtifactError::Parse {
+            path: path.to_path_buf(),
+            source,
+        })
     }
 
     /// Artifact size in bytes when serialized (model-size discussions of
@@ -216,5 +287,20 @@ mod tests {
         let graph = ExecutorGraph::build(&m).unwrap();
         let artifact = Artifact::export(&graph, &[]);
         assert!(artifact.size_bytes() > 0);
+    }
+
+    #[test]
+    fn load_errors_name_the_file() {
+        let missing = std::env::temp_dir().join("tvmnp_artifact_test_missing.json");
+        let err = Artifact::load_library(&missing).unwrap_err();
+        assert!(matches!(err, ArtifactError::Io { .. }));
+        assert!(err.to_string().contains("tvmnp_artifact_test_missing.json"));
+
+        let garbled = std::env::temp_dir().join("tvmnp_artifact_test_garbled.json");
+        std::fs::write(&garbled, "{not json").unwrap();
+        let err = Artifact::load_library(&garbled).unwrap_err();
+        assert!(matches!(err, ArtifactError::Parse { .. }));
+        assert!(err.to_string().contains("not a valid artifact"));
+        assert!(std::error::Error::source(&err).is_some());
     }
 }

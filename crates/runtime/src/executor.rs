@@ -6,7 +6,7 @@ use crate::module::ModuleRegistry;
 use crate::work::relay_work_item;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use tvmnp_hwsim::{CostModel, DeviceKind, KernelClass};
+use tvmnp_hwsim::{CostModel, DeviceKind, FaultInjector, KernelClass, RetryPolicy};
 use tvmnp_relay::interp::{eval_op, Value};
 use tvmnp_relay::TensorType;
 use tvmnp_tensor::Tensor;
@@ -20,15 +20,35 @@ pub struct ExecContext {
     pub op: Option<String>,
     /// Device the node was charged to (`cpu`, `gpu`, `apu`).
     pub device: Option<String>,
+    /// Dispatch attempts made when the failure came from a device fault.
+    pub attempt: Option<u32>,
+}
+
+/// Broad classification of an executor failure, so resilience layers can
+/// tell a retryable device problem from a plain graph error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecErrorKind {
+    /// Graph/numeric failure — retrying will not help.
+    #[default]
+    General,
+    /// A device fault survived every retry attempt.
+    DeviceFault,
+    /// The run's simulated-time budget was exhausted.
+    Deadline,
 }
 
 /// Executor failure: a message plus structured context identifying the
 /// failing node, so callers can report *where* a run died instead of
-/// just why.
+/// just why. Device-fault failures additionally carry the chain of fault
+/// causes observed on the way down ([`ExecError::causes`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecError {
     message: String,
-    context: ExecContext,
+    // Boxed to keep `Result<_, ExecError>` small on the happy path
+    // (clippy::result_large_err).
+    context: Box<ExecContext>,
+    kind: ExecErrorKind,
+    causes: Vec<String>,
 }
 
 impl ExecError {
@@ -36,7 +56,9 @@ impl ExecError {
     pub fn new(message: impl Into<String>) -> ExecError {
         ExecError {
             message: message.into(),
-            context: ExecContext::default(),
+            context: Box::default(),
+            kind: ExecErrorKind::General,
+            causes: Vec::new(),
         }
     }
 
@@ -58,6 +80,24 @@ impl ExecError {
         self
     }
 
+    /// Attach the dispatch attempt count of a device-fault failure.
+    pub fn with_attempt(mut self, attempt: u32) -> ExecError {
+        self.context.attempt = Some(attempt);
+        self
+    }
+
+    /// Set the failure classification.
+    pub fn with_kind(mut self, kind: ExecErrorKind) -> ExecError {
+        self.kind = kind;
+        self
+    }
+
+    /// Append one fault cause to the chain.
+    pub fn with_cause(mut self, cause: impl Into<String>) -> ExecError {
+        self.causes.push(cause.into());
+        self
+    }
+
     /// The bare failure message (without context).
     pub fn message(&self) -> &str {
         &self.message
@@ -67,6 +107,16 @@ impl ExecError {
     pub fn context(&self) -> &ExecContext {
         &self.context
     }
+
+    /// Failure classification.
+    pub fn kind(&self) -> ExecErrorKind {
+        self.kind
+    }
+
+    /// Fault cause chain (oldest first; empty for plain graph errors).
+    pub fn causes(&self) -> &[String] {
+        &self.causes
+    }
 }
 
 impl fmt::Display for ExecError {
@@ -74,8 +124,13 @@ impl fmt::Display for ExecError {
         // Keep the historical "executor error: <message>" prefix intact;
         // context renders as an optional suffix.
         write!(f, "executor error: {}", self.message)?;
-        let ExecContext { node, op, device } = &self.context;
-        if node.is_some() || op.is_some() || device.is_some() {
+        let ExecContext {
+            node,
+            op,
+            device,
+            attempt,
+        } = &*self.context;
+        if node.is_some() || op.is_some() || device.is_some() || attempt.is_some() {
             let mut parts = Vec::new();
             if let Some(n) = node {
                 parts.push(format!("node {n}"));
@@ -86,7 +141,13 @@ impl fmt::Display for ExecError {
             if let Some(d) = device {
                 parts.push(format!("device {d}"));
             }
+            if let Some(a) = attempt {
+                parts.push(format!("attempt {a}"));
+            }
             write!(f, " ({})", parts.join(", "))?;
+        }
+        if !self.causes.is_empty() {
+            write!(f, " [caused by: {}]", self.causes.join("; "))?;
         }
         Ok(())
     }
@@ -106,6 +167,69 @@ fn external_device_label(compiler: &str) -> &str {
     match compiler {
         "neuropilot" => "apu",
         other => other,
+    }
+}
+
+/// Fault-handling knobs for one executor run (see
+/// [`GraphExecutor::run_with`]).
+pub struct RunOptions<'a> {
+    /// Fault source consulted at every device dispatch (`None` = clean
+    /// run, identical to [`GraphExecutor::run`]).
+    pub injector: Option<&'a FaultInjector>,
+    /// Retry/backoff policy for transient dispatch faults.
+    pub retry: RetryPolicy,
+    /// Simulated-time budget for the whole run, microseconds; exceeding
+    /// it aborts with an [`ExecErrorKind::Deadline`] error.
+    pub deadline_us: f64,
+}
+
+impl Default for RunOptions<'_> {
+    fn default() -> Self {
+        RunOptions {
+            injector: None,
+            retry: RetryPolicy::default(),
+            deadline_us: f64::INFINITY,
+        }
+    }
+}
+
+/// Run the dispatch-retry loop at one dispatch point: consult the
+/// injector, charging `wasted_us` of simulated time per failed attempt
+/// (the aborted dispatch) plus the policy backoff, emitting a
+/// `resilience.retry` span and counter per recovered failure. Returns the
+/// attempts consumed, or `Err((attempts, cause))` when a fatal fault or
+/// retry exhaustion ends the run.
+fn dispatch_with_retry(
+    injector: &FaultInjector,
+    retry: &RetryPolicy,
+    device: DeviceKind,
+    wasted_us: f64,
+    time_us: &mut f64,
+) -> Result<u32, (u32, String)> {
+    let mut attempt = 1u32;
+    loop {
+        match injector.on_dispatch(device, attempt) {
+            None => return Ok(attempt),
+            Some(fault) if fault.fatal || !retry.allows_retry(attempt) => {
+                return Err((attempt, fault.description));
+            }
+            Some(fault) => {
+                let cost = wasted_us + retry.backoff_us(attempt);
+                tvmnp_telemetry::record_sim_span(
+                    "resilience.retry",
+                    *time_us,
+                    cost,
+                    vec![
+                        ("device".into(), device.name().into()),
+                        ("attempt".into(), attempt.to_string()),
+                        ("cause".into(), fault.description),
+                    ],
+                );
+                tvmnp_telemetry::counter_add("resilience.retries", &[("device", device.name())], 1);
+                *time_us += cost;
+                attempt += 1;
+            }
+        }
     }
 }
 
@@ -189,11 +313,35 @@ impl GraphExecutor {
     /// Execute the graph (TVM `m.run`). Returns the simulated time in
     /// microseconds.
     pub fn run(&mut self) -> Result<f64, ExecError> {
+        self.run_with(&RunOptions::default())
+    }
+
+    /// Execute the graph under fault-handling options: every device
+    /// dispatch (one per host fusion group, one per external module
+    /// invocation) first consults the injector, retrying transient faults
+    /// per `opts.retry` with the wasted dispatch + backoff charged in
+    /// simulated microseconds. Fatal faults or exhausted retries abort
+    /// with an [`ExecErrorKind::DeviceFault`] error carrying the attempt
+    /// count and cause; exceeding `opts.deadline_us` aborts with
+    /// [`ExecErrorKind::Deadline`]. With default options this is exactly
+    /// [`GraphExecutor::run`] — same numerics, same time.
+    pub fn run_with(&mut self, opts: &RunOptions<'_>) -> Result<f64, ExecError> {
         let _run_span = tvmnp_telemetry::span!("executor.run");
         self.values.clear();
         let mut time_us = 0.0;
         let mut groups_dispatched: HashSet<usize> = HashSet::new();
         let cpu_launch = self.cost.soc().device(DeviceKind::Cpu).kernel_launch_us;
+        let deadline = |time_us: f64, node: usize| -> Result<(), ExecError> {
+            if time_us > opts.deadline_us {
+                return Err(ExecError::new(format!(
+                    "deadline exceeded: {time_us:.1} us past a {:.1} us budget",
+                    opts.deadline_us
+                ))
+                .with_node(format!("node#{node}"))
+                .with_kind(ExecErrorKind::Deadline));
+            }
+            Ok(())
+        };
 
         for (idx, node) in self.graph.nodes.iter().enumerate() {
             match &node.kind {
@@ -248,12 +396,27 @@ impl GraphExecutor {
                     let arg_refs: Vec<&TensorType> = arg_types.iter().collect();
                     let w = relay_work_item(op, &arg_refs, &node.out_types[0]);
                     let node_start_us = time_us;
+                    if groups_dispatched.insert(*group) {
+                        if let Some(injector) = opts.injector {
+                            dispatch_with_retry(
+                                injector,
+                                &opts.retry,
+                                DeviceKind::Cpu,
+                                cpu_launch,
+                                &mut time_us,
+                            )
+                            .map_err(|(attempt, cause)| {
+                                err_here(format!("device fault: {cause}"))
+                                    .with_attempt(attempt)
+                                    .with_kind(ExecErrorKind::DeviceFault)
+                                    .with_cause(cause)
+                            })?;
+                        }
+                        time_us += cpu_launch;
+                    }
                     time_us +=
                         self.cost
                             .kernel_body_us(&w, DeviceKind::Cpu, KernelClass::TvmUntuned);
-                    if groups_dispatched.insert(*group) {
-                        time_us += cpu_launch;
-                    }
                     self.record_node(
                         node_start_us,
                         time_us - node_start_us,
@@ -261,6 +424,7 @@ impl GraphExecutor {
                         DeviceKind::Cpu.name(),
                         KernelClass::TvmUntuned,
                     );
+                    deadline(time_us, idx)?;
                     self.values.insert(
                         NodeRef {
                             node: idx,
@@ -292,6 +456,22 @@ impl GraphExecutor {
                     for a in &args {
                         time_us += self.cost.transfer_us(a.size_bytes());
                     }
+                    if let Some(injector) = opts.injector {
+                        let fault_device = module.dispatch_device();
+                        dispatch_with_retry(
+                            injector,
+                            &opts.retry,
+                            fault_device,
+                            self.cost.subgraph_dispatch_us(fault_device),
+                            &mut time_us,
+                        )
+                        .map_err(|(attempt, cause)| {
+                            err_here(format!("device fault: {cause}"))
+                                .with_attempt(attempt)
+                                .with_kind(ExecErrorKind::DeviceFault)
+                                .with_cause(cause)
+                        })?;
+                    }
                     let (outs, ext_us) = module.run(&args).map_err(|e| err_here(e.to_string()))?;
                     time_us += ext_us;
                     if outs.len() != node.out_types.len() {
@@ -319,6 +499,7 @@ impl GraphExecutor {
                         &device,
                         KernelClass::VendorTuned,
                     );
+                    deadline(time_us, idx)?;
                 }
             }
         }
@@ -665,6 +846,89 @@ mod tests {
         assert!((sum - est).abs() <= 1e-9 * est.max(1.0), "{sum} vs {est}");
         assert!(breakdown.iter().any(|n| n.op == "nn.conv2d"));
         assert!(breakdown.iter().all(|n| n.device == "cpu" && !n.external));
+    }
+
+    #[test]
+    fn run_with_retries_transient_faults_without_changing_numerics() {
+        use tvmnp_hwsim::FaultPlan;
+        let mut rng = TensorRng::new(13);
+        let x = var("x", tvmnp_relay::TensorType::f32([1, 3, 8, 8]));
+        let w = rng.uniform_f32([4, 3, 3, 3], -0.5, 0.5);
+        let y = builder::relu(builder::conv2d(x.clone(), w, Conv2dAttrs::same(1)));
+        let m = Module::from_main(Function::new(vec![x], y));
+        let input = rng.uniform_f32([1, 3, 8, 8], -1.0, 1.0);
+        let build = || {
+            let g = ExecutorGraph::build(&m).unwrap();
+            let mut ex =
+                GraphExecutor::new(g, ModuleRegistry::new(), CostModel::default()).unwrap();
+            ex.set_input("x", input.clone()).unwrap();
+            ex
+        };
+        let mut clean = build();
+        let clean_us = clean.run().unwrap();
+        let clean_out = clean.get_output(0).unwrap();
+
+        let injector =
+            FaultInjector::new(FaultPlan::seeded(7).transient_dispatch(DeviceKind::Cpu, 2));
+        let mut faulted = build();
+        let opts = RunOptions {
+            injector: Some(&injector),
+            ..RunOptions::default()
+        };
+        let faulted_us = faulted.run_with(&opts).unwrap();
+        assert!(
+            faulted.get_output(0).unwrap().bit_eq(&clean_out),
+            "faults must not change numerics"
+        );
+        assert!(
+            faulted_us > clean_us,
+            "retries must cost simulated time ({faulted_us} vs {clean_us})"
+        );
+        assert!(injector.faults_injected() >= 1);
+    }
+
+    #[test]
+    fn run_with_surfaces_fatal_fault_with_cause_chain() {
+        use tvmnp_hwsim::FaultPlan;
+        let mut rng = TensorRng::new(17);
+        let x = var("x", tvmnp_relay::TensorType::f32([2]));
+        let y = builder::relu(x.clone());
+        let m = Module::from_main(Function::new(vec![x], y));
+        let g = ExecutorGraph::build(&m).unwrap();
+        let mut ex = GraphExecutor::new(g, ModuleRegistry::new(), CostModel::default()).unwrap();
+        ex.set_input("x", rng.uniform_f32([2], -1.0, 1.0)).unwrap();
+        let injector = FaultInjector::new(FaultPlan::seeded(1).device_lost(DeviceKind::Cpu));
+        let err = ex
+            .run_with(&RunOptions {
+                injector: Some(&injector),
+                ..RunOptions::default()
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), ExecErrorKind::DeviceFault);
+        assert_eq!(err.context().attempt, Some(1));
+        assert_eq!(err.context().device.as_deref(), Some("cpu"));
+        assert!(!err.causes().is_empty(), "{err}");
+        assert!(err.to_string().contains("caused by"), "{err}");
+    }
+
+    #[test]
+    fn run_with_enforces_simulated_deadline() {
+        let mut rng = TensorRng::new(19);
+        let x = var("x", tvmnp_relay::TensorType::f32([1, 3, 8, 8]));
+        let w = rng.uniform_f32([4, 3, 3, 3], -0.5, 0.5);
+        let y = builder::relu(builder::conv2d(x.clone(), w, Conv2dAttrs::same(1)));
+        let m = Module::from_main(Function::new(vec![x], y));
+        let g = ExecutorGraph::build(&m).unwrap();
+        let mut ex = GraphExecutor::new(g, ModuleRegistry::new(), CostModel::default()).unwrap();
+        ex.set_input("x", rng.uniform_f32([1, 3, 8, 8], -1.0, 1.0))
+            .unwrap();
+        let err = ex
+            .run_with(&RunOptions {
+                deadline_us: 1e-6,
+                ..RunOptions::default()
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), ExecErrorKind::Deadline);
     }
 
     #[test]

@@ -28,8 +28,8 @@ pub mod memory;
 pub mod module;
 pub mod work;
 
-pub use artifact::{AndroidDevice, Artifact, LoaderRegistry};
-pub use executor::{ExecContext, ExecError, GraphExecutor, NodeCost};
+pub use artifact::{AndroidDevice, Artifact, ArtifactError, LoaderRegistry};
+pub use executor::{ExecContext, ExecError, ExecErrorKind, GraphExecutor, NodeCost, RunOptions};
 pub use graph::{ExecutorGraph, GraphNode, NodeKind, NodeRef};
 pub use memory::{plan_memory, MemoryPlan};
 pub use module::{ExternalModule, ModuleRegistry};

@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use tvmnp_hwsim::DeviceKind;
 use tvmnp_tensor::Tensor;
 
 /// Error from an external module invocation.
@@ -28,6 +29,15 @@ pub trait ExternalModule: Send + Sync {
 
     /// Name of the compiler that produced it (e.g. `neuropilot`).
     fn compiler(&self) -> &str;
+
+    /// The physical device a dispatch of this module enters through —
+    /// what a fault plan targets. Cost attribution keys off
+    /// [`ExternalModule::compiler`] instead; this only routes injected
+    /// faults, so a CPU-policy Neuron module survives an APU device-lost
+    /// plan.
+    fn dispatch_device(&self) -> DeviceKind {
+        DeviceKind::Cpu
+    }
 
     /// Execute on positional inputs; returns outputs and the simulated
     /// on-device time in microseconds.

@@ -22,6 +22,7 @@ pub mod threaded;
 
 pub use computation::{best_assignment, ModelProfile};
 pub use pipeline::{
-    auto_schedule, simulate_pipelined, simulate_sequential, PipelineStage, ScheduleResult, StageRun,
+    account_dropped_frames, auto_schedule, simulate_pipelined, simulate_sequential,
+    FrameAccounting, PipelineStage, ScheduleResult, StageRun,
 };
 pub use threaded::{PipelineExecutor, StageSpec};

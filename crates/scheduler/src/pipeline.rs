@@ -175,6 +175,69 @@ pub fn simulate_pipelined(stages: &[PipelineStage], frames: usize) -> ScheduleRe
     }
 }
 
+/// Per-frame accounting of a schedule against a frame deadline: which
+/// frames would be dropped by a real-time consumer because their full
+/// stage chain took longer than the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameAccounting {
+    /// Frames scheduled.
+    pub frames: usize,
+    /// Frames whose chain latency exceeded the deadline.
+    pub dropped: usize,
+    /// Largest per-frame chain latency observed, microseconds.
+    pub worst_latency_us: f64,
+    /// The deadline the frames were held to, microseconds.
+    pub deadline_us: f64,
+}
+
+impl FrameAccounting {
+    /// Fraction of frames delivered on time.
+    pub fn delivered_ratio(&self) -> f64 {
+        if self.frames == 0 {
+            return 1.0;
+        }
+        (self.frames - self.dropped) as f64 / self.frames as f64
+    }
+}
+
+/// Account lost frames in a schedule: a frame's chain latency is the span
+/// from its earliest stage start to its latest stage end; frames over
+/// `frame_deadline_us` are counted dropped (and reported on the
+/// `scheduler.frames_dropped` counter while telemetry is enabled).
+pub fn account_dropped_frames(result: &ScheduleResult, frame_deadline_us: f64) -> FrameAccounting {
+    let mut dropped = 0usize;
+    let mut worst = 0.0f64;
+    for f in 0..result.frames {
+        let mut start = f64::INFINITY;
+        let mut end = 0.0f64;
+        for run in result.stage_runs.iter().filter(|r| r.frame == f) {
+            start = start.min(run.start_us);
+            end = end.max(run.end_us);
+        }
+        if start > end {
+            continue; // no runs recorded for this frame
+        }
+        let latency = end - start;
+        worst = worst.max(latency);
+        if latency > frame_deadline_us {
+            dropped += 1;
+            if tvmnp_telemetry::is_enabled() {
+                tvmnp_telemetry::counter_add(
+                    "scheduler.frames_dropped",
+                    &[("frame", "over-deadline")],
+                    1,
+                );
+            }
+        }
+    }
+    FrameAccounting {
+        frames: result.frames,
+        dropped,
+        worst_latency_us: worst,
+        deadline_us: frame_deadline_us,
+    }
+}
+
 /// The assignment of the paper's Fig. 5 prototype:
 /// anti-spoofing on CPU+APU, object detection forced to CPU-only,
 /// emotion on APU-only — guaranteeing exclusive use so object detection
@@ -371,6 +434,23 @@ mod tests {
                 .fold(0.0, f64::max);
             assert!((max_end - result.makespan_us).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn frame_accounting_counts_over_deadline_frames() {
+        let s = stages();
+        let r = simulate_pipelined(&s, 6);
+        // A frame's chain is at least the sum of its stage durations.
+        let chain: f64 = s.iter().map(|st| st.duration_us).sum();
+        let generous = account_dropped_frames(&r, r.makespan_us + 1.0);
+        assert_eq!(generous.dropped, 0);
+        assert_eq!(generous.frames, 6);
+        assert!((generous.delivered_ratio() - 1.0).abs() < 1e-12);
+        assert!(generous.worst_latency_us >= chain - 1e-6);
+        // An impossible deadline drops every frame.
+        let strict = account_dropped_frames(&r, chain - 1.0);
+        assert_eq!(strict.dropped, 6);
+        assert_eq!(strict.delivered_ratio(), 0.0);
     }
 
     #[test]

@@ -70,6 +70,51 @@ pub fn resources_of(mode: TargetMode) -> Vec<DeviceKind> {
     }
 }
 
+/// Degraded-mode policy: per-stage simulated-time deadlines for the
+/// frame flow. When a stage overruns its budget the frame is *degraded*,
+/// not wedged — downstream models see an explicit
+/// [`DroppedStage`] marker instead of stale tensors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradedPolicy {
+    /// Simulated-time budget per stage per frame, microseconds.
+    /// `f64::INFINITY` disables degradation entirely.
+    pub stage_deadline_us: f64,
+}
+
+impl Default for DegradedPolicy {
+    fn default() -> Self {
+        DegradedPolicy {
+            stage_deadline_us: f64::INFINITY,
+        }
+    }
+}
+
+impl DegradedPolicy {
+    /// Policy with the given per-stage deadline, microseconds.
+    pub fn with_stage_deadline(stage_deadline_us: f64) -> Self {
+        DegradedPolicy { stage_deadline_us }
+    }
+}
+
+/// Explicit "stage unavailable" record for one frame: which stage was
+/// dropped and why (its own overrun, or an unavailable upstream stage).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DroppedStage {
+    /// Stage name (`"obj-det"` / `"anti-spoof"` / `"emotion"`).
+    pub stage: &'static str,
+    /// Human-readable drop reason.
+    pub reason: String,
+}
+
+/// Aggregate drop accounting over a clip.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropStats {
+    /// Frames with at least one dropped stage.
+    pub degraded_frames: usize,
+    /// Total dropped-stage records across all frames.
+    pub stages_dropped: usize,
+}
+
 /// Per-face outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaceResult {
@@ -110,6 +155,16 @@ pub struct FrameResult {
     pub faces: Vec<FaceResult>,
     /// Stage timing.
     pub times: ShowcaseTiming,
+    /// Stages dropped under the degraded-mode policy (empty when every
+    /// stage met its deadline — always empty for [`Showcase::process_frame`]).
+    pub dropped: Vec<DroppedStage>,
+}
+
+impl FrameResult {
+    /// Whether any stage of this frame was dropped.
+    pub fn degraded(&self) -> bool {
+        !self.dropped.is_empty()
+    }
 }
 
 struct CompiledStage {
@@ -163,7 +218,21 @@ impl Showcase {
 
     /// Process one frame through the Fig. 1 flow.
     pub fn process_frame(&self, frame: &Frame) -> FrameResult {
+        self.process_frame_with_deadline(frame, &DegradedPolicy::default())
+    }
+
+    /// Process one frame under a degraded-mode policy: any stage whose
+    /// cumulative simulated time for this frame exceeds
+    /// `policy.stage_deadline_us` is dropped, and every downstream stage
+    /// sees an explicit [`DroppedStage`] record instead of stale results.
+    pub fn process_frame_with_deadline(
+        &self,
+        frame: &Frame,
+        policy: &DegradedPolicy,
+    ) -> FrameResult {
+        let budget = policy.stage_deadline_us;
         let mut times = ShowcaseTiming::default();
+        let mut dropped: Vec<DroppedStage> = Vec::new();
 
         // Object detection: the DNN runs on the full frame (its latency is
         // the measured quantity); localization comes from the saliency
@@ -176,6 +245,31 @@ impl Showcase {
             .run(&self.obj.model.inputs_from(obj_input))
             .expect("object detection runs");
         times.obj_us += t;
+        if times.obj_us > budget {
+            // No detections to gate on: the whole downstream chain is
+            // unavailable for this frame.
+            dropped.push(DroppedStage {
+                stage: "obj-det",
+                reason: format!(
+                    "stage took {:.1} us of a {budget:.1} us budget",
+                    times.obj_us
+                ),
+            });
+            for stage in ["anti-spoof", "emotion"] {
+                dropped.push(DroppedStage {
+                    stage,
+                    reason: "upstream obj-det unavailable".to_string(),
+                });
+            }
+            record_dropped_stages(&dropped);
+            return FrameResult {
+                frame_index: frame.index,
+                objects: Vec::new(),
+                faces: Vec::new(),
+                times,
+                dropped,
+            };
+        }
         let objects = luminance_saliency(frame, 4, 1.8);
 
         // Face detection + overlap gating (Listing 5).
@@ -185,8 +279,10 @@ impl Showcase {
             .filter(|f| objects.iter().any(|o| o.overlaps(f)))
             .collect();
 
+        let total_candidates = candidates.len();
         let mut faces = Vec::new();
-        for bbox in candidates {
+        let mut emotion_dropped = false;
+        for (k, bbox) in candidates.into_iter().enumerate() {
             // Anti-spoofing on the face crop.
             let crop = frame.crop_resized(bbox.tuple(), 32, 32);
             let (outs, t) = self
@@ -196,14 +292,34 @@ impl Showcase {
                 .run(&self.spoof.model.inputs_from(crop))
                 .expect("anti-spoofing runs");
             times.spoof_us += t;
+            if times.spoof_us > budget {
+                // The liveness decision arrived past the stage deadline:
+                // this face and the remaining candidates are reported as
+                // unavailable, not as spoofs, and emotion never sees them.
+                dropped.push(DroppedStage {
+                    stage: "anti-spoof",
+                    reason: format!(
+                        "deadline at face {} of {total_candidates} \
+                         ({:.1} us of a {budget:.1} us budget)",
+                        k + 1,
+                        times.spoof_us
+                    ),
+                });
+                dropped.push(DroppedStage {
+                    stage: "emotion",
+                    reason: "upstream anti-spoof unavailable".to_string(),
+                });
+                break;
+            }
             let _pixel_map = &outs[0];
             // Liveness: texture feature on the same crop (the pixel map of
             // an untrained DeePixBiS is not discriminative; see DESIGN.md).
             let gray = frame.gray_crop_resized(bbox.tuple(), crate::frame::FACE_SIZE);
             let real = texture_energy(&gray) > self.liveness_threshold;
 
-            // Emotion detection only on real faces.
-            let emotion = if real {
+            // Emotion detection only on real faces (and only while its own
+            // stage budget holds — a late label is withheld, not stale).
+            let emotion = if real && !emotion_dropped {
                 let e_in = frame.gray_crop_resized(bbox.tuple(), 48);
                 let (e_out, t) = self
                     .emotion
@@ -212,7 +328,20 @@ impl Showcase {
                     .run(&self.emotion.model.inputs_from(e_in))
                     .expect("emotion runs");
                 times.emotion_us += t;
-                Some(EMOTIONS[e_out[0].argmax()])
+                if times.emotion_us > budget {
+                    emotion_dropped = true;
+                    dropped.push(DroppedStage {
+                        stage: "emotion",
+                        reason: format!(
+                            "deadline at face {} ({:.1} us of a {budget:.1} us budget)",
+                            k + 1,
+                            times.emotion_us
+                        ),
+                    });
+                    None
+                } else {
+                    Some(EMOTIONS[e_out[0].argmax()])
+                }
             } else {
                 None
             };
@@ -222,18 +351,38 @@ impl Showcase {
                 emotion,
             });
         }
+        record_dropped_stages(&dropped);
 
         FrameResult {
             frame_index: frame.index,
             objects,
             faces,
             times,
+            dropped,
         }
     }
 
     /// Sequential per-frame processing (the §4.4 baseline).
     pub fn process_video(&self, frames: &[Frame]) -> Vec<FrameResult> {
         frames.iter().map(|f| self.process_frame(f)).collect()
+    }
+
+    /// Sequential processing under a degraded-mode policy, with aggregate
+    /// drop accounting for the resilience report.
+    pub fn process_video_with_deadline(
+        &self,
+        frames: &[Frame],
+        policy: &DegradedPolicy,
+    ) -> (Vec<FrameResult>, DropStats) {
+        let results: Vec<FrameResult> = frames
+            .iter()
+            .map(|f| self.process_frame_with_deadline(f, policy))
+            .collect();
+        let stats = DropStats {
+            degraded_frames: results.iter().filter(|r| r.degraded()).count(),
+            stages_dropped: results.iter().map(|r| r.dropped.len()).sum(),
+        };
+        (results, stats)
     }
 
     /// Pipelined processing: the three model stages run on their own
@@ -337,6 +486,7 @@ impl Showcase {
                 objects: it.objects,
                 faces: it.faces,
                 times: it.times,
+                dropped: Vec::new(),
             })
             .collect()
     }
@@ -365,6 +515,17 @@ impl Showcase {
                 duration_us: r.times.emotion_us.max(1.0),
             },
         ]
+    }
+}
+
+/// Emit one `vision.frames_dropped{stage=}` counter tick per dropped
+/// stage record (no-op while telemetry is disabled).
+fn record_dropped_stages(dropped: &[DroppedStage]) {
+    if dropped.is_empty() || !tvmnp_telemetry::is_enabled() {
+        return;
+    }
+    for d in dropped {
+        tvmnp_telemetry::counter_add("vision.frames_dropped", &[("stage", d.stage)], 1);
     }
 }
 
@@ -443,6 +604,85 @@ mod tests {
         assert!(r3.faces[0].emotion.is_none());
         assert!(r3.times.spoof_us > 0.0);
         assert_eq!(r3.times.emotion_us, 0.0);
+    }
+
+    #[test]
+    fn infinite_deadline_never_degrades() {
+        let sc = showcase();
+        let mut video = SyntheticVideo::new(2000, 64, 64);
+        let frames = video.frames(4);
+        let (results, stats) = sc.process_video_with_deadline(&frames, &DegradedPolicy::default());
+        assert_eq!(stats, DropStats::default());
+        assert!(results.iter().all(|r| !r.degraded()));
+        // Identical to the plain path.
+        let plain = sc.process_video(&frames);
+        for (a, b) in results.iter().zip(&plain) {
+            assert_eq!(a.faces, b.faces);
+            assert_eq!(a.objects, b.objects);
+        }
+    }
+
+    #[test]
+    fn obj_det_overrun_drops_whole_frame_chain() {
+        let sc = showcase();
+        let mut video = SyntheticVideo::new(2000, 64, 64);
+        let frames = video.frames(4);
+        // Deadline below any model's latency: obj-det always overruns.
+        let policy = DegradedPolicy::with_stage_deadline(1.0);
+        let r = sc.process_frame_with_deadline(&frames[2], &policy);
+        assert!(r.degraded());
+        assert!(r.objects.is_empty());
+        assert!(r.faces.is_empty());
+        let stages: Vec<&str> = r.dropped.iter().map(|d| d.stage).collect();
+        assert_eq!(stages, vec!["obj-det", "anti-spoof", "emotion"]);
+        // Downstream drops carry the explicit upstream-unavailable reason.
+        assert!(r.dropped[1].reason.contains("obj-det unavailable"));
+        // Only obj-det actually consumed simulated time.
+        assert!(r.times.obj_us > 0.0);
+        assert_eq!(r.times.spoof_us, 0.0);
+        assert_eq!(r.times.emotion_us, 0.0);
+    }
+
+    #[test]
+    fn spoof_overrun_skips_emotion_with_explicit_marker() {
+        let sc = showcase();
+        let mut video = SyntheticVideo::new(2000, 64, 64);
+        let frames = video.frames(4);
+        // Per-stage budget between obj-det's latency and the (larger)
+        // anti-spoofing latency: obj-det fits, the liveness decision on
+        // the real-face frame arrives past the deadline.
+        let base = sc.process_frame(&frames[2]);
+        assert!(base.times.spoof_us > base.times.obj_us);
+        let budget = (base.times.obj_us + base.times.spoof_us) / 2.0;
+        let policy = DegradedPolicy::with_stage_deadline(budget);
+        let r = sc.process_frame_with_deadline(&frames[2], &policy);
+        assert!(r.degraded());
+        // Objects survived (obj-det met its budget) …
+        assert_eq!(r.objects, base.objects);
+        // … but the face is unavailable, not misclassified as spoof.
+        assert!(r.faces.is_empty());
+        let stages: Vec<&str> = r.dropped.iter().map(|d| d.stage).collect();
+        assert_eq!(stages, vec!["anti-spoof", "emotion"]);
+        assert!(r.dropped[0].reason.contains("deadline"));
+        assert!(r.dropped[1].reason.contains("anti-spoof unavailable"));
+        // Emotion never ran.
+        assert_eq!(r.times.emotion_us, 0.0);
+        // Deterministic: same inputs, same policy, same outcome.
+        let r2 = sc.process_frame_with_deadline(&frames[2], &policy);
+        assert_eq!(r.faces, r2.faces);
+        assert_eq!(r.dropped, r2.dropped);
+    }
+
+    #[test]
+    fn drop_stats_account_degraded_frames() {
+        let sc = showcase();
+        let mut video = SyntheticVideo::new(2000, 64, 64);
+        let frames = video.frames(4);
+        let policy = DegradedPolicy::with_stage_deadline(1.0);
+        let (results, stats) = sc.process_video_with_deadline(&frames, &policy);
+        // Every frame runs obj-det, and 1 us is under any model latency.
+        assert_eq!(stats.degraded_frames, results.len());
+        assert_eq!(stats.stages_dropped, 3 * results.len());
     }
 
     #[test]

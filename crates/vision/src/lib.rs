@@ -18,6 +18,9 @@ pub mod app;
 pub mod detect;
 pub mod frame;
 
-pub use app::{FaceResult, FrameResult, Showcase, ShowcaseAssignment, ShowcaseTiming};
+pub use app::{
+    DegradedPolicy, DropStats, DroppedStage, FaceResult, FrameResult, Showcase, ShowcaseAssignment,
+    ShowcaseTiming,
+};
 pub use detect::{iou, luminance_saliency, match_faces, BBox};
 pub use frame::{FaceKind, Frame, GtObject, SyntheticVideo};

@@ -13,3 +13,19 @@ cargo clippy -- -D warnings
 # only proves the harness runs and surfaces drift in the CI log.
 cargo run --release -q -p tvmnp-bench --bin bench -- \
     --workload fig6 --runs 2 --check-against BENCH_fig6.json --warn-only
+
+# Fault-injection smoke: seeded transient APU faults against the showcase.
+# Must exit 0 (the fallback chain absorbs the faults) and the resilience
+# report must show at least one recovered run.
+sched_out=$(cargo run --release -q -p tvmnp-bench --bin sched -- \
+    --inject-fault apu:dispatch:transient --fault-seed 7)
+echo "$sched_out" | grep -q "recovered runs" || {
+    echo "fault-injection smoke: no resilience report in sched output" >&2
+    exit 1
+}
+recovered=$(echo "$sched_out" | sed -n 's/.*recovered runs: *\([0-9]*\).*/\1/p')
+if [ -z "$recovered" ] || [ "$recovered" -lt 1 ]; then
+    echo "fault-injection smoke: expected >=1 recovered run, got '${recovered:-none}'" >&2
+    exit 1
+fi
+echo "fault-injection smoke: $recovered run(s) recovered under seeded faults"

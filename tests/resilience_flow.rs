@@ -1,0 +1,135 @@
+//! Resilient execution through the public API: seeded faults against the
+//! paper's showcase models, exercising the fallback chain end to end.
+//!
+//! Pins down the three contract points of the resilience subsystem:
+//!
+//! 1. a degraded run is **bit-identical** to a fault-free run of the
+//!    permutation it lands on (host kernels everywhere);
+//! 2. an exhausted chain surfaces a **typed** error carrying the full
+//!    per-permutation cause chain, not a panic or a stringly error;
+//! 3. the same [`FaultPlan`] seed reproduces the same outcome, byte for
+//!    byte.
+
+use tvm_neuropilot::models::emotion;
+use tvm_neuropilot::prelude::*;
+
+fn policy_with_breaker(threshold: u64) -> ResiliencePolicy {
+    ResiliencePolicy {
+        breaker_threshold: threshold,
+        ..ResiliencePolicy::default()
+    }
+}
+
+#[test]
+fn apu_loss_degrades_bit_identical_to_fault_free_cpu_run() {
+    let model = emotion::emotion_model(41);
+    let inputs = model.sample_inputs(9);
+
+    // Fault-free reference on the permutation the chain falls back to.
+    let mut reference = relay_build(
+        &model.module,
+        Permutation::ByocCpu.mode(),
+        CostModel::default(),
+    )
+    .expect("reference build");
+    let (ref_outs, _) = reference.run(&inputs).expect("reference run");
+
+    // Kill the APU; one loss trips its breaker so every APU-dependent
+    // permutation is skipped.
+    let mut session = ResilientSession::new(
+        model.module.clone(),
+        CostModel::default(),
+        FaultPlan::seeded(7).device_lost(DeviceKind::Apu),
+        policy_with_breaker(1),
+    );
+    let out = session
+        .run(&model.name, Permutation::NpApu, &inputs)
+        .expect("chain must recover on the CPU");
+
+    assert!(out.degraded(), "APU loss must force a fallback");
+    assert_eq!(out.permutation, Permutation::ByocCpu);
+    assert_eq!(out.outputs.len(), ref_outs.len());
+    for (got, want) in out.outputs.iter().zip(&ref_outs) {
+        assert!(
+            got.bit_eq(want),
+            "degraded outputs must be bit-identical to the fault-free CPU run"
+        );
+    }
+    assert!(
+        out.fallbacks.iter().any(|c| c.detail.contains("apu")),
+        "cause chain must name the lost device: {:?}",
+        out.fallbacks
+    );
+}
+
+#[test]
+fn exhausted_chain_yields_typed_error_with_full_cause_chain() {
+    let model = emotion::emotion_model(41);
+    let inputs = model.sample_inputs(9);
+
+    // Every device the chain can reach is gone.
+    let mut session = ResilientSession::new(
+        model.module.clone(),
+        CostModel::default(),
+        FaultPlan::seeded(3)
+            .device_lost(DeviceKind::Apu)
+            .device_lost(DeviceKind::Cpu),
+        ResiliencePolicy::default(),
+    );
+    let err = session
+        .run(&model.name, Permutation::NpApu, &inputs)
+        .expect_err("no device left to serve the run");
+
+    let ResilienceError::Exhausted {
+        model: label,
+        causes,
+    } = &err
+    else {
+        panic!("expected ResilienceError::Exhausted, got {err}");
+    };
+    assert_eq!(label, &model.name);
+    assert_eq!(
+        causes.len(),
+        Permutation::FALLBACK_CHAIN.len(),
+        "one cause per abandoned permutation"
+    );
+    for (cause, perm) in causes.iter().zip(Permutation::FALLBACK_CHAIN) {
+        assert_eq!(cause.permutation, perm);
+        assert!(!cause.detail.is_empty());
+    }
+    assert!(causes.iter().any(|c| c.detail.contains("apu")));
+    assert!(causes.iter().any(|c| c.detail.contains("cpu")));
+    // The rendered error narrates the whole chain.
+    let msg = err.to_string();
+    assert!(msg.contains("fallback chain exhausted"), "{msg}");
+    assert!(msg.contains("apu") && msg.contains("cpu"), "{msg}");
+}
+
+#[test]
+fn same_fault_seed_reproduces_the_same_outcome() {
+    let model = emotion::emotion_model(41);
+    let inputs = model.sample_inputs(9);
+    let run = |seed: u64| {
+        let mut session = ResilientSession::new(
+            model.module.clone(),
+            CostModel::default(),
+            FaultPlan::seeded(seed).transient_dispatch(DeviceKind::Apu, 3),
+            ResiliencePolicy::default(),
+        );
+        let out = session
+            .run(&model.name, Permutation::NpApu, &inputs)
+            .expect("transient faults must recover via retry");
+        let faults = session.injector().faults_injected();
+        (out, faults)
+    };
+    let (a, fa) = run(7);
+    let (b, fb) = run(7);
+    assert_eq!(a.permutation, b.permutation);
+    assert_eq!(a.time_us, b.time_us, "retry backoff is simulated time");
+    assert_eq!(a.fallbacks.len(), b.fallbacks.len());
+    assert_eq!(fa, fb, "same seed must inject the same faults");
+    assert!(fa >= 1, "seeded transient plan must actually fire");
+    for (x, y) in a.outputs.iter().zip(&b.outputs) {
+        assert!(x.bit_eq(y));
+    }
+}
