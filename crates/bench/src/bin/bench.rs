@@ -28,7 +28,7 @@ use tvm_neuropilot::report::{self, BenchRecord};
 use tvmnp_bench::profiling::build_fault_plan;
 use tvmnp_hwsim::WorkKind;
 
-const WORKLOADS: &[&str] = &["fig4", "fig5", "fig6", "sched"];
+const WORKLOADS: &[&str] = &["fig4", "fig5", "fig6", "sched", "serve"];
 
 struct Args {
     workload: String,
@@ -39,14 +39,17 @@ struct Args {
     warn_only: bool,
     inject: Option<(WorkKind, f64)>,
     fault_plan: Option<FaultPlan>,
+    concurrency: usize,
+    cache_dir: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench --workload <fig4|fig5|fig6|sched> [--runs N] \
+        "usage: bench --workload <fig4|fig5|fig6|sched|serve> [--runs N] \
          [--bench-out <path>] [--check-against <baseline>] \
          [--threshold F] [--warn-only] [--inject-slowdown <kind>=<factor>] \
-         [--inject-fault <spec>]... [--fault-seed <n>]"
+         [--inject-fault <spec>]... [--fault-seed <n>] \
+         [--concurrency N] [--cache-dir <path>]"
     );
     std::process::exit(2);
 }
@@ -61,6 +64,8 @@ fn parse_args() -> Args {
     let mut inject = None;
     let mut fault_specs: Vec<String> = Vec::new();
     let mut fault_seed = 0u64;
+    let mut concurrency = 4usize;
+    let mut cache_dir = None;
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().unwrap_or_else(|| {
@@ -113,6 +118,18 @@ fn parse_args() -> Args {
                 });
                 inject = Some((kind, factor));
             }
+            "--concurrency" => {
+                let v = value(&mut args, "--concurrency");
+                concurrency = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --concurrency expects a positive integer, got '{v}'");
+                    usage();
+                });
+                if concurrency == 0 {
+                    eprintln!("error: --concurrency must be at least 1");
+                    usage();
+                }
+            }
+            "--cache-dir" => cache_dir = Some(PathBuf::from(value(&mut args, "--cache-dir"))),
             "--inject-fault" => fault_specs.push(value(&mut args, "--inject-fault")),
             "--fault-seed" => {
                 let v = value(&mut args, "--fault-seed");
@@ -152,6 +169,8 @@ fn parse_args() -> Args {
         warn_only,
         inject,
         fault_plan: build_fault_plan(&fault_specs, fault_seed),
+        concurrency,
+        cache_dir,
     }
 }
 
@@ -169,7 +188,8 @@ fn key_part(s: &str) -> String {
 
 /// One repetition of a workload: `(metric key, sample)` pairs. Keys
 /// ending in `.ms`/`.us` are latency metrics and gate regressions.
-fn run_workload(workload: &str, cost: &CostModel) -> Vec<(String, f64)> {
+fn run_workload(args: &Args, cost: &CostModel) -> Vec<(String, f64)> {
+    let workload = args.workload.as_str();
     let mut out = Vec::new();
     match workload {
         "fig4" | "sched" => {
@@ -224,6 +244,52 @@ fn run_workload(workload: &str, cost: &CostModel) -> Vec<(String, f64)> {
                 "fig5.critical_path.steps".into(),
                 sched_report.critical_path.len() as f64,
             ));
+        }
+        "serve" => {
+            // Fresh in-memory cache per repetition (byte-determinism);
+            // `--cache-dir` additionally spills artifacts to disk so a
+            // later bench invocation starts warm.
+            let mut cache = ArtifactCache::new(16 << 20);
+            if let Some(dir) = &args.cache_dir {
+                cache = cache.with_disk_dir(dir);
+            }
+            let cache = Arc::new(cache);
+            // Stand the pool up twice: the second build exercises the
+            // cache-hit path (zero recompilation) and is the pool that
+            // serves.
+            drop(SessionPool::new(
+                910,
+                &serving_rotation(),
+                cost,
+                cache.clone(),
+            ));
+            let pool = SessionPool::new(910, &serving_rotation(), cost, cache.clone());
+            let frames = SyntheticVideo::new(911, 64, 64).frames(64);
+            let sequential = pool.serve(&frames, 1);
+            let concurrent = pool.serve(&frames, args.concurrency);
+            if sequential != concurrent {
+                eprintln!(
+                    "error: concurrent serving (concurrency {}) diverged from sequential",
+                    args.concurrency
+                );
+                std::process::exit(1);
+            }
+            let per_frame: Vec<Vec<tvm_neuropilot::serving::SimSegment>> = sequential
+                .iter()
+                .map(|r| frame_segments(pool.assignment_for(r.frame_index), r))
+                .collect();
+            let sim = simulate_serve(&per_frame, args.concurrency);
+            out.push(("serve.sequential.total.ms".into(), sim.sequential_us / 1e3));
+            out.push((
+                "serve.concurrent.makespan.ms".into(),
+                sim.concurrent_us / 1e3,
+            ));
+            out.push(("serve.speedup".into(), sim.speedup()));
+            out.push(("serve.fps".into(), sim.fps_concurrent()));
+            let stats = pool.cache().stats();
+            out.push(("serve.cache.hit_rate".into(), stats.hit_rate()));
+            out.push(("serve.cache.hits".into(), stats.hits as f64));
+            out.push(("serve.cache.misses".into(), stats.misses as f64));
         }
         other => unreachable!("workload '{other}' validated in parse_args"),
     }
@@ -365,7 +431,7 @@ fn main() -> ExitCode {
 
     let mut samples: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     for _ in 0..args.runs {
-        for (key, v) in run_workload(&args.workload, &cost) {
+        for (key, v) in run_workload(&args, &cost) {
             samples.entry(key).or_default().push(v);
         }
     }

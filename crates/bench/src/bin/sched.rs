@@ -46,8 +46,10 @@ fn main() {
         assert_ne!(assignment[&p.name], Permutation::TvmOnly);
     }
 
+    let cache = run_serving_pool(&cost, telem.concurrency, telem.cache_dir.clone());
+
     if let Some(plan) = telem.fault_plan.clone() {
-        run_resilient_showcase(&plan, &models, &cost);
+        run_resilient_showcase(&plan, &models, &cost, &cache);
     }
 
     for model in &models {
@@ -56,11 +58,64 @@ fn main() {
     telem.finish();
 }
 
+/// Serve a clip through the concurrent session pool and print simulated
+/// throughput versus sequential, plus artifact-cache statistics. Returns
+/// the cache so downstream sections (resilient fallback re-dispatch)
+/// reuse the compiled artifacts.
+fn run_serving_pool(
+    cost: &CostModel,
+    concurrency: usize,
+    cache_dir: Option<std::path::PathBuf>,
+) -> Arc<ArtifactCache> {
+    println!("\n== Concurrent serving (session pool) ==\n");
+    let mut cache = ArtifactCache::new(16 << 20);
+    if let Some(dir) = cache_dir {
+        cache = cache.with_disk_dir(dir);
+    }
+    let cache = Arc::new(cache);
+    let pool = SessionPool::new(83, &serving_rotation(), cost, cache.clone());
+    let frames = SyntheticVideo::new(84, 64, 64).frames(64);
+    let sequential = pool.serve(&frames, 1);
+    let concurrent = pool.serve(&frames, concurrency);
+    assert_eq!(
+        sequential, concurrent,
+        "concurrent serving must match sequential bitwise"
+    );
+    let per_frame: Vec<_> = sequential
+        .iter()
+        .map(|r| frame_segments(pool.assignment_for(r.frame_index), r))
+        .collect();
+    let sim = simulate_serve(&per_frame, concurrency);
+    println!(
+        "{} frames at concurrency {concurrency}: {:.1} ms sequential -> {:.1} ms \
+         ({:.2}x, {:.0} frames/s simulated)",
+        sim.frames,
+        sim.sequential_us / 1e3,
+        sim.concurrent_us / 1e3,
+        sim.speedup(),
+        sim.fps_concurrent()
+    );
+    let stats = pool.cache().stats();
+    println!(
+        "artifact cache: {} hit(s) / {} miss(es) ({:.0}% hit rate)",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+    cache
+}
+
 /// Run the showcase models through shared-injector resilient sessions and
 /// print the resilience report. The injector is shared so fault history
 /// carries across models: a device that died serving model 1 is known
-/// dead when models 2 and 3 plan.
-fn run_resilient_showcase(plan: &FaultPlan, models: &[Model], cost: &CostModel) {
+/// dead when models 2 and 3 plan. Compiled artifacts come from `cache`,
+/// so fallback re-dispatch reuses any permutation built before.
+fn run_resilient_showcase(
+    plan: &FaultPlan,
+    models: &[Model],
+    cost: &CostModel,
+    cache: &Arc<ArtifactCache>,
+) {
     println!("\n== Resilient showcase under injected faults ==\n");
     let injector = Arc::new(FaultInjector::new(plan.clone()));
     // Two dispatch attempts per segment: a single transient fault is
@@ -79,7 +134,8 @@ fn run_resilient_showcase(plan: &FaultPlan, models: &[Model], cost: &CostModel) 
             cost.clone(),
             injector.clone(),
             policy,
-        );
+        )
+        .with_cache(cache.clone(), ArtifactCache::quant_label(model.input_quant));
         match session.run(&model.name, Permutation::NpApu, &model.sample_inputs(7)) {
             Ok(out) => {
                 let via = if out.degraded() {
@@ -103,4 +159,9 @@ fn run_resilient_showcase(plan: &FaultPlan, models: &[Model], cost: &CostModel) 
     let report = ResilienceReport::from_snapshot(&tvm_neuropilot::telemetry::snapshot());
     println!();
     print!("{}", report.render_text());
+    let stats = cache.stats();
+    println!(
+        "artifact cache after fallback re-dispatch: {} hit(s) / {} miss(es)",
+        stats.hits, stats.misses
+    );
 }

@@ -31,6 +31,11 @@ pub struct TelemetryCli {
     /// Span name the profile table aggregates (bins that execute no graph
     /// override this, e.g. `scheduler.stage` for fig5).
     pub profile_span: &'static str,
+    /// Frames in flight for the serving pool (`--concurrency N`).
+    pub concurrency: usize,
+    /// Compiled-artifact cache directory (`--cache-dir <path>`); `None`
+    /// keeps the cache in memory only.
+    pub cache_dir: Option<PathBuf>,
     total_run_us: f64,
 }
 
@@ -44,10 +49,33 @@ impl TelemetryCli {
         let mut trace_out = None;
         let mut fault_specs: Vec<String> = Vec::new();
         let mut fault_seed = 0u64;
+        let mut concurrency = 4usize;
+        let mut cache_dir = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--profile" => profile = true,
+                "--concurrency" => {
+                    let Some(v) = args.next() else {
+                        eprintln!("error: --concurrency requires an integer argument");
+                        std::process::exit(2);
+                    };
+                    concurrency = v.parse().unwrap_or_else(|_| {
+                        eprintln!("error: --concurrency expects a positive integer, got '{v}'");
+                        std::process::exit(2);
+                    });
+                    if concurrency == 0 {
+                        eprintln!("error: --concurrency must be at least 1");
+                        std::process::exit(2);
+                    }
+                }
+                "--cache-dir" => {
+                    let Some(path) = args.next() else {
+                        eprintln!("error: --cache-dir requires a path argument");
+                        std::process::exit(2);
+                    };
+                    cache_dir = Some(PathBuf::from(path));
+                }
                 "--trace-out" => {
                     let Some(path) = args.next() else {
                         eprintln!("error: --trace-out requires a path argument");
@@ -76,7 +104,8 @@ impl TelemetryCli {
                     eprintln!(
                         "error: unknown argument '{other}' \
                          (supported: --profile, --trace-out <path>, \
-                         --inject-fault <spec>, --fault-seed <n>)"
+                         --inject-fault <spec>, --fault-seed <n>, \
+                         --concurrency <n>, --cache-dir <path>)"
                     );
                     std::process::exit(2);
                 }
@@ -88,6 +117,8 @@ impl TelemetryCli {
             trace_out,
             fault_plan,
             profile_span: "executor.node",
+            concurrency,
+            cache_dir,
             total_run_us: 0.0,
         };
         if cli.active() || cli.fault_plan.is_some() {

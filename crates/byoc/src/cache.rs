@@ -1,0 +1,463 @@
+//! Content-addressed compiled-artifact cache.
+//!
+//! TVM treats compilation artifacts as reusable, deployable units
+//! (Listing 6's `export_library`); this cache applies that idea across the
+//! paper's seven target permutations: each (module fingerprint, target
+//! permutation, quant config) triple is compiled exactly once, and every
+//! later request — including a resilience-layer fallback re-dispatch —
+//! instantiates an executor from the stored artifact without running the
+//! partitioner, the Neuron codegen, or the planner again.
+//!
+//! Bookkeeping is observable: `cache.hit` / `cache.miss` / `cache.evict`
+//! telemetry counters, and an LRU byte budget bounds resident size. With a
+//! cache directory configured (`--cache-dir`), entries also persist as
+//! JSON artifacts that survive the process and LRU eviction.
+
+use crate::build::{relay_build_with_artifact, BuildError, CompiledModel, TargetMode};
+use crate::codegen::NeuronModule;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use tvmnp_hwsim::CostModel;
+use tvmnp_neuropilot::{CompiledNetwork, ExecutionPlan, NeuronGraph};
+use tvmnp_relay::module_fingerprint;
+use tvmnp_relay::passes::PartitionReport;
+use tvmnp_relay::Module;
+use tvmnp_runtime::{Artifact, GraphExecutor, LoaderRegistry};
+
+/// Serializable cache entry: everything needed to re-instantiate a
+/// [`CompiledModel`] without any codegen.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum CachedArtifact {
+    /// TVM-side modes (TvmOnly / Byoc): the exported artifact, whose
+    /// external blobs embed their execution plans.
+    Tvm {
+        /// The deployable artifact.
+        artifact: Artifact,
+        /// Input names in parameter order.
+        input_names: Vec<String>,
+        /// Partition report fields (the report type itself is not serde).
+        num_subgraphs: usize,
+        /// Offloaded primitive calls.
+        offloaded_calls: usize,
+        /// Host-side primitive calls.
+        host_calls: usize,
+    },
+    /// NeuroPilot-only modes: converted graph plus its execution plan.
+    Neuron {
+        /// The converted Neuron graph.
+        graph: NeuronGraph,
+        /// The planner's output for this graph/policy.
+        plan: ExecutionPlan,
+        /// Input names in parameter order.
+        input_names: Vec<String>,
+    },
+}
+
+impl CachedArtifact {
+    /// Instantiate a runnable model from this entry. Pure load: no
+    /// partition, codegen, or planner spans are emitted.
+    fn instantiate(&self, cost: &CostModel) -> Result<CompiledModel, BuildError> {
+        match self {
+            CachedArtifact::Tvm {
+                artifact,
+                input_names,
+                num_subgraphs,
+                offloaded_calls,
+                host_calls,
+            } => {
+                let mut loaders = LoaderRegistry::new();
+                loaders.register("neuropilot", NeuronModule::loader(cost.clone()));
+                let registry = loaders.load_all(artifact).map_err(BuildError::Runtime)?;
+                let executor = GraphExecutor::new(artifact.graph.clone(), registry, cost.clone())
+                    .map_err(|e| BuildError::Runtime(e.to_string()))?;
+                Ok(CompiledModel::Tvm {
+                    executor,
+                    input_names: input_names.clone(),
+                    report: PartitionReport {
+                        num_subgraphs: *num_subgraphs,
+                        offloaded_calls: *offloaded_calls,
+                        host_calls: *host_calls,
+                    },
+                })
+            }
+            CachedArtifact::Neuron {
+                graph,
+                plan,
+                input_names,
+            } => Ok(CompiledModel::Neuron {
+                network: CompiledNetwork::from_plan(graph.clone(), plan.clone(), cost.clone()),
+                input_names: input_names.clone(),
+            }),
+        }
+    }
+
+    /// Serialized size, used for the LRU byte budget.
+    fn size_bytes(&self) -> usize {
+        serde_json::to_string(self).map(|s| s.len()).unwrap_or(0)
+    }
+}
+
+/// Capture a freshly-built model (plus its exported artifact) as an entry.
+fn entry_from_build(model: &CompiledModel, artifact: Option<Artifact>) -> Option<CachedArtifact> {
+    match (model, artifact) {
+        (
+            CompiledModel::Tvm {
+                input_names,
+                report,
+                ..
+            },
+            Some(artifact),
+        ) => Some(CachedArtifact::Tvm {
+            artifact,
+            input_names: input_names.clone(),
+            num_subgraphs: report.num_subgraphs,
+            offloaded_calls: report.offloaded_calls,
+            host_calls: report.host_calls,
+        }),
+        (
+            CompiledModel::Neuron {
+                network,
+                input_names,
+            },
+            _,
+        ) => Some(CachedArtifact::Neuron {
+            graph: network.graph().clone(),
+            plan: network.plan().clone(),
+            input_names: input_names.clone(),
+        }),
+        _ => None,
+    }
+}
+
+struct CacheState {
+    /// key → (entry, size); recency tracked in `order` (back = newest).
+    entries: HashMap<String, (CachedArtifact, usize)>,
+    order: Vec<String>,
+    total_bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// The process-wide artifact cache. Cheap to share via `Arc`; all methods
+/// take `&self`.
+pub struct ArtifactCache {
+    state: Mutex<CacheState>,
+    budget_bytes: usize,
+    disk_dir: Option<PathBuf>,
+}
+
+/// Aggregate cache statistics for reports and bench JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests served from memory or disk.
+    pub hits: u64,
+    /// Requests that compiled.
+    pub misses: u64,
+    /// Entries evicted by the LRU byte budget.
+    pub evictions: u64,
+    /// Bytes currently resident in memory.
+    pub resident_bytes: usize,
+}
+
+impl CacheStats {
+    /// Hit rate in [0, 1]; 0 when the cache was never consulted.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl ArtifactCache {
+    /// In-memory cache with an LRU byte budget.
+    pub fn new(budget_bytes: usize) -> Self {
+        ArtifactCache {
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                order: Vec::new(),
+                total_bytes: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            budget_bytes,
+            disk_dir: None,
+        }
+    }
+
+    /// Also persist entries as JSON files under `dir` (created on first
+    /// write). Disk entries survive eviction and process restarts.
+    pub fn with_disk_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.disk_dir = Some(dir.into());
+        self
+    }
+
+    /// Cache key for (module, mode, quant config).
+    pub fn key(module: &Module, mode: TargetMode, quant: &str) -> String {
+        format!("{}-{}-{}", module_fingerprint(module), mode.label(), quant)
+    }
+
+    /// Canonical quant-config label for the cache key: the input
+    /// quantization of a model, or `"fp32"` for float models.
+    pub fn quant_label(input_quant: Option<tvmnp_tensor::QuantParams>) -> String {
+        match input_quant {
+            Some(q) => format!("u8-s{}-z{}", q.scale, q.zero_point),
+            None => "fp32".to_string(),
+        }
+    }
+
+    /// Build-or-load: returns a runnable model, compiling only on a miss.
+    /// `quant` labels the quantization config of the module (use `"fp32"`
+    /// for float models); it is part of the key because two quantizations
+    /// of one architecture are distinct compilation products.
+    pub fn get_or_build(
+        &self,
+        module: &Module,
+        mode: TargetMode,
+        cost: &CostModel,
+        quant: &str,
+    ) -> Result<CompiledModel, BuildError> {
+        let key = Self::key(module, mode, quant);
+        if let Some(entry) = self.lookup(&key) {
+            return entry.instantiate(cost);
+        }
+        tvmnp_telemetry::counter_add("cache.miss", &[("mode", &mode.label())], 1);
+        {
+            let mut st = self.state.lock();
+            st.misses += 1;
+        }
+        let (model, artifact) = relay_build_with_artifact(module, mode, cost.clone())?;
+        if let Some(entry) = entry_from_build(&model, artifact) {
+            self.insert(key, entry);
+        }
+        Ok(model)
+    }
+
+    /// Whether the key is resident (memory or disk) without touching
+    /// recency or counters — for tests and reports.
+    pub fn contains(&self, module: &Module, mode: TargetMode, quant: &str) -> bool {
+        let key = Self::key(module, mode, quant);
+        if self.state.lock().entries.contains_key(&key) {
+            return true;
+        }
+        self.disk_path(&key).map(|p| p.exists()).unwrap_or(false)
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let st = self.state.lock();
+        CacheStats {
+            hits: st.hits,
+            misses: st.misses,
+            evictions: st.evictions,
+            resident_bytes: st.total_bytes,
+        }
+    }
+
+    fn lookup(&self, key: &str) -> Option<CachedArtifact> {
+        {
+            let mut st = self.state.lock();
+            if let Some((entry, _)) = st.entries.get(key) {
+                let entry = entry.clone();
+                st.order.retain(|k| k != key);
+                st.order.push(key.to_string());
+                st.hits += 1;
+                drop(st);
+                tvmnp_telemetry::counter_add("cache.hit", &[("source", "memory")], 1);
+                return Some(entry);
+            }
+        }
+        // Miss in memory: an evicted or prior-process entry may be on disk.
+        let path = self.disk_path(key)?;
+        let json = std::fs::read_to_string(&path).ok()?;
+        let entry: CachedArtifact = serde_json::from_str(&json).ok()?;
+        {
+            let mut st = self.state.lock();
+            st.hits += 1;
+        }
+        tvmnp_telemetry::counter_add("cache.hit", &[("source", "disk")], 1);
+        self.admit(key.to_string(), entry.clone(), false);
+        Some(entry)
+    }
+
+    fn insert(&self, key: String, entry: CachedArtifact) {
+        self.admit(key, entry, true);
+    }
+
+    /// Put an entry in memory (evicting LRU past the budget) and, when
+    /// `write_disk` and a cache dir are configured, persist it.
+    fn admit(&self, key: String, entry: CachedArtifact, write_disk: bool) {
+        if write_disk {
+            if let Some(path) = self.disk_path(&key) {
+                if let Some(dir) = path.parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                if let Ok(json) = serde_json::to_string(&entry) {
+                    let _ = std::fs::write(&path, json);
+                }
+            }
+        }
+        let size = entry.size_bytes();
+        let mut st = self.state.lock();
+        if let Some((_, old)) = st.entries.remove(&key) {
+            st.total_bytes -= old;
+            st.order.retain(|k| k != &key);
+        }
+        st.entries.insert(key.clone(), (entry, size));
+        st.order.push(key);
+        st.total_bytes += size;
+        while st.total_bytes > self.budget_bytes && st.order.len() > 1 {
+            let victim = st.order.remove(0);
+            if let Some((_, bytes)) = st.entries.remove(&victim) {
+                st.total_bytes -= bytes;
+                st.evictions += 1;
+                tvmnp_telemetry::counter_add("cache.evict", &[], 1);
+            }
+        }
+    }
+
+    fn disk_path(&self, key: &str) -> Option<PathBuf> {
+        self.disk_dir
+            .as_ref()
+            .map(|d| d.join(format!("{key}.json")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap as Map;
+    use tvmnp_neuropilot::TargetPolicy;
+    use tvmnp_relay::builder;
+    use tvmnp_relay::expr::{var, Function};
+    use tvmnp_relay::{Conv2dAttrs, TensorType};
+    use tvmnp_tensor::rng::TensorRng;
+    use tvmnp_tensor::Tensor;
+
+    fn conv_model(seed: u64) -> Module {
+        let mut rng = TensorRng::new(seed);
+        let x = var("x", TensorType::f32([1, 3, 8, 8]));
+        let w = rng.uniform_f32([4, 3, 3, 3], -0.5, 0.5);
+        let y = builder::relu(builder::conv2d(x.clone(), w, Conv2dAttrs::same(1)));
+        Module::from_main(Function::new(vec![x], y))
+    }
+
+    fn an_input() -> Map<String, Tensor> {
+        let mut rng = TensorRng::new(99);
+        let mut m = Map::new();
+        m.insert("x".to_string(), rng.uniform_f32([1, 3, 8, 8], -1.0, 1.0));
+        m.insert(
+            "input".to_string(),
+            rng.uniform_f32([1, 3, 8, 8], -1.0, 1.0),
+        );
+        m
+    }
+
+    #[test]
+    fn second_build_hits_with_bit_identical_outputs() {
+        // (The zero-codegen-span assertion lives in tests/serving_flow.rs,
+        // which owns the process-global telemetry collector.)
+        let cache = ArtifactCache::new(64 << 20);
+        let m = conv_model(7);
+        let cost = CostModel::default();
+        for mode in [
+            TargetMode::TvmOnly,
+            TargetMode::Byoc(TargetPolicy::CpuApu),
+            TargetMode::NeuroPilotOnly(TargetPolicy::ApuPrefer),
+        ] {
+            let mut first = cache.get_or_build(&m, mode, &cost, "fp32").unwrap();
+            let mut second = cache.get_or_build(&m, mode, &cost, "fp32").unwrap();
+
+            // The loaded model is numerically identical to the built one.
+            let inputs = an_input();
+            let (a, ta) = first.run(&inputs).unwrap();
+            let (b, tb) = second.run(&inputs).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert!(x.bit_eq(y), "cached build must be bit-identical");
+            }
+            assert_eq!(ta, tb);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 3);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_quant_label_is_a_different_entry() {
+        let cache = ArtifactCache::new(64 << 20);
+        let m = conv_model(7);
+        let cost = CostModel::default();
+        cache
+            .get_or_build(&m, TargetMode::TvmOnly, &cost, "fp32")
+            .unwrap();
+        cache
+            .get_or_build(&m, TargetMode::TvmOnly, &cost, "u8")
+            .unwrap();
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn lru_budget_evicts_oldest() {
+        let m1 = conv_model(1);
+        let m2 = conv_model(2);
+        let cost = CostModel::default();
+        // Size one entry, then budget for ~1.5 entries: the second insert
+        // must evict the first.
+        let probe = ArtifactCache::new(usize::MAX);
+        probe
+            .get_or_build(&m1, TargetMode::TvmOnly, &cost, "fp32")
+            .unwrap();
+        let one = probe.stats().resident_bytes;
+        assert!(one > 0);
+
+        let cache = ArtifactCache::new(one + one / 2);
+        cache
+            .get_or_build(&m1, TargetMode::TvmOnly, &cost, "fp32")
+            .unwrap();
+        cache
+            .get_or_build(&m2, TargetMode::TvmOnly, &cost, "fp32")
+            .unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert!(!cache.contains(&m1, TargetMode::TvmOnly, "fp32"));
+        assert!(cache.contains(&m2, TargetMode::TvmOnly, "fp32"));
+        // The evicted model compiles again — miss, not a crash.
+        cache
+            .get_or_build(&m1, TargetMode::TvmOnly, &cost, "fp32")
+            .unwrap();
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn disk_cache_survives_a_new_cache_instance() {
+        let dir = std::env::temp_dir().join(format!("tvmnp-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let m = conv_model(7);
+        let cost = CostModel::default();
+        {
+            let cache = ArtifactCache::new(64 << 20).with_disk_dir(&dir);
+            cache
+                .get_or_build(&m, TargetMode::Byoc(TargetPolicy::CpuApu), &cost, "fp32")
+                .unwrap();
+            assert_eq!(cache.stats().misses, 1);
+        }
+        // Fresh instance, same dir: served from disk, no compile.
+        let cache = ArtifactCache::new(64 << 20).with_disk_dir(&dir);
+        cache
+            .get_or_build(&m, TargetMode::Byoc(TargetPolicy::CpuApu), &cost, "fp32")
+            .unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -2,7 +2,9 @@
 
 use serde::{Deserialize, Serialize};
 use tvmnp_hwsim::CostModel;
-use tvmnp_neuropilot::{convert_function, CompiledNetwork, NeuronError, NeuronGraph, TargetPolicy};
+use tvmnp_neuropilot::{
+    convert_function, CompiledNetwork, ExecutionPlan, NeuronError, NeuronGraph, TargetPolicy,
+};
 use tvmnp_relay::Function;
 use tvmnp_runtime::artifact::ModuleLoader;
 use tvmnp_runtime::module::{ExternalModule, ModuleError};
@@ -14,6 +16,12 @@ struct NeuronBlob {
     symbol: String,
     policy: TargetPolicy,
     graph: NeuronGraph,
+    /// The already-computed execution plan. Shipping it lets a
+    /// runtime-only device (and the artifact cache) instantiate the
+    /// network without re-running the planner — loading is not compiling.
+    /// `None` only for artifacts written before the plan was embedded.
+    #[serde(default)]
+    plan: Option<ExecutionPlan>,
 }
 
 /// A compiled Neuron subgraph exposed as a graph-executor module.
@@ -42,11 +50,16 @@ impl NeuronModule {
         })
     }
 
-    /// Rebuild from an artifact payload on a runtime-only device.
+    /// Rebuild from an artifact payload on a runtime-only device. When the
+    /// blob carries its execution plan the network is instantiated
+    /// directly from it — no planner run, no `neuropilot.compile` span.
     pub fn from_blob(value: &serde_json::Value, cost: CostModel) -> Result<Self, String> {
         let blob: NeuronBlob = serde_json::from_value(value.clone()).map_err(|e| e.to_string())?;
-        let network = CompiledNetwork::compile(blob.graph.clone(), blob.policy, cost)
-            .map_err(|e| e.to_string())?;
+        let network = match blob.plan {
+            Some(plan) => CompiledNetwork::from_plan(blob.graph.clone(), plan, cost),
+            None => CompiledNetwork::compile(blob.graph.clone(), blob.policy, cost)
+                .map_err(|e| e.to_string())?,
+        };
         Ok(NeuronModule {
             symbol: blob.symbol,
             policy: blob.policy,
@@ -100,6 +113,26 @@ impl ExternalModule for NeuronModule {
         self.network.estimate_time_us()
     }
 
+    fn estimate_device_us(&self) -> Vec<(tvmnp_hwsim::DeviceKind, f64)> {
+        // The plan's own per-op attribution: a CpuApu plan splits its
+        // time between the devices it actually placed segments on.
+        use tvmnp_hwsim::DeviceKind;
+        let mut shares = Vec::new();
+        for device in DeviceKind::ALL {
+            let us: f64 = self
+                .network
+                .estimate_breakdown()
+                .iter()
+                .filter(|e| e.device == device)
+                .map(|e| e.us)
+                .sum();
+            if us > 0.0 {
+                shares.push((device, us));
+            }
+        }
+        shares
+    }
+
     fn estimate_energy_uj(&self) -> f64 {
         self.network.estimate_energy_uj()
     }
@@ -109,6 +142,7 @@ impl ExternalModule for NeuronModule {
             symbol: self.symbol.clone(),
             policy: self.policy,
             graph: self.graph.clone(),
+            plan: Some(self.network.plan().clone()),
         })
         .expect("Neuron blob serializes")
     }

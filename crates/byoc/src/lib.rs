@@ -20,12 +20,14 @@
 //!   fallback down the permutation chain under (injected) device faults.
 
 pub mod build;
+pub mod cache;
 pub mod codegen;
 pub mod nnapi;
 pub mod permutations;
 pub mod resilient;
 
 pub use build::{partition_for_nir, relay_build, BuildError, CompiledModel, TargetMode};
+pub use cache::{ArtifactCache, CacheStats, CachedArtifact};
 pub use codegen::NeuronModule;
 pub use nnapi::{nnapi_supported, relay_build_nnapi, NnapiModule, NnapiSupport};
 pub use permutations::{measure_all, measure_one, Measurement, Permutation};

@@ -202,6 +202,10 @@ pub struct ResilientSession {
     /// Ordinal of the next resilience event, used as the sim-span
     /// timestamp so fallback events order deterministically in traces.
     event_seq: u64,
+    /// Shared artifact cache: fallback re-dispatch reuses the cached
+    /// compilation of each permutation instead of recompiling. The string
+    /// is the quant-config label of the cache key.
+    cache: Option<(Arc<crate::cache::ArtifactCache>, String)>,
 }
 
 impl ResilientSession {
@@ -234,6 +238,28 @@ impl ResilientSession {
             policy,
             breaker,
             event_seq: 0,
+            cache: None,
+        }
+    }
+
+    /// Reuse compiled artifacts through `cache`: every (module,
+    /// permutation) build inside this session — including fallback
+    /// re-dispatch after a fault — is served from the cache when present.
+    /// `quant` labels the module's quantization config in the cache key.
+    pub fn with_cache(
+        mut self,
+        cache: Arc<crate::cache::ArtifactCache>,
+        quant: impl Into<String>,
+    ) -> Self {
+        self.cache = Some((cache, quant.into()));
+        self
+    }
+
+    /// Build (or load from the cache) the module for one target mode.
+    fn build_model(&self, mode: TargetMode) -> Result<CompiledModel, BuildError> {
+        match &self.cache {
+            Some((cache, quant)) => cache.get_or_build(&self.module, mode, &self.cost, quant),
+            None => relay_build(&self.module, mode, self.cost.clone()),
         }
     }
 
@@ -329,28 +355,27 @@ impl ResilientSession {
             }
             // Build; coverage gaps (NP-only unsupported ops) degrade
             // gracefully, real build bugs do not.
-            let mut compiled: CompiledModel =
-                match relay_build(&self.module, perm.mode(), self.cost.clone()) {
-                    Ok(c) => c,
-                    Err(err) => match graceful_cause(&err) {
-                        Some((stage, detail)) => {
-                            let cause = FaultCause {
-                                permutation: perm,
-                                stage,
-                                detail,
-                            };
-                            self.record_fallback(model, perm, next);
-                            causes.push(cause);
-                            continue;
-                        }
-                        None => {
-                            return Err(ResilienceError::Build {
-                                permutation: perm,
-                                error: err,
-                            })
-                        }
-                    },
-                };
+            let mut compiled: CompiledModel = match self.build_model(perm.mode()) {
+                Ok(c) => c,
+                Err(err) => match graceful_cause(&err) {
+                    Some((stage, detail)) => {
+                        let cause = FaultCause {
+                            permutation: perm,
+                            stage,
+                            detail,
+                        };
+                        self.record_fallback(model, perm, next);
+                        causes.push(cause);
+                        continue;
+                    }
+                    None => {
+                        return Err(ResilienceError::Build {
+                            permutation: perm,
+                            error: err,
+                        })
+                    }
+                },
+            };
             let faults_before = self.injector.faults_injected();
             match compiled.run_resilient(
                 inputs,

@@ -45,6 +45,7 @@
 //! | [`scheduler`] | §5.1 computation + §5.2 pipeline scheduling |
 //! | [`models`] | showcase models + the Table 1 zoo |
 //! | [`vision`] | synthetic video, detectors, the Fig. 1 application |
+//! | [`serving`] | concurrent multi-frame session pool + throughput simulator |
 //! | [`telemetry`] | spans, metrics, profile/Chrome-trace exporters |
 
 pub use tvmnp_byoc as byoc;
@@ -56,6 +57,7 @@ pub use tvmnp_relay as relay;
 pub use tvmnp_report as report;
 pub use tvmnp_runtime as runtime;
 pub use tvmnp_scheduler as scheduler;
+pub use tvmnp_serving as serving;
 pub use tvmnp_telemetry as telemetry;
 pub use tvmnp_tensor as tensor;
 pub use tvmnp_vision as vision;
@@ -70,14 +72,15 @@ pub mod nir {
 pub mod prelude {
     pub use crate::nir;
     pub use tvmnp_byoc::{
-        measure_all, measure_one, relay_build, Measurement, Permutation, ResilienceError,
-        ResiliencePolicy, ResilientSession, RunOutcome, TargetMode,
+        measure_all, measure_one, relay_build, ArtifactCache, Measurement, Permutation,
+        ResilienceError, ResiliencePolicy, ResilientSession, RunOutcome, TargetMode,
     };
     pub use tvmnp_hwsim::{CostModel, DeviceKind, FaultInjector, FaultPlan, RetryPolicy, SocSpec};
     pub use tvmnp_neuropilot::TargetPolicy;
     pub use tvmnp_relay::expr::Module;
     pub use tvmnp_relay::interp::run_module;
     pub use tvmnp_scheduler::{simulate_pipelined, simulate_sequential};
+    pub use tvmnp_serving::{frame_segments, serving_rotation, simulate_serve, SessionPool};
     pub use tvmnp_tensor::{DType, QuantParams, Shape, Tensor};
     pub use tvmnp_vision::{Showcase, ShowcaseAssignment, SyntheticVideo};
 }

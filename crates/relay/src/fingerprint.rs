@@ -1,0 +1,226 @@
+//! Structural module fingerprints for compiled-artifact caching.
+//!
+//! Relay modules are DAGs with structural sharing and process-global node
+//! ids, so node identity cannot key a cache across builds or processes.
+//! This module computes a *content* hash: two modules that are structurally
+//! identical — same functions, same ops and attributes, same types, same
+//! constant payloads, same sharing shape — fingerprint the same, while any
+//! semantic difference (a changed weight byte, a different stride, a
+//! re-ordered function) changes the digest.
+
+use crate::expr::{Expr, ExprKind, Module};
+use crate::visit::post_order;
+use std::collections::HashMap;
+
+/// 64-bit FNV-1a — tiny, dependency-free, and stable across platforms.
+#[derive(Clone, Copy)]
+struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+
+    fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Content hash of a whole module, as a fixed-width hex string (the form
+/// used in cache keys and on-disk cache file names).
+pub fn module_fingerprint(module: &Module) -> String {
+    let mut h = Fnv64::new();
+    h.write_u64(module.functions.len() as u64);
+    // BTreeMap iteration is name-ordered — deterministic by construction.
+    for (name, func) in &module.functions {
+        h.write_str(name);
+        h.write_u64(func.attrs.len() as u64);
+        for (k, v) in &func.attrs {
+            h.write_str(k);
+            h.write_str(v);
+        }
+        hash_function_body(&mut h, &func.params, &func.body);
+    }
+    format!("{:016x}", h.finish())
+}
+
+/// Hash a function body DAG. Each unique node gets a sequential ordinal in
+/// post-order; parents reference children by ordinal, so the sharing shape
+/// (diamond vs duplicated subtree) is part of the digest.
+fn hash_function_body(h: &mut Fnv64, params: &[Expr], body: &Expr) {
+    let mut ordinal: HashMap<usize, u64> = HashMap::new();
+    // Parameters first, in declaration order, so `f(x, y)` and `f(y, x)`
+    // differ even when the bodies are symmetric.
+    for (i, p) in params.iter().enumerate() {
+        ordinal.insert(p.id, i as u64);
+        h.write_u64(i as u64);
+        hash_node_payload(h, p);
+    }
+    let mut next = params.len() as u64;
+    post_order(body, |e| {
+        if ordinal.contains_key(&e.id) {
+            return; // a param node shared with the body
+        }
+        ordinal.insert(e.id, next);
+        h.write_u64(next);
+        next += 1;
+        hash_node_payload(h, e);
+        for a in e.args() {
+            // Children precede parents in post-order, so the ordinal is
+            // always present.
+            h.write_u64(ordinal[&a.id]);
+        }
+    });
+    h.write_u64(ordinal.get(&body.id).copied().unwrap_or(u64::MAX));
+}
+
+/// Hash one node's own payload (not its edges).
+fn hash_node_payload(h: &mut Fnv64, e: &Expr) {
+    match &e.kind {
+        ExprKind::Var(v) => {
+            h.write_str("var");
+            h.write_str(&v.name);
+            h.write_str(&format!("{:?}", v.ty));
+        }
+        ExprKind::Constant(c) => {
+            h.write_str("const");
+            h.write_str(&format!("{:?}", c.value.shape()));
+            h.write_str(&format!("{:?}", c.value.dtype()));
+            h.write_str(&format!("{:?}", c.value.quant()));
+            hash_tensor_payload(h, &c.value);
+        }
+        ExprKind::Call(call) => {
+            h.write_str("call");
+            match &call.target {
+                crate::expr::CallTarget::Op(op) => {
+                    // Debug form includes the attribute structs (strides,
+                    // padding, quant params …), which is exactly the
+                    // compile-relevant content.
+                    h.write_str(&format!("{op:?}"));
+                }
+                crate::expr::CallTarget::Global(g) => {
+                    h.write_str("global");
+                    h.write_str(g);
+                }
+            }
+            h.write_u64(call.args.len() as u64);
+        }
+        ExprKind::Tuple(fields) => {
+            h.write_str("tuple");
+            h.write_u64(fields.len() as u64);
+        }
+        ExprKind::TupleGetItem(_, index) => {
+            h.write_str("tgi");
+            h.write_u64(*index as u64);
+        }
+    }
+}
+
+/// Hash a constant tensor's raw payload bit-exactly.
+fn hash_tensor_payload(h: &mut Fnv64, t: &tvmnp_tensor::Tensor) {
+    if let Ok(v) = t.as_f32() {
+        for x in v {
+            h.write(&x.to_bits().to_le_bytes());
+        }
+    } else if let Ok(v) = t.as_i8() {
+        for x in v {
+            h.write(&x.to_le_bytes());
+        }
+    } else if let Ok(v) = t.as_u8() {
+        h.write(v);
+    } else if let Ok(v) = t.as_i32() {
+        for x in v {
+            h.write(&x.to_le_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use crate::expr::{var, Function, Module};
+    use crate::ty::TensorType;
+    use tvmnp_tensor::Tensor;
+
+    fn small_module(weight: f32) -> Module {
+        let x = var("x", TensorType::f32([4]));
+        let w = crate::expr::constant(Tensor::from_f32([4], vec![weight; 4]).unwrap());
+        let y = builder::relu(builder::add(x.clone(), w));
+        Module::from_main(Function::new(vec![x], y))
+    }
+
+    #[test]
+    fn identical_structure_same_fingerprint() {
+        // Two independently-built modules (fresh node ids throughout) with
+        // the same structure must collide — that is the caching contract.
+        let a = module_fingerprint(&small_module(0.5));
+        let b = module_fingerprint(&small_module(0.5));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn changed_weight_changes_fingerprint() {
+        let a = module_fingerprint(&small_module(0.5));
+        let b = module_fingerprint(&small_module(0.5000001));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_op_changes_fingerprint() {
+        let x = var("x", TensorType::f32([4]));
+        let a = Module::from_main(Function::new(vec![x.clone()], builder::relu(x.clone())));
+        let x2 = var("x", TensorType::f32([4]));
+        let b = Module::from_main(Function::new(vec![x2.clone()], builder::sigmoid(x2)));
+        assert_ne!(module_fingerprint(&a), module_fingerprint(&b));
+    }
+
+    #[test]
+    fn sharing_shape_is_significant() {
+        // relu(x) + relu(x) with one shared relu node vs two distinct relu
+        // nodes: numerically identical but different DAGs; the fingerprint
+        // keys *compilation* input, which distinguishes them.
+        let x = var("x", TensorType::f32([4]));
+        let shared = builder::relu(x.clone());
+        let a = Module::from_main(Function::new(
+            vec![x.clone()],
+            builder::add(shared.clone(), shared),
+        ));
+        let x2 = var("x", TensorType::f32([4]));
+        let b = Module::from_main(Function::new(
+            vec![x2.clone()],
+            builder::add(builder::relu(x2.clone()), builder::relu(x2)),
+        ));
+        assert_ne!(module_fingerprint(&a), module_fingerprint(&b));
+    }
+
+    #[test]
+    fn real_model_fingerprint_is_stable_across_builds() {
+        let a = crate::builder::relu(var("x", TensorType::f32([8])));
+        let _ = a; // builder smoke
+        let m1 = small_module(1.25);
+        let fp1 = module_fingerprint(&m1);
+        let fp2 = module_fingerprint(&m1);
+        assert_eq!(fp1, fp2, "fingerprint must be a pure function");
+    }
+}

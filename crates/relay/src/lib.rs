@@ -22,6 +22,7 @@
 pub mod attrs;
 pub mod builder;
 pub mod expr;
+pub mod fingerprint;
 pub mod infer;
 pub mod interp;
 pub mod op;
@@ -32,6 +33,7 @@ pub mod visit;
 
 pub use attrs::*;
 pub use expr::{Call, CallTarget, Constant, Expr, ExprKind, Function, Module, Var};
+pub use fingerprint::module_fingerprint;
 pub use infer::{infer_types, TypeError};
 pub use interp::{Interpreter, RunError};
 pub use op::OpKind;

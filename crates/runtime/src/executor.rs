@@ -162,14 +162,6 @@ fn kernel_class_label(class: KernelClass) -> &'static str {
     }
 }
 
-/// Device label for an external module, keyed by its BYOC compiler name.
-fn external_device_label(compiler: &str) -> &str {
-    match compiler {
-        "neuropilot" => "apu",
-        other => other,
-    }
-}
-
 /// Fault-handling knobs for one executor run (see
 /// [`GraphExecutor::run_with`]).
 pub struct RunOptions<'a> {
@@ -435,7 +427,7 @@ impl GraphExecutor {
                 }
                 NodeKind::External { symbol, inputs } => {
                     let module = self.modules.get(symbol).expect("checked at construction");
-                    let device = external_device_label(module.compiler()).to_string();
+                    let device = module.dispatch_device().name().to_string();
                     let err_here = |msg: String| {
                         ExecError::new(msg)
                             .with_node(format!("node#{idx}"))
@@ -574,22 +566,37 @@ impl GraphExecutor {
                 }
                 NodeKind::External { symbol, inputs } => {
                     let module = self.modules.get(symbol).expect("checked at construction");
-                    let mut us = 0.0;
+                    let mut transfer_us = 0.0;
                     for r in inputs {
                         let t = &self.graph.nodes[r.node].out_types[r.output];
-                        us += self.cost.transfer_us(t.size_bytes());
+                        transfer_us += self.cost.transfer_us(t.size_bytes());
                     }
-                    us += module.estimate_time_us();
                     for t in &node.out_types {
-                        us += self.cost.transfer_us(t.size_bytes());
+                        transfer_us += self.cost.transfer_us(t.size_bytes());
                     }
-                    out.push(NodeCost {
-                        index: idx,
-                        op: symbol.clone(),
-                        device: external_device_label(module.compiler()).to_string(),
-                        us,
-                        external: true,
-                    });
+                    // Boundary transfers enter through the dispatch
+                    // device; the module's own time is split across the
+                    // devices its plan actually placed work on, so a
+                    // CPU-policy or CPU+APU module no longer shows up as
+                    // pure APU load.
+                    let dispatch = module.dispatch_device();
+                    let mut shares = module.estimate_device_us();
+                    if let Some(entry) = shares.iter_mut().find(|(d, _)| *d == dispatch) {
+                        entry.1 += transfer_us;
+                    } else {
+                        shares.push((dispatch, transfer_us));
+                    }
+                    for (device, us) in shares {
+                        if us > 0.0 {
+                            out.push(NodeCost {
+                                index: idx,
+                                op: symbol.clone(),
+                                device: device.name().to_string(),
+                                us,
+                                external: true,
+                            });
+                        }
+                    }
                 }
             }
         }

@@ -15,8 +15,13 @@ pub struct MemoryPlan {
     pub slot_of: HashMap<NodeRef, usize>,
     /// Size of each slot in bytes.
     pub slot_bytes: Vec<usize>,
-    /// Peak transient memory (sum of slot sizes).
+    /// Peak transient memory: the maximum, over execution steps, of the
+    /// total bytes of slots holding a live value at that step. This is the
+    /// number that decides whether a model fits a phone's memory budget.
     pub peak_bytes: usize,
+    /// Total pool size (sum of all slot sizes) — what the greedy planner
+    /// actually reserves. Always `>= peak_bytes`; the gap is reuse slack.
+    pub pool_bytes: usize,
 }
 
 /// Plan storage for a lowered graph.
@@ -88,12 +93,60 @@ pub fn plan_memory(graph: &ExecutorGraph) -> MemoryPlan {
         }
     }
 
-    let peak_bytes = slot_bytes.iter().sum();
+    let pool_bytes = slot_bytes.iter().sum();
+    let peak_bytes = peak_live_bytes(graph, &slot_of, &slot_bytes);
     MemoryPlan {
         slot_of,
         slot_bytes,
         peak_bytes,
+        pool_bytes,
     }
+}
+
+/// Max over execution steps of the bytes of slots holding a live value.
+///
+/// A value is live after step `t` when it was produced at or before `t`
+/// and still has a consumer after `t` (graph outputs stay live to the
+/// end); a value is also live at its own production step even if nothing
+/// consumes it, because its buffer is written during that step. Slots are
+/// counted once per step no matter how many values map to them.
+fn peak_live_bytes(
+    graph: &ExecutorGraph,
+    slot_of: &HashMap<NodeRef, usize>,
+    slot_bytes: &[usize],
+) -> usize {
+    let mut last_use: HashMap<NodeRef, usize> = HashMap::new();
+    for (idx, node) in graph.nodes.iter().enumerate() {
+        let inputs = match &node.kind {
+            NodeKind::Op { inputs, .. } | NodeKind::External { inputs, .. } => inputs.as_slice(),
+            _ => &[],
+        };
+        for r in inputs {
+            last_use.insert(*r, idx);
+        }
+    }
+    for r in &graph.outputs {
+        last_use.insert(*r, graph.nodes.len());
+    }
+    let mut peak = 0usize;
+    let mut live_slots: Vec<bool> = vec![false; slot_bytes.len()];
+    for t in 0..graph.nodes.len() {
+        live_slots.iter_mut().for_each(|s| *s = false);
+        for (r, &slot) in slot_of {
+            let produced = r.node;
+            let dies = last_use.get(r).copied().unwrap_or(produced);
+            if (produced <= t && t < dies) || produced == t {
+                live_slots[slot] = true;
+            }
+        }
+        let live: usize = live_slots
+            .iter()
+            .zip(slot_bytes)
+            .filter_map(|(&l, &b)| l.then_some(b))
+            .sum();
+        peak = peak.max(live);
+    }
+    peak
 }
 
 impl MemoryPlan {
@@ -179,10 +232,48 @@ mod tests {
 
     #[test]
     fn peak_bytes_positive_and_bounded() {
+        // On a chain the planner ping-pongs two slots (pool = 2 buffers),
+        // but only one value crosses any step boundary: the true live peak
+        // is a single buffer, strictly below the pool size.
         let g = chain(5);
         let plan = plan_memory(&g);
-        assert!(plan.peak_bytes >= 64 * 4);
-        assert!(plan.peak_bytes <= 2 * 64 * 4);
+        assert_eq!(plan.peak_bytes, 64 * 4, "one live buffer at a time");
+        assert_eq!(plan.pool_bytes, 2 * 64 * 4, "two slots reserved");
+        assert!(
+            plan.peak_bytes < plan.pool_bytes,
+            "peak must report live bytes, not pool size"
+        );
+    }
+
+    #[test]
+    fn deep_chain_peak_stays_one_buffer() {
+        let g = chain(10);
+        let plan = plan_memory(&g);
+        assert_eq!(plan.peak_bytes, 64 * 4);
+        assert!(plan.peak_bytes < plan.pool_bytes);
+    }
+
+    #[test]
+    fn diamond_peak_counts_both_live_values() {
+        // `a` stays live across `b`: two values genuinely coexist, so the
+        // peak equals the pool (no reuse slack to reclaim).
+        let x = var("x", TensorType::f32([64]));
+        let a = builder::relu(x.clone());
+        let b = builder::sigmoid(a.clone());
+        let c = builder::add(a.clone(), b);
+        let g = ExecutorGraph::build(&Module::from_main(Function::new(vec![x], c))).unwrap();
+        let plan = plan_memory(&g);
+        assert_eq!(plan.peak_bytes, 2 * 64 * 4);
+        assert!(plan.peak_bytes <= plan.pool_bytes);
+    }
+
+    #[test]
+    fn peak_never_exceeds_pool() {
+        for n in 1..12 {
+            let plan = plan_memory(&chain(n));
+            assert!(plan.peak_bytes <= plan.pool_bytes, "chain({n})");
+            assert!(plan.peak_bytes > 0, "chain({n})");
+        }
     }
 
     #[test]

@@ -31,12 +31,20 @@ pub trait ExternalModule: Send + Sync {
     fn compiler(&self) -> &str;
 
     /// The physical device a dispatch of this module enters through —
-    /// what a fault plan targets. Cost attribution keys off
-    /// [`ExternalModule::compiler`] instead; this only routes injected
-    /// faults, so a CPU-policy Neuron module survives an APU device-lost
-    /// plan.
+    /// what a fault plan targets and what boundary transfers and error
+    /// labels are charged to. A CPU-policy Neuron module survives an APU
+    /// device-lost plan because it never enters the APU driver.
     fn dispatch_device(&self) -> DeviceKind {
         DeviceKind::Cpu
+    }
+
+    /// Per-device shares of [`ExternalModule::estimate_time_us`], for
+    /// cost attribution. The default charges everything to the dispatch
+    /// device; modules whose internal plan spans several devices (e.g. a
+    /// CPU+APU Neuron plan) override this with the planned split. Shares
+    /// must sum to `estimate_time_us`.
+    fn estimate_device_us(&self) -> Vec<(DeviceKind, f64)> {
+        vec![(self.dispatch_device(), self.estimate_time_us())]
     }
 
     /// Execute on positional inputs; returns outputs and the simulated

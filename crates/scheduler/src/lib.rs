@@ -25,4 +25,6 @@ pub use pipeline::{
     account_dropped_frames, auto_schedule, simulate_pipelined, simulate_sequential,
     FrameAccounting, PipelineStage, ScheduleResult, StageRun,
 };
-pub use threaded::{PipelineExecutor, StageSpec};
+pub use threaded::{
+    FrameFailure, FrameOutput, PipelineError, PipelineExecutor, ResourceLocks, StageSpec,
+};

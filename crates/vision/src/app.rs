@@ -11,15 +11,17 @@ use crate::frame::{FaceKind, Frame, SyntheticVideo};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use tvmnp_byoc::{relay_build, CompiledModel, TargetMode};
+use tvmnp_byoc::{relay_build, ArtifactCache, CompiledModel, TargetMode};
 use tvmnp_hwsim::{CostModel, DeviceKind};
 use tvmnp_models::anti_spoofing::anti_spoofing_model;
 use tvmnp_models::emotion::{emotion_model, EMOTIONS};
 use tvmnp_models::object_detection::{mobilenet_ssd_model, ssd_input_quant};
 use tvmnp_models::Model;
 use tvmnp_neuropilot::TargetPolicy;
+use tvmnp_runtime::ExecError;
+use tvmnp_runtime::NodeCost;
 use tvmnp_scheduler::pipeline::PipelineStage;
-use tvmnp_scheduler::threaded::{PipelineExecutor, StageSpec};
+use tvmnp_scheduler::threaded::{FrameFailure, PipelineExecutor, ResourceLocks, StageSpec};
 use tvmnp_tensor::{DType, Tensor};
 
 /// Target assignment of the three showcase models.
@@ -145,7 +147,7 @@ impl ShowcaseTiming {
 }
 
 /// Per-frame outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FrameResult {
     /// Frame index.
     pub frame_index: usize,
@@ -167,10 +169,45 @@ impl FrameResult {
     }
 }
 
+/// Fault wiring for a serving showcase: every model run consults the
+/// injector and retries transient dispatch faults per `retry`. Numerics
+/// are unchanged — only simulated time absorbs the backoff.
+#[derive(Clone)]
+pub struct ShowcaseFaults {
+    /// Shared fault source (shared so fault history spans all stages).
+    pub injector: Arc<tvmnp_hwsim::FaultInjector>,
+    /// Per-dispatch retry budget.
+    pub retry: tvmnp_hwsim::RetryPolicy,
+}
+
 struct CompiledStage {
     model: Model,
     compiled: Mutex<CompiledModel>,
     mode: TargetMode,
+}
+
+impl CompiledStage {
+    /// Run the stage model, holding its devices exclusively when the
+    /// showcase carries a lock table (concurrent serving).
+    fn run_model(
+        &self,
+        locks: &Option<ResourceLocks>,
+        faults: &Option<ShowcaseFaults>,
+        inputs: &std::collections::HashMap<String, Tensor>,
+    ) -> Result<(Vec<Tensor>, f64), tvmnp_byoc::BuildError> {
+        let execute = || match faults {
+            Some(f) => {
+                self.compiled
+                    .lock()
+                    .run_resilient(inputs, &f.injector, &f.retry, f64::INFINITY)
+            }
+            None => self.compiled.lock().run(inputs),
+        };
+        match locks {
+            Some(l) => l.with_resources(&resources_of(self.mode), execute),
+            None => execute(),
+        }
+    }
 }
 
 /// The assembled application.
@@ -179,11 +216,28 @@ pub struct Showcase {
     spoof: Arc<CompiledStage>,
     emotion: Arc<CompiledStage>,
     liveness_threshold: f32,
+    /// Device-lock table for concurrent serving: when set, every model run
+    /// holds its stage's devices exclusively (the §5.2 constraint enforced
+    /// across *frames*, not just across pipeline stages).
+    locks: Option<ResourceLocks>,
+    /// Fault wiring: when set, model runs dispatch through the injector
+    /// with retries (numerics unchanged, simulated time absorbs backoff).
+    faults: Option<ShowcaseFaults>,
 }
 
-fn compile(model: Model, mode: TargetMode, cost: &CostModel) -> Arc<CompiledStage> {
-    let compiled = relay_build(&model.module, mode, cost.clone())
-        .unwrap_or_else(|e| panic!("{} fails to build for {mode}: {e}", model.name));
+fn compile(
+    model: Model,
+    mode: TargetMode,
+    cost: &CostModel,
+    cache: Option<&ArtifactCache>,
+) -> Arc<CompiledStage> {
+    let compiled = match cache {
+        Some(cache) => cache
+            .get_or_build(&model.module, mode, cost, &quant_label(&model))
+            .unwrap_or_else(|e| panic!("{} fails to build for {mode}: {e}", model.name)),
+        None => relay_build(&model.module, mode, cost.clone())
+            .unwrap_or_else(|e| panic!("{} fails to build for {mode}: {e}", model.name)),
+    };
     Arc::new(CompiledStage {
         model,
         compiled: Mutex::new(compiled),
@@ -191,21 +245,50 @@ fn compile(model: Model, mode: TargetMode, cost: &CostModel) -> Arc<CompiledStag
     })
 }
 
+/// Quant-config label of a model for the artifact-cache key.
+fn quant_label(model: &Model) -> String {
+    ArtifactCache::quant_label(model.input_quant)
+}
+
 impl Showcase {
     /// Build the three models (Listing 5's `build_model_on_TVM`) under the
     /// given assignment, and calibrate the liveness threshold on a short
     /// ground-truth calibration clip.
     pub fn new(seed: u64, assignment: ShowcaseAssignment, cost: &CostModel) -> Self {
-        let obj = compile(mobilenet_ssd_model(seed), assignment.obj, cost);
+        Self::build(seed, assignment, cost, None)
+    }
+
+    /// Like [`Showcase::new`], but compiled artifacts are served through
+    /// `cache`: rebuilding the same showcase (another session, a fallback
+    /// permutation, a second bench iteration) reuses each (model,
+    /// permutation, quant) compilation instead of repeating it.
+    pub fn new_cached(
+        seed: u64,
+        assignment: ShowcaseAssignment,
+        cost: &CostModel,
+        cache: &ArtifactCache,
+    ) -> Self {
+        Self::build(seed, assignment, cost, Some(cache))
+    }
+
+    fn build(
+        seed: u64,
+        assignment: ShowcaseAssignment,
+        cost: &CostModel,
+        cache: Option<&ArtifactCache>,
+    ) -> Self {
+        let obj = compile(mobilenet_ssd_model(seed), assignment.obj, cost, cache);
         let spoof = compile(
             anti_spoofing_model(seed.wrapping_add(1)),
             assignment.spoof,
             cost,
+            cache,
         );
         let emotion = compile(
             emotion_model(seed.wrapping_add(2)),
             assignment.emotion,
             cost,
+            cache,
         );
         let liveness_threshold = calibrate_liveness(seed.wrapping_add(3));
         Showcase {
@@ -213,7 +296,50 @@ impl Showcase {
             spoof,
             emotion,
             liveness_threshold,
+            locks: None,
+            faults: None,
         }
+    }
+
+    /// Enforce device exclusivity across concurrent frames: every model
+    /// run in [`Showcase::process_frame`] (and friends) will hold its
+    /// stage's devices through `locks`. Required when multiple threads
+    /// share one showcase (the serving pool).
+    pub fn with_locks(mut self, locks: ResourceLocks) -> Self {
+        self.locks = Some(locks);
+        self
+    }
+
+    /// Route every model dispatch through a fault injector with retries.
+    /// Transient faults are absorbed (identical outputs, extra simulated
+    /// time); exhausted retries surface as a stage failure.
+    pub fn with_faults(mut self, faults: ShowcaseFaults) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Per-stage analytic cost breakdowns: (stage name, devices the stage
+    /// mode occupies, per-node device/µs attribution). One model
+    /// invocation per entry — the serving simulator scales them by
+    /// invocation counts.
+    pub fn stage_breakdowns(&self) -> Vec<(&'static str, Vec<DeviceKind>, Vec<NodeCost>)> {
+        vec![
+            (
+                "obj-det",
+                resources_of(self.obj.mode),
+                self.obj.compiled.lock().estimate_breakdown(),
+            ),
+            (
+                "anti-spoof",
+                resources_of(self.spoof.mode),
+                self.spoof.compiled.lock().estimate_breakdown(),
+            ),
+            (
+                "emotion",
+                resources_of(self.emotion.mode),
+                self.emotion.compiled.lock().estimate_breakdown(),
+            ),
+        ]
     }
 
     /// Process one frame through the Fig. 1 flow.
@@ -240,9 +366,11 @@ impl Showcase {
         let obj_input = prepare_ssd_input(frame);
         let (_, t) = self
             .obj
-            .compiled
-            .lock()
-            .run(&self.obj.model.inputs_from(obj_input))
+            .run_model(
+                &self.locks,
+                &self.faults,
+                &self.obj.model.inputs_from(obj_input),
+            )
             .expect("object detection runs");
         times.obj_us += t;
         if times.obj_us > budget {
@@ -287,9 +415,11 @@ impl Showcase {
             let crop = frame.crop_resized(bbox.tuple(), 32, 32);
             let (outs, t) = self
                 .spoof
-                .compiled
-                .lock()
-                .run(&self.spoof.model.inputs_from(crop))
+                .run_model(
+                    &self.locks,
+                    &self.faults,
+                    &self.spoof.model.inputs_from(crop),
+                )
                 .expect("anti-spoofing runs");
             times.spoof_us += t;
             if times.spoof_us > budget {
@@ -323,9 +453,11 @@ impl Showcase {
                 let e_in = frame.gray_crop_resized(bbox.tuple(), 48);
                 let (e_out, t) = self
                     .emotion
-                    .compiled
-                    .lock()
-                    .run(&self.emotion.model.inputs_from(e_in))
+                    .run_model(
+                        &self.locks,
+                        &self.faults,
+                        &self.emotion.model.inputs_from(e_in),
+                    )
                     .expect("emotion runs");
                 times.emotion_us += t;
                 if times.emotion_us > budget {
@@ -388,7 +520,9 @@ impl Showcase {
     /// Pipelined processing: the three model stages run on their own
     /// threads with exclusive device locks (§5.2). Results are identical
     /// to [`Showcase::process_video`]; only the wall-clock schedule
-    /// changes.
+    /// changes. A stage that fails (or panics) on one frame turns into
+    /// [`DroppedStage`] markers for that frame alone — every other frame
+    /// completes normally.
     pub fn process_video_pipelined(&self, frames: Vec<Frame>) -> Vec<FrameResult> {
         struct Item {
             frame: Frame,
@@ -404,23 +538,24 @@ impl Showcase {
         let emotion = self.emotion.clone();
         let threshold = self.liveness_threshold;
 
-        let stage1 = StageSpec::new("obj-det", &resources_of(obj.mode), move |mut it: Item| {
-            let input = prepare_ssd_input(&it.frame);
-            let (_, t) = obj
-                .compiled
-                .lock()
-                .run(&obj.model.inputs_from(input))
-                .expect("obj runs");
-            it.times.obj_us += t;
-            it.objects = luminance_saliency(&it.frame, 4, 1.8);
-            let face_boxes = match_faces(&it.frame, 0.6);
-            it.candidates = face_boxes
-                .into_iter()
-                .filter(|f| it.objects.iter().any(|o| o.overlaps(f)))
-                .collect();
-            it
-        });
-        let stage2 = StageSpec::new(
+        let stage1 =
+            StageSpec::fallible("obj-det", &resources_of(obj.mode), move |mut it: Item| {
+                let input = prepare_ssd_input(&it.frame);
+                let (_, t) = obj
+                    .compiled
+                    .lock()
+                    .run(&obj.model.inputs_from(input))
+                    .map_err(|e| stage_exec_error("obj-det", e))?;
+                it.times.obj_us += t;
+                it.objects = luminance_saliency(&it.frame, 4, 1.8);
+                let face_boxes = match_faces(&it.frame, 0.6);
+                it.candidates = face_boxes
+                    .into_iter()
+                    .filter(|f| it.objects.iter().any(|o| o.overlaps(f)))
+                    .collect();
+                Ok(it)
+            });
+        let stage2 = StageSpec::fallible(
             "anti-spoof",
             &resources_of(spoof.mode),
             move |mut it: Item| {
@@ -430,17 +565,17 @@ impl Showcase {
                         .compiled
                         .lock()
                         .run(&spoof.model.inputs_from(crop))
-                        .expect("spoof runs");
+                        .map_err(|e| stage_exec_error("anti-spoof", e))?;
                     it.times.spoof_us += t;
                     let gray = it
                         .frame
                         .gray_crop_resized(bbox.tuple(), crate::frame::FACE_SIZE);
                     it.real_flags.push(texture_energy(&gray) > threshold);
                 }
-                it
+                Ok(it)
             },
         );
-        let stage3 = StageSpec::new(
+        let stage3 = StageSpec::fallible(
             "emotion",
             &resources_of(emotion.mode),
             move |mut it: Item| {
@@ -452,7 +587,7 @@ impl Showcase {
                             .compiled
                             .lock()
                             .run(&emotion.model.inputs_from(e_in))
-                            .expect("emotion runs");
+                            .map_err(|e| stage_exec_error("emotion", e))?;
                         it.times.emotion_us += t;
                         Some(EMOTIONS[out[0].argmax()])
                     } else {
@@ -464,10 +599,11 @@ impl Showcase {
                         emotion: label,
                     });
                 }
-                it
+                Ok(it)
             },
         );
 
+        let frame_indices: Vec<usize> = frames.iter().map(|f| f.index).collect();
         let items: Vec<Item> = frames
             .into_iter()
             .map(|frame| Item {
@@ -479,16 +615,32 @@ impl Showcase {
                 times: ShowcaseTiming::default(),
             })
             .collect();
-        PipelineExecutor::run(vec![stage1, stage2, stage3], items)
+        let outputs = PipelineExecutor::run_with_failures(vec![stage1, stage2, stage3], items)
+            .expect("pipeline infrastructure intact");
+        let results: Vec<FrameResult> = outputs
             .into_iter()
-            .map(|it| FrameResult {
-                frame_index: it.frame.index,
-                objects: it.objects,
-                faces: it.faces,
-                times: it.times,
-                dropped: Vec::new(),
+            .enumerate()
+            .map(|(seq, out)| match out {
+                Ok(it) => FrameResult {
+                    frame_index: it.frame.index,
+                    objects: it.objects,
+                    faces: it.faces,
+                    times: it.times,
+                    dropped: Vec::new(),
+                },
+                Err(fail) => FrameResult {
+                    frame_index: frame_indices[seq],
+                    objects: Vec::new(),
+                    faces: Vec::new(),
+                    times: ShowcaseTiming::default(),
+                    dropped: failure_to_dropped(&fail),
+                },
             })
-            .collect()
+            .collect();
+        for r in &results {
+            record_dropped_stages(&r.dropped);
+        }
+        results
     }
 
     /// Measured per-stage latencies (for the Fig. 5 simulation), taken
@@ -515,6 +667,35 @@ impl Showcase {
                 duration_us: r.times.emotion_us.max(1.0),
             },
         ]
+    }
+}
+
+/// Translate a per-frame pipeline failure into the degraded-mode
+/// vocabulary: the failing stage plus every downstream stage become
+/// [`DroppedStage`] markers, mirroring the deadline-overrun path.
+fn failure_to_dropped(fail: &FrameFailure) -> Vec<DroppedStage> {
+    const CHAIN: [&str; 3] = ["obj-det", "anti-spoof", "emotion"];
+    let at = CHAIN.iter().position(|&s| s == fail.stage).unwrap_or(0);
+    let how = if fail.panicked { "panicked" } else { "failed" };
+    let mut dropped = vec![DroppedStage {
+        stage: CHAIN[at],
+        reason: format!("stage {how} on frame {}: {}", fail.frame, fail.error),
+    }];
+    for &stage in &CHAIN[at + 1..] {
+        dropped.push(DroppedStage {
+            stage,
+            reason: format!("upstream {} unavailable", CHAIN[at]),
+        });
+    }
+    dropped
+}
+
+/// Wrap a model-run failure as a typed [`ExecError`] naming the stage,
+/// preserving the typed context when the underlying error already is one.
+fn stage_exec_error(stage: &str, e: tvmnp_byoc::BuildError) -> ExecError {
+    match e {
+        tvmnp_byoc::BuildError::Exec(err) => err.with_op(stage),
+        other => ExecError::new(other.to_string()).with_op(stage),
     }
 }
 

@@ -8,7 +8,7 @@ cd "$(dirname "$0")/.."
 
 RUNS="${RUNS:-5}"
 
-for workload in fig4 fig5 fig6 sched; do
+for workload in fig4 fig5 fig6 sched serve; do
     cargo run --release -q -p tvmnp-bench --bin bench -- \
         --workload "$workload" --runs "$RUNS" \
         --bench-out "BENCH_${workload}.json"

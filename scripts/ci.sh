@@ -14,6 +14,12 @@ cargo clippy -- -D warnings
 cargo run --release -q -p tvmnp-bench --bin bench -- \
     --workload fig6 --runs 2 --check-against BENCH_fig6.json --warn-only
 
+# Serving-throughput smoke: frames/sec + cache hit rate against the
+# checked-in baseline. Warn-only, same rationale as above; the workload
+# itself hard-fails if concurrent outputs diverge from sequential.
+cargo run --release -q -p tvmnp-bench --bin bench -- \
+    --workload serve --runs 2 --check-against BENCH_serve.json --warn-only
+
 # Fault-injection smoke: seeded transient APU faults against the showcase.
 # Must exit 0 (the fallback chain absorbs the faults) and the resilience
 # report must show at least one recovered run.
