@@ -1,0 +1,158 @@
+//! Differential conformance CLI: seeded generative runs across the seven
+//! target permutations, plus `.repro` replay.
+//!
+//! ```text
+//! # Fixed-seed smoke (CI): 200 cases, fail on any divergence/invariant.
+//! cargo run --release -p tvmnp-bench --bin conformance -- --cases 200 --seed 1
+//!
+//! # Longer hunt, writing shrunk .repro files for every failure.
+//! cargo run --release -p tvmnp-bench --bin conformance -- \
+//!     --cases 5000 --seed 7 --out-dir target/conformance
+//!
+//! # Replay a captured case. Exit 0 = no longer fails (fixed),
+//! # exit 1 = still fails.
+//! cargo run --release -p tvmnp-bench --bin conformance -- \
+//!     --replay target/conformance/divergence-BYOC-APU-seed42.repro
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use tvmnp_conformance::{read_repro, run_suite, write_repro, CheckOptions, SuiteConfig};
+
+struct Args {
+    cases: usize,
+    seed: u64,
+    quant_every: usize,
+    out_dir: Option<PathBuf>,
+    replay: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: conformance [--cases N] [--seed S] [--quant-every K] \
+         [--out-dir <dir>] | --replay <file.repro>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        cases: 200,
+        seed: 1,
+        quant_every: 3,
+        out_dir: None,
+        replay: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("error: {flag} requires a value");
+            usage();
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--cases" => {
+                parsed.cases = value(&mut args, "--cases").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --cases expects an integer");
+                    usage();
+                })
+            }
+            "--seed" => {
+                parsed.seed = value(&mut args, "--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --seed expects an integer");
+                    usage();
+                })
+            }
+            "--quant-every" => {
+                parsed.quant_every =
+                    value(&mut args, "--quant-every")
+                        .parse()
+                        .unwrap_or_else(|_| {
+                            eprintln!("error: --quant-every expects an integer");
+                            usage();
+                        })
+            }
+            "--out-dir" => parsed.out_dir = Some(PathBuf::from(value(&mut args, "--out-dir"))),
+            "--replay" => parsed.replay = Some(PathBuf::from(value(&mut args, "--replay"))),
+            _ => {
+                eprintln!("error: unknown argument '{a}'");
+                usage();
+            }
+        }
+    }
+    parsed
+}
+
+fn replay(path: &Path) -> ExitCode {
+    let repro = match read_repro(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("conformance: cannot load {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "replaying {} (captured kind: {}, spec: {})",
+        path.display(),
+        repro.kind,
+        repro.spec
+    );
+    match repro.replay() {
+        Ok(outcome) => {
+            println!(
+                "PASS: case no longer fails ({} compared, {} skipped)",
+                outcome.permutations_compared, outcome.permutations_skipped
+            );
+            ExitCode::SUCCESS
+        }
+        Err(failure) => {
+            println!("FAIL: {failure}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if let Some(path) = &args.replay {
+        return replay(path);
+    }
+
+    let cfg = SuiteConfig {
+        cases: args.cases,
+        base_seed: args.seed,
+        quant_every: args.quant_every,
+        options: CheckOptions::default(),
+    };
+    let report = run_suite(&cfg);
+    println!(
+        "conformance: {} cases ({} quantized), {} permutations compared, {} skipped, {} subgraphs",
+        report.cases_run,
+        report.quant_cases,
+        report.permutations_compared,
+        report.permutations_skipped,
+        report.total_subgraphs
+    );
+    if report.passed() {
+        println!("conformance: all cases bit-identical across the seven permutations");
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("conformance: {} FAILING case(s)", report.failures.len());
+    for f in &report.failures {
+        eprintln!(
+            "  seed {}: {} (shrunk to {} nodes)",
+            f.case_seed,
+            f.failure,
+            f.repro.spec.num_nodes()
+        );
+        if let Some(dir) = &args.out_dir {
+            let path = dir.join(format!("{}.repro", f.repro.file_stem()));
+            match write_repro(&path, &f.repro) {
+                Ok(()) => eprintln!("    wrote {}", path.display()),
+                Err(e) => eprintln!("    failed to write {}: {e}", path.display()),
+            }
+        }
+    }
+    ExitCode::FAILURE
+}

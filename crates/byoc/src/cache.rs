@@ -131,6 +131,17 @@ fn entry_from_build(model: &CompiledModel, artifact: Option<Artifact>) -> Option
     }
 }
 
+/// On-disk envelope: the entry plus the key it was stored under. The key
+/// embeds the module fingerprint, so a load can verify the file actually
+/// belongs to the requested (module, mode, quant) triple — a renamed,
+/// corrupted, or hand-edited cache file is a miss, never a silently
+/// served wrong artifact.
+#[derive(Serialize, Deserialize)]
+struct DiskEntry {
+    key: String,
+    entry: CachedArtifact,
+}
+
 struct CacheState {
     /// key → (entry, size); recency tracked in `order` (back = newest).
     entries: HashMap<String, (CachedArtifact, usize)>,
@@ -276,7 +287,15 @@ impl ArtifactCache {
         // Miss in memory: an evicted or prior-process entry may be on disk.
         let path = self.disk_path(key)?;
         let json = std::fs::read_to_string(&path).ok()?;
-        let entry: CachedArtifact = serde_json::from_str(&json).ok()?;
+        let disk: DiskEntry = serde_json::from_str(&json).ok()?;
+        if disk.key != key {
+            // Fingerprint/key mismatch: the file does not describe this
+            // build request. Treat as a miss rather than serving a wrong
+            // artifact.
+            tvmnp_telemetry::counter_add("cache.disk_key_mismatch", &[], 1);
+            return None;
+        }
+        let entry = disk.entry;
         {
             let mut st = self.state.lock();
             st.hits += 1;
@@ -298,7 +317,11 @@ impl ArtifactCache {
                 if let Some(dir) = path.parent() {
                     let _ = std::fs::create_dir_all(dir);
                 }
-                if let Ok(json) = serde_json::to_string(&entry) {
+                let disk = DiskEntry {
+                    key: key.clone(),
+                    entry: entry.clone(),
+                };
+                if let Ok(json) = serde_json::to_string(&disk) {
                     let _ = std::fs::write(&path, json);
                 }
             }
@@ -332,6 +355,7 @@ impl ArtifactCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::build::relay_build;
     use std::collections::HashMap as Map;
     use tvmnp_neuropilot::TargetPolicy;
     use tvmnp_relay::builder;
@@ -458,6 +482,67 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 0);
         assert_eq!(stats.hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_entry_with_mismatched_key_is_a_miss_not_a_wrong_artifact() {
+        let dir = std::env::temp_dir().join(format!("tvmnp-cache-mkey-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let m1 = conv_model(1);
+        let m2 = conv_model(2);
+        let cost = CostModel::default();
+        {
+            let cache = ArtifactCache::new(64 << 20).with_disk_dir(&dir);
+            cache
+                .get_or_build(&m1, TargetMode::TvmOnly, &cost, "fp32")
+                .unwrap();
+        }
+        // Masquerade m1's artifact under m2's key, as a renamed / restored /
+        // hand-copied cache file would.
+        let k1 = ArtifactCache::key(&m1, TargetMode::TvmOnly, "fp32");
+        let k2 = ArtifactCache::key(&m2, TargetMode::TvmOnly, "fp32");
+        std::fs::rename(
+            dir.join(format!("{k1}.json")),
+            dir.join(format!("{k2}.json")),
+        )
+        .unwrap();
+
+        // A fresh instance must detect the embedded-key mismatch and
+        // recompile m2 instead of serving m1's artifact.
+        let cache = ArtifactCache::new(64 << 20).with_disk_dir(&dir);
+        let mut built = cache
+            .get_or_build(&m2, TargetMode::TvmOnly, &cost, "fp32")
+            .unwrap();
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 0);
+
+        // And the recompile really is m2: bit-identical to a direct build.
+        let inputs = an_input();
+        let (got, _) = built.run(&inputs).unwrap();
+        let mut direct = relay_build(&m2, TargetMode::TvmOnly, cost).unwrap();
+        let (want, _) = direct.run(&inputs).unwrap();
+        for (a, b) in got.iter().zip(&want) {
+            assert!(a.bit_eq(b));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_disk_format_without_key_is_a_miss() {
+        let dir = std::env::temp_dir().join(format!("tvmnp-cache-legacy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = conv_model(3);
+        let key = ArtifactCache::key(&m, TargetMode::TvmOnly, "fp32");
+        // Pre-wrapper files stored the bare entry; they no longer parse as
+        // `DiskEntry` and must fall through to a rebuild, not an error.
+        std::fs::write(dir.join(format!("{key}.json")), "{\"not\":\"a DiskEntry\"}").unwrap();
+        let cache = ArtifactCache::new(64 << 20).with_disk_dir(&dir);
+        cache
+            .get_or_build(&m, TargetMode::TvmOnly, &CostModel::default(), "fp32")
+            .unwrap();
+        assert_eq!(cache.stats().misses, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

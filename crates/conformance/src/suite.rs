@@ -1,0 +1,149 @@
+//! The suite driver: generate N seeded cases, check each across the seven
+//! permutations, and shrink + capture every failure.
+
+use crate::differential::{check_case, CaseFailure};
+use crate::generator::{random_spec, GraphSpec};
+use crate::invariants::CheckOptions;
+use crate::repro::Repro;
+use crate::shrink::shrink;
+
+/// Suite parameters. Fully seeded: the same config always generates the
+/// same cases, failures, and shrunk repros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuiteConfig {
+    /// Number of generated cases.
+    pub cases: usize,
+    /// Base seed; case `i` uses seed `base_seed + i`.
+    pub base_seed: u64,
+    /// Every `quant_every`-th case is quantized (0 disables quantized
+    /// cases entirely).
+    pub quant_every: usize,
+    /// Harness knobs applied to every case.
+    pub options: CheckOptions,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            cases: 200,
+            base_seed: 1,
+            quant_every: 3,
+            options: CheckOptions::default(),
+        }
+    }
+}
+
+/// One failing case, already minimized.
+#[derive(Debug, Clone)]
+pub struct FailureRecord {
+    /// Seed of the generated case.
+    pub case_seed: u64,
+    /// The original (unshrunk) spec.
+    pub original: GraphSpec,
+    /// The failure of the original spec.
+    pub failure: CaseFailure,
+    /// The shrunk, replayable capture.
+    pub repro: Repro,
+}
+
+/// Aggregate result of a suite run.
+#[derive(Debug, Clone, Default)]
+pub struct SuiteReport {
+    /// Cases generated and checked.
+    pub cases_run: usize,
+    /// Quantized cases among them.
+    pub quant_cases: usize,
+    /// Sum of per-case compiled-and-compared permutations.
+    pub permutations_compared: usize,
+    /// Sum of per-case justified NP-only skips.
+    pub permutations_skipped: usize,
+    /// Sum of external subgraph counts (partition non-triviality gauge).
+    pub total_subgraphs: usize,
+    /// Every failure, shrunk and captured.
+    pub failures: Vec<FailureRecord>,
+}
+
+impl SuiteReport {
+    /// Whether the run was fully conformant.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The spec for case `i` of a config.
+pub fn case_spec(cfg: &SuiteConfig, i: usize) -> GraphSpec {
+    let quantize = cfg.quant_every != 0 && i % cfg.quant_every == cfg.quant_every - 1;
+    random_spec(cfg.base_seed.wrapping_add(i as u64), quantize)
+}
+
+/// Run the suite. Failures are shrunk (preserving failure kind) and
+/// captured as replayable [`Repro`]s; passing cases contribute to the
+/// aggregate counters.
+pub fn run_suite(cfg: &SuiteConfig) -> SuiteReport {
+    let mut report = SuiteReport::default();
+    for i in 0..cfg.cases {
+        let spec = case_spec(cfg, i);
+        if spec.quantize {
+            report.quant_cases += 1;
+        }
+        report.cases_run += 1;
+        match check_case(&spec, &cfg.options) {
+            Ok(outcome) => {
+                report.permutations_compared += outcome.permutations_compared;
+                report.permutations_skipped += outcome.permutations_skipped;
+                report.total_subgraphs += outcome.subgraphs;
+            }
+            Err(failure) => {
+                let minimized = shrink(&spec, &failure, &cfg.options);
+                let repro = Repro::capture(&minimized.spec, &minimized.failure, &cfg.options);
+                report.failures.push(FailureRecord {
+                    case_seed: spec.seed,
+                    original: spec,
+                    failure,
+                    repro,
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_suite_is_clean_and_nontrivial() {
+        let report = run_suite(&SuiteConfig {
+            cases: 24,
+            base_seed: 100,
+            quant_every: 3,
+            options: CheckOptions::default(),
+        });
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert_eq!(report.cases_run, 24);
+        assert_eq!(report.quant_cases, 8);
+        // Every case accounts for all seven permutations.
+        assert_eq!(
+            report.permutations_compared + report.permutations_skipped,
+            24 * 7
+        );
+        // The generator produces non-trivial partitions overall.
+        assert!(report.total_subgraphs > 24 / 2);
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let cfg = SuiteConfig {
+            cases: 8,
+            base_seed: 42,
+            quant_every: 4,
+            options: CheckOptions::default(),
+        };
+        let a = run_suite(&cfg);
+        let b = run_suite(&cfg);
+        assert_eq!(a.permutations_compared, b.permutations_compared);
+        assert_eq!(a.permutations_skipped, b.permutations_skipped);
+        assert_eq!(a.total_subgraphs, b.total_subgraphs);
+    }
+}

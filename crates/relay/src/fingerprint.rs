@@ -215,6 +215,56 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_matches_golden_across_process_runs() {
+        // The disk cache persists entries under their fingerprint, so the
+        // digest must be identical across *processes*, not just within one
+        // run. A hardcoded golden value catches any accidental change to
+        // the hash inputs (new attrs, reordered traversal, FNV constants).
+        let fp = module_fingerprint(&small_module(1.0));
+        assert_eq!(fp, "722bed22d143496a");
+    }
+
+    #[test]
+    fn changed_conv_attrs_change_fingerprint() {
+        // Same weights and shapes, different stride / padding: distinct
+        // compilation products, so the digests must differ pairwise.
+        let conv_module = |attrs: crate::Conv2dAttrs| {
+            let x = var("x", TensorType::f32([1, 1, 4, 4]));
+            let w = Tensor::from_f32([1, 1, 3, 3], vec![0.1; 9]).unwrap();
+            let y = builder::conv2d(x.clone(), w, attrs);
+            Module::from_main(Function::new(vec![x], y))
+        };
+        let same = module_fingerprint(&conv_module(crate::Conv2dAttrs::same(1)));
+        let valid = module_fingerprint(&conv_module(crate::Conv2dAttrs::default()));
+        let strided = module_fingerprint(&conv_module(crate::Conv2dAttrs {
+            strides: (2, 2),
+            ..crate::Conv2dAttrs::same(1)
+        }));
+        assert_ne!(same, valid);
+        assert_ne!(same, strided);
+        assert_ne!(valid, strided);
+    }
+
+    #[test]
+    fn changed_function_attrs_change_fingerprint() {
+        // Partition attrs (Compiler / global_symbol / Primitive) decide
+        // which codegen path a function takes, so they are hash content.
+        let make = |attr: Option<(&str, &str)>| {
+            let x = var("x", TensorType::f32([4]));
+            let mut f = Function::new(vec![x.clone()], builder::relu(x));
+            if let Some((k, v)) = attr {
+                f = f.with_attr(k, v);
+            }
+            Module::from_main(f)
+        };
+        let plain = module_fingerprint(&make(None));
+        let annotated = module_fingerprint(&make(Some(("Compiler", "neuropilot"))));
+        let other = module_fingerprint(&make(Some(("Compiler", "other"))));
+        assert_ne!(plain, annotated);
+        assert_ne!(annotated, other);
+    }
+
+    #[test]
     fn real_model_fingerprint_is_stable_across_builds() {
         let a = crate::builder::relu(var("x", TensorType::f32([8])));
         let _ = a; // builder smoke

@@ -15,18 +15,70 @@ use tvmnp_tensor::Tensor;
 
 /// A runtime evaluation failure.
 #[derive(Debug, Clone, PartialEq)]
-pub struct RunError(pub String);
+pub enum RunError {
+    /// A bound input tensor does not match the parameter's declared type.
+    /// Surfaced as a typed error at binding time instead of a panic (or
+    /// an opaque kernel failure) somewhere inside evaluation.
+    ShapeMismatch {
+        /// Parameter name the tensor was bound to.
+        input: String,
+        /// Declared parameter type.
+        expected: String,
+        /// Shape/dtype of the offered tensor.
+        got: String,
+    },
+    /// A required input was not provided.
+    MissingInput(String),
+    /// Any other evaluation failure (kernel errors, malformed graphs).
+    Eval(String),
+}
 
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "runtime error: {}", self.0)
+        match self {
+            RunError::ShapeMismatch {
+                input,
+                expected,
+                got,
+            } => write!(
+                f,
+                "runtime error: input '{input}' expects {expected}, got {got}"
+            ),
+            RunError::MissingInput(name) => write!(f, "runtime error: missing input '{name}'"),
+            RunError::Eval(msg) => write!(f, "runtime error: {msg}"),
+        }
     }
 }
 
 impl std::error::Error for RunError {}
 
 fn rerr(msg: impl Into<String>) -> RunError {
-    RunError(msg.into())
+    RunError::Eval(msg.into())
+}
+
+/// Bind named inputs to a function's parameters, validating each tensor
+/// against the parameter's declared shape and dtype.
+fn bind_inputs(
+    func: &Function,
+    inputs: &HashMap<String, Tensor>,
+) -> Result<HashMap<usize, Value>, RunError> {
+    let mut env: HashMap<usize, Value> = HashMap::new();
+    for p in &func.params {
+        if let ExprKind::Var(v) = &p.kind {
+            let t = inputs
+                .get(&v.name)
+                .ok_or_else(|| RunError::MissingInput(v.name.clone()))?;
+            if t.shape().dims() != v.ty.shape.dims() || t.dtype() != v.ty.dtype {
+                return Err(RunError::ShapeMismatch {
+                    input: v.name.clone(),
+                    expected: format!("{:?} {:?}", v.ty.shape, v.ty.dtype),
+                    got: format!("{:?} {:?}", t.shape(), t.dtype()),
+                });
+            }
+            env.insert(p.id, Value::Tensor(t.clone()));
+        }
+    }
+    Ok(env)
 }
 
 /// A runtime value: tensor or tuple.
@@ -84,15 +136,7 @@ impl<'m> Interpreter<'m> {
         inputs: &HashMap<String, Tensor>,
     ) -> Result<(Value, HashMap<usize, Value>), RunError> {
         let func = self.module.main();
-        let mut env: HashMap<usize, Value> = HashMap::new();
-        for p in &func.params {
-            if let ExprKind::Var(v) = &p.kind {
-                let t = inputs
-                    .get(&v.name)
-                    .ok_or_else(|| rerr(format!("missing input '{}'", v.name)))?;
-                env.insert(p.id, Value::Tensor(t.clone()));
-            }
-        }
+        let mut env = bind_inputs(func, inputs)?;
         let out = self.eval(&func.body, &mut env)?;
         Ok((out, env))
     }
@@ -103,15 +147,7 @@ impl<'m> Interpreter<'m> {
         func: &Function,
         inputs: &HashMap<String, Tensor>,
     ) -> Result<Value, RunError> {
-        let mut env: HashMap<usize, Value> = HashMap::new();
-        for p in &func.params {
-            if let ExprKind::Var(v) = &p.kind {
-                let t = inputs
-                    .get(&v.name)
-                    .ok_or_else(|| rerr(format!("missing input '{}'", v.name)))?;
-                env.insert(p.id, Value::Tensor(t.clone()));
-            }
-        }
+        let mut env = bind_inputs(func, inputs)?;
         self.eval(&func.body, &mut env)
     }
 
@@ -385,7 +421,35 @@ mod tests {
     fn missing_input_is_error() {
         let x = var("x", TensorType::f32([1]));
         let m = Module::from_main(Function::new(vec![x.clone()], x));
-        assert!(run_module(&m, &HashMap::new()).is_err());
+        assert_eq!(
+            run_module(&m, &HashMap::new()),
+            Err(RunError::MissingInput("x".into()))
+        );
+    }
+
+    #[test]
+    fn shape_mismatched_input_is_typed_error_not_panic() {
+        let x = var("x", TensorType::f32([1, 2, 4, 4]));
+        let y = call(OpKind::Relu, vec![x.clone()]);
+        let m = Module::from_main(Function::new(vec![x], y));
+        // Wrong shape.
+        let err = run_module(
+            &m,
+            &inputs("x", Tensor::from_f32([4], vec![0.0; 4]).unwrap()),
+        )
+        .unwrap_err();
+        match &err {
+            RunError::ShapeMismatch { input, .. } => assert_eq!(input, "x"),
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+        assert!(err.to_string().contains("input 'x'"));
+        // Wrong dtype, right shape.
+        let bad_dtype = Tensor::from_f32([1, 2, 4, 4], vec![0.5; 32])
+            .unwrap()
+            .quantize(tvmnp_tensor::QuantParams::new(0.1, 0), DType::U8)
+            .unwrap();
+        let err = run_module(&m, &inputs("x", bad_dtype)).unwrap_err();
+        assert!(matches!(err, RunError::ShapeMismatch { .. }));
     }
 
     #[test]

@@ -35,3 +35,10 @@ if [ -z "$recovered" ] || [ "$recovered" -lt 1 ]; then
     exit 1
 fi
 echo "fault-injection smoke: $recovered run(s) recovered under seeded faults"
+
+# Conformance smoke: fixed-seed differential run across the seven target
+# permutations. Hard gate — any divergence from the interpreter or any
+# invariant violation (quant params, partition shape, memory plan) fails
+# the build. The 500-case property suite runs under `cargo test` above;
+# this step additionally proves the CLI entry point works end to end.
+cargo run --release -q -p tvmnp-bench --bin conformance -- --cases 200 --seed 1

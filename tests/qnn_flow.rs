@@ -87,6 +87,75 @@ fn propagation_covers_non_qnn_ops() {
     }
 }
 
+/// Propagation chains: parameters must flow through *two* consecutive
+/// non-QNN ops (reshape feeding concat), not just one hop from the
+/// nearest QNN producer.
+#[test]
+fn propagation_chains_through_reshape_then_concat() {
+    use tvm_neuropilot::relay::builder;
+    use tvm_neuropilot::relay::expr::{var, Function, Module};
+    use tvm_neuropilot::relay::passes::quantize_with_calibration;
+    use tvm_neuropilot::relay::{Conv2dAttrs, TensorType};
+    use tvm_neuropilot::tensor::rng::TensorRng;
+
+    // conv → reshape (H/W swap) → concat(·,·) on the channel axis: after
+    // quantization the reshape and the concat stay plain (non-QNN) ops, so
+    // the concat's parameters can only arrive via the reshape's output.
+    let mut rng = TensorRng::new(78);
+    let x = var("x", TensorType::f32([1, 2, 4, 6]));
+    let w = rng.uniform_f32([2, 2, 3, 3], -0.5, 0.5);
+    let conv = builder::relu(builder::conv2d(x.clone(), w, Conv2dAttrs::same(1)));
+    let reshaped = builder::reshape(conv, vec![1, 2, 6, 4]);
+    let y = builder::concatenate(vec![reshaped.clone(), reshaped], 1);
+    let module = Module::from_main(Function::new(vec![x], y));
+
+    let calib: Vec<std::collections::HashMap<String, Tensor>> = (0..2)
+        .map(|i| {
+            let mut rng = TensorRng::new(79 + i);
+            let mut m = std::collections::HashMap::new();
+            m.insert("x".to_string(), rng.uniform_f32([1, 2, 4, 6], -1.0, 1.0));
+            m
+        })
+        .collect();
+    let quantized = quantize_with_calibration(&module, &calib).unwrap();
+
+    let (partitioned, _) = tvm_neuropilot::nir::partition_for_nir(&quantized).unwrap();
+    let externals = partitioned.external_functions();
+    assert!(!externals.is_empty(), "quantized chain must be offloadable");
+    let mut saw_reshape = false;
+    let mut saw_concat = false;
+    for name in externals {
+        let graph = convert_function(&partitioned.functions[name]).unwrap();
+        for op in &graph.ops {
+            let relevant = match op.kind {
+                NeuronOpKind::Reshape { .. } => {
+                    saw_reshape = true;
+                    true
+                }
+                NeuronOpKind::Concat { .. } => {
+                    saw_concat = true;
+                    true
+                }
+                _ => false,
+            };
+            if !relevant {
+                continue;
+            }
+            for &o in &op.outputs {
+                let t = &graph.tensors[o];
+                assert!(t.dtype.is_quantized(), "'{}' should be quantized", t.name);
+                assert!(
+                    t.quant.is_some(),
+                    "{name}: '{}' lost its parameters after two-hop propagation",
+                    t.name
+                );
+            }
+        }
+    }
+    assert!(saw_reshape, "reshape must survive into the Neuron graph");
+    assert!(saw_concat, "concat must survive into the Neuron graph");
+}
+
 /// The quantized model's artifact is much smaller than its float
 /// counterpart — §4.2's motivation for the quantized MobileNet.
 #[test]
