@@ -23,9 +23,11 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use tvm_neuropilot::models::{anti_spoofing, emotion, object_detection, zoo, Model};
+use tvm_neuropilot::observe::ObservePlane;
 use tvm_neuropilot::prelude::*;
 use tvm_neuropilot::report::{self, BenchRecord};
-use tvmnp_bench::profiling::build_fault_plan;
+use tvm_neuropilot::vision::{FrameResult, ShowcaseFaults};
+use tvmnp_bench::profiling::{build_fault_plan, ObserveCli};
 use tvmnp_hwsim::WorkKind;
 
 const WORKLOADS: &[&str] = &["fig4", "fig5", "fig6", "sched", "serve"];
@@ -41,6 +43,7 @@ struct Args {
     fault_plan: Option<FaultPlan>,
     concurrency: usize,
     cache_dir: Option<PathBuf>,
+    observe: ObserveCli,
 }
 
 fn usage() -> ! {
@@ -49,7 +52,9 @@ fn usage() -> ! {
          [--bench-out <path>] [--check-against <baseline>] \
          [--threshold F] [--warn-only] [--inject-slowdown <kind>=<factor>] \
          [--inject-fault <spec>]... [--fault-seed <n>] \
-         [--concurrency N] [--cache-dir <path>]"
+         [--concurrency N] [--cache-dir <path>] \
+         [--stats-out <path>] [--flight-out <dir>] \
+         [--flight-buffer <n>] [--slo-ms <f>]"
     );
     std::process::exit(2);
 }
@@ -66,6 +71,7 @@ fn parse_args() -> Args {
     let mut fault_seed = 0u64;
     let mut concurrency = 4usize;
     let mut cache_dir = None;
+    let mut observe = ObserveCli::default();
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().unwrap_or_else(|| {
@@ -74,6 +80,9 @@ fn parse_args() -> Args {
         })
     };
     while let Some(a) = args.next() {
+        if observe.consume(a.as_str(), &mut args) {
+            continue;
+        }
         match a.as_str() {
             "--workload" => workload = Some(value(&mut args, "--workload")),
             "--runs" => {
@@ -171,6 +180,7 @@ fn parse_args() -> Args {
         fault_plan: build_fault_plan(&fault_specs, fault_seed),
         concurrency,
         cache_dir,
+        observe,
     }
 }
 
@@ -188,7 +198,13 @@ fn key_part(s: &str) -> String {
 
 /// One repetition of a workload: `(metric key, sample)` pairs. Keys
 /// ending in `.ms`/`.us` are latency metrics and gate regressions.
-fn run_workload(args: &Args, cost: &CostModel) -> Vec<(String, f64)> {
+/// `plane` (serve only) routes the concurrent pass through
+/// [`SessionPool::serve_observed`].
+fn run_workload(
+    args: &Args,
+    cost: &CostModel,
+    plane: Option<&Arc<ObservePlane>>,
+) -> Vec<(String, f64)> {
     let workload = args.workload.as_str();
     let mut out = Vec::new();
     match workload {
@@ -263,16 +279,64 @@ fn run_workload(args: &Args, cost: &CostModel) -> Vec<(String, f64)> {
                 cost,
                 cache.clone(),
             ));
-            let pool = SessionPool::new(910, &serving_rotation(), cost, cache.clone());
+            // With a fault plan, the pool itself is faulted: every model
+            // dispatch consults the shared injector, so transient faults
+            // hit the retry path (and the flight recorder) in-band.
+            let pool = match &args.fault_plan {
+                None => SessionPool::new(910, &serving_rotation(), cost, cache.clone()),
+                Some(plan) => SessionPool::new_with_faults(
+                    910,
+                    &serving_rotation(),
+                    cost,
+                    cache.clone(),
+                    ShowcaseFaults {
+                        injector: Arc::new(FaultInjector::new(plan.clone())),
+                        retry: RetryPolicy {
+                            max_attempts: 3,
+                            ..RetryPolicy::default()
+                        },
+                    },
+                ),
+            };
             let frames = SyntheticVideo::new(911, 64, 64).frames(64);
             let sequential = pool.serve(&frames, 1);
-            let concurrent = pool.serve(&frames, args.concurrency);
-            if sequential != concurrent {
-                eprintln!(
-                    "error: concurrent serving (concurrency {}) diverged from sequential",
-                    args.concurrency
-                );
-                std::process::exit(1);
+            let concurrent = match plane {
+                None => pool.serve(&frames, args.concurrency),
+                Some(plane) => pool.serve_observed(&frames, args.concurrency, plane),
+            };
+            if args.fault_plan.is_none() {
+                if sequential != concurrent {
+                    eprintln!(
+                        "error: concurrent serving (concurrency {}) diverged from sequential",
+                        args.concurrency
+                    );
+                    std::process::exit(1);
+                }
+            } else {
+                // Under faults, retry backoff lands on whichever dispatch
+                // consumed a fault (schedule-dependent), so only the
+                // numeric outputs must agree; metrics below come from the
+                // sequential pass, which is deterministic either way.
+                let numerics = |r: &FrameResult| {
+                    (
+                        r.frame_index,
+                        r.objects.clone(),
+                        r.faces.clone(),
+                        r.dropped.clone(),
+                    )
+                };
+                if sequential
+                    .iter()
+                    .map(numerics)
+                    .ne(concurrent.iter().map(numerics))
+                {
+                    eprintln!(
+                        "error: concurrent serving (concurrency {}) changed numeric outputs \
+                         under the fault plan",
+                        args.concurrency
+                    );
+                    std::process::exit(1);
+                }
             }
             let per_frame: Vec<Vec<tvm_neuropilot::serving::SimSegment>> = sequential
                 .iter()
@@ -429,9 +493,15 @@ fn main() -> ExitCode {
         cost = cost.with_kind_scale(kind, factor);
     }
 
+    // The observability plane (when any --stats-out/--flight-*/--slo-ms
+    // flag is given) watches the serve workload live. Per-frame trace
+    // ids repeat across repetitions, so trace trees are per-rep: use
+    // `--runs 1` when inspecting traces; sketches and counters
+    // accumulate across reps by design.
+    let plane = args.observe.build_plane();
     let mut samples: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     for _ in 0..args.runs {
-        for (key, v) in run_workload(&args, &cost) {
+        for (key, v) in run_workload(&args, &cost, plane.as_ref()) {
             samples.entry(key).or_default().push(v);
         }
     }
@@ -446,6 +516,11 @@ fn main() -> ExitCode {
         for (key, v) in resilience_metrics(plan, &cost) {
             samples.entry(key).or_default().push(v);
         }
+    }
+
+    if let Some(plane) = &plane {
+        args.observe.finish_plane(plane);
+        tvm_neuropilot::telemetry::disable();
     }
 
     let mut record = BenchRecord::new(args.workload.clone(), args.runs);

@@ -1,0 +1,287 @@
+//! Observability artifact checker for CI.
+//!
+//! Three modes, composable in one invocation:
+//!
+//! ```text
+//! obs_check --stats <stats.jsonl>            # schema-check the JSONL stats stream
+//! obs_check --flight-dir <dir> [--expect-kind <kind>]...
+//!                                            # schema-check every flight-*.json,
+//!                                            # assert the expected event kinds appear
+//! obs_check --compare <a.json> <b.json> --metric <key> [--warn-at F]
+//!                                            # warn (never fail) when b's median
+//!                                            # exceeds a's by more than F (default 0.05)
+//! ```
+//!
+//! Exit code 0 means every requested check passed (the `--compare` gate
+//! is warn-only by design: observability overhead on the *simulated*
+//! metrics is structurally zero — observation never charges simulated
+//! time — so a regression there signals a bug, but the wall-clock cost
+//! of the instrumented path is environment-dependent and must not turn
+//! CI red on a loaded runner).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use tvm_neuropilot::observe::validate_dump;
+use tvm_neuropilot::report::BenchRecord;
+
+struct Args {
+    stats: Option<PathBuf>,
+    flight_dir: Option<PathBuf>,
+    expect_kinds: Vec<String>,
+    compare: Option<(PathBuf, PathBuf)>,
+    metric: Option<String>,
+    warn_at: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: obs_check [--stats <stats.jsonl>] \
+         [--flight-dir <dir>] [--expect-kind <kind>]... \
+         [--compare <a.json> <b.json> --metric <key> [--warn-at F]]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut stats = None;
+    let mut flight_dir = None;
+    let mut expect_kinds = Vec::new();
+    let mut compare = None;
+    let mut metric = None;
+    let mut warn_at = 0.05f64;
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("error: {flag} requires a value");
+            usage();
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--stats" => stats = Some(PathBuf::from(value(&mut args, "--stats"))),
+            "--flight-dir" => flight_dir = Some(PathBuf::from(value(&mut args, "--flight-dir"))),
+            "--expect-kind" => expect_kinds.push(value(&mut args, "--expect-kind")),
+            "--compare" => {
+                let a = PathBuf::from(value(&mut args, "--compare"));
+                let b = PathBuf::from(value(&mut args, "--compare"));
+                compare = Some((a, b));
+            }
+            "--metric" => metric = Some(value(&mut args, "--metric")),
+            "--warn-at" => {
+                let v = value(&mut args, "--warn-at");
+                warn_at = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --warn-at expects a float, got '{v}'");
+                    usage();
+                });
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    if stats.is_none() && flight_dir.is_none() && compare.is_none() {
+        eprintln!("error: nothing to do — pass --stats, --flight-dir, and/or --compare");
+        usage();
+    }
+    if compare.is_some() && metric.is_none() {
+        eprintln!("error: --compare requires --metric <key>");
+        usage();
+    }
+    Args {
+        stats,
+        flight_dir,
+        expect_kinds,
+        compare,
+        metric,
+        warn_at,
+    }
+}
+
+/// Validate the JSONL stats stream: every line parses, carries the
+/// stats-line envelope, has monotonically increasing `seq`, and the last
+/// line is the `final` flush.
+fn check_stats(path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: unreadable: {e}", path.display()))?;
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.is_empty() {
+        return Err(format!("{}: stats stream is empty", path.display()));
+    }
+    let mut last_seq = 0u64;
+    let mut last_reason = String::new();
+    for (i, line) in lines.iter().enumerate() {
+        let v: serde_json::Value = serde_json::from_str(line)
+            .map_err(|e| format!("{}: line {}: invalid JSON: {e}", path.display(), i + 1))?;
+        if v["type"].as_str() != Some("stats") {
+            return Err(format!(
+                "{}: line {}: type != \"stats\"",
+                path.display(),
+                i + 1
+            ));
+        }
+        let seq = v["seq"]
+            .as_u64()
+            .ok_or_else(|| format!("{}: line {}: missing seq", path.display(), i + 1))?;
+        if seq <= last_seq {
+            return Err(format!(
+                "{}: line {}: seq {seq} not increasing (prev {last_seq})",
+                path.display(),
+                i + 1
+            ));
+        }
+        last_seq = seq;
+        if v["stats"]["series"].as_array().is_none() {
+            return Err(format!(
+                "{}: line {}: stats.series is not an array",
+                path.display(),
+                i + 1
+            ));
+        }
+        // Internal consistency: every series must satisfy
+        // min <= p50 <= p95 <= p99 <= max.
+        if let Some(series) = v["stats"]["series"].as_array() {
+            for s in series {
+                let q = |k: &str| s[k].as_f64().unwrap_or(0.0);
+                let key = s["key"].as_str().unwrap_or("<unkeyed>");
+                let slack = 1e-9;
+                if !(q("min_us") <= q("p50_us") + slack
+                    && q("p50_us") <= q("p95_us") + slack
+                    && q("p95_us") <= q("p99_us") + slack
+                    && q("p99_us") <= q("max_us") + slack)
+                {
+                    return Err(format!(
+                        "{}: line {}: series '{key}' quantiles not monotone",
+                        path.display(),
+                        i + 1
+                    ));
+                }
+            }
+        }
+        last_reason = v["reason"].as_str().unwrap_or_default().to_string();
+    }
+    if last_reason != "final" {
+        return Err(format!(
+            "{}: last line's reason is '{last_reason}', expected 'final'",
+            path.display()
+        ));
+    }
+    println!(
+        "stats OK: {} ({} line(s), final seq {})",
+        path.display(),
+        lines.len(),
+        last_seq
+    );
+    Ok(())
+}
+
+/// Schema-check every `flight-*.json` in `dir` and assert each
+/// `--expect-kind` appears in at least one dump's event window.
+fn check_flight(dir: &Path, expect_kinds: &[String]) -> Result<(), String> {
+    let mut dumps = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("{}: unreadable: {e}", dir.display()))?;
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("flight-") && name.ends_with(".json") {
+            dumps.push(entry.path());
+        }
+    }
+    if dumps.is_empty() {
+        return Err(format!("{}: no flight-*.json dumps found", dir.display()));
+    }
+    dumps.sort();
+    let mut seen_kinds: Vec<String> = Vec::new();
+    for path in &dumps {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: unreadable: {e}", path.display()))?;
+        let doc: serde_json::Value = serde_json::from_str(&text)
+            .map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+        if let Some(problem) = validate_dump(&doc) {
+            return Err(format!("{}: schema violation: {problem}", path.display()));
+        }
+        if let Some(events) = doc["events"].as_array() {
+            for e in events {
+                if let Some(kind) = e["kind"].as_str() {
+                    if !seen_kinds.iter().any(|k| k == kind) {
+                        seen_kinds.push(kind.to_string());
+                    }
+                }
+            }
+        }
+        println!("flight OK: {}", path.display());
+    }
+    for want in expect_kinds {
+        if !seen_kinds.iter().any(|k| k == want) {
+            return Err(format!(
+                "{}: no dump contains an event of kind '{want}' (saw: {})",
+                dir.display(),
+                seen_kinds.join(", ")
+            ));
+        }
+    }
+    if !expect_kinds.is_empty() {
+        println!("flight kinds OK: {}", expect_kinds.join(", "));
+    }
+    Ok(())
+}
+
+/// Warn-only median comparison of one metric across two bench records.
+fn check_compare(a: &Path, b: &Path, metric: &str, warn_at: f64) -> Result<(), String> {
+    let rec_a = BenchRecord::read(a).map_err(|e| e.to_string())?;
+    let rec_b = BenchRecord::read(b).map_err(|e| e.to_string())?;
+    let median = |rec: &BenchRecord, path: &Path| {
+        rec.metrics
+            .get(metric)
+            .map(|m| m.median)
+            .ok_or_else(|| format!("{}: metric '{metric}' not found", path.display()))
+    };
+    let ma = median(&rec_a, a)?;
+    let mb = median(&rec_b, b)?;
+    if ma <= 0.0 {
+        println!("compare: baseline median for '{metric}' is {ma}; nothing to compare");
+        return Ok(());
+    }
+    let delta = (mb - ma) / ma;
+    if delta > warn_at {
+        println!(
+            "WARN: '{metric}' median {mb:.4} is {:.1}% over baseline {ma:.4} \
+             (threshold {:.1}%; warn-only)",
+            delta * 100.0,
+            warn_at * 100.0
+        );
+    } else {
+        println!(
+            "compare OK: '{metric}' median {mb:.4} vs baseline {ma:.4} ({:+.1}%)",
+            delta * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut checks: Vec<Result<(), String>> = Vec::new();
+    if let Some(path) = &args.stats {
+        checks.push(check_stats(path));
+    }
+    if let Some(dir) = &args.flight_dir {
+        checks.push(check_flight(dir, &args.expect_kinds));
+    }
+    if let (Some((a, b)), Some(metric)) = (&args.compare, &args.metric) {
+        checks.push(check_compare(a, b, metric, args.warn_at));
+    }
+    let mut ok = true;
+    for check in checks {
+        if let Err(e) = check {
+            eprintln!("error: {e}");
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

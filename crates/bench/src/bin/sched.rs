@@ -46,7 +46,12 @@ fn main() {
         assert_ne!(assignment[&p.name], Permutation::TvmOnly);
     }
 
-    let cache = run_serving_pool(&cost, telem.concurrency, telem.cache_dir.clone());
+    let cache = run_serving_pool(
+        &cost,
+        telem.concurrency,
+        telem.cache_dir.clone(),
+        telem.plane.as_deref(),
+    );
 
     if let Some(plan) = telem.fault_plan.clone() {
         run_resilient_showcase(&plan, &models, &cost, &cache);
@@ -59,13 +64,16 @@ fn main() {
 }
 
 /// Serve a clip through the concurrent session pool and print simulated
-/// throughput versus sequential, plus artifact-cache statistics. Returns
-/// the cache so downstream sections (resilient fallback re-dispatch)
-/// reuse the compiled artifacts.
+/// throughput versus sequential, plus artifact-cache statistics. With an
+/// observability plane the concurrent pass runs observed (per-frame
+/// traces, live sketches) and a p99 tail-attribution table follows the
+/// throughput lines. Returns the cache so downstream sections (resilient
+/// fallback re-dispatch) reuse the compiled artifacts.
 fn run_serving_pool(
     cost: &CostModel,
     concurrency: usize,
     cache_dir: Option<std::path::PathBuf>,
+    plane: Option<&tvm_neuropilot::observe::ObservePlane>,
 ) -> Arc<ArtifactCache> {
     println!("\n== Concurrent serving (session pool) ==\n");
     let mut cache = ArtifactCache::new(16 << 20);
@@ -76,7 +84,10 @@ fn run_serving_pool(
     let pool = SessionPool::new(83, &serving_rotation(), cost, cache.clone());
     let frames = SyntheticVideo::new(84, 64, 64).frames(64);
     let sequential = pool.serve(&frames, 1);
-    let concurrent = pool.serve(&frames, concurrency);
+    let concurrent = match plane {
+        None => pool.serve(&frames, concurrency),
+        Some(plane) => pool.serve_observed(&frames, concurrency, plane),
+    };
     assert_eq!(
         sequential, concurrent,
         "concurrent serving must match sequential bitwise"
@@ -102,6 +113,18 @@ fn run_serving_pool(
         stats.misses,
         stats.hit_rate() * 100.0
     );
+    if let Some(plane) = plane {
+        // Reassemble the per-frame trace trees recorded above and name
+        // what the p99 tail frames actually spent their time on.
+        let trees = tvm_neuropilot::observe::assemble(&tvm_neuropilot::telemetry::snapshot());
+        if let Some(attribution) = tvm_neuropilot::observe::attribute(
+            &plane.snapshot(),
+            &trees,
+            tvm_neuropilot::serving::PIPELINE,
+        ) {
+            println!("\n{}", attribution.render_text());
+        }
+    }
     cache
 }
 

@@ -13,11 +13,144 @@
 //!   `apu:dispatch:transient` or `apu:kernel:throttle=2.5@mac`;
 //! * `--fault-seed <n>` — seed for the fault plan's deterministic draws
 //!   (default 0).
+//!
+//! The live-observability flags stand up an
+//! [`ObservePlane`](tvm_neuropilot::observe::ObservePlane) for the run:
+//!
+//! * `--stats-out <path>` — stream periodic quantile-sketch snapshots as
+//!   JSONL;
+//! * `--flight-out <dir>` — write flight-recorder dumps into `dir` on
+//!   fault exhaustion, SLO breach, or worker panic;
+//! * `--flight-buffer <n>` — flight-recorder ring capacity (default 1024);
+//! * `--slo-ms <f>` — per-frame latency SLO; a breach triggers a dump.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use tvm_neuropilot::models::Model;
+use tvm_neuropilot::observe::{ObserveConfig, ObservePlane};
 use tvm_neuropilot::prelude::*;
 use tvmnp_telemetry::{profile_table, write_chrome_trace, ProfileOptions};
+
+/// Parsed live-observability flags, shared by the bench binaries.
+#[derive(Debug, Clone, Default)]
+pub struct ObserveCli {
+    /// JSONL stats-stream path (`--stats-out`).
+    pub stats_out: Option<PathBuf>,
+    /// Flight-dump directory (`--flight-out`).
+    pub flight_out: Option<PathBuf>,
+    /// Flight-recorder ring capacity (`--flight-buffer`, default 1024).
+    pub flight_buffer: Option<usize>,
+    /// Per-frame SLO in milliseconds (`--slo-ms`).
+    pub slo_ms: Option<f64>,
+}
+
+impl ObserveCli {
+    /// Whether any observability output was requested.
+    pub fn active(&self) -> bool {
+        self.stats_out.is_some()
+            || self.flight_out.is_some()
+            || self.flight_buffer.is_some()
+            || self.slo_ms.is_some()
+    }
+
+    /// Try to consume one observability flag at `arg`, pulling values
+    /// from `args`. Returns whether the flag was recognized; exits with
+    /// a usage error on a malformed value.
+    pub fn consume(&mut self, arg: &str, args: &mut dyn Iterator<Item = String>) -> bool {
+        let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg {
+            "--stats-out" => {
+                self.stats_out = Some(PathBuf::from(value(args, "--stats-out")));
+            }
+            "--flight-out" => {
+                self.flight_out = Some(PathBuf::from(value(args, "--flight-out")));
+            }
+            "--flight-buffer" => {
+                let v = value(args, "--flight-buffer");
+                let n: usize = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --flight-buffer expects a positive integer, got '{v}'");
+                    std::process::exit(2);
+                });
+                if n == 0 {
+                    eprintln!("error: --flight-buffer must be at least 1");
+                    std::process::exit(2);
+                }
+                self.flight_buffer = Some(n);
+            }
+            "--slo-ms" => {
+                let v = value(args, "--slo-ms");
+                let ms: f64 = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --slo-ms expects a float, got '{v}'");
+                    std::process::exit(2);
+                });
+                if !ms.is_finite() || ms <= 0.0 {
+                    eprintln!("error: --slo-ms must be positive");
+                    std::process::exit(2);
+                }
+                self.slo_ms = Some(ms);
+            }
+            _ => return false,
+        }
+        true
+    }
+
+    /// Stand up (and install) the observability plane these flags
+    /// describe; `None` when no flag was given. Also enables the
+    /// telemetry collector — traced spans are the plane's raw material.
+    pub fn build_plane(&self) -> Option<Arc<ObservePlane>> {
+        if !self.active() {
+            return None;
+        }
+        let config = ObserveConfig {
+            slo_us: self.slo_ms.map(|ms| ms * 1e3),
+            flight_capacity: self.flight_buffer.unwrap_or(1024),
+            flight_dir: self.flight_out.clone(),
+            stats_path: self.stats_out.clone(),
+            ..ObserveConfig::default()
+        };
+        let plane = match ObservePlane::new(config) {
+            Ok(p) => Arc::new(p),
+            Err(e) => {
+                eprintln!("error: failed to stand up observability plane: {e}");
+                std::process::exit(1);
+            }
+        };
+        tvmnp_telemetry::enable();
+        tvmnp_telemetry::reset();
+        plane.install();
+        Some(plane)
+    }
+
+    /// Finish the plane: final stats line, stream flush, sink removal,
+    /// and a one-line summary of what was written where.
+    pub fn finish_plane(&self, plane: &Arc<ObservePlane>) {
+        if let Err(e) = plane.finish() {
+            eprintln!("error: failed to flush stats stream: {e}");
+            std::process::exit(1);
+        }
+        ObservePlane::uninstall();
+        if let Some(path) = &self.stats_out {
+            println!(
+                "stats stream written to {} ({} frame(s) observed)",
+                path.display(),
+                plane.frames()
+            );
+        }
+        let dumps = plane.dump_paths();
+        if !dumps.is_empty() {
+            for p in &dumps {
+                println!("flight dump written to {}", p.display());
+            }
+        } else if self.flight_out.is_some() {
+            println!("no flight dump triggered (no fault exhaustion, SLO breach, or panic)");
+        }
+    }
+}
 
 /// Parsed telemetry flags plus the state accumulated while profiling.
 pub struct TelemetryCli {
@@ -36,6 +169,11 @@ pub struct TelemetryCli {
     /// Compiled-artifact cache directory (`--cache-dir <path>`); `None`
     /// keeps the cache in memory only.
     pub cache_dir: Option<PathBuf>,
+    /// Parsed live-observability flags.
+    pub observe: ObserveCli,
+    /// The installed observability plane, when any observe flag was
+    /// given. Finished and uninstalled by [`TelemetryCli::finish`].
+    pub plane: Option<Arc<ObservePlane>>,
     total_run_us: f64,
 }
 
@@ -51,8 +189,12 @@ impl TelemetryCli {
         let mut fault_seed = 0u64;
         let mut concurrency = 4usize;
         let mut cache_dir = None;
+        let mut observe = ObserveCli::default();
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
+            if observe.consume(a.as_str(), &mut args) {
+                continue;
+            }
             match a.as_str() {
                 "--profile" => profile = true,
                 "--concurrency" => {
@@ -105,26 +247,33 @@ impl TelemetryCli {
                         "error: unknown argument '{other}' \
                          (supported: --profile, --trace-out <path>, \
                          --inject-fault <spec>, --fault-seed <n>, \
-                         --concurrency <n>, --cache-dir <path>)"
+                         --concurrency <n>, --cache-dir <path>, \
+                         --stats-out <path>, --flight-out <dir>, \
+                         --flight-buffer <n>, --slo-ms <f>)"
                     );
                     std::process::exit(2);
                 }
             }
         }
         let fault_plan = build_fault_plan(&fault_specs, fault_seed);
-        let cli = TelemetryCli {
+        let mut cli = TelemetryCli {
             profile,
             trace_out,
             fault_plan,
             profile_span: "executor.node",
             concurrency,
             cache_dir,
+            observe,
+            plane: None,
             total_run_us: 0.0,
         };
         if cli.active() || cli.fault_plan.is_some() {
             tvmnp_telemetry::enable();
             tvmnp_telemetry::reset();
         }
+        // Last: the plane's build enables + resets the collector itself,
+        // so any prior enable above is subsumed, not double-counted.
+        cli.plane = cli.observe.build_plane();
         cli
     }
 
@@ -155,8 +304,11 @@ impl TelemetryCli {
 
     /// Emit the requested outputs and disable collection.
     pub fn finish(self) {
+        if let Some(plane) = &self.plane {
+            self.observe.finish_plane(plane);
+        }
         if !self.active() {
-            if self.fault_plan.is_some() {
+            if self.fault_plan.is_some() || self.plane.is_some() {
                 tvmnp_telemetry::disable();
             }
             return;

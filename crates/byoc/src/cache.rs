@@ -335,12 +335,29 @@ impl ArtifactCache {
         st.entries.insert(key.clone(), (entry, size));
         st.order.push(key);
         st.total_bytes += size;
+        let mut evicted: Vec<(String, usize)> = Vec::new();
         while st.total_bytes > self.budget_bytes && st.order.len() > 1 {
             let victim = st.order.remove(0);
             if let Some((_, bytes)) = st.entries.remove(&victim) {
                 st.total_bytes -= bytes;
                 st.evictions += 1;
                 tvmnp_telemetry::counter_add("cache.evict", &[], 1);
+                evicted.push((victim, bytes));
+            }
+        }
+        drop(st);
+        // Event-sink forwarding happens outside the lock: the flight
+        // recorder takes its own mutex and may do I/O on dump triggers.
+        if tvmnp_telemetry::sink_active() {
+            for (victim, bytes) in evicted {
+                tvmnp_telemetry::emit_event(
+                    "cache.evict",
+                    vec![
+                        ("key".to_string(), victim),
+                        ("bytes".to_string(), bytes.to_string()),
+                        ("reason".to_string(), "lru-budget".to_string()),
+                    ],
+                );
             }
         }
     }

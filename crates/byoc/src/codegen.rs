@@ -194,7 +194,7 @@ mod tests {
         let m2 = NeuronModule::from_blob(&blob, CostModel::default()).unwrap();
         let mut rng = TensorRng::new(19);
         let input = rng.uniform_f32([1, 3, 8, 8], -1.0, 1.0);
-        let (a, ta) = m.run(&[input.clone()]).unwrap();
+        let (a, ta) = m.run(std::slice::from_ref(&input)).unwrap();
         let (b, tb) = m2.run(&[input]).unwrap();
         assert!(a[0].bit_eq(&b[0]));
         assert_eq!(ta, tb);

@@ -295,7 +295,18 @@ impl ResilientSession {
         }
     }
 
-    fn record_fallback(&mut self, model: &str, from: Permutation, to: Option<Permutation>) {
+    /// Record one fallback transition as telemetry: a counter, a
+    /// zero-width sim span carrying the structured cause, and — when an
+    /// event sink (flight recorder) is installed — a
+    /// `resilience.fallback` event with the from-permutation,
+    /// to-permutation, and cause stage/detail.
+    fn record_fallback(
+        &mut self,
+        model: &str,
+        from: Permutation,
+        to: Option<Permutation>,
+        cause: &FaultCause,
+    ) {
         let to_label = to.map(|p| p.label()).unwrap_or("<exhausted>");
         tvmnp_telemetry::counter_add(
             "resilience.fallback",
@@ -310,8 +321,22 @@ impl ResilientSession {
                 ("model".into(), model.into()),
                 ("from".into(), from.label().into()),
                 ("to".into(), to_label.into()),
+                ("cause".into(), cause.stage.into()),
+                ("detail".into(), cause.detail.clone()),
             ],
         );
+        if tvmnp_telemetry::sink_active() {
+            tvmnp_telemetry::emit_event(
+                "resilience.fallback",
+                vec![
+                    ("model".to_string(), model.to_string()),
+                    ("from".to_string(), from.label().to_string()),
+                    ("to".to_string(), to_label.to_string()),
+                    ("cause".to_string(), cause.stage.to_string()),
+                    ("detail".to_string(), cause.detail.clone()),
+                ],
+            );
+        }
         self.event_seq += 1;
     }
 
@@ -337,19 +362,32 @@ impl ResilientSession {
                     stage: "breaker",
                     detail: format!("circuit breaker open for {dead}"),
                 };
-                self.record_fallback(model, perm, next);
+                self.record_fallback(model, perm, next, &cause);
                 causes.push(cause);
                 continue;
             }
             // Compile-time faults (driver rejecting the network).
             if let Some(fault) = devices.iter().find_map(|&d| self.injector.on_compile(d)) {
                 self.update_breaker();
+                if tvmnp_telemetry::sink_active() {
+                    tvmnp_telemetry::emit_event(
+                        "fault.injected",
+                        vec![
+                            ("stage".to_string(), "compile".to_string()),
+                            ("device".to_string(), fault.device.name().to_string()),
+                            // `detail` (unindexed), not `cause`: the
+                            // description is free text and must not mint
+                            // a counter key per distinct fault.
+                            ("detail".to_string(), fault.description.clone()),
+                        ],
+                    );
+                }
                 let cause = FaultCause {
                     permutation: perm,
                     stage: "compile",
                     detail: fault.description,
                 };
-                self.record_fallback(model, perm, next);
+                self.record_fallback(model, perm, next, &cause);
                 causes.push(cause);
                 continue;
             }
@@ -364,7 +402,7 @@ impl ResilientSession {
                             stage,
                             detail,
                         };
-                        self.record_fallback(model, perm, next);
+                        self.record_fallback(model, perm, next, &cause);
                         causes.push(cause);
                         continue;
                     }
@@ -411,7 +449,7 @@ impl ResilientSession {
                                 stage,
                                 detail,
                             };
-                            self.record_fallback(model, perm, next);
+                            self.record_fallback(model, perm, next, &cause);
                             causes.push(cause);
                         }
                         None => {
@@ -425,6 +463,22 @@ impl ResilientSession {
             }
         }
         tvmnp_telemetry::counter_add("resilience.failed", &[], 1);
+        if tvmnp_telemetry::sink_active() {
+            // Flight-recorder dump trigger: the whole chain is gone.
+            tvmnp_telemetry::emit_event(
+                "resilience.exhausted",
+                vec![
+                    ("model".to_string(), model.to_string()),
+                    (
+                        "cause".to_string(),
+                        causes
+                            .last()
+                            .map(|c| c.stage.to_string())
+                            .unwrap_or_else(|| "unknown".to_string()),
+                    ),
+                ],
+            );
+        }
         Err(ResilienceError::Exhausted {
             model: model.to_string(),
             causes,

@@ -618,15 +618,10 @@ mod tests {
             let mut pattern = Vec::new();
             for _ in 0..16 {
                 let mut attempt = 1;
-                loop {
-                    match inj.on_dispatch(DeviceKind::Apu, attempt) {
-                        Some(f) => {
-                            assert!(!f.fatal);
-                            attempt += 1;
-                            assert!(attempt < 16, "transient must eventually recover");
-                        }
-                        None => break,
-                    }
+                while let Some(f) = inj.on_dispatch(DeviceKind::Apu, attempt) {
+                    assert!(!f.fatal);
+                    attempt += 1;
+                    assert!(attempt < 16, "transient must eventually recover");
                 }
                 pattern.push(attempt);
             }

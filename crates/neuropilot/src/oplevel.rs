@@ -333,7 +333,7 @@ mod tests {
         let net = CompiledNetwork::from_plan(g.clone(), plan, cost.clone());
         let cpu = CompiledNetwork::compile(g.clone(), TargetPolicy::CpuOnly, cost).unwrap();
         let input = rng.uniform_f32([1, 16, 32, 32], -1.0, 1.0);
-        let (a, _) = net.execute(&[input.clone()]).unwrap();
+        let (a, _) = net.execute(std::slice::from_ref(&input)).unwrap();
         let (b, _) = cpu.execute(&[input]).unwrap();
         assert!(a[0].bit_eq(&b[0]));
     }

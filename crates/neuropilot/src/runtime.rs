@@ -503,7 +503,7 @@ mod tests {
         let (f, input) = small_net();
         let g = convert_function(&f).unwrap();
         let net = CompiledNetwork::compile(g, TargetPolicy::CpuOnly, CostModel::default()).unwrap();
-        let (outs, time_us) = net.execute(&[input.clone()]).unwrap();
+        let (outs, time_us) = net.execute(std::slice::from_ref(&input)).unwrap();
         let module = Module::from_main(f);
         let mut ins = HashMap::new();
         ins.insert("x".to_string(), input);
@@ -523,7 +523,7 @@ mod tests {
         let mut outputs: Vec<Tensor> = Vec::new();
         for policy in TargetPolicy::ALL {
             let net = CompiledNetwork::compile(g.clone(), policy, CostModel::default()).unwrap();
-            let (outs, t) = net.execute(&[input.clone()]).unwrap();
+            let (outs, t) = net.execute(std::slice::from_ref(&input)).unwrap();
             times.push(t);
             outputs.push(outs[0].clone());
         }
@@ -591,7 +591,7 @@ mod tests {
         let net =
             CompiledNetwork::compile(g, TargetPolicy::ApuPrefer, CostModel::default()).unwrap();
         let input = rng.uniform_f32([1, 2, 6, 6], -1.0, 1.0);
-        let (outs, _) = net.execute(&[input.clone()]).unwrap();
+        let (outs, _) = net.execute(std::slice::from_ref(&input)).unwrap();
         // Reference through the Relay interpreter.
         let module = Module::from_main(f);
         let mut ins = HashMap::new();
@@ -606,7 +606,7 @@ mod tests {
         let (f, input) = small_net();
         let g = convert_function(&f).unwrap();
         let net = CompiledNetwork::compile(g, TargetPolicy::CpuOnly, CostModel::default()).unwrap();
-        let (clean, base_us) = net.execute(&[input.clone()]).unwrap();
+        let (clean, base_us) = net.execute(std::slice::from_ref(&input)).unwrap();
         let injector = FaultInjector::new(
             FaultPlan::seeded(7).transient_dispatch(tvmnp_hwsim::DeviceKind::Cpu, 2),
         );
@@ -630,7 +630,7 @@ mod tests {
         let lost = FaultInjector::new(FaultPlan::seeded(1).device_lost(DeviceKind::Cpu));
         let err = net
             .execute_resilient(
-                &[input.clone()],
+                std::slice::from_ref(&input),
                 &lost,
                 &RetryPolicy::default(),
                 f64::INFINITY,

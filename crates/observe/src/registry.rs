@@ -1,0 +1,380 @@
+//! Lock-sharded live stats registry: labeled quantile series, counters,
+//! and gauges, with a consistent [`StatsRegistry::snapshot`].
+//!
+//! Writers hash their series key onto one of [`SHARDS`] mutexes, so
+//! concurrent serving workers recording different series almost never
+//! contend; a snapshot walks the shards in order and merges everything
+//! into one deterministic, key-sorted view. Latency series are
+//! [`QuantileSketch`]es (p50/p95/p99 per {pipeline, stage, device,
+//! kind}); counters and gauges cover rates (cache hits, retries,
+//! fallbacks, SLO breaches).
+
+use crate::sketch::QuantileSketch;
+use parking_lot::Mutex;
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+
+/// Number of mutex shards. Power of two, comfortably above the serving
+/// pool's worker counts.
+pub const SHARDS: usize = 16;
+
+/// A series identity: metric name plus sorted labels. Ordered, so
+/// snapshots iterate deterministically.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesKey {
+    /// Metric name, e.g. `latency_us` or `wait_us`.
+    pub name: String,
+    /// Sorted label pairs, e.g. `[(pipeline, showcase), (stage, obj-det)]`.
+    pub labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    /// Build a key; labels are sorted for identity.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        SeriesKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// The label's value, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `name{k=v,...}` rendering, matching the telemetry metric style.
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let labels: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        format!("{}{{{}}}", self.name, labels.join(","))
+    }
+
+    /// Deterministic shard index (FNV-1a over the rendered key).
+    fn shard(&self) -> usize {
+        let mut hash: u64 = 0xcbf29ce484222325;
+        for byte in self.render().bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        (hash as usize) % SHARDS
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    series: BTreeMap<SeriesKey, QuantileSketch>,
+    counters: BTreeMap<SeriesKey, u64>,
+    gauges: BTreeMap<SeriesKey, f64>,
+}
+
+/// Sharded live metrics store. Cheap to write from many threads; cheap
+/// enough to snapshot every few frames.
+pub struct StatsRegistry {
+    epsilon: f64,
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl Default for StatsRegistry {
+    fn default() -> Self {
+        StatsRegistry::new(crate::sketch::DEFAULT_EPSILON)
+    }
+}
+
+impl StatsRegistry {
+    /// A registry whose sketches carry rank error `epsilon`.
+    pub fn new(epsilon: f64) -> StatsRegistry {
+        StatsRegistry {
+            epsilon,
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &SeriesKey) -> &Mutex<Shard> {
+        &self.shards[key.shard()]
+    }
+
+    /// Record one latency/duration sample into a labeled series.
+    pub fn observe_us(&self, name: &str, labels: &[(&str, &str)], us: f64) {
+        let key = SeriesKey::new(name, labels);
+        let mut shard = self.shard(&key).lock();
+        let epsilon = self.epsilon;
+        shard
+            .series
+            .entry(key)
+            .or_insert_with(|| QuantileSketch::new(epsilon))
+            .insert(us);
+    }
+
+    /// Add to a labeled counter.
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        let key = SeriesKey::new(name, labels);
+        let mut shard = self.shard(&key).lock();
+        *shard.counters.entry(key).or_insert(0) += delta;
+    }
+
+    /// Set a labeled gauge to its latest value.
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let key = SeriesKey::new(name, labels);
+        let mut shard = self.shard(&key).lock();
+        shard.gauges.insert(key, value);
+    }
+}
+
+/// One series in a snapshot: exact count/sum/min/max plus sketch
+/// quantiles.
+#[derive(Debug, Clone)]
+pub struct SeriesStats {
+    /// Identity of the series.
+    pub key: SeriesKey,
+    /// Samples observed.
+    pub count: u64,
+    /// Exact sum of samples (µs).
+    pub sum_us: f64,
+    /// Exact minimum (µs).
+    pub min_us: f64,
+    /// Exact maximum (µs).
+    pub max_us: f64,
+    /// Approximate median (µs).
+    pub p50_us: f64,
+    /// Approximate 95th percentile (µs).
+    pub p95_us: f64,
+    /// Approximate 99th percentile (µs).
+    pub p99_us: f64,
+}
+
+/// A consistent, key-sorted view of every series, counter, and gauge.
+#[derive(Debug, Clone, Default)]
+pub struct StatsSnapshot {
+    /// Quantile series, sorted by key.
+    pub series: Vec<SeriesStats>,
+    /// Counters, sorted by key.
+    pub counters: Vec<(SeriesKey, u64)>,
+    /// Gauges, sorted by key.
+    pub gauges: Vec<(SeriesKey, f64)>,
+}
+
+impl StatsRegistry {
+    /// Merge every shard into one deterministic snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut series: BTreeMap<SeriesKey, QuantileSketch> = BTreeMap::new();
+        let mut counters: BTreeMap<SeriesKey, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<SeriesKey, f64> = BTreeMap::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (key, sketch) in &shard.series {
+                match series.get_mut(key) {
+                    Some(existing) => existing.merge(sketch),
+                    None => {
+                        series.insert(key.clone(), sketch.clone());
+                    }
+                }
+            }
+            for (key, v) in &shard.counters {
+                *counters.entry(key.clone()).or_insert(0) += v;
+            }
+            for (key, v) in &shard.gauges {
+                gauges.insert(key.clone(), *v);
+            }
+        }
+        StatsSnapshot {
+            series: series
+                .into_iter()
+                .map(|(key, mut sketch)| SeriesStats {
+                    key,
+                    count: sketch.count(),
+                    sum_us: sketch.sum(),
+                    min_us: sketch.min(),
+                    max_us: sketch.max(),
+                    p50_us: sketch.query(0.50),
+                    p95_us: sketch.query(0.95),
+                    p99_us: sketch.query(0.99),
+                })
+                .collect(),
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// The series with this exact key, if present.
+    pub fn series_named(&self, name: &str, labels: &[(&str, &str)]) -> Option<&SeriesStats> {
+        let key = SeriesKey::new(name, labels);
+        self.series.iter().find(|s| s.key == key)
+    }
+
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let key = SeriesKey::new(name, labels);
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Sum of all counters with this name, any labels.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// `hits / (hits + misses)` for a pair of counters, `None` when both
+    /// are zero.
+    pub fn rate(&self, hits: &str, misses: &str) -> Option<f64> {
+        let h = self.counter_total(hits);
+        let m = self.counter_total(misses);
+        if h + m == 0 {
+            None
+        } else {
+            Some(h as f64 / (h + m) as f64)
+        }
+    }
+
+    /// Every series satisfies `p50 ≤ p95 ≤ p99` and basic sanity
+    /// (`min ≤ p50`, `p99 ≤ max`, non-negative count). Returns the first
+    /// violating series key, `None` when consistent.
+    pub fn consistency_violation(&self) -> Option<String> {
+        for s in &self.series {
+            let ordered = s.min_us <= s.p50_us + 1e-9
+                && s.p50_us <= s.p95_us + 1e-9
+                && s.p95_us <= s.p99_us + 1e-9
+                && s.p99_us <= s.max_us + 1e-9;
+            if !ordered {
+                return Some(s.key.render());
+            }
+        }
+        None
+    }
+
+    /// JSON rendering for the periodic stats stream: one self-contained
+    /// object, sorted keys throughout.
+    pub fn to_json(&self) -> Value {
+        let series: Vec<Value> = self
+            .series
+            .iter()
+            .map(|s| {
+                json!({
+                    "count": s.count,
+                    "key": s.key.render(),
+                    "max_us": s.max_us,
+                    "min_us": s.min_us,
+                    "p50_us": s.p50_us,
+                    "p95_us": s.p95_us,
+                    "p99_us": s.p99_us,
+                    "sum_us": s.sum_us,
+                })
+            })
+            .collect();
+        let counters: Vec<Value> = self
+            .counters
+            .iter()
+            .map(|(k, v)| json!({ "key": k.render(), "value": *v }))
+            .collect();
+        let gauges: Vec<Value> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| json!({ "key": k.render(), "value": *v }))
+            .collect();
+        json!({ "counters": counters, "gauges": gauges, "series": series })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_accumulate_and_snapshot_sorts() {
+        let reg = StatsRegistry::default();
+        for i in 0..100 {
+            reg.observe_us(
+                "latency_us",
+                &[("stage", "obj-det"), ("device", "gpu")],
+                100.0 + i as f64,
+            );
+            reg.observe_us(
+                "latency_us",
+                &[("stage", "emotion"), ("device", "apu")],
+                50.0,
+            );
+        }
+        reg.counter_add("cache.hits", &[], 3);
+        reg.counter_add("cache.misses", &[], 1);
+        reg.gauge_set("slo_us", &[], 2500.0);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.series.len(), 2);
+        assert!(snap.series[0].key < snap.series[1].key, "sorted by key");
+        let obj = snap
+            .series_named("latency_us", &[("device", "gpu"), ("stage", "obj-det")])
+            .expect("obj-det series");
+        assert_eq!(obj.count, 100);
+        assert_eq!(obj.min_us, 100.0);
+        assert_eq!(obj.max_us, 199.0);
+        assert_eq!(snap.counter("cache.hits", &[]), 3);
+        assert_eq!(snap.rate("cache.hits", "cache.misses"), Some(0.75));
+        assert_eq!(snap.consistency_violation(), None);
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing() {
+        let reg = StatsRegistry::default();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let reg = &reg;
+                scope.spawn(move || {
+                    let stage = if t % 2 == 0 { "obj-det" } else { "emotion" };
+                    for i in 0..1000 {
+                        reg.observe_us("latency_us", &[("stage", stage)], (t * 1000 + i) as f64);
+                        reg.counter_add("frames", &[("stage", stage)], 1);
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        let total: u64 = snap.series.iter().map(|s| s.count).sum();
+        assert_eq!(total, 8000);
+        assert_eq!(snap.counter_total("frames"), 8000);
+        assert_eq!(snap.consistency_violation(), None);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic() {
+        let build = || {
+            let reg = StatsRegistry::default();
+            for i in 0..500 {
+                reg.observe_us("latency_us", &[("stage", "obj-det")], (i % 37) as f64);
+            }
+            reg.counter_add("frames", &[], 500);
+            reg.snapshot().to_json().to_string()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        assert!(a.contains("\"key\":\"latency_us{stage=obj-det}\""), "{a}");
+    }
+
+    #[test]
+    fn key_rendering_sorts_labels() {
+        let key = SeriesKey::new("x", &[("z", "1"), ("a", "2")]);
+        assert_eq!(key.render(), "x{a=2,z=1}");
+        assert_eq!(key.label("z"), Some("1"));
+    }
+}

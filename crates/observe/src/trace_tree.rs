@@ -1,0 +1,213 @@
+//! Reassemble causal span trees from a telemetry snapshot.
+//!
+//! Spans recorded under a trace context carry `trace`/`span`/`parent`
+//! attributes (see `tvmnp_telemetry::trace`); this module groups a
+//! snapshot's spans by trace id and rebuilds each request's tree —
+//! frame root, stage summaries, executor nodes, retries, and fallback
+//! re-dispatches — no matter how the spans of concurrent requests
+//! interleaved in the collector.
+
+use tvmnp_telemetry::{Snapshot, SpanEvent};
+
+/// One span in a reassembled tree.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// The recorded span (name, timestamps, attributes).
+    pub event: SpanEvent,
+    /// This span's id.
+    pub span_id: u64,
+    /// Parent span id (`0` = root of the trace).
+    pub parent_id: u64,
+    /// Indices of child nodes within [`TraceTree::nodes`].
+    pub children: Vec<usize>,
+}
+
+/// All spans of one trace, wired parent→child.
+#[derive(Debug, Clone)]
+pub struct TraceTree {
+    /// Trace id the spans were recorded under.
+    pub trace_id: u64,
+    /// Every span of the trace, in recorded order.
+    pub nodes: Vec<SpanNode>,
+    /// Indices of nodes whose parent is `0` (trace roots).
+    pub roots: Vec<usize>,
+    /// `true` when the tree is closed: exactly one root, and every
+    /// non-root span's parent resolves to another span of this trace.
+    pub complete: bool,
+}
+
+impl TraceTree {
+    /// Nodes whose span name matches, in recorded order.
+    pub fn named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanNode> {
+        self.nodes.iter().filter(move |n| n.event.name == name)
+    }
+
+    /// Sum of durations of spans with this name.
+    pub fn total_us(&self, name: &str) -> f64 {
+        self.named(name).map(|n| n.event.dur_us).sum()
+    }
+
+    /// The single root node, when the tree is complete.
+    pub fn root(&self) -> Option<&SpanNode> {
+        match self.roots.as_slice() {
+            [only] => self.nodes.get(*only),
+            _ => None,
+        }
+    }
+
+    /// Attribute value of the root span, if any.
+    pub fn root_arg(&self, key: &str) -> Option<&str> {
+        self.root().and_then(|r| arg(&r.event, key))
+    }
+}
+
+/// Attribute lookup on a span event.
+pub fn arg<'e>(event: &'e SpanEvent, key: &str) -> Option<&'e str> {
+    event
+        .args
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+fn arg_u64(event: &SpanEvent, key: &str) -> Option<u64> {
+    arg(event, key).and_then(|v| v.parse().ok())
+}
+
+/// Group every trace-stamped span in the snapshot into trees, sorted by
+/// trace id. Spans without trace attributes are ignored.
+pub fn assemble(snapshot: &Snapshot) -> Vec<TraceTree> {
+    use std::collections::BTreeMap;
+    let mut by_trace: BTreeMap<u64, Vec<SpanNode>> = BTreeMap::new();
+    for event in &snapshot.events {
+        let (Some(trace), Some(span_id)) = (arg_u64(event, "trace"), arg_u64(event, "span")) else {
+            continue;
+        };
+        let parent_id = arg_u64(event, "parent").unwrap_or(0);
+        by_trace.entry(trace).or_default().push(SpanNode {
+            event: event.clone(),
+            span_id,
+            parent_id,
+            children: Vec::new(),
+        });
+    }
+
+    by_trace
+        .into_iter()
+        .map(|(trace_id, mut nodes)| {
+            let index: std::collections::HashMap<u64, usize> = nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.span_id, i))
+                .collect();
+            let mut roots = Vec::new();
+            let mut orphans = 0usize;
+            let edges: Vec<(usize, Option<usize>)> = nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    if n.parent_id == 0 {
+                        (i, None)
+                    } else {
+                        (i, index.get(&n.parent_id).copied())
+                    }
+                })
+                .collect();
+            for (child, parent) in edges {
+                match parent {
+                    Some(p) if p != child => nodes[p].children.push(child),
+                    Some(_) => orphans += 1, // self-parent: malformed
+                    None if nodes[child].parent_id == 0 => roots.push(child),
+                    None => orphans += 1, // parent span missing from trace
+                }
+            }
+            let complete = roots.len() == 1 && orphans == 0 && !nodes.is_empty();
+            TraceTree {
+                trace_id,
+                nodes,
+                roots,
+                complete,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvmnp_telemetry::{SpanEvent, TimeDomain};
+
+    fn span(name: &str, trace: u64, id: u64, parent: u64, dur: f64) -> SpanEvent {
+        SpanEvent {
+            name: name.to_string(),
+            ts_us: 0.0,
+            dur_us: dur,
+            tid: 0,
+            domain: TimeDomain::Sim,
+            args: vec![
+                ("trace".to_string(), trace.to_string()),
+                ("span".to_string(), id.to_string()),
+                ("parent".to_string(), parent.to_string()),
+            ],
+        }
+    }
+
+    fn snapshot(events: Vec<SpanEvent>) -> Snapshot {
+        Snapshot {
+            events,
+            metrics: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn interleaved_traces_reassemble_into_separate_trees() {
+        // Two traces, spans deliberately interleaved as if recorded by
+        // concurrent workers.
+        let snap = snapshot(vec![
+            span("executor.node", 2, 21, 20, 5.0),
+            span("serve.frame", 1, 10, 0, 100.0),
+            span("executor.node", 1, 11, 10, 40.0),
+            span("serve.frame", 2, 20, 0, 90.0),
+            span("resilience.retry", 2, 22, 21, 3.0),
+            span("executor.node", 1, 12, 10, 60.0),
+        ]);
+        let trees = assemble(&snap);
+        assert_eq!(trees.len(), 2);
+        assert!(trees.iter().all(|t| t.complete), "{trees:?}");
+        let t1 = &trees[0];
+        assert_eq!(t1.trace_id, 1);
+        assert_eq!(t1.root().unwrap().event.name, "serve.frame");
+        assert_eq!(t1.total_us("executor.node"), 100.0);
+        let t2 = &trees[1];
+        let retry = t2.named("resilience.retry").next().unwrap();
+        assert_eq!(retry.parent_id, 21, "retry nests under the node span");
+    }
+
+    #[test]
+    fn missing_parent_marks_tree_incomplete() {
+        let snap = snapshot(vec![
+            span("serve.frame", 1, 10, 0, 10.0),
+            span("executor.node", 1, 11, 99, 5.0), // parent 99 never recorded
+        ]);
+        let trees = assemble(&snap);
+        assert_eq!(trees.len(), 1);
+        assert!(!trees[0].complete);
+    }
+
+    #[test]
+    fn multiple_roots_mark_tree_incomplete() {
+        let snap = snapshot(vec![
+            span("serve.frame", 1, 10, 0, 10.0),
+            span("serve.frame", 1, 11, 0, 10.0),
+        ]);
+        assert!(!assemble(&snap)[0].complete);
+    }
+
+    #[test]
+    fn untraced_spans_are_ignored() {
+        let mut plain = span("byoc.build", 1, 1, 0, 1.0);
+        plain.args.clear();
+        let snap = snapshot(vec![plain]);
+        assert!(assemble(&snap).is_empty());
+    }
+}

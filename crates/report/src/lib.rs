@@ -35,7 +35,7 @@ pub use attribution::{attribute_breakdown, attribute_spans, OpCost};
 pub use bench::{compare, BenchIoError, BenchRecord, Comparison, MetricStats, SCHEMA_VERSION};
 pub use coverage::{coverage, CoverageReport, OpCoverage};
 pub use dot::dot_graph;
-pub use resilience::{FallbackEdge, ResilienceReport};
+pub use resilience::{FallbackEdge, FallbackTransition, ResilienceReport};
 pub use schedule::{analyze_schedule, critical_path, PathStep, ScheduleReport, WaitReason};
 pub use util::{
     utilization_from_snapshot, utilization_from_timeline, DeviceUtil, UtilizationReport,

@@ -23,6 +23,24 @@ pub struct FallbackEdge {
     pub count: u64,
 }
 
+/// One structured fallback transition, reconstructed from a
+/// `resilience.fallback` span's args — the event-level view (which model,
+/// which cause stage, full detail) that the counter-level
+/// [`FallbackEdge`]s aggregate away.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FallbackTransition {
+    /// Model the session was running.
+    pub model: String,
+    /// Permutation that failed.
+    pub from: String,
+    /// Permutation tried next (`"<exhausted>"` on the last chain step).
+    pub to: String,
+    /// Cause stage: `breaker`, `compile`, `build`, or `run`.
+    pub cause: String,
+    /// Human-readable fault detail.
+    pub detail: String,
+}
+
 /// Aggregated resilience telemetry for one run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ResilienceReport {
@@ -49,6 +67,9 @@ pub struct ResilienceReport {
     pub retry_spans: usize,
     /// Number of `resilience.fallback` simulated-time spans in the trace.
     pub fallback_spans: usize,
+    /// Structured fallback transitions in trace order, each carrying the
+    /// model, the edge, and the cause stage/detail.
+    pub transitions: Vec<FallbackTransition>,
 }
 
 impl ResilienceReport {
@@ -91,7 +112,16 @@ impl ResilienceReport {
         for e in &snap.events {
             match e.name.as_str() {
                 "resilience.retry" => report.retry_spans += 1,
-                "resilience.fallback" => report.fallback_spans += 1,
+                "resilience.fallback" => {
+                    report.fallback_spans += 1;
+                    report.transitions.push(FallbackTransition {
+                        model: arg(e, "model"),
+                        from: arg(e, "from"),
+                        to: arg(e, "to"),
+                        cause: arg(e, "cause"),
+                        detail: arg(e, "detail"),
+                    });
+                }
                 _ => {}
             }
         }
@@ -137,6 +167,16 @@ impl ResilienceReport {
                 let _ = writeln!(out, "  {} -> {}  x{}", f.from, f.to, f.count);
             }
         }
+        if !self.transitions.is_empty() {
+            out.push_str("fallback transitions (trace order):\n");
+            for t in &self.transitions {
+                let _ = writeln!(
+                    out,
+                    "  [{}] {} -> {}  cause={}  {}",
+                    t.model, t.from, t.to, t.cause, t.detail
+                );
+            }
+        }
         if !self.breaker_trips.is_empty() {
             out.push_str("breaker trips:\n");
             for (device, n) in &self.breaker_trips {
@@ -171,6 +211,16 @@ fn label(key: &tvmnp_telemetry::MetricKey, name: &str) -> String {
     key.labels.get(name).cloned().unwrap_or_default()
 }
 
+/// Read one arg off a span event (empty string when absent).
+fn arg(event: &tvmnp_telemetry::SpanEvent, name: &str) -> String {
+    event
+        .args
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.clone())
+        .unwrap_or_default()
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used)]
 mod tests {
@@ -203,7 +253,18 @@ mod tests {
             40.0,
             vec![("device".into(), "apu".into())],
         );
-        tvmnp_telemetry::record_sim_span("resilience.fallback", 1.0, 0.0, vec![]);
+        tvmnp_telemetry::record_sim_span(
+            "resilience.fallback",
+            1.0,
+            0.0,
+            vec![
+                ("model".into(), "anti-spoofing".into()),
+                ("from".into(), "NP-only APU".into()),
+                ("to".into(), "BYOC CPU".into()),
+                ("cause".into(), "run".into()),
+                ("detail".into(), "transient dispatch fault on apu".into()),
+            ],
+        );
         tvmnp_telemetry::disable();
 
         let report = ResilienceReport::from_snapshot(&tvmnp_telemetry::snapshot());
@@ -218,11 +279,16 @@ mod tests {
         assert_eq!(report.sched_frames_dropped, 2);
         assert_eq!(report.retry_spans, 1);
         assert_eq!(report.fallback_spans, 1);
+        assert_eq!(report.transitions.len(), 1);
+        assert_eq!(report.transitions[0].model, "anti-spoofing");
+        assert_eq!(report.transitions[0].cause, "run");
+        assert!(report.transitions[0].detail.contains("apu"));
         assert!(!report.is_quiet());
 
         let text = report.render_text();
         assert!(text.contains("resilience report"));
         assert!(text.contains("NP-only APU -> BYOC CPU"));
+        assert!(text.contains("cause=run"));
         assert!(text.contains("anti-spoofing @ BYOC CPU"));
         assert!(text.contains("recovered runs: 1"));
     }

@@ -203,10 +203,16 @@ fn dispatch_with_retry(
         match injector.on_dispatch(device, attempt) {
             None => return Ok(attempt),
             Some(fault) if fault.fatal || !retry.allows_retry(attempt) => {
+                if tvmnp_telemetry::sink_active() {
+                    emit_fault_event(device, attempt, &fault.description, true);
+                }
                 return Err((attempt, fault.description));
             }
             Some(fault) => {
                 let cost = wasted_us + retry.backoff_us(attempt);
+                if tvmnp_telemetry::sink_active() {
+                    emit_fault_event(device, attempt, &fault.description, false);
+                }
                 tvmnp_telemetry::record_sim_span(
                     "resilience.retry",
                     *time_us,
@@ -223,6 +229,25 @@ fn dispatch_with_retry(
             }
         }
     }
+}
+
+/// Forward one consumed dispatch fault to the installed event sink
+/// (flight recorder). `fatal` covers both truly fatal faults and retry
+/// budget exhaustion — either way this dispatch point gives up.
+fn emit_fault_event(device: DeviceKind, attempt: u32, detail: &str, fatal: bool) {
+    tvmnp_telemetry::emit_event(
+        "fault.injected",
+        vec![
+            ("stage".to_string(), "dispatch".to_string()),
+            ("device".to_string(), device.name().to_string()),
+            ("attempt".to_string(), attempt.to_string()),
+            // Free-text description goes under `detail`, which the stats
+            // sink does not index — `cause` is reserved for bounded
+            // vocabularies so counter cardinality stays finite.
+            ("detail".to_string(), detail.to_string()),
+            ("fatal".to_string(), fatal.to_string()),
+        ],
+    );
 }
 
 /// One graph node's analytic cost share (see

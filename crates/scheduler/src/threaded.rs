@@ -513,7 +513,7 @@ mod tests {
             "checked",
             &[DeviceKind::Cpu],
             |x: u64| {
-                if x % 5 == 0 {
+                if x.is_multiple_of(5) {
                     Err(ExecError::new(format!("rejecting {x}"))
                         .with_op("checked")
                         .with_device("cpu"))

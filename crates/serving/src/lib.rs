@@ -18,8 +18,13 @@
 //! single compilation, so standing up a pool re-runs codegen only for
 //! configurations never built before.
 
+pub mod observe;
 pub mod pool;
 pub mod simulate;
 
+pub use observe::{trace_id_for, PIPELINE};
 pub use pool::{serving_rotation, SessionPool};
-pub use simulate::{frame_segments, simulate_serve, ServeSim, SimSegment};
+pub use simulate::{
+    frame_segments, simulate_serve, simulate_serve_timeline, FrameTimeline, SegmentTiming,
+    ServeSim, SimSegment,
+};

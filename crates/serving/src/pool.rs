@@ -127,6 +127,21 @@ impl SessionPool {
     /// levels: the frame → session mapping is by frame index, and device
     /// exclusivity makes every model run independent of schedule.
     pub fn serve(&self, frames: &[Frame], concurrency: usize) -> Vec<FrameResult> {
+        self.serve_inner(frames, concurrency, None)
+    }
+
+    /// Shared serve loop. With a [`crate::observe::TraceRuntime`], each
+    /// frame runs under a per-frame trace context, workers pin their
+    /// spans to stable Chrome-trace lanes, and panics are recorded to
+    /// the flight recorder before propagating. With `None` this is
+    /// exactly the pre-observability hot path — no trace guards, no
+    /// extra atomics.
+    pub(crate) fn serve_inner(
+        &self,
+        frames: &[Frame],
+        concurrency: usize,
+        tracing: Option<&crate::observe::TraceRuntime<'_>>,
+    ) -> Vec<FrameResult> {
         if tvmnp_telemetry::is_enabled() {
             let label = if concurrency <= 1 { "1" } else { "n" };
             tvmnp_telemetry::counter_add(
@@ -138,7 +153,11 @@ impl SessionPool {
         if concurrency <= 1 || frames.len() <= 1 {
             return frames
                 .iter()
-                .map(|f| self.session_for(f.index).process_frame(f))
+                .enumerate()
+                .map(|(i, f)| match tracing {
+                    None => self.session_for(f.index).process_frame(f),
+                    Some(rt) => rt.run_frame(self, i, f),
+                })
                 .collect();
         }
         let workers = concurrency.min(frames.len());
@@ -146,15 +165,26 @@ impl SessionPool {
         let mut slots: Vec<Option<FrameResult>> = (0..frames.len()).map(|_| None).collect();
         let (tx, rx) = channel::bounded::<(usize, FrameResult)>(workers);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for worker in 0..workers {
                 let tx = tx.clone();
                 let next = &next;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(frame) = frames.get(i) else { break };
-                    let result = self.session_for(frame.index).process_frame(frame);
-                    if tx.send((i, result)).is_err() {
-                        break;
+                scope.spawn(move || {
+                    if tracing.is_some() {
+                        tvmnp_telemetry::set_worker_lane(Some(worker as u64));
+                    }
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(frame) = frames.get(i) else { break };
+                        let result = match tracing {
+                            None => self.session_for(frame.index).process_frame(frame),
+                            Some(rt) => rt.run_frame(self, i, frame),
+                        };
+                        if tx.send((i, result)).is_err() {
+                            break;
+                        }
+                    }
+                    if tracing.is_some() {
+                        tvmnp_telemetry::set_worker_lane(None);
                     }
                 });
             }

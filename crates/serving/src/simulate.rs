@@ -83,6 +83,64 @@ impl ServeSim {
     }
 }
 
+/// One segment of a frame's simulated schedule, with its placement on
+/// the concurrent timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentTiming {
+    /// Stage name (`obj-det` / `anti-spoof` / `emotion`).
+    pub stage: &'static str,
+    /// Devices the segment held.
+    pub devices: Vec<DeviceKind>,
+    /// When the segment started running.
+    pub start_us: f64,
+    /// Time spent waiting for its devices before `start_us` (device
+    /// contention with other in-flight frames).
+    pub wait_us: f64,
+    /// Compute duration.
+    pub us: f64,
+}
+
+/// One frame's complete simulated schedule: when it was admitted, where
+/// its time went (queue wait vs compute), and the per-segment placement.
+/// All frames arrive at t = 0, so `end_us` is also the frame's
+/// end-to-end latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameTimeline {
+    /// When the admission window let the frame in (= admission wait).
+    pub admit_us: f64,
+    /// When the frame finished its last segment.
+    pub end_us: f64,
+    /// Per-segment placements, in stage order.
+    pub segments: Vec<SegmentTiming>,
+}
+
+impl FrameTimeline {
+    /// Time blocked on the admission window.
+    pub fn admission_wait_us(&self) -> f64 {
+        self.admit_us
+    }
+
+    /// Time blocked on busy devices after admission.
+    pub fn device_wait_us(&self) -> f64 {
+        self.segments.iter().map(|s| s.wait_us).sum()
+    }
+
+    /// Total queue wait: admission + device contention.
+    pub fn queue_wait_us(&self) -> f64 {
+        self.admission_wait_us() + self.device_wait_us()
+    }
+
+    /// Total compute time across segments.
+    pub fn compute_us(&self) -> f64 {
+        self.segments.iter().map(|s| s.us).sum()
+    }
+
+    /// End-to-end latency from arrival (t = 0) to completion.
+    pub fn latency_us(&self) -> f64 {
+        self.end_us
+    }
+}
+
 /// Simulate serving `per_frame` segment lists with at most `concurrency`
 /// frames in flight.
 ///
@@ -94,6 +152,18 @@ impl ServeSim {
 /// admission order — per-device FIFO queues. Pure arithmetic on the
 /// simulated clock: byte-deterministic across runs and hosts.
 pub fn simulate_serve(per_frame: &[Vec<SimSegment>], concurrency: usize) -> ServeSim {
+    simulate_serve_timeline(per_frame, concurrency).0
+}
+
+/// Like [`simulate_serve`], additionally returning every frame's
+/// [`FrameTimeline`] — the queue-wait vs compute decomposition the
+/// observability plane feeds into its live stats and span trees. Same
+/// arithmetic, same admission order: the [`ServeSim`] returned here is
+/// identical to [`simulate_serve`]'s.
+pub fn simulate_serve_timeline(
+    per_frame: &[Vec<SimSegment>],
+    concurrency: usize,
+) -> (ServeSim, Vec<FrameTimeline>) {
     let concurrency = concurrency.max(1);
     let device_index = |d: DeviceKind| DeviceKind::ALL.iter().position(|&x| x == d).unwrap();
     let mut device_free = [0.0f64; DeviceKind::ALL.len()];
@@ -105,12 +175,14 @@ pub fn simulate_serve(per_frame: &[Vec<SimSegment>], concurrency: usize) -> Serv
     let mut admit_at = 0.0f64;
     let mut sequential_us = 0.0f64;
     let mut makespan = 0.0f64;
+    let mut timelines = Vec::with_capacity(per_frame.len());
     for segments in per_frame {
         if in_flight.len() >= concurrency {
             let Reverse(bits) = in_flight.pop().unwrap();
             admit_at = admit_at.max(f64::from_bits(bits));
         }
         let mut t = admit_at;
+        let mut timed_segments = Vec::with_capacity(segments.len());
         for seg in segments {
             let start = seg
                 .devices
@@ -121,17 +193,32 @@ pub fn simulate_serve(per_frame: &[Vec<SimSegment>], concurrency: usize) -> Serv
                 device_free[device_index(d)] = end;
             }
             sequential_us += seg.us;
+            timed_segments.push(SegmentTiming {
+                stage: seg.stage,
+                devices: seg.devices.clone(),
+                start_us: start,
+                wait_us: start - t,
+                us: seg.us,
+            });
             t = end;
         }
         in_flight.push(Reverse(t.to_bits()));
         makespan = makespan.max(t);
+        timelines.push(FrameTimeline {
+            admit_us: admit_at,
+            end_us: t,
+            segments: timed_segments,
+        });
     }
-    ServeSim {
-        frames: per_frame.len(),
-        concurrency,
-        sequential_us,
-        concurrent_us: makespan.max(f64::MIN_POSITIVE),
-    }
+    (
+        ServeSim {
+            frames: per_frame.len(),
+            concurrency,
+            sequential_us,
+            concurrent_us: makespan.max(f64::MIN_POSITIVE),
+        },
+        timelines,
+    )
 }
 
 #[cfg(test)]
@@ -199,6 +286,29 @@ mod tests {
         assert_eq!(window2.concurrent_us, 20.0);
         let window3 = simulate_serve(&frames, 3);
         assert_eq!(window3.concurrent_us, 10.0);
+    }
+
+    #[test]
+    fn timeline_decomposes_wait_and_compute() {
+        let frames = vec![
+            vec![seg(&[DeviceKind::Cpu], 10.0)],
+            vec![seg(&[DeviceKind::Cpu], 5.0)],
+        ];
+        // Window 1: the second frame waits at admission.
+        let (sim1, tl1) = simulate_serve_timeline(&frames, 1);
+        assert_eq!(sim1, simulate_serve(&frames, 1));
+        assert_eq!(tl1[1].admission_wait_us(), 10.0);
+        assert_eq!(tl1[1].device_wait_us(), 0.0);
+        assert_eq!(tl1[1].latency_us(), 15.0);
+        // Window 2: admitted at once, but the shared CPU makes it wait.
+        let (_, tl2) = simulate_serve_timeline(&frames, 2);
+        assert_eq!(tl2[1].admission_wait_us(), 0.0);
+        assert_eq!(tl2[1].device_wait_us(), 10.0);
+        assert_eq!(tl2[1].segments[0].start_us, 10.0);
+        // Every frame reconciles: latency = queue wait + compute.
+        for tl in tl1.iter().chain(&tl2) {
+            assert!((tl.latency_us() - tl.queue_wait_us() - tl.compute_us()).abs() < 1e-9);
+        }
     }
 
     #[test]

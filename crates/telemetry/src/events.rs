@@ -1,0 +1,129 @@
+//! Structured event fan-out to an installed sink (the flight recorder).
+//!
+//! Spans and metrics answer "how long / how many"; events answer "what
+//! happened, in order": a fault was injected, a retry fired, a fallback
+//! switched permutations, a cache entry was evicted, a stage was
+//! dropped. `tvmnp-observe` installs an [`EventSink`] backed by its ring
+//! buffer; instrumentation sites call [`emit_event`] which costs one
+//! relaxed atomic load when no sink is installed.
+//!
+//! Interesting span ends are forwarded as `span.end` events too (see
+//! [`forward_span_end`]) so the flight recorder's window shows causality
+//! — which frame / stage / retry surrounded a fault — without drowning
+//! in per-node executor spans (those stay in the stats registry).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Receiver for structured events. Implementations must be cheap and
+/// non-blocking: sites emit while serving.
+pub trait EventSink: Send + Sync {
+    /// One event: a short dotted `kind` (e.g. `resilience.fallback`)
+    /// plus key/value fields. Events carry a `trace` field when emitted
+    /// under an active trace context.
+    fn event(&self, kind: &str, fields: &[(String, String)]);
+}
+
+static SINK_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn sink_slot() -> &'static Mutex<Option<Arc<dyn EventSink>>> {
+    static SLOT: std::sync::OnceLock<Mutex<Option<Arc<dyn EventSink>>>> =
+        std::sync::OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Install the process-global event sink (replacing any previous one).
+pub fn set_event_sink(sink: Arc<dyn EventSink>) {
+    *sink_slot().lock() = Some(sink);
+    SINK_ACTIVE.store(true, Ordering::Release);
+}
+
+/// Remove the event sink; subsequent [`emit_event`] calls cost one load.
+pub fn clear_event_sink() {
+    SINK_ACTIVE.store(false, Ordering::Release);
+    *sink_slot().lock() = None;
+}
+
+/// Whether a sink is installed (one relaxed atomic load).
+#[inline]
+pub fn sink_active() -> bool {
+    SINK_ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Emit a structured event to the installed sink, if any. Tags the event
+/// with the current trace id when a trace context is active, so flight
+/// events tie back to the causal span tree of the frame that produced
+/// them.
+pub fn emit_event(kind: &str, mut fields: Vec<(String, String)>) {
+    if !sink_active() {
+        return;
+    }
+    let sink = sink_slot().lock().clone();
+    let Some(sink) = sink else { return };
+    if let Some(trace) = crate::trace::current_trace_id() {
+        if !fields.iter().any(|(k, _)| k == "trace") {
+            fields.push(("trace".to_string(), trace.to_string()));
+        }
+    }
+    sink.event(kind, &fields);
+}
+
+/// Span names worth forwarding to the sink as `span.end` events. Frame,
+/// stage, scheduler, and resilience spans carry post-mortem causality;
+/// per-node executor spans are far too chatty for a small ring and are
+/// aggregated in the stats registry instead.
+pub(crate) fn forward_span_end(name: &str) -> bool {
+    name.starts_with("serve.")
+        || name.starts_with("resilience.")
+        || name.starts_with("scheduler.")
+        || name.starts_with("vision.")
+        || name.starts_with("cache.")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type CapturedEvent = (String, Vec<(String, String)>);
+    struct Capture(Mutex<Vec<CapturedEvent>>);
+    impl EventSink for Capture {
+        fn event(&self, kind: &str, fields: &[(String, String)]) {
+            self.0.lock().push((kind.to_string(), fields.to_vec()));
+        }
+    }
+
+    #[test]
+    fn emit_reaches_sink_and_tags_trace() {
+        let _l = crate::tests::lock_global();
+        let cap = Arc::new(Capture(Mutex::new(Vec::new())));
+        set_event_sink(cap.clone());
+
+        emit_event("fault.injected", vec![("device".into(), "apu".into())]);
+        {
+            let root = crate::trace::alloc_span_id();
+            let _g = crate::trace::begin_trace(9, root, vec![]);
+            emit_event(
+                "resilience.fallback",
+                vec![("from".into(), "np-apu".into())],
+            );
+        }
+        clear_event_sink();
+        emit_event("fault.injected", vec![]); // dropped: no sink
+
+        let got = cap.0.lock();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, "fault.injected");
+        assert!(!got[0].1.iter().any(|(k, _)| k == "trace"));
+        assert!(got[1].1.contains(&("trace".to_string(), "9".to_string())));
+    }
+
+    #[test]
+    fn span_forwarding_filter_keeps_chatty_spans_out() {
+        assert!(forward_span_end("serve.frame"));
+        assert!(forward_span_end("resilience.retry"));
+        assert!(forward_span_end("scheduler.stage"));
+        assert!(!forward_span_end("executor.node"));
+        assert!(!forward_span_end("byoc.codegen"));
+    }
+}

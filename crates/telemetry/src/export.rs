@@ -109,9 +109,12 @@ fn domain_pid(domain: TimeDomain) -> u64 {
 ///
 /// Wall-clock spans appear under the `wall-clock` process (pid 1) and
 /// simulated-time spans under `simulated-time` (pid 2), so both timelines
-/// coexist in one trace without mixing clocks. Output is deterministic:
-/// events are sorted by (pid, tid, ts, name) and all objects use sorted
-/// keys.
+/// coexist in one trace without mixing clocks. Threads pinned to an
+/// explicit serving-pool lane (tid ≥ [`crate::WORKER_LANE_BASE`]) get
+/// `thread_name` metadata (`worker-0`, `worker-1`, …) so a
+/// `--concurrency N` serve renders as N stable, non-interleaved lanes.
+/// Output is deterministic: events are sorted by (pid, tid, ts, name)
+/// and all objects use sorted keys.
 pub fn chrome_trace(snapshot: &Snapshot) -> Value {
     let mut events: Vec<Value> = Vec::new();
     let mut pids: Vec<u64> = snapshot
@@ -134,6 +137,25 @@ pub fn chrome_trace(snapshot: &Snapshot) -> Value {
             "ph": "M",
             "pid": *pid,
             "tid": 0u64,
+            "ts": 0.0
+        }));
+    }
+    let mut lanes: Vec<(u64, u64)> = snapshot
+        .events
+        .iter()
+        .filter(|e| e.tid >= crate::WORKER_LANE_BASE)
+        .map(|e| (domain_pid(e.domain), e.tid))
+        .collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    for (pid, tid) in &lanes {
+        events.push(json!({
+            "args": json!({ "name": format!("worker-{}", tid - crate::WORKER_LANE_BASE) }),
+            "cat": "__metadata",
+            "name": "thread_name",
+            "ph": "M",
+            "pid": *pid,
+            "tid": *tid,
             "ts": 0.0
         }));
     }
@@ -285,6 +307,22 @@ mod tests {
         let metric: Value = serde_json::from_str(lines[4]).unwrap();
         assert_eq!(metric["type"].as_str(), Some("metric"));
         assert_eq!(metric["key"].as_str(), Some("executor.nodes{device=apu}"));
+    }
+
+    #[test]
+    fn chrome_trace_names_worker_lanes() {
+        let mut snap = sample_snapshot();
+        for event in snap.events.iter_mut().take(2) {
+            event.tid = crate::WORKER_LANE_BASE + 3;
+        }
+        let doc = chrome_trace(&snap);
+        let events = doc["traceEvents"].as_array().unwrap();
+        let lane = events
+            .iter()
+            .find(|e| e["name"].as_str() == Some("thread_name"))
+            .expect("lane metadata");
+        assert_eq!(lane["args"]["name"].as_str(), Some("worker-3"));
+        assert_eq!(lane["tid"].as_u64(), Some(crate::WORKER_LANE_BASE + 3));
     }
 
     #[test]

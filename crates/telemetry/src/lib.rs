@@ -20,8 +20,10 @@
 //! load when telemetry is off. Bench binaries flip it on for `--profile`
 //! / `--trace-out`.
 
+pub mod events;
 pub mod export;
 pub mod metrics;
+pub mod trace;
 
 use parking_lot::Mutex;
 use serde::Serialize;
@@ -30,8 +32,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::thread::ThreadId;
 use std::time::Instant;
 
+pub use events::{clear_event_sink, emit_event, set_event_sink, sink_active, EventSink};
 pub use export::{chrome_trace, jsonl, profile_table, write_chrome_trace, ProfileOptions};
 pub use metrics::{counter_add, gauge_set, histogram_observe, Histogram, MetricKey, MetricValue};
+pub use trace::{alloc_span_id, begin_trace, set_worker_lane, TraceGuard, WORKER_LANE_BASE};
 
 /// Which clock a span's timestamps come from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -69,6 +73,12 @@ struct Collector {
 
 impl Collector {
     fn tid(&mut self) -> u64 {
+        // An explicit worker lane (set by the serving pool) beats the
+        // dense first-event id: concurrent workers then render as stable,
+        // non-interleaved lanes in the Chrome trace.
+        if let Some(lane) = trace::worker_lane() {
+            return trace::WORKER_LANE_BASE + lane;
+        }
         let next = self.thread_ids.len() as u64;
         *self
             .thread_ids
@@ -153,21 +163,67 @@ pub fn snapshot() -> Snapshot {
 }
 
 /// Record a span on the simulated timeline with explicit timestamps
-/// (microseconds of simulated time). No-op while disabled.
-pub fn record_sim_span(name: &str, ts_us: f64, dur_us: f64, args: Vec<(String, String)>) {
+/// (microseconds of simulated time). No-op while disabled. Under an
+/// active trace context the span is stamped with `trace`/`span`/`parent`
+/// ids as a leaf of the innermost open span.
+pub fn record_sim_span(name: &str, ts_us: f64, dur_us: f64, mut args: Vec<(String, String)>) {
     if !is_enabled() {
         return;
     }
-    let mut c = collector().lock();
-    let tid = c.tid();
-    c.events.push(SpanEvent {
-        name: name.to_string(),
-        ts_us,
-        dur_us,
-        tid,
-        domain: TimeDomain::Sim,
-        args,
+    if let Some(ids) = trace::leaf_ids() {
+        trace::stamp(&mut args, ids);
+    }
+    push_sim_event(name, ts_us, dur_us, args);
+}
+
+/// Record a simulated-time span with an *explicit* trace identity,
+/// bypassing the thread-local context. This is how the serving pool
+/// stitches post-hoc schedule spans (frame roots, stage summaries,
+/// queue-wait intervals) onto traces whose worker-side spans were
+/// already recorded: allocate ids with [`trace::alloc_span_id`] up
+/// front, hand them to the workers as trace roots, and attach the
+/// summary spans here once the simulated schedule is known.
+pub fn record_sim_span_traced(
+    ids: trace::SpanIds,
+    name: &str,
+    ts_us: f64,
+    dur_us: f64,
+    mut args: Vec<(String, String)>,
+) {
+    if !is_enabled() {
+        return;
+    }
+    trace::stamp(&mut args, ids);
+    push_sim_event(name, ts_us, dur_us, args);
+}
+
+fn push_sim_event(name: &str, ts_us: f64, dur_us: f64, args: Vec<(String, String)>) {
+    // Forward interesting span ends to the flight recorder before moving
+    // the args into the collector; emission happens outside its lock.
+    let forward = (events::sink_active() && events::forward_span_end(name)).then(|| {
+        let mut fields = vec![
+            ("name".to_string(), name.to_string()),
+            ("ts_us".to_string(), format!("{ts_us:.3}")),
+            ("dur_us".to_string(), format!("{dur_us:.3}")),
+        ];
+        fields.extend(args.iter().cloned());
+        fields
     });
+    {
+        let mut c = collector().lock();
+        let tid = c.tid();
+        c.events.push(SpanEvent {
+            name: name.to_string(),
+            ts_us,
+            dur_us,
+            tid,
+            domain: TimeDomain::Sim,
+            args,
+        });
+    }
+    if let Some(fields) = forward {
+        events::emit_event("span.end", fields);
+    }
 }
 
 /// RAII wall-clock span; records an event when dropped. Construct through
@@ -180,6 +236,9 @@ struct ActiveSpan {
     name: String,
     args: Vec<(String, String)>,
     start: Instant,
+    /// Trace identity when opened under an active trace context; spans
+    /// recorded while this guard lives become its children.
+    ids: Option<trace::SpanIds>,
 }
 
 impl SpanGuard {
@@ -190,6 +249,7 @@ impl SpanGuard {
                 name: name.to_string(),
                 args,
                 start: Instant::now(),
+                ids: trace::open_span(),
             }),
         }
     }
@@ -202,23 +262,40 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some(span) = self.active.take() else {
+        let Some(mut span) = self.active.take() else {
             return;
         };
         // Still record if telemetry was disabled mid-span: the guard was
         // opened under an enabled collector, so the interval is wanted.
         let dur_us = span.start.elapsed().as_secs_f64() * 1e6;
-        let mut c = collector().lock();
-        let ts_us = span.start.duration_since(c.epoch).as_secs_f64() * 1e6;
-        let tid = c.tid();
-        c.events.push(SpanEvent {
-            name: span.name,
-            ts_us,
-            dur_us,
-            tid,
-            domain: TimeDomain::Wall,
-            args: span.args,
+        if let Some(ids) = span.ids {
+            trace::close_span(ids);
+            trace::stamp(&mut span.args, ids);
+        }
+        let forward = (events::sink_active() && events::forward_span_end(&span.name)).then(|| {
+            let mut fields = vec![
+                ("name".to_string(), span.name.clone()),
+                ("dur_us".to_string(), format!("{dur_us:.3}")),
+            ];
+            fields.extend(span.args.iter().cloned());
+            fields
         });
+        {
+            let mut c = collector().lock();
+            let ts_us = span.start.duration_since(c.epoch).as_secs_f64() * 1e6;
+            let tid = c.tid();
+            c.events.push(SpanEvent {
+                name: span.name,
+                ts_us,
+                dur_us,
+                tid,
+                domain: TimeDomain::Wall,
+                args: span.args,
+            });
+        }
+        if let Some(fields) = forward {
+            events::emit_event("span.end", fields);
+        }
     }
 }
 

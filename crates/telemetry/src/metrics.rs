@@ -286,7 +286,7 @@ mod tests {
         }
         // Keys sort by name first, then by label map — deterministic
         // ordering for snapshot output regardless of insertion order.
-        let mut keys = vec![
+        let mut keys = [
             MetricKey::new("b", &[]),
             MetricKey::new("a", &[("x", "2")]),
             MetricKey::new("a", &[("x", "1")]),

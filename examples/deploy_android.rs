@@ -62,10 +62,11 @@ fn main() {
         phone.name
     );
 
-    for i in 0..executor.num_outputs() {
+    assert_eq!(executor.num_outputs(), server_out.len());
+    for (i, server) in server_out.iter().enumerate() {
         let out = executor.get_output(i).unwrap();
         assert!(
-            out.bit_eq(&server_out[i]),
+            out.bit_eq(server),
             "device output {i} must match the server"
         );
         println!("phone : output {i} = {} {}", out.shape(), out.dtype());

@@ -52,7 +52,7 @@ fn main() {
 
     // The plan changes time only, never numerics.
     let input = model.sample_input(42);
-    let (a, t) = net.execute(&[input.clone()]).unwrap();
+    let (a, t) = net.execute(std::slice::from_ref(&input)).unwrap();
     let cpu = CompiledNetwork::compile(graph, TargetPolicy::CpuOnly, cost).unwrap();
     let (b, _) = cpu.execute(&[input]).unwrap();
     assert!(a[0].bit_eq(&b[0]), "placement must not change results");

@@ -36,6 +36,43 @@ if [ -z "$recovered" ] || [ "$recovered" -lt 1 ]; then
 fi
 echo "fault-injection smoke: $recovered run(s) recovered under seeded faults"
 
+# Observability smoke: serve one observed run under seeded transient APU
+# faults, streaming live stats and arming the flight recorder, then
+# schema-check both artifacts. Hard gate: the stats JSONL must be valid
+# (monotone seq, monotone quantiles, final flush) and the flight dumps
+# must validate and carry the injected dispatch faults plus the
+# SLO-breach trigger. The 50 ms SLO sits between the serve clip's
+# deterministic p95 (~50.5 ms) and max (~53.5 ms) simulated frame
+# latencies, so only the tail frames dump. --runs 1 so per-frame trace
+# ids stay unique. (Fallback transitions inside a dump window are
+# covered by the exhaustion path in tests/observe_flow.rs.)
+obs_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir"' EXIT
+cargo run --release -q -p tvmnp-bench --bin bench -- \
+    --workload serve --runs 1 --bench-out "$obs_dir/serve-observed.json" \
+    --inject-fault apu:dispatch:transient --fault-seed 7 \
+    --stats-out "$obs_dir/stats.jsonl" --flight-out "$obs_dir/flight" \
+    --slo-ms 50
+cargo run --release -q -p tvmnp-bench --bin obs_check -- \
+    --stats "$obs_dir/stats.jsonl" \
+    --flight-dir "$obs_dir/flight" \
+    --expect-kind fault.injected \
+    --expect-kind slo.breach
+
+# Observability overhead gate: serve medians with the plane enabled vs
+# disabled. Warn-only — simulated metrics are structurally immune to
+# observation (tracing never charges simulated time), so a WARN here
+# points at a bookkeeping bug rather than a perf regression, and
+# wall-clock noise on a shared runner must not turn CI red.
+cargo run --release -q -p tvmnp-bench --bin bench -- \
+    --workload serve --runs 2 --bench-out "$obs_dir/serve-plain.json"
+cargo run --release -q -p tvmnp-bench --bin bench -- \
+    --workload serve --runs 2 --bench-out "$obs_dir/serve-traced.json" \
+    --stats-out "$obs_dir/stats-overhead.jsonl"
+cargo run --release -q -p tvmnp-bench --bin obs_check -- \
+    --compare "$obs_dir/serve-plain.json" "$obs_dir/serve-traced.json" \
+    --metric serve.concurrent.makespan.ms --warn-at 0.05
+
 # Conformance smoke: fixed-seed differential run across the seven target
 # permutations. Hard gate — any divergence from the interpreter or any
 # invariant violation (quant params, partition shape, memory plan) fails

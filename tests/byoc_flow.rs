@@ -42,7 +42,7 @@ fn subgraph_counts_tell_the_fig4_story() {
         spoof_report.num_subgraphs,
         emo_report.num_subgraphs
     );
-    assert_eq!(spoof_report.host_calls > 0, true, "batch norms stay on TVM");
+    assert!(spoof_report.host_calls > 0, "batch norms stay on TVM");
 }
 
 /// More subgraphs ⇒ more dispatch/transfer overhead: measured BYOC time
