@@ -27,7 +27,7 @@ use tvm_neuropilot::observe::ObservePlane;
 use tvm_neuropilot::prelude::*;
 use tvm_neuropilot::report::{self, BenchRecord};
 use tvm_neuropilot::vision::{FrameResult, ShowcaseFaults};
-use tvmnp_bench::profiling::{build_fault_plan, ObserveCli};
+use tvmnp_bench::profiling::{build_fault_plan, ObserveCli, ProfileCli};
 use tvmnp_hwsim::WorkKind;
 
 const WORKLOADS: &[&str] = &["fig4", "fig5", "fig6", "sched", "serve"];
@@ -44,17 +44,21 @@ struct Args {
     concurrency: usize,
     cache_dir: Option<PathBuf>,
     observe: ObserveCli,
+    profile: ProfileCli,
+    fail_on_missing: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench --workload <fig4|fig5|fig6|sched|serve> [--runs N] \
          [--bench-out <path>] [--check-against <baseline>] \
-         [--threshold F] [--warn-only] [--inject-slowdown <kind>=<factor>] \
+         [--threshold F] [--warn-only] [--fail-on-missing] \
+         [--inject-slowdown <kind>=<factor>] \
          [--inject-fault <spec>]... [--fault-seed <n>] \
          [--concurrency N] [--cache-dir <path>] \
          [--stats-out <path>] [--flight-out <dir>] \
-         [--flight-buffer <n>] [--slo-ms <f>]"
+         [--flight-buffer <n>] [--slo-ms <f>] \
+         [--profile-store <dir>] [--profile-diff <path>]"
     );
     std::process::exit(2);
 }
@@ -72,6 +76,8 @@ fn parse_args() -> Args {
     let mut concurrency = 4usize;
     let mut cache_dir = None;
     let mut observe = ObserveCli::default();
+    let mut profile = ProfileCli::default();
+    let mut fail_on_missing = false;
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().unwrap_or_else(|| {
@@ -81,6 +87,9 @@ fn parse_args() -> Args {
     };
     while let Some(a) = args.next() {
         if observe.consume(a.as_str(), &mut args) {
+            continue;
+        }
+        if profile.consume(a.as_str(), &mut args) {
             continue;
         }
         match a.as_str() {
@@ -108,6 +117,7 @@ fn parse_args() -> Args {
                 });
             }
             "--warn-only" => warn_only = true,
+            "--fail-on-missing" => fail_on_missing = true,
             "--inject-slowdown" => {
                 let v = value(&mut args, "--inject-slowdown");
                 let Some((kind, factor)) = v.split_once('=') else {
@@ -165,8 +175,11 @@ fn parse_args() -> Args {
         );
         usage();
     }
-    if bench_out.is_none() && check_against.is_none() {
-        eprintln!("error: nothing to do — pass --bench-out and/or --check-against");
+    if bench_out.is_none() && check_against.is_none() && !profile.active() {
+        eprintln!(
+            "error: nothing to do — pass --bench-out, --check-against, \
+             --profile-store, and/or --profile-diff"
+        );
         usage();
     }
     Args {
@@ -181,6 +194,8 @@ fn parse_args() -> Args {
         concurrency,
         cache_dir,
         observe,
+        profile,
+        fail_on_missing,
     }
 }
 
@@ -482,6 +497,48 @@ fn resilience_metrics(plan: &FaultPlan, cost: &CostModel) -> Vec<(String, f64)> 
     out
 }
 
+/// Dedicated measured-profile pass: execute the workload's showcase
+/// models once through the BYOC CPU+APU flow with telemetry detail mode
+/// on, and bin the per-kernel executor spans into a [`Profile`]. Runs
+/// after everything else so the detail spans cannot leak into the
+/// report-layer utilization aggregates.
+fn collect_profile(workload: &str, cost: &CostModel) -> Profile {
+    tvm_neuropilot::telemetry::enable();
+    tvm_neuropilot::telemetry::reset();
+    tvm_neuropilot::telemetry::set_detail(true);
+    let seeds: [u64; 3] = match workload {
+        "fig4" | "fig6" => [101, 102, 103],
+        "sched" => [80, 81, 82],
+        "fig5" => [900, 901, 902],
+        _ => [910, 911, 912], // serve
+    };
+    let models = [
+        anti_spoofing::anti_spoofing_model(seeds[0]),
+        object_detection::mobilenet_ssd_model(seeds[1]),
+        emotion::emotion_model(seeds[2]),
+    ];
+    for model in &models {
+        let mut compiled = relay_build(
+            &model.module,
+            TargetMode::Byoc(TargetPolicy::CpuApu),
+            cost.clone(),
+        )
+        .expect("profile build");
+        compiled.run(&model.sample_inputs(7)).expect("profile run");
+    }
+    tvm_neuropilot::telemetry::set_detail(false);
+    tvm_neuropilot::telemetry::disable();
+    let snap = tvm_neuropilot::telemetry::snapshot();
+    let mut profile = Profile::new(ProfileKey {
+        workload: workload.to_string(),
+        permutation: "byoc-cpu-apu".to_string(),
+        quant: "f32".to_string(),
+        soc: "dimensity-800".to_string(),
+    });
+    profile.ingest_snapshot(&snap);
+    profile
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     let mut cost = CostModel::default();
@@ -523,6 +580,15 @@ fn main() -> ExitCode {
         tvm_neuropilot::telemetry::disable();
     }
 
+    // Measured-profile pass, after every analytic/aggregate pass so the
+    // detail-mode spans stay confined to their own snapshot.
+    let profile_diff = if args.profile.active() {
+        let mut profile = collect_profile(&args.workload, &cost);
+        args.profile.report(&mut profile)
+    } else {
+        None
+    };
+
     let mut record = BenchRecord::new(args.workload.clone(), args.runs);
     for (key, vals) in &samples {
         record.insert(key.clone(), vals);
@@ -552,19 +618,38 @@ fn main() -> ExitCode {
         };
         let cmp = report::compare(&baseline, &record, args.threshold);
         print!("{}", cmp.render());
-        if !cmp.ok() {
-            if args.warn_only {
+        // Silently-dropped workload metrics must hard-fail even under
+        // --warn-only: a baseline key the current run never produced is a
+        // harness break, not a latency regression to be waved through.
+        let missing_failure = args.fail_on_missing && cmp.missing() > 0;
+        if !cmp.ok() || missing_failure {
+            if args.warn_only && !missing_failure {
                 println!(
                     "WARN: regressions beyond {:.1}% vs {} (ignored: --warn-only)",
                     args.threshold * 100.0,
                     path.display()
                 );
             } else {
-                eprintln!(
-                    "error: regression beyond {:.1}% vs {}",
-                    args.threshold * 100.0,
-                    path.display()
-                );
+                if missing_failure {
+                    eprintln!(
+                        "error: {} baseline metric(s) missing from the current run \
+                         (--fail-on-missing)",
+                        cmp.missing()
+                    );
+                }
+                if !cmp.regressions.is_empty() {
+                    eprintln!(
+                        "error: regression beyond {:.1}% vs {}",
+                        args.threshold * 100.0,
+                        path.display()
+                    );
+                    if let Some(top) = profile_diff.as_ref().and_then(|d| d.top()) {
+                        eprintln!(
+                            "likely cause: {} (ratio {:.2}x, {:+.1} us total)",
+                            top.cell, top.ratio, top.delta_total_us
+                        );
+                    }
+                }
                 return ExitCode::FAILURE;
             }
         } else {

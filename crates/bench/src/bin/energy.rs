@@ -9,7 +9,13 @@
 //! every model the APU permutation is the most frugal; int8 variants burn
 //! less than their float32 twins.
 //!
-//! `cargo run --release -p tvmnp-bench --bin energy [--profile] [--trace-out <path>]`
+//! `cargo run --release -p tvmnp-bench --bin energy [--profile] [--trace-out <path>]
+//! [--stats-out <path>] [--flight-out <dir>] [--slo-ms <f>]
+//! [--profile-store <dir>] [--profile-diff <path>]`
+//!
+//! The observe flags stand up the live plane over the traced runs (each
+//! traced model counts as one observed frame); the profile flags collect
+//! a measured per-kernel cost/energy profile from the same runs.
 
 use tvm_neuropilot::models::zoo;
 use tvm_neuropilot::prelude::*;

@@ -6,7 +6,13 @@
 //! GPU lands between the vendor CPU and the APU; quantized models skip
 //! the GPU entirely (the APU's int8 advantage is too large).
 //!
-//! `cargo run --release -p tvmnp-bench --bin gpu_ext [--profile] [--trace-out <path>]`
+//! `cargo run --release -p tvmnp-bench --bin gpu_ext [--profile] [--trace-out <path>]
+//! [--stats-out <path>] [--flight-out <dir>] [--slo-ms <f>]
+//! [--profile-store <dir>] [--profile-diff <path>]`
+//!
+//! The observe flags stand up the live plane over the traced runs (each
+//! traced model counts as one observed frame); the profile flags collect
+//! a measured per-kernel cost/energy profile from the same runs.
 
 use tvm_neuropilot::models::zoo;
 use tvm_neuropilot::prelude::*;

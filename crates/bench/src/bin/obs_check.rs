@@ -10,6 +10,8 @@
 //! obs_check --compare <a.json> <b.json> --metric <key> [--warn-at F]
 //!                                            # warn (never fail) when b's median
 //!                                            # exceeds a's by more than F (default 0.05)
+//! obs_check --profile <profile.json>         # schema-check a measured-profile file
+//!                                            # (repeatable)
 //! ```
 //!
 //! Exit code 0 means every requested check passed (the `--compare` gate
@@ -22,6 +24,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use tvm_neuropilot::observe::validate_dump;
+use tvm_neuropilot::profile::{validate_profile, Profile};
 use tvm_neuropilot::report::BenchRecord;
 
 struct Args {
@@ -31,13 +34,15 @@ struct Args {
     compare: Option<(PathBuf, PathBuf)>,
     metric: Option<String>,
     warn_at: f64,
+    profiles: Vec<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: obs_check [--stats <stats.jsonl>] \
          [--flight-dir <dir>] [--expect-kind <kind>]... \
-         [--compare <a.json> <b.json> --metric <key> [--warn-at F]]"
+         [--compare <a.json> <b.json> --metric <key> [--warn-at F]] \
+         [--profile <profile.json>]..."
     );
     std::process::exit(2);
 }
@@ -49,6 +54,7 @@ fn parse_args() -> Args {
     let mut compare = None;
     let mut metric = None;
     let mut warn_at = 0.05f64;
+    let mut profiles = Vec::new();
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().unwrap_or_else(|| {
@@ -67,6 +73,7 @@ fn parse_args() -> Args {
                 compare = Some((a, b));
             }
             "--metric" => metric = Some(value(&mut args, "--metric")),
+            "--profile" => profiles.push(PathBuf::from(value(&mut args, "--profile"))),
             "--warn-at" => {
                 let v = value(&mut args, "--warn-at");
                 warn_at = v.parse().unwrap_or_else(|_| {
@@ -81,8 +88,8 @@ fn parse_args() -> Args {
             }
         }
     }
-    if stats.is_none() && flight_dir.is_none() && compare.is_none() {
-        eprintln!("error: nothing to do — pass --stats, --flight-dir, and/or --compare");
+    if stats.is_none() && flight_dir.is_none() && compare.is_none() && profiles.is_empty() {
+        eprintln!("error: nothing to do — pass --stats, --flight-dir, --compare, and/or --profile");
         usage();
     }
     if compare.is_some() && metric.is_none() {
@@ -96,6 +103,7 @@ fn parse_args() -> Args {
         compare,
         metric,
         warn_at,
+        profiles,
     }
 }
 
@@ -260,6 +268,27 @@ fn check_compare(a: &Path, b: &Path, metric: &str, warn_at: f64) -> Result<(), S
     Ok(())
 }
 
+/// Schema-check one measured-profile file: valid JSON, the
+/// `tvmnp-profile` schema validator passes, and the file round-trips
+/// through the typed loader.
+fn check_profile(path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: unreadable: {e}", path.display()))?;
+    let doc: serde_json::Value = serde_json::from_str(&text)
+        .map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+    if let Some(problem) = validate_profile(&doc) {
+        return Err(format!("{}: schema violation: {problem}", path.display()));
+    }
+    let profile = Profile::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!(
+        "profile OK: {} ({} cell(s), {} sample(s))",
+        path.display(),
+        profile.cells.len(),
+        profile.total_count()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     let mut checks: Vec<Result<(), String>> = Vec::new();
@@ -271,6 +300,9 @@ fn main() -> ExitCode {
     }
     if let (Some((a, b)), Some(metric)) = (&args.compare, &args.metric) {
         checks.push(check_compare(a, b, metric, args.warn_at));
+    }
+    for path in &args.profiles {
+        checks.push(check_profile(path));
     }
     let mut ok = true;
     for check in checks {

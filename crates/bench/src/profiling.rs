@@ -23,12 +23,22 @@
 //!   fault exhaustion, SLO breach, or worker panic;
 //! * `--flight-buffer <n>` — flight-recorder ring capacity (default 1024);
 //! * `--slo-ms <f>` — per-frame latency SLO; a breach triggers a dump.
+//!
+//! The measured-profile flags collect a `tvmnp-profile` cost database
+//! from the run (telemetry detail mode):
+//!
+//! * `--profile-store <dir>` — save the measured profile into the
+//!   content-addressed store at `dir`;
+//! * `--profile-diff <path>` — diff the measured profile against a
+//!   baseline (a store directory or a single profile file) and print the
+//!   ranked attribution table.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use tvm_neuropilot::models::Model;
 use tvm_neuropilot::observe::{ObserveConfig, ObservePlane};
 use tvm_neuropilot::prelude::*;
+use tvm_neuropilot::profile::{diff_profiles, DiffOptions, ProfileDiff};
 use tvmnp_telemetry::{profile_table, write_chrome_trace, ProfileOptions};
 
 /// Parsed live-observability flags, shared by the bench binaries.
@@ -152,6 +162,101 @@ impl ObserveCli {
     }
 }
 
+/// Parsed measured-profile flags (`--profile-store` / `--profile-diff`),
+/// shared by the bench binaries and the `bench` regression harness.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileCli {
+    /// Store directory to save the measured profile into.
+    pub store_dir: Option<PathBuf>,
+    /// Baseline to diff against: a store directory or a profile file.
+    pub diff_base: Option<PathBuf>,
+}
+
+impl ProfileCli {
+    /// Whether measured-profile collection was requested.
+    pub fn active(&self) -> bool {
+        self.store_dir.is_some() || self.diff_base.is_some()
+    }
+
+    /// Try to consume one profile flag at `arg`, pulling values from
+    /// `args`. Returns whether the flag was recognized.
+    pub fn consume(&mut self, arg: &str, args: &mut dyn Iterator<Item = String>) -> bool {
+        let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} requires a path");
+                std::process::exit(2);
+            })
+        };
+        match arg {
+            "--profile-store" => {
+                self.store_dir = Some(PathBuf::from(value(args, "--profile-store")));
+            }
+            "--profile-diff" => {
+                self.diff_base = Some(PathBuf::from(value(args, "--profile-diff")));
+            }
+            _ => return false,
+        }
+        true
+    }
+
+    /// Resolve the baseline profile for `key`: a directory is treated as
+    /// a profile store (looked up by key), a file as one profile.
+    fn load_baseline(path: &Path, key: &ProfileKey) -> Result<Profile, String> {
+        if path.is_dir() {
+            let store = ProfileStore::open(path).map_err(|e| e.to_string())?;
+            store.load(key).map_err(|e| e.to_string())
+        } else {
+            Profile::read(path).map_err(|e| e.to_string())
+        }
+    }
+
+    /// Save and/or diff the collected profile per the flags, printing the
+    /// store path, the ranked attribution table, and the greppable
+    /// `top regression cell:` line. Returns the diff when one was made.
+    pub fn report(&self, profile: &mut Profile) -> Option<ProfileDiff> {
+        if profile.total_count() == 0 {
+            eprintln!("warning: measured profile is empty (no detail-mode executor spans)");
+        }
+        if let Some(dir) = &self.store_dir {
+            let store = tvm_neuropilot::profile::ProfileStore::open(dir).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+            match store.save(profile) {
+                Ok(path) => println!(
+                    "measured profile written to {} ({} cells, {} samples)",
+                    path.display(),
+                    profile.cells.len(),
+                    profile.total_count()
+                ),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let base_path = self.diff_base.as_ref()?;
+        let baseline = match Self::load_baseline(base_path, &profile.key) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: --profile-diff: {e}");
+                std::process::exit(1);
+            }
+        };
+        let diff = diff_profiles(&baseline, profile, &DiffOptions::default());
+        println!();
+        print!("{}", diff.render());
+        match diff.top() {
+            Some(top) => println!(
+                "top regression cell: {} (ratio {:.2}x, {:+.1} us total)",
+                top.cell, top.ratio, top.delta_total_us
+            ),
+            None => println!("no significant cell movement vs baseline"),
+        }
+        Some(diff)
+    }
+}
+
 /// Parsed telemetry flags plus the state accumulated while profiling.
 pub struct TelemetryCli {
     /// Print the per-op profile table at the end.
@@ -174,6 +279,14 @@ pub struct TelemetryCli {
     /// The installed observability plane, when any observe flag was
     /// given. Finished and uninstalled by [`TelemetryCli::finish`].
     pub plane: Option<Arc<ObservePlane>>,
+    /// Parsed measured-profile flags (`--profile-store`/`--profile-diff`).
+    pub profile_cli: ProfileCli,
+    /// Workload name stamped into the measured profile's key (the
+    /// binary's file stem, e.g. `fig4`).
+    workload: String,
+    /// Frames run so far via [`TelemetryCli::trace_model`]; feeds
+    /// [`ObservePlane::frame_done`].
+    frames: usize,
     total_run_us: f64,
 }
 
@@ -190,9 +303,21 @@ impl TelemetryCli {
         let mut concurrency = 4usize;
         let mut cache_dir = None;
         let mut observe = ObserveCli::default();
+        let mut profile_cli = ProfileCli::default();
+        let workload = std::env::args()
+            .next()
+            .and_then(|p| {
+                Path::new(&p)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+            })
+            .unwrap_or_else(|| "bench".to_string());
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             if observe.consume(a.as_str(), &mut args) {
+                continue;
+            }
+            if profile_cli.consume(a.as_str(), &mut args) {
                 continue;
             }
             match a.as_str() {
@@ -249,7 +374,8 @@ impl TelemetryCli {
                          --inject-fault <spec>, --fault-seed <n>, \
                          --concurrency <n>, --cache-dir <path>, \
                          --stats-out <path>, --flight-out <dir>, \
-                         --flight-buffer <n>, --slo-ms <f>)"
+                         --flight-buffer <n>, --slo-ms <f>, \
+                         --profile-store <dir>, --profile-diff <path>)"
                     );
                     std::process::exit(2);
                 }
@@ -265,15 +391,24 @@ impl TelemetryCli {
             cache_dir,
             observe,
             plane: None,
+            profile_cli,
+            workload,
+            frames: 0,
             total_run_us: 0.0,
         };
-        if cli.active() || cli.fault_plan.is_some() {
+        if cli.active() || cli.fault_plan.is_some() || cli.profile_cli.active() {
             tvmnp_telemetry::enable();
             tvmnp_telemetry::reset();
         }
         // Last: the plane's build enables + resets the collector itself,
         // so any prior enable above is subsumed, not double-counted.
         cli.plane = cli.observe.build_plane();
+        if cli.profile_cli.active() {
+            // Detail mode stamps kind/energy/analytic args onto executor
+            // spans so the profile store can bin them. Confined to this
+            // run: finish() clears it before any report is rendered.
+            tvmnp_telemetry::set_detail(true);
+        }
         cli
     }
 
@@ -283,11 +418,13 @@ impl TelemetryCli {
     }
 
     /// Compile `model` through the BYOC flow and execute one inference so
-    /// the trace gains an execute phase with per-node timings. No-op when
-    /// telemetry is off (the figure harnesses measure analytically and
-    /// never execute).
+    /// the trace gains an execute phase with per-node timings, the
+    /// observability plane sees a frame, and the measured profile gains
+    /// samples. No-op when no telemetry, observe, or profile output was
+    /// requested (the figure harnesses measure analytically and never
+    /// execute).
     pub fn trace_model(&mut self, model: &Model, cost: &CostModel) {
-        if !self.active() {
+        if !(self.active() || self.profile_cli.active() || self.plane.is_some()) {
             return;
         }
         let mut compiled = relay_build(
@@ -299,16 +436,33 @@ impl TelemetryCli {
         let (_, us) = compiled
             .run(&model.sample_inputs(7))
             .expect("profiling run");
+        if let Some(plane) = &self.plane {
+            plane.frame_done(&model.name, self.frames, us);
+        }
+        self.frames += 1;
         self.total_run_us += us;
     }
 
     /// Emit the requested outputs and disable collection.
-    pub fn finish(self) {
+    pub fn finish(mut self) {
         if let Some(plane) = &self.plane {
             self.observe.finish_plane(plane);
         }
+        if self.profile_cli.active() {
+            tvmnp_telemetry::set_detail(false);
+            tvmnp_telemetry::disable();
+            let snap = tvmnp_telemetry::snapshot();
+            let mut profile = Profile::new(ProfileKey {
+                workload: std::mem::take(&mut self.workload),
+                permutation: "byoc-cpu-apu".to_string(),
+                quant: "f32".to_string(),
+                soc: "dimensity-800".to_string(),
+            });
+            profile.ingest_snapshot(&snap);
+            self.profile_cli.report(&mut profile);
+        }
         if !self.active() {
-            if self.fault_plan.is_some() || self.plane.is_some() {
+            if self.fault_plan.is_some() || self.plane.is_some() || self.profile_cli.active() {
                 tvmnp_telemetry::disable();
             }
             return;

@@ -7,7 +7,7 @@ use tvmnp_neuropilot::{
 };
 use tvmnp_relay::Function;
 use tvmnp_runtime::artifact::ModuleLoader;
-use tvmnp_runtime::module::{ExternalModule, ModuleError};
+use tvmnp_runtime::module::{ExternalModule, KernelProfile, ModuleError};
 use tvmnp_tensor::Tensor;
 
 /// Serialized form of a Neuron external module (the artifact payload).
@@ -135,6 +135,22 @@ impl ExternalModule for NeuronModule {
 
     fn estimate_energy_uj(&self) -> f64 {
         self.network.estimate_energy_uj()
+    }
+
+    fn kernel_profile(&self) -> Vec<KernelProfile> {
+        self.network
+            .kernel_profile()
+            .into_iter()
+            .map(|e| KernelProfile {
+                label: e.label,
+                kind: e.kind,
+                device: e.device,
+                class: e.class,
+                us: e.us,
+                analytic_us: e.analytic_us,
+                energy_uj: e.energy_uj,
+            })
+            .collect()
     }
 
     fn serialize(&self) -> serde_json::Value {

@@ -131,6 +131,23 @@ impl ExternalModule for NnapiModule {
         self.inner.estimate_energy_uj()
     }
 
+    fn kernel_profile(&self) -> Vec<tvmnp_runtime::module::KernelProfile> {
+        // The HAL round trip is real charged time, so the profile carries
+        // it as an explicit data-movement item — entries keep summing to
+        // estimate_time_us.
+        let mut entries = self.inner.kernel_profile();
+        entries.push(tvmnp_runtime::module::KernelProfile {
+            label: "nnapi-hal".to_string(),
+            kind: tvmnp_hwsim::WorkKind::DataMovement,
+            device: self.dispatch_device(),
+            class: tvmnp_hwsim::KernelClass::VendorTuned,
+            us: NNAPI_HAL_OVERHEAD_US,
+            analytic_us: NNAPI_HAL_OVERHEAD_US,
+            energy_uj: 0.0,
+        });
+        entries
+    }
+
     fn serialize(&self) -> serde_json::Value {
         self.inner.serialize()
     }

@@ -48,6 +48,7 @@
 //! | [`serving`] | concurrent multi-frame session pool + throughput simulator |
 //! | [`telemetry`] | spans, metrics, profile/Chrome-trace exporters |
 //! | [`observe`] | live observability: trace trees, quantile sketches, flight recorder |
+//! | [`profile`] | measured-profile store, differential attribution, calibrated cost models |
 
 pub use tvmnp_byoc as byoc;
 pub use tvmnp_frontends as frontends;
@@ -55,6 +56,7 @@ pub use tvmnp_hwsim as hwsim;
 pub use tvmnp_models as models;
 pub use tvmnp_neuropilot as neuropilot;
 pub use tvmnp_observe as observe;
+pub use tvmnp_profile as profile;
 pub use tvmnp_relay as relay;
 pub use tvmnp_report as report;
 pub use tvmnp_runtime as runtime;
@@ -80,6 +82,9 @@ pub mod prelude {
     pub use tvmnp_hwsim::{CostModel, DeviceKind, FaultInjector, FaultPlan, RetryPolicy, SocSpec};
     pub use tvmnp_neuropilot::TargetPolicy;
     pub use tvmnp_observe::{ObserveConfig, ObservePlane, StatsSnapshot};
+    pub use tvmnp_profile::{
+        diff_profiles, CalibratedCostModel, Profile, ProfileDiff, ProfileKey, ProfileStore,
+    };
     pub use tvmnp_relay::expr::Module;
     pub use tvmnp_relay::interp::run_module;
     pub use tvmnp_scheduler::{simulate_pipelined, simulate_sequential};

@@ -148,6 +148,28 @@ impl CostModel {
         self.device_kind_scale[device_index(device)][kind.index()]
     }
 
+    /// The same SoC with every injected multiplier removed: the pure
+    /// analytic prediction. The profile layer compares measured spans
+    /// against this reference, so an injected slowdown (or a throttle)
+    /// shows up as a residual instead of silently moving the baseline.
+    pub fn unscaled(&self) -> CostModel {
+        CostModel::new(self.soc.clone())
+    }
+
+    /// Apply a batch of measured per-(device, kind) multipliers — the
+    /// constructor `tvmnp-profile::CalibratedCostModel` feeds its fitted
+    /// scale factors through to turn a measured profile back into a
+    /// usable cost model.
+    pub fn with_device_kind_scales(
+        mut self,
+        scales: impl IntoIterator<Item = (DeviceKind, WorkKind, f64)>,
+    ) -> Self {
+        for (device, kind, factor) in scales {
+            self = self.with_device_kind_scale(device, kind, factor);
+        }
+        self
+    }
+
     /// Time for one kernel on one device, **excluding** launch overhead:
     /// roofline-style `max(compute, memory)`.
     pub fn kernel_body_us(&self, w: &WorkItem, device: DeviceKind, class: KernelClass) -> f64 {
@@ -295,6 +317,29 @@ mod tests {
         assert_eq!(scaled.kind_scale(WorkKind::MacHeavy), 2.0);
         assert_eq!(WorkKind::parse("mac"), Some(WorkKind::MacHeavy));
         assert_eq!(WorkKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn unscaled_strips_every_injected_multiplier() {
+        let scaled = CostModel::default()
+            .with_kind_scale(WorkKind::MacHeavy, 2.0)
+            .with_device_kind_scale(DeviceKind::Apu, WorkKind::MacHeavy, 1.5);
+        let clean = scaled.unscaled();
+        let w = conv_item(50_000_000, true);
+        let reference =
+            CostModel::default().kernel_body_us(&w, DeviceKind::Apu, KernelClass::VendorTuned);
+        let stripped = clean.kernel_body_us(&w, DeviceKind::Apu, KernelClass::VendorTuned);
+        assert!((stripped - reference).abs() < 1e-12);
+        assert_eq!(clean.soc(), scaled.soc());
+        // The batch constructor composes like repeated single applications.
+        let batch = clean.with_device_kind_scales([
+            (DeviceKind::Apu, WorkKind::MacHeavy, 1.5),
+            (DeviceKind::Apu, WorkKind::MacHeavy, 2.0),
+        ]);
+        assert_eq!(
+            batch.device_kind_scale(DeviceKind::Apu, WorkKind::MacHeavy),
+            3.0
+        );
     }
 
     #[test]

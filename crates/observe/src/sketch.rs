@@ -211,6 +211,90 @@ impl QuantileSketch {
     pub fn tuples(&self) -> usize {
         self.entries.len() + self.buffer.len()
     }
+
+    /// Serialize the summary as a JSON value. Flushes first so the
+    /// output depends only on the observed stream, not on buffering
+    /// state — same samples, same order → byte-identical JSON (the
+    /// profile store's determinism contract rests on this).
+    pub fn to_json(&mut self) -> serde_json::Value {
+        self.flush();
+        let entries: Vec<serde_json::Value> = self
+            .entries
+            .iter()
+            .map(|e| serde_json::json!([e.v, e.g, e.delta]))
+            .collect();
+        serde_json::json!({
+            "count": self.count,
+            "entries": entries,
+            "epsilon": self.epsilon,
+            "max": self.max(),
+            "min": self.min(),
+            "sum": self.sum
+        })
+    }
+
+    /// Rebuild a sketch from [`QuantileSketch::to_json`] output,
+    /// validating the GK invariants (entries value-sorted, tuple counts
+    /// summing to `count`) so a corrupted profile file is rejected
+    /// instead of silently answering wrong quantiles.
+    pub fn from_json(value: &serde_json::Value) -> Result<QuantileSketch, String> {
+        let num = |key: &str| {
+            value
+                .get(key)
+                .and_then(serde_json::Value::as_f64)
+                .ok_or_else(|| format!("sketch: missing numeric field `{key}`"))
+        };
+        let count = value
+            .get("count")
+            .and_then(serde_json::Value::as_u64)
+            .ok_or("sketch: missing `count`")?;
+        let epsilon = num("epsilon")?;
+        let sum = num("sum")?;
+        let raw_entries = value
+            .get("entries")
+            .and_then(serde_json::Value::as_array)
+            .ok_or("sketch: missing `entries` array")?;
+        let mut entries = Vec::with_capacity(raw_entries.len());
+        let mut covered = 0u64;
+        for (i, triple) in raw_entries.iter().enumerate() {
+            let t = triple
+                .as_array()
+                .filter(|t| t.len() == 3)
+                .ok_or_else(|| format!("sketch: entry {i} is not a [v, g, delta] triple"))?;
+            let v = t[0]
+                .as_f64()
+                .filter(|v| v.is_finite())
+                .ok_or_else(|| format!("sketch: entry {i} has a non-finite value"))?;
+            let g = t[1]
+                .as_u64()
+                .ok_or_else(|| format!("sketch: entry {i} bad g"))?;
+            let delta = t[2]
+                .as_u64()
+                .ok_or_else(|| format!("sketch: entry {i} bad delta"))?;
+            if let Some(prev) = entries.last() {
+                let prev: &Entry = prev;
+                if v < prev.v {
+                    return Err(format!("sketch: entries not value-sorted at index {i}"));
+                }
+            }
+            covered += g;
+            entries.push(Entry { v, g, delta });
+        }
+        if covered != count {
+            return Err(format!(
+                "sketch: tuple counts sum to {covered}, expected {count}"
+            ));
+        }
+        let mut sketch = QuantileSketch::new(epsilon);
+        if count > 0 {
+            sketch.min = num("min")?;
+            sketch.max = num("max")?;
+        }
+        sketch.count = count;
+        sketch.sum = sum;
+        sketch.entries = entries;
+        Ok(sketch)
+    }
 }
 
 /// Merge two value-sorted tuple lists, preserving order and stability
@@ -353,6 +437,38 @@ mod tests {
             (s.query(0.5), s.query(0.95), s.query(0.99), s.tuples())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_summary_exactly() {
+        let mut s = QuantileSketch::new(0.005);
+        for &v in &stream(13, 9_000) {
+            s.insert(v);
+        }
+        let dumped = s.to_json();
+        let mut back = QuantileSketch::from_json(&dumped).expect("roundtrip parses");
+        assert_eq!(back.count(), s.count());
+        assert_eq!(back.sum(), s.sum());
+        assert_eq!(back.min(), s.min());
+        assert_eq!(back.max(), s.max());
+        for q in [0.01, 0.5, 0.95, 0.99] {
+            assert_eq!(back.query(q), s.query(q), "q={q} diverged after roundtrip");
+        }
+        // Serialization is stable: dumping the rebuilt sketch is byte-identical.
+        assert_eq!(
+            serde_json::to_string(&back.to_json()).unwrap(),
+            serde_json::to_string(&dumped).unwrap()
+        );
+        // Corruption is rejected, not silently accepted.
+        let mut broken = dumped.clone();
+        if let serde_json::Value::Object(m) = &mut broken {
+            m.insert("count".into(), serde_json::json!(1));
+        }
+        assert!(QuantileSketch::from_json(&broken).is_err());
+        // Empty sketches roundtrip too.
+        let mut empty = QuantileSketch::default();
+        let back = QuantileSketch::from_json(&empty.to_json()).unwrap();
+        assert_eq!(back.count(), 0);
     }
 
     #[test]

@@ -240,6 +240,13 @@ impl Comparison {
         self.regressions.is_empty() && self.missing_in_current.is_empty()
     }
 
+    /// Number of gated baseline metrics the current run never produced —
+    /// the signal `bench --fail-on-missing` hard-fails on, since a
+    /// silently dropped workload would otherwise pass the gate.
+    pub fn missing(&self) -> usize {
+        self.missing_in_current.len()
+    }
+
     /// Human-readable summary.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -415,6 +422,7 @@ mod tests {
         let cur = record(&[("t.a.ms", 10.0), ("t.c.ms", 1.0)]);
         let cmp = compare(&base, &cur, 0.05);
         assert!(!cmp.ok());
+        assert_eq!(cmp.missing(), 1);
         assert_eq!(cmp.missing_in_current, vec!["t.b.ms".to_string()]);
         assert_eq!(cmp.new_in_current, vec!["t.c.ms".to_string()]);
     }

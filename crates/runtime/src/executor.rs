@@ -2,11 +2,11 @@
 //! `get_output`), with simulated-time accounting.
 
 use crate::graph::{ExecutorGraph, NodeKind, NodeRef};
-use crate::module::ModuleRegistry;
+use crate::module::{KernelProfile, ModuleRegistry};
 use crate::work::relay_work_item;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use tvmnp_hwsim::{CostModel, DeviceKind, FaultInjector, KernelClass, RetryPolicy};
+use tvmnp_hwsim::{CostModel, DeviceKind, FaultInjector, KernelClass, RetryPolicy, WorkKind};
 use tvmnp_relay::interp::{eval_op, Value};
 use tvmnp_relay::TensorType;
 use tvmnp_tensor::Tensor;
@@ -160,6 +160,39 @@ fn kernel_class_label(class: KernelClass) -> &'static str {
         KernelClass::TvmUntuned => "tvm_untuned",
         KernelClass::VendorTuned => "vendor_tuned",
     }
+}
+
+/// Profile-detail attributes stamped onto a node span when
+/// `tvmnp_telemetry::detail_enabled()` — work kind, energy estimate,
+/// and the unscaled analytic reference time the calibration layer fits
+/// against. `None` on normal runs keeps spans byte-identical to earlier
+/// releases.
+struct NodeDetail {
+    kind: WorkKind,
+    energy_uj: f64,
+    analytic_us: f64,
+}
+
+/// Emit one detail-gated `executor.kernel` sim span for an internal
+/// kernel of an external module. These spans exist only for the profile
+/// ingester (which bins on the `kind` arg); the flight-recorder forward
+/// filter and the utilization report never see them because detail mode
+/// is confined to dedicated profile-collection passes.
+fn record_kernel(symbol: &str, start_us: f64, k: &KernelProfile) {
+    tvmnp_telemetry::record_sim_span(
+        "executor.kernel",
+        start_us,
+        k.us,
+        vec![
+            ("op".to_string(), k.label.clone()),
+            ("symbol".to_string(), symbol.to_string()),
+            ("kind".to_string(), k.kind.name().to_string()),
+            ("device".to_string(), k.device.name().to_string()),
+            ("class".to_string(), kernel_class_label(k.class).to_string()),
+            ("energy_uj".to_string(), format!("{:.6}", k.energy_uj)),
+            ("analytic_us".to_string(), format!("{:.6}", k.analytic_us)),
+        ],
+    );
 }
 
 /// Fault-handling knobs for one executor run (see
@@ -413,7 +446,8 @@ impl GraphExecutor {
                     let arg_refs: Vec<&TensorType> = arg_types.iter().collect();
                     let w = relay_work_item(op, &arg_refs, &node.out_types[0]);
                     let node_start_us = time_us;
-                    if groups_dispatched.insert(*group) {
+                    let launched = groups_dispatched.insert(*group);
+                    if launched {
                         if let Some(injector) = opts.injector {
                             dispatch_with_retry(
                                 injector,
@@ -434,12 +468,29 @@ impl GraphExecutor {
                     time_us +=
                         self.cost
                             .kernel_body_us(&w, DeviceKind::Cpu, KernelClass::TvmUntuned);
+                    let detail = tvmnp_telemetry::detail_enabled().then(|| NodeDetail {
+                        kind: w.kind,
+                        energy_uj: self.cost.kernel_energy_uj(
+                            &w,
+                            DeviceKind::Cpu,
+                            KernelClass::TvmUntuned,
+                        ),
+                        // Detail runs only: stripping the injected
+                        // multipliers here keeps GraphExecutor free of a
+                        // second CostModel on the hot path.
+                        analytic_us: self.cost.unscaled().kernel_body_us(
+                            &w,
+                            DeviceKind::Cpu,
+                            KernelClass::TvmUntuned,
+                        ) + if launched { cpu_launch } else { 0.0 },
+                    });
                     self.record_node(
                         node_start_us,
                         time_us - node_start_us,
                         op.name(),
                         DeviceKind::Cpu.name(),
                         KernelClass::TvmUntuned,
+                        detail,
                     );
                     deadline(time_us, idx)?;
                     self.values.insert(
@@ -515,7 +566,41 @@ impl GraphExecutor {
                         symbol,
                         &device,
                         KernelClass::VendorTuned,
+                        None,
                     );
+                    if tvmnp_telemetry::detail_enabled() {
+                        // Per-kernel attribution spans: the boundary
+                        // transfers charged above, then the module's own
+                        // internal kernels, tiled from the node start.
+                        // (The aggregate `executor.node` span above has
+                        // no `kind` arg, so the profile ingester takes
+                        // these and skips it — no double counting.)
+                        let mut at_us = node_start_us;
+                        let dispatch = module.dispatch_device();
+                        let boundary = |label: &str, bytes: usize, at_us: &mut f64| {
+                            let entry = KernelProfile {
+                                label: label.to_string(),
+                                kind: WorkKind::DataMovement,
+                                device: dispatch,
+                                class: KernelClass::VendorTuned,
+                                us: self.cost.transfer_us(bytes),
+                                analytic_us: self.cost.transfer_us(bytes),
+                                energy_uj: self.cost.transfer_energy_uj(bytes),
+                            };
+                            record_kernel(symbol, *at_us, &entry);
+                            *at_us += entry.us;
+                        };
+                        for a in &args {
+                            boundary("boundary-in", a.size_bytes(), &mut at_us);
+                        }
+                        for entry in module.kernel_profile() {
+                            record_kernel(symbol, at_us, &entry);
+                            at_us += entry.us;
+                        }
+                        for t in &node.out_types {
+                            boundary("boundary-out", t.size_bytes(), &mut at_us);
+                        }
+                    }
                     deadline(time_us, idx)?;
                 }
             }
@@ -526,21 +611,30 @@ impl GraphExecutor {
 
     /// Record one node's simulated interval (span + histogram + counter);
     /// no-op while telemetry is disabled.
-    fn record_node(&self, start_us: f64, dur_us: f64, op: &str, device: &str, class: KernelClass) {
+    fn record_node(
+        &self,
+        start_us: f64,
+        dur_us: f64,
+        op: &str,
+        device: &str,
+        class: KernelClass,
+        detail: Option<NodeDetail>,
+    ) {
         if !tvmnp_telemetry::is_enabled() {
             return;
         }
         let class = kernel_class_label(class);
-        tvmnp_telemetry::record_sim_span(
-            "executor.node",
-            start_us,
-            dur_us,
-            vec![
-                ("op".to_string(), op.to_string()),
-                ("device".to_string(), device.to_string()),
-                ("class".to_string(), class.to_string()),
-            ],
-        );
+        let mut span_args = vec![
+            ("op".to_string(), op.to_string()),
+            ("device".to_string(), device.to_string()),
+            ("class".to_string(), class.to_string()),
+        ];
+        if let Some(d) = detail {
+            span_args.push(("kind".to_string(), d.kind.name().to_string()));
+            span_args.push(("energy_uj".to_string(), format!("{:.6}", d.energy_uj)));
+            span_args.push(("analytic_us".to_string(), format!("{:.6}", d.analytic_us)));
+        }
+        tvmnp_telemetry::record_sim_span("executor.node", start_us, dur_us, span_args);
         tvmnp_telemetry::histogram_observe(
             "executor.node_us",
             &[("device", device), ("kernel", op), ("class", class)],

@@ -7,8 +7,32 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use tvmnp_hwsim::DeviceKind;
+use tvmnp_hwsim::{DeviceKind, KernelClass, WorkKind};
 use tvmnp_tensor::Tensor;
+
+/// One internal kernel (or overhead item) of an external module, for
+/// measured-profile collection. Unlike the per-device shares of
+/// [`ExternalModule::estimate_device_us`], entries keep the work kind
+/// and kernel class, carry an energy estimate, and pair the charged
+/// time with the *unscaled* analytic prediction — the reference the
+/// calibration layer fits residuals against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelProfile {
+    /// Human label (op name or overhead kind, e.g. `conv2d`, `dispatch`).
+    pub label: String,
+    /// Work category of the kernel.
+    pub kind: WorkKind,
+    /// Device the time is charged to.
+    pub device: DeviceKind,
+    /// Kernel provenance (untuned TVM vs vendor-tuned).
+    pub class: KernelClass,
+    /// Charged simulated time, µs (includes any injected scaling).
+    pub us: f64,
+    /// Analytic prediction with every injected multiplier removed, µs.
+    pub analytic_us: f64,
+    /// Estimated energy, µJ.
+    pub energy_uj: f64,
+}
 
 /// Error from an external module invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +82,15 @@ pub trait ExternalModule: Send + Sync {
     /// not model energy).
     fn estimate_energy_uj(&self) -> f64 {
         0.0
+    }
+
+    /// Per-internal-kernel attribution for measured-profile collection,
+    /// summing exactly to [`ExternalModule::estimate_time_us`]. Default
+    /// is empty: the module opts out of fine-grained profiling and its
+    /// aggregate node span (which carries no work kind) is skipped by
+    /// the profile ingester rather than mis-binned.
+    fn kernel_profile(&self) -> Vec<KernelProfile> {
+        Vec::new()
     }
 
     /// Serialize for embedding into a deployable artifact.

@@ -117,6 +117,27 @@ pub fn is_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+static DETAIL: AtomicBool = AtomicBool::new(false);
+
+/// Turn profile-detail collection on or off. While on (and the
+/// collector is enabled), the executor stamps its spans with work-kind,
+/// energy, and analytic-reference attributes and emits per-kernel spans
+/// for external modules, so a measured profile can be built from the
+/// snapshot (`tvmnp-profile`). Off by default and off for every normal
+/// run: the extra device-tagged spans would double-count in the
+/// utilization report, which consumes every sim span carrying a
+/// `device` arg. Only dedicated profile-collection passes flip this.
+pub fn set_detail(on: bool) {
+    DETAIL.store(on, Ordering::Release);
+}
+
+/// Whether profile-detail collection is on *and* the collector is
+/// enabled (detail spans are never recorded while collection is off).
+#[inline]
+pub fn detail_enabled() -> bool {
+    is_enabled() && DETAIL.load(Ordering::Relaxed)
+}
+
 /// Clear all recorded spans and metrics and re-anchor the wall-clock
 /// epoch at "now". Does not change the enabled flag.
 pub fn reset() {

@@ -8,17 +8,22 @@ cargo test -q
 cargo fmt --check
 cargo clippy -- -D warnings
 
-# Bench smoke: one workload against the checked-in baseline. Warn-only —
-# the hard gate is scripts/bench_baseline.sh + a reviewed diff; this step
-# only proves the harness runs and surfaces drift in the CI log.
+# Bench smoke: one workload against the checked-in baseline. Warn-only
+# for latency drift — the hard gate is scripts/bench_baseline.sh + a
+# reviewed diff; this step only proves the harness runs and surfaces
+# drift in the CI log. --fail-on-missing is a hard gate regardless: a
+# baseline metric the run never produced means a workload was silently
+# dropped, which --warn-only must not wave through.
 cargo run --release -q -p tvmnp-bench --bin bench -- \
-    --workload fig6 --runs 2 --check-against BENCH_fig6.json --warn-only
+    --workload fig6 --runs 2 --check-against BENCH_fig6.json --warn-only \
+    --fail-on-missing
 
 # Serving-throughput smoke: frames/sec + cache hit rate against the
 # checked-in baseline. Warn-only, same rationale as above; the workload
 # itself hard-fails if concurrent outputs diverge from sequential.
 cargo run --release -q -p tvmnp-bench --bin bench -- \
-    --workload serve --runs 2 --check-against BENCH_serve.json --warn-only
+    --workload serve --runs 2 --check-against BENCH_serve.json --warn-only \
+    --fail-on-missing
 
 # Fault-injection smoke: seeded transient APU faults against the showcase.
 # Must exit 0 (the fallback chain absorbs the faults) and the resilience
@@ -72,6 +77,29 @@ cargo run --release -q -p tvmnp-bench --bin bench -- \
 cargo run --release -q -p tvmnp-bench --bin obs_check -- \
     --compare "$obs_dir/serve-plain.json" "$obs_dir/serve-traced.json" \
     --metric serve.concurrent.makespan.ms --warn-at 0.05
+
+# Differential-profiling smoke: record a clean fig4 measured profile,
+# re-run with a 2x injected slowdown on mac-heavy work, and diff against
+# the clean store. Hard gate twice over: both profile files must pass the
+# schema validator, and the diff's top attribution cell must name the
+# injected kind — if the attribution pipeline ever stops pinning the
+# regression on mac/* cells, CI fails here before a human reads a table.
+cargo run --release -q -p tvmnp-bench --bin bench -- \
+    --workload fig4 --runs 1 --bench-out "$obs_dir/fig4-clean.json" \
+    --profile-store "$obs_dir/prof-base"
+diff_out=$(cargo run --release -q -p tvmnp-bench --bin bench -- \
+    --workload fig4 --runs 1 --bench-out "$obs_dir/fig4-slow.json" \
+    --inject-slowdown mac=2 \
+    --profile-store "$obs_dir/prof-slow" \
+    --profile-diff "$obs_dir/prof-base")
+echo "$diff_out"
+echo "$diff_out" | grep -q "^top regression cell: mac/" || {
+    echo "profile-diff smoke: injected mac slowdown not attributed to a mac/* cell" >&2
+    exit 1
+}
+cargo run --release -q -p tvmnp-bench --bin obs_check -- \
+    --profile "$obs_dir"/prof-base/profile-*.json \
+    --profile "$obs_dir"/prof-slow/profile-*.json
 
 # Conformance smoke: fixed-seed differential run across the seven target
 # permutations. Hard gate — any divergence from the interpreter or any

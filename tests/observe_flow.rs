@@ -77,6 +77,114 @@ fn sketch_quantiles_agree_with_report_nearest_rank() {
     check(0.95, stats.p95);
 }
 
+/// Deterministic splitmix64 sample stream for the merge tests.
+fn sketch_stream(seed: u64, n: usize) -> Vec<f64> {
+    let mut state = seed;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        out.push((z % 1_000_000) as f64 / 100.0);
+    }
+    out
+}
+
+fn sketch_of(samples: &[f64], epsilon: f64) -> QuantileSketch {
+    let mut s = QuantileSketch::new(epsilon);
+    for &v in samples {
+        s.insert(v);
+    }
+    s
+}
+
+/// Merge must be associative in the summary it reports: (a ⊕ b) ⊕ c and
+/// a ⊕ (b ⊕ c) agree exactly on count/sum/min/max, and their quantile
+/// answers land in the same rank bracket of the pooled sorted data. (The
+/// internal entry lists may differ — the guarantee is the ε-rank bound,
+/// not bitwise state.)
+#[test]
+fn sketch_merge_is_associative_on_summaries() {
+    let epsilon = 0.01;
+    let parts = [
+        sketch_stream(1, 3000),
+        sketch_stream(2, 2000),
+        sketch_stream(3, 1000),
+    ];
+    let [a, b, c] = parts.clone().map(|p| sketch_of(&p, epsilon));
+
+    let mut left = a.clone();
+    left.merge(&b);
+    left.merge(&c);
+    let mut bc = b.clone();
+    bc.merge(&c);
+    let mut right = a.clone();
+    right.merge(&bc);
+
+    assert_eq!(left.count(), right.count());
+    assert_eq!(left.sum(), right.sum());
+    assert_eq!(left.min(), right.min());
+    assert_eq!(left.max(), right.max());
+
+    let mut pooled: Vec<f64> = parts.concat();
+    pooled.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let n = pooled.len();
+    // Merging k ε-sketches costs at most kε rank error.
+    let allowed = (3.0 * epsilon * n as f64).ceil() as usize + 1;
+    for q in [0.1, 0.5, 0.9, 0.99] {
+        let target = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let lo = pooled[target.saturating_sub(allowed + 1).max(1) - 1];
+        let hi = pooled[(target + allowed).min(n) - 1];
+        for (label, s) in [("left", &mut left), ("right", &mut right)] {
+            let got = s.query(q);
+            assert!(
+                (lo..=hi).contains(&got),
+                "{label} q{q}: {got} outside rank bracket [{lo}, {hi}]"
+            );
+        }
+    }
+}
+
+/// Eight shards merged into one sketch must answer like a single sketch
+/// fed the whole stream: identical count/sum/min/max, and quantiles
+/// inside the pooled data's rank bracket — the property the profile
+/// store leans on when it merges per-run cells.
+#[test]
+fn sketch_shard_merge_matches_single_stream() {
+    let epsilon = 0.01;
+    let full = sketch_stream(42, 8000);
+    let mut single = sketch_of(&full, epsilon);
+
+    let mut merged = QuantileSketch::new(epsilon);
+    for shard in full.chunks(1000) {
+        merged.merge(&sketch_of(shard, epsilon));
+    }
+
+    assert_eq!(merged.count(), single.count());
+    assert_eq!(merged.min(), single.min());
+    assert_eq!(merged.max(), single.max());
+    assert!((merged.sum() - single.sum()).abs() < 1e-6 * single.sum().abs());
+
+    let mut sorted = full.clone();
+    sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let n = sorted.len();
+    let allowed = (8.0 * epsilon * n as f64).ceil() as usize + 1;
+    for q in [0.05, 0.5, 0.95] {
+        let target = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let lo = sorted[target.saturating_sub(allowed + 1).max(1) - 1];
+        let hi = sorted[(target + allowed).min(n) - 1];
+        for (label, s) in [("merged", &mut merged), ("single", &mut single)] {
+            let got = s.query(q);
+            assert!(
+                (lo..=hi).contains(&got),
+                "{label} q{q}: {got} outside rank bracket [{lo}, {hi}]"
+            );
+        }
+    }
+}
+
 /// With the collector disabled, serving records nothing at all — the
 /// pre-observability hot path — and stays bit-identical across
 /// concurrency levels.

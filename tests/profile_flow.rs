@@ -1,0 +1,182 @@
+//! End-to-end measured-profile flow: telemetry detail mode feeds the
+//! profile store, a differential diff pins an injected slowdown on the
+//! responsible (op kind, device) cells, calibration fits the analytic
+//! cost model to the measurements, and the on-disk artifact is
+//! byte-deterministic.
+//!
+//! The telemetry collector is process-global, so every test that touches
+//! it serializes through `TESTS`.
+
+use std::sync::Mutex;
+use tvm_neuropilot::models::{anti_spoofing, emotion, object_detection, Model};
+use tvm_neuropilot::prelude::*;
+use tvm_neuropilot::profile::{DiffOptions, DRIFT_THRESHOLD};
+use tvm_neuropilot::telemetry;
+use tvmnp_hwsim::WorkKind;
+
+static TESTS: Mutex<()> = Mutex::new(());
+
+fn showcase_trio() -> [Model; 3] {
+    [
+        anti_spoofing::anti_spoofing_model(101),
+        object_detection::mobilenet_ssd_model(102),
+        emotion::emotion_model(103),
+    ]
+}
+
+/// Run the showcase trio through the BYOC CPU+APU flow with telemetry
+/// detail mode on and ingest the executor spans into a fresh profile.
+fn collect(cost: &CostModel) -> Profile {
+    telemetry::enable();
+    telemetry::reset();
+    telemetry::set_detail(true);
+    for model in &showcase_trio() {
+        let mut compiled = relay_build(
+            &model.module,
+            TargetMode::Byoc(TargetPolicy::CpuApu),
+            cost.clone(),
+        )
+        .expect("build");
+        compiled.run(&model.sample_inputs(7)).expect("run");
+    }
+    telemetry::set_detail(false);
+    telemetry::disable();
+    let snap = telemetry::snapshot();
+    let mut profile = Profile::new(ProfileKey {
+        workload: "profile-flow".to_string(),
+        permutation: "byoc-cpu-apu".to_string(),
+        quant: "f32".to_string(),
+        soc: "dimensity-800".to_string(),
+    });
+    let ingested = profile.ingest_snapshot(&snap);
+    assert!(ingested > 0, "detail-mode run must yield profile samples");
+    profile
+}
+
+/// The acceptance scenario: a 2x slowdown injected into mac-heavy work
+/// must surface as the diff's top attribution cell, naming the injected
+/// kind, with the measured ratio near the injected factor.
+#[test]
+fn injected_mac_slowdown_is_attributed_to_mac_cells() {
+    let _guard = TESTS.lock().unwrap_or_else(|e| e.into_inner());
+    let baseline = collect(&CostModel::default());
+    let slowed = collect(&CostModel::default().with_kind_scale(WorkKind::MacHeavy, 2.0));
+
+    let diff = diff_profiles(&baseline, &slowed, &DiffOptions::default());
+    assert!(diff.cur_total_us > diff.base_total_us);
+    let top = diff.top().expect("a significant cell must surface");
+    assert!(
+        top.cell.starts_with("mac/"),
+        "top attribution cell must name the injected kind, got '{}'",
+        top.cell
+    );
+    assert!(
+        top.ratio > 1.5,
+        "injected 2x slowdown measured at only {:.2}x",
+        top.ratio
+    );
+    // Every significant mover is a mac cell: nothing else was touched.
+    for d in diff.deltas.iter().filter(|d| d.significant) {
+        assert!(d.cell.starts_with("mac/"), "spurious mover: {}", d.cell);
+    }
+    assert!(diff.missing.is_empty());
+    assert!(diff.added.is_empty());
+    let rendered = diff.render();
+    assert!(rendered.contains("mac/"));
+}
+
+/// Calibration on a profile measured under an injected mac slowdown must
+/// recover a scale near the injected factor for the mac cells, and the
+/// calibrated residuals must shrink versus the uncalibrated model.
+#[test]
+fn calibration_recovers_injected_scale_and_shrinks_residuals() {
+    let _guard = TESTS.lock().unwrap_or_else(|e| e.into_inner());
+    let skewed = collect(&CostModel::default().with_kind_scale(WorkKind::MacHeavy, 2.0));
+
+    let cal = CalibratedCostModel::fit(&skewed, &CostModel::default());
+    let cpu_mac = cal.scale(DeviceKind::Cpu, WorkKind::MacHeavy);
+    assert!(
+        cpu_mac > 1.3,
+        "fitted cpu/mac scale {cpu_mac:.2} must reflect the 2x injection"
+    );
+    let (uncal, calres) = cal.residual_us();
+    assert!(uncal > 0.0);
+    assert!(
+        calres < uncal,
+        "calibrated residual {calres:.1} must shrink below uncalibrated {uncal:.1}"
+    );
+    // The drift detector names at least one mac cell.
+    let drifted = cal.drifted(DRIFT_THRESHOLD);
+    assert!(
+        drifted.iter().any(|r| r.cell.starts_with("mac/")),
+        "drift report must include a mac cell"
+    );
+    // The calibrated model's mac predictions move toward the measurement.
+    let model = cal.to_cost_model();
+    let w = tvmnp_hwsim::WorkItem {
+        macs: 10_000_000,
+        bytes_in: 1 << 18,
+        bytes_out: 1 << 16,
+        int8: false,
+        kind: WorkKind::MacHeavy,
+    };
+    let analytic = CostModel::default().unscaled().kernel_body_us(
+        &w,
+        DeviceKind::Cpu,
+        tvmnp_hwsim::KernelClass::TvmUntuned,
+    );
+    let calibrated =
+        model.kernel_body_us(&w, DeviceKind::Cpu, tvmnp_hwsim::KernelClass::TvmUntuned);
+    assert!((calibrated / analytic - cpu_mac).abs() < 1e-9);
+}
+
+/// Fixed seeds in, identical bytes out: the profile JSON and the store
+/// artifact must be byte-identical across collections.
+#[test]
+fn profile_artifacts_are_byte_deterministic() {
+    let _guard = TESTS.lock().unwrap_or_else(|e| e.into_inner());
+    let mut a = collect(&CostModel::default());
+    let mut b = collect(&CostModel::default());
+    assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+
+    let dir = std::env::temp_dir().join(format!("tvmnp-profile-det-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ProfileStore::open(dir.join("s1")).unwrap();
+    let p1 = store.save(&mut a).unwrap();
+    let store2 = ProfileStore::open(dir.join("s2")).unwrap();
+    let p2 = store2.save(&mut b).unwrap();
+    assert_eq!(p1.file_name(), p2.file_name());
+    assert_eq!(std::fs::read(&p1).unwrap(), std::fs::read(&p2).unwrap());
+    // Round-trip through the store preserves the profile exactly.
+    let mut loaded = store.load(&a.key).unwrap();
+    assert_eq!(loaded.to_json().to_string(), a.to_json().to_string());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Without detail mode the executor emits no kind-stamped spans, so
+/// ingestion finds nothing — the guard that keeps ordinary telemetry
+/// runs (and their utilization aggregates) free of detail spans.
+#[test]
+fn ingest_without_detail_mode_is_empty() {
+    let _guard = TESTS.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::enable();
+    telemetry::reset();
+    let model = emotion::emotion_model(103);
+    let mut compiled = relay_build(
+        &model.module,
+        TargetMode::Byoc(TargetPolicy::CpuApu),
+        CostModel::default(),
+    )
+    .expect("build");
+    compiled.run(&model.sample_inputs(7)).expect("run");
+    telemetry::disable();
+    let snap = telemetry::snapshot();
+    let mut profile = Profile::new(ProfileKey {
+        workload: "no-detail".to_string(),
+        permutation: "byoc-cpu-apu".to_string(),
+        quant: "f32".to_string(),
+        soc: "dimensity-800".to_string(),
+    });
+    assert_eq!(profile.ingest_snapshot(&snap), 0);
+    assert_eq!(profile.total_count(), 0);
+}
